@@ -1,0 +1,123 @@
+//! Error type for the top-level test system.
+
+use core::fmt;
+
+/// Errors raised by the assembled test system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AteError {
+    /// A test program failed validation.
+    BadProgram {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// Calibration could not converge to the accuracy target.
+    CalibrationFailed {
+        /// The residual error in picoseconds.
+        residual_ps: f64,
+        /// The target in picoseconds.
+        target_ps: f64,
+    },
+    /// Error from the DLC layer.
+    Dlc(dlc::DlcError),
+    /// Error from the PECL layer.
+    Pecl(pecl::PeclError),
+    /// Error from signal analysis.
+    Signal(signal::SignalError),
+    /// Error from the test-bed application.
+    Testbed(testbed::TestbedError),
+    /// Error from the mini-tester application.
+    MiniTester(minitester::MiniTesterError),
+}
+
+impl fmt::Display for AteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AteError::BadProgram { reason } => write!(f, "bad test program: {reason}"),
+            AteError::CalibrationFailed { residual_ps, target_ps } => {
+                write!(f, "calibration residual {residual_ps} ps exceeds target {target_ps} ps")
+            }
+            AteError::Dlc(e) => write!(f, "DLC error: {e}"),
+            AteError::Pecl(e) => write!(f, "PECL error: {e}"),
+            AteError::Signal(e) => write!(f, "signal error: {e}"),
+            AteError::Testbed(e) => write!(f, "test-bed error: {e}"),
+            AteError::MiniTester(e) => write!(f, "mini-tester error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AteError::Dlc(e) => Some(e),
+            AteError::Pecl(e) => Some(e),
+            AteError::Signal(e) => Some(e),
+            AteError::Testbed(e) => Some(e),
+            AteError::MiniTester(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dlc::DlcError> for AteError {
+    fn from(e: dlc::DlcError) -> Self {
+        AteError::Dlc(e)
+    }
+}
+
+impl From<pecl::PeclError> for AteError {
+    fn from(e: pecl::PeclError) -> Self {
+        AteError::Pecl(e)
+    }
+}
+
+impl From<signal::SignalError> for AteError {
+    fn from(e: signal::SignalError) -> Self {
+        AteError::Signal(e)
+    }
+}
+
+impl From<testbed::TestbedError> for AteError {
+    fn from(e: testbed::TestbedError) -> Self {
+        AteError::Testbed(e)
+    }
+}
+
+impl From<minitester::MiniTesterError> for AteError {
+    fn from(e: minitester::MiniTesterError) -> Self {
+        AteError::MiniTester(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        assert!(AteError::BadProgram { reason: "no pattern" }.to_string().contains("no pattern"));
+        let e = AteError::CalibrationFailed { residual_ps: 40.0, target_ps: 25.0 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.source().is_none());
+        assert!(AteError::from(dlc::DlcError::NotConfigured).source().is_some());
+        assert!(AteError::from(pecl::PeclError::DacCodeOutOfRange { code: 1, codes: 1 })
+            .to_string()
+            .contains("PECL"));
+        assert!(AteError::from(signal::SignalError::EmptyWaveform { context: "c" })
+            .to_string()
+            .contains("signal"));
+        assert!(AteError::from(testbed::TestbedError::ClockRecoveryFailed { reason: "r" })
+            .to_string()
+            .contains("test-bed"));
+        assert!(AteError::from(minitester::MiniTesterError::EyeClosed)
+            .to_string()
+            .contains("mini-tester"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<AteError>();
+    }
+}

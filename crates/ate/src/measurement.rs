@@ -1,0 +1,186 @@
+//! Paper-versus-measured comparison rows.
+//!
+//! Every experiment in the benchmark harness produces [`Comparison`] rows:
+//! the value the paper reports, the value this reproduction measures, and a
+//! tolerance verdict. `EXPERIMENTS.md` is generated from these.
+
+use core::fmt;
+
+/// A value quoted in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperValue {
+    /// The quoted number.
+    pub value: f64,
+    /// Acceptable relative deviation for the reproduction (e.g. `0.1` for
+    /// ±10 %).
+    pub rel_tolerance: f64,
+}
+
+impl PaperValue {
+    /// A paper value with a tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tolerance is negative or not finite.
+    pub fn new(value: f64, rel_tolerance: f64) -> Self {
+        assert!(
+            rel_tolerance.is_finite() && rel_tolerance >= 0.0,
+            "tolerance must be nonnegative"
+        );
+        PaperValue { value, rel_tolerance }
+    }
+}
+
+/// One experiment-output comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Experiment identifier (e.g. `FIG7`).
+    pub experiment: String,
+    /// What is being compared (e.g. `jitter p-p`).
+    pub quantity: String,
+    /// Unit label.
+    pub unit: String,
+    /// The paper's number and tolerance.
+    pub paper: PaperValue,
+    /// This reproduction's measurement.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison row.
+    pub fn new(
+        experiment: impl Into<String>,
+        quantity: impl Into<String>,
+        unit: impl Into<String>,
+        paper: PaperValue,
+        measured: f64,
+    ) -> Self {
+        Comparison {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            unit: unit.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Relative deviation of the measurement from the paper value.
+    pub fn relative_error(&self) -> f64 {
+        if self.paper.value == 0.0 {
+            return self.measured.abs();
+        }
+        ((self.measured - self.paper.value) / self.paper.value).abs()
+    }
+
+    /// Whether the measurement lands inside the tolerance band.
+    pub fn within_tolerance(&self) -> bool {
+        self.relative_error() <= self.paper.rel_tolerance
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:<24} paper {:>9.3} {:<4} measured {:>9.3} {:<4} ({:>5.1}% off) {}",
+            self.experiment,
+            self.quantity,
+            self.paper.value,
+            self.unit,
+            self.measured,
+            self.unit,
+            100.0 * self.relative_error(),
+            if self.within_tolerance() { "OK" } else { "MISS" }
+        )
+    }
+}
+
+/// A collection of comparisons forming one experiment report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    rows: Vec<Comparison>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: Comparison) {
+        self.rows.push(row);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Comparison] {
+        &self.rows
+    }
+
+    /// Number of rows inside tolerance.
+    pub fn passing(&self) -> usize {
+        self.rows.iter().filter(|r| r.within_tolerance()).count()
+    }
+
+    /// Whether every row is inside tolerance.
+    pub fn all_within_tolerance(&self) -> bool {
+        self.passing() == self.rows.len()
+    }
+}
+
+impl Extend<Comparison> for Report {
+    fn extend<I: IntoIterator<Item = Comparison>>(&mut self, iter: I) {
+        self.rows.extend(iter);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        write!(f, "{} / {} within tolerance", self.passing(), self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_verdicts() {
+        let ok = Comparison::new("FIG7", "jitter p-p", "ps", PaperValue::new(46.7, 0.10), 47.9);
+        assert!(ok.within_tolerance());
+        assert!(ok.relative_error() < 0.03);
+        let miss = Comparison::new("FIG7", "jitter p-p", "ps", PaperValue::new(46.7, 0.05), 60.0);
+        assert!(!miss.within_tolerance());
+        assert!(ok.to_string().contains("OK"));
+        assert!(miss.to_string().contains("MISS"));
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        let exact = Comparison::new("X", "errors", "", PaperValue::new(0.0, 0.0), 0.0);
+        assert!(exact.within_tolerance());
+        let off = Comparison::new("X", "errors", "", PaperValue::new(0.0, 0.0), 1.0);
+        assert!(!off.within_tolerance());
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let mut report = Report::new();
+        report.push(Comparison::new("A", "q", "u", PaperValue::new(1.0, 0.1), 1.05));
+        report.extend([Comparison::new("B", "q", "u", PaperValue::new(1.0, 0.01), 2.0)]);
+        assert_eq!(report.rows().len(), 2);
+        assert_eq!(report.passing(), 1);
+        assert!(!report.all_within_tolerance());
+        let text = report.to_string();
+        assert!(text.contains("1 / 2 within tolerance"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be nonnegative")]
+    fn bad_tolerance_panics() {
+        let _ = PaperValue::new(1.0, -0.1);
+    }
+}

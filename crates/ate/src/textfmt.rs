@@ -1,0 +1,280 @@
+//! Text format for test programs.
+//!
+//! Every production tester loads its programs from files; this is the
+//! DLC+PECL system's equivalent — a deliberately plain, line-oriented
+//! format a test engineer can write by hand and diff in version control:
+//!
+//! ```text
+//! # gigatest program v1
+//! pattern prbs 4096
+//! rate_gbps 2.5
+//! strobe_ps 200
+//! launch_ps 0
+//! voh_mv -900
+//! vol_mv -1700
+//! threshold_mv -1300
+//! ```
+//!
+//! Unknown keys are rejected (typos must not silently change a test), and
+//! parsing round-trips exactly with [`to_text`].
+
+use pstime::{DataRate, Duration, Millivolts};
+use signal::{BitStream, LevelSet};
+
+use crate::program::{LevelPlan, PatternPlan, TestProgram, TimingPlan};
+use crate::{AteError, Result};
+
+/// Serializes a program to the text format.
+pub fn to_text(program: &TestProgram) -> String {
+    let mut out = String::from("# gigatest program v1\n");
+    match &program.pattern {
+        PatternPlan::Prbs { n_bits } => out.push_str(&format!("pattern prbs {n_bits}\n")),
+        PatternPlan::Clock { n_bits } => out.push_str(&format!("pattern clock {n_bits}\n")),
+        PatternPlan::Fixed(bits) => out.push_str(&format!("pattern fixed {bits}\n")),
+    }
+    out.push_str(&format!("rate_gbps {}\n", program.timing.rate.as_gbps()));
+    out.push_str(&format!("strobe_ps {}\n", program.timing.strobe_offset.as_ps_f64()));
+    out.push_str(&format!("launch_ps {}\n", program.timing.launch_delay.as_ps_f64()));
+    out.push_str(&format!("voh_mv {}\n", program.levels.drive.voh().as_mv()));
+    out.push_str(&format!("vol_mv {}\n", program.levels.drive.vol().as_mv()));
+    out.push_str(&format!("threshold_mv {}\n", program.levels.compare_threshold.as_mv()));
+    out
+}
+
+/// Parses the text format back into a validated [`TestProgram`].
+///
+/// # Errors
+///
+/// [`AteError::BadProgram`] for syntax errors, unknown keys, missing
+/// fields, or a program that fails [`TestProgram::validate`].
+pub fn from_text(text: &str) -> Result<TestProgram> {
+    let mut pattern: Option<PatternPlan> = None;
+    let mut rate: Option<DataRate> = None;
+    let mut strobe: Option<Duration> = None;
+    let mut launch = Duration::ZERO;
+    let mut voh: Option<Millivolts> = None;
+    let mut vol: Option<Millivolts> = None;
+    let mut threshold: Option<Millivolts> = None;
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("nonempty line has a first token");
+        match key {
+            "pattern" => {
+                let kind = parts
+                    .next()
+                    .ok_or(AteError::BadProgram { reason: "pattern needs a kind" })?;
+                let arg = parts
+                    .next()
+                    .ok_or(AteError::BadProgram { reason: "pattern needs an argument" })?;
+                pattern = Some(match kind {
+                    "prbs" => PatternPlan::Prbs {
+                        n_bits: arg
+                            .parse()
+                            .map_err(|_| AteError::BadProgram { reason: "bad prbs length" })?,
+                    },
+                    "clock" => PatternPlan::Clock {
+                        n_bits: arg
+                            .parse()
+                            .map_err(|_| AteError::BadProgram { reason: "bad clock length" })?,
+                    },
+                    "fixed" => {
+                        if !arg.chars().all(|c| c == '0' || c == '1' || c == '_') {
+                            return Err(AteError::BadProgram {
+                                reason: "fixed pattern must be 0/1 digits",
+                            });
+                        }
+                        PatternPlan::Fixed(BitStream::from_str_bits(arg))
+                    }
+                    _ => return Err(AteError::BadProgram { reason: "unknown pattern kind" }),
+                });
+            }
+            "rate_gbps" => {
+                let v: f64 = parse_f64(parts.next(), "rate_gbps")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(AteError::BadProgram { reason: "rate must be positive" });
+                }
+                rate = Some(DataRate::from_gbps(v));
+            }
+            "strobe_ps" => {
+                strobe = Some(Duration::from_ps_f64(parse_f64(parts.next(), "strobe_ps")?));
+            }
+            "launch_ps" => {
+                launch = Duration::from_ps_f64(parse_f64(parts.next(), "launch_ps")?);
+            }
+            "voh_mv" => voh = Some(Millivolts::new(parse_i32(parts.next(), "voh_mv")?)),
+            "vol_mv" => vol = Some(Millivolts::new(parse_i32(parts.next(), "vol_mv")?)),
+            "threshold_mv" => {
+                threshold = Some(Millivolts::new(parse_i32(parts.next(), "threshold_mv")?))
+            }
+            _ => return Err(AteError::BadProgram { reason: "unknown key" }),
+        }
+        if parts.next().is_some() {
+            return Err(AteError::BadProgram { reason: "trailing tokens on line" });
+        }
+    }
+
+    let pattern = pattern.ok_or(AteError::BadProgram { reason: "missing pattern" })?;
+    let rate = rate.ok_or(AteError::BadProgram { reason: "missing rate_gbps" })?;
+    let voh = voh.ok_or(AteError::BadProgram { reason: "missing voh_mv" })?;
+    let vol = vol.ok_or(AteError::BadProgram { reason: "missing vol_mv" })?;
+    if voh <= vol {
+        return Err(AteError::BadProgram { reason: "voh must exceed vol" });
+    }
+    let drive = LevelSet::new(voh, vol);
+    let program = TestProgram {
+        pattern,
+        timing: TimingPlan {
+            rate,
+            strobe_offset: strobe.unwrap_or(rate.unit_interval() / 2),
+            launch_delay: launch,
+        },
+        levels: LevelPlan {
+            drive,
+            compare_threshold: threshold.unwrap_or(drive.mid()),
+        },
+    };
+    program.validate()?;
+    Ok(program)
+}
+
+fn parse_f64(token: Option<&str>, key: &'static str) -> Result<f64> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or(AteError::BadProgram { reason: key_err(key) })
+}
+
+fn parse_i32(token: Option<&str>, key: &'static str) -> Result<i32> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or(AteError::BadProgram { reason: key_err(key) })
+}
+
+fn key_err(key: &'static str) -> &'static str {
+    // Map each key to a static diagnostic (no formatting in error types).
+    match key {
+        "rate_gbps" => "bad rate_gbps value",
+        "strobe_ps" => "bad strobe_ps value",
+        "launch_ps" => "bad launch_ps value",
+        "voh_mv" => "bad voh_mv value",
+        "vol_mv" => "bad vol_mv value",
+        "threshold_mv" => "bad threshold_mv value",
+        _ => "bad value",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstime::DataRate;
+
+    #[test]
+    fn round_trips_every_preset() {
+        let programs = [
+            TestProgram::prbs_eye(DataRate::from_gbps(2.5), 4_096),
+            TestProgram::clock(DataRate::from_gbps(1.25), 256),
+            TestProgram::fixed(BitStream::from_str_bits("110010"), DataRate::from_gbps(4.0)),
+        ];
+        for p in programs {
+            let text = to_text(&p);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back, p, "round trip failed for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn hand_written_program_parses() {
+        let text = "\
+# my eye test
+pattern prbs 2048
+rate_gbps 5.0
+strobe_ps 100
+voh_mv -900
+vol_mv -1700
+";
+        let p = from_text(text).unwrap();
+        assert_eq!(p.n_bits(), 2_048);
+        assert_eq!(p.timing.rate, DataRate::from_gbps(5.0));
+        // Defaults: threshold at mid, zero launch delay.
+        assert_eq!(p.levels.compare_threshold, Millivolts::new(-1300));
+        assert_eq!(p.timing.launch_delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# comment\npattern clock 64\n# another\nrate_gbps 1.0\n\nvoh_mv 0\nvol_mv -800\n";
+        assert!(from_text(text).is_ok());
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let text = "pattern prbs 64\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\nwibble 3\n";
+        assert!(matches!(
+            from_text(text),
+            Err(AteError::BadProgram { reason: "unknown key" })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(matches!(
+            from_text("rate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n"),
+            Err(AteError::BadProgram { reason: "missing pattern" })
+        ));
+        assert!(matches!(
+            from_text("pattern prbs 64\nvoh_mv 0\nvol_mv -800\n"),
+            Err(AteError::BadProgram { reason: "missing rate_gbps" })
+        ));
+        assert!(matches!(
+            from_text("pattern prbs 64\nrate_gbps 1.0\nvol_mv -800\n"),
+            Err(AteError::BadProgram { reason: "missing voh_mv" })
+        ));
+    }
+
+    #[test]
+    fn malformed_values_rejected() {
+        for bad in [
+            "pattern prbs lots\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n",
+            "pattern prbs 64\nrate_gbps fast\nvoh_mv 0\nvol_mv -800\n",
+            "pattern prbs 64\nrate_gbps -2\nvoh_mv 0\nvol_mv -800\n",
+            "pattern prbs 64\nrate_gbps 1.0\nvoh_mv zero\nvol_mv -800\n",
+            "pattern prbs 64\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\nstrobe_ps wat\n",
+            "pattern fixed 10x1\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n",
+            "pattern wiggle 64\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n",
+            "pattern prbs\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n",
+            "pattern prbs 64 extra\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\n",
+        ] {
+            assert!(from_text(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn inverted_levels_rejected() {
+        let text = "pattern prbs 64\nrate_gbps 1.0\nvoh_mv -1700\nvol_mv -900\n";
+        assert!(matches!(
+            from_text(text),
+            Err(AteError::BadProgram { reason: "voh must exceed vol" })
+        ));
+    }
+
+    #[test]
+    fn validation_applies_after_parse() {
+        // Strobe outside the bit period: structurally fine, semantically
+        // invalid.
+        let text = "pattern prbs 64\nrate_gbps 2.5\nstrobe_ps 500\nvoh_mv -900\nvol_mv -1700\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn parsed_program_actually_runs() {
+        let text = to_text(&TestProgram::prbs_eye(DataRate::from_gbps(2.5), 2_048));
+        let program = from_text(&text).unwrap();
+        let mut system = crate::TestSystem::optical_testbed().unwrap();
+        let result = system.run(&program, 3).unwrap();
+        assert!(result.eye.opening_ui().value() > 0.8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Ablation benches: isolate the design choices DESIGN.md calls out and
+//! measure what each one buys.
+//!
+//! * **Jitter-budget decomposition** — rebuild the test-bed chain with RJ
+//!   only, RJ+DCD, and RJ+DCD+ISI; the eye must close step by step toward
+//!   the paper's 0.88 UI. Shows which impairment dominates.
+//! * **Mux-tree depth** — serialize through 2:1 … 16:1 trees; deeper trees
+//!   add DCD/RJ but sub-linearly (retiming absorbs most of it).
+//! * **Calibration on/off** — channel-to-channel skew before and after
+//!   vernier deskew; the ±25 ps claim only holds *with* calibration.
+//! * **Protocol overhead** — the three slot layouts' efficiency and
+//!   viability against the test-bed receiver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pecl::chain::SignalChain;
+use pecl::{ClockFanout, MuxTree};
+use pstime::{DataRate, Duration};
+use signal::{BitStream, EyeDiagram};
+
+fn prbs_bits(n: usize) -> BitStream {
+    let mut lfsr = dlc::Lfsr::new(dlc::PrbsPolynomial::Prbs15, 0x1DEA);
+    lfsr.generate(n)
+}
+
+fn chain_with(rj: bool, dcd: bool, isi: bool) -> SignalChain {
+    let mut chain = SignalChain::builder("ablation")
+        .add_sige_buffer(&pecl::SiGeOutputBuffer::new())
+        .build();
+    if rj {
+        chain.add_rj(Duration::from_ps_f64(3.2));
+    }
+    if dcd {
+        chain.add_dcd(Duration::from_ps(10));
+    }
+    if isi {
+        chain.add_isi(Duration::from_ps(13), 1.0);
+    }
+    chain
+}
+
+fn bench_jitter_budget_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_jitter_budget");
+    group.sample_size(10);
+    let rate = DataRate::from_gbps(2.5);
+    let bits = prbs_bits(4_096);
+
+    let cases: [(&str, bool, bool, bool); 4] = [
+        ("clean", false, false, false),
+        ("rj_only", true, false, false),
+        ("rj_dcd", true, true, false),
+        ("rj_dcd_isi", true, true, true),
+    ];
+    let mut openings = Vec::new();
+    for (name, rj, dcd, isi) in cases {
+        let chain = chain_with(rj, dcd, isi);
+        let wave = chain.render(&bits, rate, 7).expect("renders");
+        let eye = EyeDiagram::analyze(&wave, rate).expect("analyzable");
+        openings.push((name, eye.opening_ui().value()));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let wave = chain.render(&bits, rate, 7).expect("renders");
+                EyeDiagram::analyze(&wave, rate).expect("analyzable")
+            })
+        });
+    }
+    group.finish();
+
+    // The ablation claim: each impairment closes the eye further, and the
+    // full budget lands at the paper's 0.88 UI.
+    for pair in openings.windows(2) {
+        assert!(
+            pair[1].1 < pair[0].1 + 0.005,
+            "adding impairments must not open the eye: {openings:?}"
+        );
+    }
+    let full = openings.last().expect("cases ran").1;
+    assert!((full - 0.88).abs() < 0.05, "full budget opening {full}, paper 0.88");
+}
+
+fn bench_mux_depth_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mux_depth");
+    group.sample_size(10);
+
+    let mut budgets = Vec::new();
+    for ways in [2usize, 4, 8, 16] {
+        let tree = MuxTree::new(ways).expect("power of two");
+        budgets.push((ways, tree.total_dcd(), tree.total_added_rj()));
+        let lanes: Vec<BitStream> =
+            (0..ways).map(|_| BitStream::alternating(4_096 / ways)).collect();
+        group.bench_function(format!("serialize_{ways}to1"), |b| {
+            b.iter(|| tree.serialize(&lanes).expect("equal lanes"))
+        });
+    }
+    group.finish();
+
+    // Deeper trees cost more DCD/RJ but *sub-linearly* — the retiming
+    // argument the architecture rests on.
+    let (_, dcd2, rj2) = budgets[0];
+    let (_, dcd16, rj16) = budgets[3];
+    assert!(dcd16 > dcd2 && dcd16 < dcd2 * 2, "DCD growth not sub-linear: {budgets:?}");
+    assert!(rj16 > rj2 && rj16 < rj2 * 3, "RJ growth not sub-linear: {budgets:?}");
+}
+
+fn bench_calibration_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_calibration");
+    group.sample_size(10);
+    let rate = DataRate::from_gbps(2.5);
+    let fanout = ClockFanout::new(8, Duration::from_ps(1));
+
+    // Without calibration: the raw fanout spread.
+    let uncalibrated = fanout.max_skew_spread();
+
+    // With calibration (measured): run the full deskew loop.
+    group.bench_function("deskew_8_channels", |b| {
+        b.iter(|| {
+            ate::calibration::deskew_channels(&fanout, rate, ate::calibration::paper_accuracy_target())
+                .expect("converges")
+        })
+    });
+    group.finish();
+
+    let result = ate::calibration::deskew_channels(
+        &fanout,
+        rate,
+        ate::calibration::paper_accuracy_target(),
+    )
+    .expect("converges");
+    assert!(
+        uncalibrated > result.worst_residual * 3,
+        "calibration must dominate: raw {uncalibrated} vs residual {}",
+        result.worst_residual
+    );
+}
+
+fn bench_protocol_ablation(c: &mut Criterion) {
+    use testbed::protocol::{evaluate_catalog, ReceiverRequirements};
+    let mut group = c.benchmark_group("ablation_protocol");
+    group.sample_size(10);
+    group.bench_function("evaluate_catalog", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            evaluate_catalog(&ReceiverRequirements::testbed(), seed).expect("evaluates")
+        })
+    });
+    group.finish();
+
+    let evals = evaluate_catalog(&ReceiverRequirements::testbed(), 1).expect("evaluates");
+    // The paper's layout must be viable; the catalog must contain a spread
+    // of efficiencies.
+    assert!(evals.iter().any(|e| e.name == "paper-fig4" && e.viable()));
+    let effs: Vec<f64> = evals.iter().map(|e| e.efficiency).collect();
+    assert!(effs.windows(2).all(|w| w[0] < w[1]), "catalog should span efficiencies: {effs:?}");
+}
+
+criterion_group!(
+    benches,
+    bench_jitter_budget_ablation,
+    bench_mux_depth_ablation,
+    bench_calibration_ablation,
+    bench_protocol_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion benches: one target per paper figure.
+//!
+//! Each bench runs the figure's full experiment (generation + measurement)
+//! and asserts the paper-comparison verdict, so `cargo bench` both times
+//! the harness and re-validates the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn assert_ok(report: &ate::Report) {
+    assert!(report.all_within_tolerance(), "experiment drifted from the paper:\n{report}");
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig04_packet_slot", |b| {
+        b.iter(|| {
+            let r = bench_support::fig04_packet_slot();
+            assert_ok(&r);
+            r
+        })
+    });
+    group.bench_function("fig06_tx_waveforms", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig06_tx_waveforms(seed)
+        })
+    });
+    group.bench_function("fig07_eye_2g5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig07_eye_2g5(seed)
+        })
+    });
+    group.bench_function("fig08_eye_4g0", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig08_eye_4g0(seed)
+        })
+    });
+    group.bench_function("fig09_edge_jitter", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig09_edge_jitter(500, seed)
+        })
+    });
+    group.bench_function("fig10_fig11_levels", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = bench_support::fig10_fig11_levels(seed);
+            assert_ok(&r);
+            r
+        })
+    });
+    group.bench_function("fig13_parallel_probe", |b| {
+        b.iter(|| {
+            let r = bench_support::fig13_parallel_probe();
+            assert_ok(&r);
+            r
+        })
+    });
+    group.bench_function("fig16_mini_eye_1g0", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig16_mini_eye_1g0(seed)
+        })
+    });
+    group.bench_function("fig17_mini_eye_2g5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig17_mini_eye_2g5(seed)
+        })
+    });
+    group.bench_function("fig18_mini_5g_pattern", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig18_mini_5g_pattern(seed)
+        })
+    });
+    group.bench_function("fig19_mini_eye_5g0", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench_support::fig19_mini_eye_5g0(seed)
+        })
+    });
+    group.bench_function("summary_timing_accuracy", |b| {
+        b.iter(|| {
+            let r = bench_support::summary_timing_accuracy();
+            assert_ok(&r);
+            r
+        })
+    });
+    group.bench_function("datavortex_routing", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = bench_support::datavortex_routing(seed);
+            assert_ok(&r);
+            r
+        })
+    });
+    group.bench_function("ext_terabit_scaling", |b| {
+        b.iter(|| {
+            let r = bench_support::ext_terabit_scaling();
+            assert_ok(&r);
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion benches of the simulator itself: how fast the substrate can
+//! generate, serialize, analyze, and route. These are the numbers a
+//! downstream user of the library cares about when sizing sweeps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pstime::DataRate;
+use signal::jitter::JitterBudget;
+use signal::{AnalogWaveform, BitStream, DigitalWaveform, EdgeShape, EyeDiagram, LevelSet};
+use vortex::traffic::{run_load, Pattern};
+use vortex::VortexParams;
+
+fn bench_signal_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal");
+    let rate = DataRate::from_gbps(2.5);
+    let budget = JitterBudget::new().with_rj_rms_ps(3.2).with_dcd_ps(10.0).with_isi_ps(13.0);
+
+    group.throughput(Throughput::Elements(8_192));
+    group.bench_function("digital_waveform_8k_bits", |b| {
+        let bits = BitStream::alternating(8_192);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            DigitalWaveform::from_bits(&bits, rate, &budget, seed)
+        })
+    });
+
+    group.bench_function("eye_analysis_4k_bits", |b| {
+        let bits = {
+            let mut lfsr = dlc::Lfsr::new(dlc::PrbsPolynomial::Prbs15, 0xACE1);
+            lfsr.generate(4_096)
+        };
+        let d = DigitalWaveform::from_bits(&bits, rate, &budget, 7);
+        let wave = AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default());
+        b.iter(|| EyeDiagram::analyze(&wave, rate).expect("analyzable"))
+    });
+
+    group.bench_function("mux_tree_16to1_8k_bits", |b| {
+        let tree = pecl::MuxTree::new(16).expect("power of two");
+        let lanes: Vec<BitStream> = (0..16).map(|_| BitStream::alternating(512)).collect();
+        b.iter_batched(
+            || lanes.clone(),
+            |lanes| tree.serialize(&lanes).expect("equal lanes"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("prbs15_generation_32k", |b| {
+        b.iter(|| {
+            let mut lfsr = dlc::Lfsr::new(dlc::PrbsPolynomial::Prbs15, 0x1234);
+            lfsr.generate(32_768)
+        })
+    });
+
+    group.bench_function("jitter_spectrum_4k_ui", |b| {
+        let budget = JitterBudget::new()
+            .with_pj(pstime::Duration::from_ps(5), pstime::Frequency::from_mhz(50), 0.0)
+            .with_rj_rms_ps(2.0);
+        let d = DigitalWaveform::from_bits(&BitStream::alternating(8_192), rate, &budget, 3);
+        b.iter(|| signal::jitter_spectrum(&d, rate).expect("spectrum"))
+    });
+
+    group.bench_function("mask_test_512_ui", |b| {
+        let budget = JitterBudget::new().with_rj_rms_ps(3.2).with_dcd_ps(10.0);
+        let d = DigitalWaveform::from_bits(&BitStream::alternating(512), rate, &budget, 5);
+        let wave = AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default());
+        let mask = signal::EyeMask::paper_pecl();
+        b.iter(|| signal::mask_test(&wave, rate, &mask, 32).expect("mask test"))
+    });
+    group.finish();
+}
+
+fn bench_vortex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vortex");
+    group.sample_size(10);
+    group.bench_function("eight_node_load_0.5_200slots", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_load(VortexParams::eight_node(), Pattern::UniformRandom, 0.5, 200, seed)
+        })
+    });
+    group.bench_function("thirty_two_node_load_0.3_100slots", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_load(VortexParams::thirty_two_node(), Pattern::UniformRandom, 0.3, 100, seed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("dlc_boot", |b| {
+        b.iter(|| {
+            let mut core = dlc::DigitalLogicCore::new();
+            core.program_flash_via_jtag(&dlc::Bitstream::example_design()).expect("flash ok");
+            core.power_up().expect("boot ok");
+            core
+        })
+    });
+    group.bench_function("minitester_prbs_5g_2k_bits", |b| {
+        let mut path = minitester::MiniTesterDatapath::new().expect("boots");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            path.prbs_stimulus(DataRate::from_gbps(5.0), 2_048, seed).expect("renders")
+        })
+    });
+
+    group.bench_function("testbed_stream_8_slots", |b| {
+        let timing = testbed::frame::SlotTiming::paper();
+        let mut tx = testbed::Transmitter::new(timing).expect("boots");
+        let slots: Vec<testbed::PacketSlot> = (0..8)
+            .map(|i| testbed::PacketSlot::new(timing, [i; 4], (i % 16) as u8))
+            .collect();
+        let rx = testbed::StreamReceiver::new(timing);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let stream = tx.transmit_stream(&slots, seed).expect("renders");
+            rx.receive_stream(&stream).expect("decodes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_signal_path, bench_vortex, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Prints the full paper-versus-measured report for every figure.
+//!
+//! ```text
+//! cargo run --release -p gigatest-bench --bin figures
+//! ```
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2005u64);
+    println!("Gigatest reproduction — Keezer et al., DATE 2005");
+    println!("seed = {seed}\n");
+    let report = bench_support::full_report(seed);
+    println!("{report}");
+    if !report.all_within_tolerance() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,329 @@
+//! IEEE 1149.1 boundary-scan register: SAMPLE/PRELOAD and EXTEST.
+//!
+//! The paper uses the 1149.1 port for FLASH programming, but the standard's
+//! reason for existing is board-level structural test: a **boundary
+//! register** cell on every pin lets the host sample the pins mid-operation
+//! (SAMPLE), preload drive values (PRELOAD), and take control of the pins
+//! entirely (EXTEST) to check continuity between devices. A DLC-based
+//! tester board is itself testable this way, so the model supports it.
+
+use core::fmt;
+
+use crate::{DlcError, Result};
+
+/// One boundary-register cell: a capture/update pair on a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundaryCell {
+    /// The value captured from the pin at the last Capture-DR.
+    pub captured: bool,
+    /// The value the update latch drives in EXTEST.
+    pub update: bool,
+}
+
+/// Pin direction as seen by the boundary register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinState {
+    /// The pin is driven by the core (functional mode).
+    Functional(bool),
+    /// The pin is driven by the boundary register (EXTEST).
+    Extest(bool),
+}
+
+impl PinState {
+    /// The level on the pin regardless of who drives it.
+    pub fn level(self) -> bool {
+        match self {
+            PinState::Functional(v) | PinState::Extest(v) => v,
+        }
+    }
+}
+
+/// The boundary register of an `n`-pin device.
+///
+/// # Examples
+///
+/// ```
+/// use dlc::boundary::BoundaryRegister;
+///
+/// let mut bsr = BoundaryRegister::new(8);
+/// // Core drives pins functionally...
+/// bsr.set_functional_levels(&[true, false, true, false, true, false, true, false]);
+/// // ...SAMPLE captures them without disturbing anything.
+/// let sampled = bsr.sample();
+/// assert_eq!(sampled.count_ones(), 4);
+/// # let _ = sampled;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryRegister {
+    cells: Vec<BoundaryCell>,
+    functional: Vec<bool>,
+    extest_active: bool,
+}
+
+impl BoundaryRegister {
+    /// Creates a register for `pins` pins, all functionally low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is zero.
+    pub fn new(pins: usize) -> Self {
+        assert!(pins > 0, "boundary register needs at least one pin");
+        BoundaryRegister {
+            cells: vec![BoundaryCell::default(); pins],
+            functional: vec![false; pins],
+            extest_active: false,
+        }
+    }
+
+    /// Number of pins / cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the register has no cells (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether EXTEST currently controls the pins.
+    pub fn extest_active(&self) -> bool {
+        self.extest_active
+    }
+
+    /// Sets the functional (core-driven) pin levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the pin count.
+    pub fn set_functional_levels(&mut self, levels: &[bool]) {
+        assert_eq!(levels.len(), self.cells.len(), "level count must match pins");
+        self.functional.copy_from_slice(levels);
+    }
+
+    /// The externally visible state of pin `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::ChannelOutOfRange`] for a bad index.
+    pub fn pin(&self, i: usize) -> Result<PinState> {
+        let n = self.cells.len();
+        if i >= n {
+            return Err(DlcError::ChannelOutOfRange { channel: i, available: n });
+        }
+        Ok(if self.extest_active {
+            PinState::Extest(self.cells[i].update)
+        } else {
+            PinState::Functional(self.functional[i])
+        })
+    }
+
+    /// SAMPLE: captures every pin's current level into the capture stage
+    /// without affecting the pins; returns the captured word (pin 0 =
+    /// bit 0).
+    pub fn sample(&mut self) -> u64 {
+        let mut word = 0u64;
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let level = if self.extest_active { cell.update } else { self.functional[i] };
+            cell.captured = level;
+            if level && i < 64 {
+                word |= 1 << i;
+            }
+        }
+        word
+    }
+
+    /// Shifts the register by one cell: `tdi` enters at the last cell, the
+    /// first cell's captured bit exits as TDO. (1149.1 shifts capture
+    /// stages, not update latches.)
+    pub fn shift(&mut self, tdi: bool) -> bool {
+        let out = self.cells[0].captured;
+        for i in 0..self.cells.len() - 1 {
+            self.cells[i].captured = self.cells[i + 1].captured;
+        }
+        let n = self.cells.len();
+        self.cells[n - 1].captured = tdi;
+        out
+    }
+
+    /// PRELOAD/UPDATE: copies every capture stage into its update latch.
+    pub fn update(&mut self) {
+        for cell in &mut self.cells {
+            cell.update = cell.captured;
+        }
+    }
+
+    /// Enters EXTEST: the update latches drive the pins.
+    pub fn enter_extest(&mut self) {
+        self.extest_active = true;
+    }
+
+    /// Leaves EXTEST: control returns to the core.
+    pub fn exit_extest(&mut self) {
+        self.extest_active = false;
+    }
+
+    /// Host-level helper: shifts a full `len()`-bit pattern in (LSB first,
+    /// pin 0 first) and returns the bits shifted out.
+    pub fn shift_pattern(&mut self, pattern: u64) -> u64 {
+        let n = self.cells.len().min(64);
+        let mut out = 0u64;
+        for i in 0..self.cells.len() {
+            let tdi = i < 64 && (pattern >> i.min(63)) & 1 == 1;
+            let tdo = self.shift(tdi);
+            if tdo && i < 64 {
+                out |= 1 << i;
+            }
+        }
+        let _ = n;
+        out
+    }
+}
+
+impl fmt::Display for BoundaryRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "boundary register: {} cells, {}",
+            self.cells.len(),
+            if self.extest_active { "EXTEST" } else { "functional" }
+        )
+    }
+}
+
+/// A board-level interconnect check between two devices' boundary
+/// registers: drive a walking-ones pattern from `driver`, observe on
+/// `receiver` through the net mapping, and report broken/shorted nets.
+///
+/// `nets[i] = j` means driver pin `i` is wired to receiver pin `j`.
+/// `open_faults` marks driver pins whose solder joint is broken.
+///
+/// Returns the list of driver pins whose net failed.
+pub fn interconnect_test(
+    driver: &mut BoundaryRegister,
+    receiver: &mut BoundaryRegister,
+    nets: &[usize],
+    open_faults: &[bool],
+) -> Vec<usize> {
+    assert_eq!(nets.len(), driver.len(), "one net per driver pin");
+    assert_eq!(open_faults.len(), driver.len(), "one fault flag per driver pin");
+    driver.enter_extest();
+    let mut failures = Vec::new();
+    for pin in 0..driver.len() {
+        // Walking one: preload the pattern and drive it.
+        let pattern = 1u64 << pin;
+        driver.shift_pattern(pattern);
+        driver.update();
+        // The receiver sees the driven levels through the nets (unless the
+        // joint is open, in which case the net floats low).
+        let mut seen = vec![false; receiver.len()];
+        for (d, &r) in nets.iter().enumerate() {
+            let level = driver.pin(d).expect("pin in range").level() && !open_faults[d];
+            seen[r] = level;
+        }
+        receiver.set_functional_levels(&seen);
+        let observed = receiver.sample();
+        // The tester expects the design intent; a broken joint shows up as
+        // a mismatch (the net floats low instead of following the drive).
+        let expected = 1u64 << nets[pin];
+        if observed != expected {
+            failures.push(pin);
+        }
+    }
+    driver.exit_extest();
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_captures_functional_levels() {
+        let mut bsr = BoundaryRegister::new(8);
+        assert_eq!(bsr.len(), 8);
+        assert!(!bsr.is_empty());
+        bsr.set_functional_levels(&[true, true, false, false, true, false, false, true]);
+        let word = bsr.sample();
+        assert_eq!(word, 0b1001_0011);
+        assert!(!bsr.extest_active());
+        assert!(matches!(bsr.pin(0).unwrap(), PinState::Functional(true)));
+        assert!(bsr.pin(9).is_err());
+    }
+
+    #[test]
+    fn shift_moves_capture_stages() {
+        let mut bsr = BoundaryRegister::new(4);
+        bsr.set_functional_levels(&[true, false, true, false]);
+        bsr.sample();
+        // Shift out all four captured bits, shifting zeros in.
+        let out: Vec<bool> = (0..4).map(|_| bsr.shift(false)).collect();
+        assert_eq!(out, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn preload_and_extest_take_the_pins() {
+        let mut bsr = BoundaryRegister::new(4);
+        bsr.set_functional_levels(&[false; 4]);
+        // Preload 0b0110 and enter EXTEST.
+        bsr.shift_pattern(0b0110);
+        bsr.update();
+        bsr.enter_extest();
+        assert!(bsr.extest_active());
+        assert!(matches!(bsr.pin(1).unwrap(), PinState::Extest(true)));
+        assert!(matches!(bsr.pin(0).unwrap(), PinState::Extest(false)));
+        assert!(bsr.pin(1).unwrap().level());
+        // Functional levels are ignored in EXTEST.
+        bsr.set_functional_levels(&[true; 4]);
+        assert!(!bsr.pin(0).unwrap().level());
+        bsr.exit_extest();
+        assert!(bsr.pin(0).unwrap().level());
+        assert!(bsr.to_string().contains("functional"));
+    }
+
+    #[test]
+    fn shift_pattern_round_trips() {
+        let mut bsr = BoundaryRegister::new(16);
+        bsr.set_functional_levels(&[false; 16]);
+        bsr.sample();
+        bsr.shift_pattern(0xA5A5);
+        // Shifting another pattern pushes the first one out.
+        let out = bsr.shift_pattern(0x0000);
+        assert_eq!(out, 0xA5A5);
+    }
+
+    #[test]
+    fn interconnect_test_passes_a_good_board() {
+        let mut driver = BoundaryRegister::new(8);
+        let mut receiver = BoundaryRegister::new(8);
+        // Straight-through wiring.
+        let nets: Vec<usize> = (0..8).collect();
+        let faults = vec![false; 8];
+        let failures = interconnect_test(&mut driver, &mut receiver, &nets, &faults);
+        assert!(failures.is_empty(), "good board failed: {failures:?}");
+    }
+
+    #[test]
+    fn interconnect_test_finds_open_joints() {
+        let mut driver = BoundaryRegister::new(8);
+        let mut receiver = BoundaryRegister::new(8);
+        // Crossed wiring with two open joints.
+        let nets: Vec<usize> = (0..8).map(|i| 7 - i).collect();
+        let mut faults = vec![false; 8];
+        faults[2] = true;
+        faults[5] = true;
+        let failures = interconnect_test(&mut driver, &mut receiver, &nets, &faults);
+        assert_eq!(failures, vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pin")]
+    fn zero_pins_panics() {
+        let _ = BoundaryRegister::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level count must match")]
+    fn wrong_level_count_panics() {
+        BoundaryRegister::new(4).set_functional_levels(&[true; 3]);
+    }
+}

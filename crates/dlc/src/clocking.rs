@@ -1,0 +1,290 @@
+//! FPGA clock management: the DCM between the RF input and the fabric.
+//!
+//! The paper's Fig. 2 routes the RF clock into the FPGA, where a Virtex-II
+//! digital clock manager (DCM) synthesizes the fabric and I/O clocks:
+//! divided clocks for the pattern state machines and (bounded) multiplied
+//! clocks for the fastest I/O. A DCM is not free — it multiplies phase
+//! noise and has a legal input/output frequency window — and those limits
+//! decide how the 16 CMOS lanes can be clocked, so the model enforces
+//! them.
+
+use core::fmt;
+
+use pstime::{Duration, Frequency};
+
+use crate::{DlcError, Result};
+
+/// Virtex-II-class DCM limits (low-frequency mode).
+pub mod limits {
+    /// Minimum input clock (Hz).
+    pub const F_IN_MIN_HZ: u64 = 1_000_000;
+    /// Maximum input clock (Hz).
+    pub const F_IN_MAX_HZ: u64 = 420_000_000;
+    /// Minimum synthesized output (Hz).
+    pub const F_OUT_MIN_HZ: u64 = 1_500_000;
+    /// Maximum synthesized output (Hz).
+    pub const F_OUT_MAX_HZ: u64 = 420_000_000;
+    /// Multiplier range.
+    pub const MULT_RANGE: core::ops::RangeInclusive<u32> = 2..=32;
+    /// Divider range.
+    pub const DIV_RANGE: core::ops::RangeInclusive<u32> = 1..=32;
+}
+
+/// A configured digital clock manager: `f_out = f_in × multiply / divide`.
+///
+/// # Examples
+///
+/// ```
+/// use dlc::clocking::Dcm;
+/// use pstime::Frequency;
+///
+/// // 100 MHz board clock -> 312.5 MHz lane clock (x25 / 8).
+/// let dcm = Dcm::new(Frequency::from_mhz(100), 25, 8)?;
+/// assert_eq!(dcm.output().as_hz(), 312_500_000);
+/// # Ok::<(), dlc::DlcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dcm {
+    input: Frequency,
+    multiply: u32,
+    divide: u32,
+    input_jitter_rms: Duration,
+}
+
+impl Dcm {
+    /// Configures a DCM, validating frequencies against the device limits.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::InvalidBitstream`] when the input or synthesized output
+    /// is outside the legal window, or multiply/divide are out of range.
+    pub fn new(input: Frequency, multiply: u32, divide: u32) -> Result<Dcm> {
+        if !limits::MULT_RANGE.contains(&multiply) {
+            return Err(DlcError::InvalidBitstream { reason: "DCM multiplier out of range" });
+        }
+        if !limits::DIV_RANGE.contains(&divide) {
+            return Err(DlcError::InvalidBitstream { reason: "DCM divider out of range" });
+        }
+        let f_in = input.as_hz();
+        if !(limits::F_IN_MIN_HZ..=limits::F_IN_MAX_HZ).contains(&f_in) {
+            return Err(DlcError::InvalidBitstream { reason: "DCM input frequency out of range" });
+        }
+        let f_out = f_in * u64::from(multiply) / u64::from(divide);
+        if !(limits::F_OUT_MIN_HZ..=limits::F_OUT_MAX_HZ).contains(&f_out) {
+            return Err(DlcError::InvalidBitstream {
+                reason: "DCM output frequency out of range",
+            });
+        }
+        Ok(Dcm { input, multiply, divide, input_jitter_rms: Duration::from_ps(1) })
+    }
+
+    /// Sets the input clock's jitter (defaults to 1 ps rms, a bench-grade
+    /// source).
+    #[must_use]
+    pub fn with_input_jitter(mut self, rms: Duration) -> Dcm {
+        self.input_jitter_rms = rms;
+        self
+    }
+
+    /// The input frequency.
+    pub fn input(&self) -> Frequency {
+        self.input
+    }
+
+    /// The synthesized output frequency.
+    pub fn output(&self) -> Frequency {
+        Frequency::from_hz(
+            self.input.as_hz() * u64::from(self.multiply) / u64::from(self.divide),
+        )
+    }
+
+    /// The multiply/divide configuration.
+    pub fn ratio(&self) -> (u32, u32) {
+        (self.multiply, self.divide)
+    }
+
+    /// Output jitter: the DCM's own synthesis jitter (≈ 60 ps p-p on
+    /// Virtex-II, ≈ 10 ps rms) root-sum-squared with the input jitter —
+    /// the reason multi-gigahertz timing must come from the PECL path, not
+    /// from the FPGA.
+    pub fn output_jitter_rms(&self) -> Duration {
+        const DCM_SYNTH_RMS_FS: f64 = 10_000.0;
+        let input_fs = self.input_jitter_rms.as_fs() as f64;
+        Duration::from_fs((input_fs * input_fs + DCM_SYNTH_RMS_FS * DCM_SYNTH_RMS_FS).sqrt().round() as i64)
+    }
+
+    /// The highest serial rate the output clock can launch per I/O pin
+    /// (SDR: one bit per cycle).
+    pub fn max_lane_rate(&self) -> pstime::DataRate {
+        pstime::DataRate::from_bps(self.output().as_hz())
+    }
+
+    /// Finds a (multiply, divide) pair synthesizing `target` from `input`
+    /// exactly, preferring the smallest multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::InvalidBitstream`] when no legal pair exists.
+    pub fn solve(input: Frequency, target: Frequency) -> Result<Dcm> {
+        for multiply in limits::MULT_RANGE {
+            for divide in limits::DIV_RANGE {
+                if input.as_hz() * u64::from(multiply)
+                    == target.as_hz() * u64::from(divide)
+                {
+                    if let Ok(dcm) = Dcm::new(input, multiply, divide) {
+                        return Ok(dcm);
+                    }
+                }
+            }
+        }
+        Err(DlcError::InvalidBitstream { reason: "no DCM ratio reaches the target" })
+    }
+}
+
+impl fmt::Display for Dcm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DCM {} x{}/{} -> {} ({} rms out)",
+            self.input,
+            self.multiply,
+            self.divide,
+            self.output(),
+            self.output_jitter_rms()
+        )
+    }
+}
+
+/// The DLC's clock plan for a serializer application: the DCM that clocks
+/// the CMOS lanes plus the PECL-side DDR clock that the mux tree needs,
+/// with a feasibility check tying them together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockPlan {
+    /// The fabric/lane-clock DCM.
+    pub lane_dcm: Dcm,
+    /// Number of mux lanes.
+    pub lanes: u32,
+    /// The serial output rate the plan supports.
+    pub serial_rate: pstime::DataRate,
+}
+
+impl ClockPlan {
+    /// Plans the clocking for `serial_rate` through a `lanes`:1 mux from a
+    /// board `input` clock: the lane clock must be `serial_rate / lanes`.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::InvalidBitstream`] when no DCM ratio produces the lane
+    /// clock, or [`DlcError::RateTooHigh`] when the lane rate exceeds the
+    /// 400 Mbps I/O derating.
+    pub fn for_serializer(
+        input: Frequency,
+        serial_rate: pstime::DataRate,
+        lanes: u32,
+    ) -> Result<ClockPlan> {
+        let lane_rate = serial_rate.demux(u64::from(lanes));
+        let lane_mbps = lane_rate.as_bps() / 1_000_000;
+        if lane_mbps > 400 {
+            return Err(DlcError::RateTooHigh { requested_mbps: lane_mbps, limit_mbps: 400 });
+        }
+        let lane_dcm = Dcm::solve(input, Frequency::from_hz(lane_rate.as_bps()))?;
+        Ok(ClockPlan { lane_dcm, lanes, serial_rate })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_synthesis() {
+        let dcm = Dcm::new(Frequency::from_mhz(100), 25, 8).unwrap();
+        assert_eq!(dcm.output().as_hz(), 312_500_000);
+        assert_eq!(dcm.ratio(), (25, 8));
+        assert_eq!(dcm.input(), Frequency::from_mhz(100));
+        assert_eq!(dcm.max_lane_rate().as_bps(), 312_500_000);
+        assert!(dcm.to_string().contains("x25/8"));
+    }
+
+    #[test]
+    fn limits_enforced() {
+        // Multiplier / divider ranges.
+        assert!(Dcm::new(Frequency::from_mhz(100), 1, 1).is_err());
+        assert!(Dcm::new(Frequency::from_mhz(100), 33, 1).is_err());
+        assert!(Dcm::new(Frequency::from_mhz(100), 2, 0).is_err());
+        assert!(Dcm::new(Frequency::from_mhz(100), 2, 33).is_err());
+        // Input window.
+        assert!(Dcm::new(Frequency::from_khz(500), 2, 1).is_err());
+        assert!(Dcm::new(Frequency::from_mhz(500), 2, 2).is_err());
+        // Output window: 400 MHz x 2 = 800 MHz > max.
+        assert!(Dcm::new(Frequency::from_mhz(400), 2, 1).is_err());
+        // And a legal corner.
+        assert!(Dcm::new(Frequency::from_mhz(210), 2, 1).is_ok());
+    }
+
+    #[test]
+    fn jitter_multiplies_through() {
+        let clean = Dcm::new(Frequency::from_mhz(100), 4, 1)
+            .unwrap()
+            .with_input_jitter(Duration::ZERO);
+        // Floor: the DCM's own synthesis jitter.
+        assert_eq!(clean.output_jitter_rms(), Duration::from_ps(10));
+        let noisy = Dcm::new(Frequency::from_mhz(100), 4, 1)
+            .unwrap()
+            .with_input_jitter(Duration::from_ps(10));
+        // 10 RSS 10 = 14.14 ps.
+        assert!((noisy.output_jitter_rms().as_ps_f64() - 14.14).abs() < 0.1);
+        // Either way, orders of magnitude worse than the PECL path's
+        // ~3 ps — the architectural point.
+        assert!(clean.output_jitter_rms() > Duration::from_ps(3));
+    }
+
+    #[test]
+    fn solve_finds_exact_ratios() {
+        // 100 MHz -> 312.5 MHz needs x25/8 (or an equivalent).
+        let dcm = Dcm::solve(Frequency::from_mhz(100), Frequency::from_hz(312_500_000)).unwrap();
+        let (m, d) = dcm.ratio();
+        assert_eq!(
+            100_000_000u64 * u64::from(m) / u64::from(d),
+            312_500_000
+        );
+        // Unreachable target.
+        assert!(Dcm::solve(Frequency::from_mhz(100), Frequency::from_hz(312_500_001)).is_err());
+    }
+
+    #[test]
+    fn clock_plan_for_the_minitester() {
+        // 5 Gbps / 16 lanes = 312.5 Mbps per lane from a 100 MHz board
+        // clock: legal and inside the I/O derating.
+        let plan = ClockPlan::for_serializer(
+            Frequency::from_mhz(100),
+            pstime::DataRate::from_gbps(5.0),
+            16,
+        )
+        .unwrap();
+        assert_eq!(plan.lanes, 16);
+        assert_eq!(plan.lane_dcm.output().as_hz(), 312_500_000);
+        // 5 Gbps / 8 lanes = 625 Mbps: violates the 400 Mbps derating.
+        assert!(matches!(
+            ClockPlan::for_serializer(
+                Frequency::from_mhz(100),
+                pstime::DataRate::from_gbps(5.0),
+                8
+            ),
+            Err(DlcError::RateTooHigh { requested_mbps: 625, .. })
+        ));
+    }
+
+    #[test]
+    fn clock_plan_for_the_testbed() {
+        // 2.5 Gbps / 8 lanes = 312.5 Mbps: the paper's test-bed clocking.
+        let plan = ClockPlan::for_serializer(
+            Frequency::from_mhz(125),
+            pstime::DataRate::from_gbps(2.5),
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.lane_dcm.output().as_hz(), 312_500_000);
+        assert_eq!(plan.serial_rate, pstime::DataRate::from_gbps(2.5));
+    }
+}

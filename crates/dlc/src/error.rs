@@ -1,0 +1,114 @@
+//! Error type for Digital Logic Core operations.
+
+use core::fmt;
+
+/// Errors raised by the DLC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DlcError {
+    /// The FPGA has not been configured (no valid bitstream loaded).
+    NotConfigured,
+    /// The FLASH holds no (or a corrupt) bitstream.
+    InvalidBitstream {
+        /// Why the bitstream was rejected.
+        reason: &'static str,
+    },
+    /// A channel index beyond the FPGA's I/O count.
+    ChannelOutOfRange {
+        /// The requested channel.
+        channel: usize,
+        /// Number of channels available.
+        available: usize,
+    },
+    /// The requested I/O rate exceeds what the pin can sustain.
+    RateTooHigh {
+        /// Requested rate in Mbps.
+        requested_mbps: u64,
+        /// The pin's limit in Mbps.
+        limit_mbps: u64,
+    },
+    /// The channel has no pattern engine configured.
+    ChannelNotConfigured {
+        /// The channel in question.
+        channel: usize,
+    },
+    /// A register access hit an unmapped address.
+    UnmappedRegister {
+        /// The offending address.
+        addr: u16,
+    },
+    /// A JTAG operation was attempted in the wrong TAP state.
+    JtagProtocol {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A USB transaction failed (bad CRC, unknown command, short packet).
+    UsbProtocol {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// An SRAM access outside the device.
+    SramOutOfRange {
+        /// Requested address.
+        addr: u32,
+        /// Device capacity in words.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for DlcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlcError::NotConfigured => write!(f, "FPGA is not configured"),
+            DlcError::InvalidBitstream { reason } => {
+                write!(f, "invalid bitstream: {reason}")
+            }
+            DlcError::ChannelOutOfRange { channel, available } => {
+                write!(f, "channel {channel} out of range (0..{available})")
+            }
+            DlcError::RateTooHigh { requested_mbps, limit_mbps } => {
+                write!(f, "requested {requested_mbps} Mbps exceeds pin limit {limit_mbps} Mbps")
+            }
+            DlcError::ChannelNotConfigured { channel } => {
+                write!(f, "channel {channel} has no pattern configured")
+            }
+            DlcError::UnmappedRegister { addr } => {
+                write!(f, "unmapped register address {addr:#06x}")
+            }
+            DlcError::JtagProtocol { reason } => write!(f, "JTAG protocol error: {reason}"),
+            DlcError::UsbProtocol { reason } => write!(f, "USB protocol error: {reason}"),
+            DlcError::SramOutOfRange { addr, capacity } => {
+                write!(f, "SRAM address {addr:#010x} out of range (capacity {capacity} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(DlcError::NotConfigured.to_string(), "FPGA is not configured");
+        assert!(DlcError::InvalidBitstream { reason: "bad checksum" }
+            .to_string()
+            .contains("bad checksum"));
+        assert!(DlcError::ChannelOutOfRange { channel: 250, available: 200 }
+            .to_string()
+            .contains("250"));
+        assert!(DlcError::RateTooHigh { requested_mbps: 900, limit_mbps: 800 }
+            .to_string()
+            .contains("900"));
+        assert!(DlcError::UnmappedRegister { addr: 0xBEEF }.to_string().contains("0xbeef"));
+        assert!(DlcError::SramOutOfRange { addr: 7, capacity: 4 }.to_string().contains("4 words"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DlcError>();
+    }
+}

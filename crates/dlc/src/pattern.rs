@@ -1,0 +1,401 @@
+//! Pattern engines: the FPGA state machines that synthesize test stimuli.
+//!
+//! §2: "State machines encoded in the FPGA, together with higher-speed PECL
+//! multiplexers and sampling circuits synthesize the desired tests in real
+//! time." The DLC offers three families of source, all implemented here:
+//!
+//! * **algorithmic** generators (the memory-test classics: counting,
+//!   walking ones, checkerboard, plus clock and burst primitives),
+//! * **LFSR/PRBS** sources (used for the paper's eye diagrams),
+//! * **memory playback** from SRAM (when algorithmic generation "is not
+//!   feasible").
+
+use core::fmt;
+
+use signal::BitStream;
+
+use crate::lfsr::{Lfsr, PrbsPolynomial};
+use crate::sram::Sram;
+use crate::{DlcError, Result};
+
+/// The pattern programmed onto one DLC channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternKind {
+    /// Constant logic level.
+    Constant(bool),
+    /// `1010…` clock pattern, starting high.
+    Clock,
+    /// A clock divided by `2·half_period` bits per cycle (e.g. a frame
+    /// marker much slower than the data).
+    DividedClock {
+        /// Bits per half period.
+        half_period: usize,
+    },
+    /// Repeating fixed word, MSB first.
+    Word {
+        /// The word value.
+        word: u64,
+        /// Word width in bits (1–64).
+        width: u32,
+    },
+    /// Counting pattern: successive values of an 8-bit counter, MSB first.
+    Counting,
+    /// Walking ones across `width` bits.
+    WalkingOnes {
+        /// Walk width in bits.
+        width: u32,
+    },
+    /// 0101/1010 checkerboard alternating each `width`-bit row.
+    Checkerboard {
+        /// Row width in bits.
+        width: u32,
+    },
+    /// PRBS-7 from the channel LFSR.
+    Prbs7 {
+        /// LFSR seed.
+        seed: u32,
+    },
+    /// PRBS-15 from the channel LFSR (the paper's eye-diagram source).
+    Prbs15 {
+        /// LFSR seed.
+        seed: u32,
+    },
+    /// PRBS-23 from the channel LFSR.
+    Prbs23 {
+        /// LFSR seed.
+        seed: u32,
+    },
+    /// PRBS-31 from the channel LFSR.
+    Prbs31 {
+        /// LFSR seed.
+        seed: u32,
+    },
+    /// Playback from SRAM: `n_bits` starting at word `addr`, looping.
+    SramPlayback {
+        /// Start word address.
+        addr: u32,
+        /// Pattern length in bits.
+        n_bits: usize,
+    },
+    /// An arbitrary host-supplied pattern, looping.
+    Explicit(BitStream),
+}
+
+impl fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternKind::Constant(level) => write!(f, "constant {}", u8::from(*level)),
+            PatternKind::Clock => write!(f, "clock"),
+            PatternKind::DividedClock { half_period } => {
+                write!(f, "clock/{}", half_period * 2)
+            }
+            PatternKind::Word { word, width } => write!(f, "word {word:#x}/{width}"),
+            PatternKind::Counting => write!(f, "counting"),
+            PatternKind::WalkingOnes { width } => write!(f, "walking-ones/{width}"),
+            PatternKind::Checkerboard { width } => write!(f, "checkerboard/{width}"),
+            PatternKind::Prbs7 { .. } => write!(f, "PRBS-7"),
+            PatternKind::Prbs15 { .. } => write!(f, "PRBS-15"),
+            PatternKind::Prbs23 { .. } => write!(f, "PRBS-23"),
+            PatternKind::Prbs31 { .. } => write!(f, "PRBS-31"),
+            PatternKind::SramPlayback { addr, n_bits } => {
+                write!(f, "sram@{addr:#x}+{n_bits}b")
+            }
+            PatternKind::Explicit(bits) => write!(f, "explicit[{}]", bits.len()),
+        }
+    }
+}
+
+/// A running pattern engine: the stateful generator for one channel.
+///
+/// # Examples
+///
+/// ```
+/// use dlc::{PatternEngine, PatternKind};
+///
+/// let mut engine = PatternEngine::new(PatternKind::Clock)?;
+/// assert_eq!(engine.generate(6).to_string(), "101010");
+/// // State persists across calls.
+/// assert_eq!(engine.generate(2).to_string(), "10");
+/// # Ok::<(), dlc::DlcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternEngine {
+    kind: PatternKind,
+    state: EngineState,
+}
+
+#[derive(Debug, Clone)]
+enum EngineState {
+    Position(u64),
+    Lfsr(Lfsr),
+}
+
+impl PatternEngine {
+    /// Creates an engine for `kind` (SRAM playback needs
+    /// [`new_with_sram`](Self::new_with_sram)).
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::InvalidBitstream`] for structurally invalid patterns
+    /// (zero-width words, empty explicit patterns, SRAM playback without an
+    /// SRAM).
+    pub fn new(kind: PatternKind) -> Result<PatternEngine> {
+        match &kind {
+            PatternKind::Word { width, .. } if *width == 0 || *width > 64 => {
+                return Err(DlcError::InvalidBitstream { reason: "word width must be 1..=64" })
+            }
+            PatternKind::WalkingOnes { width } | PatternKind::Checkerboard { width }
+                if *width == 0 =>
+            {
+                return Err(DlcError::InvalidBitstream { reason: "pattern width must be nonzero" })
+            }
+            PatternKind::DividedClock { half_period } if *half_period == 0 => {
+                return Err(DlcError::InvalidBitstream { reason: "half period must be nonzero" })
+            }
+            PatternKind::Explicit(bits) if bits.is_empty() => {
+                return Err(DlcError::InvalidBitstream { reason: "explicit pattern is empty" })
+            }
+            PatternKind::SramPlayback { .. } => {
+                return Err(DlcError::InvalidBitstream {
+                    reason: "SRAM playback requires new_with_sram",
+                })
+            }
+            _ => {}
+        }
+        let state = match &kind {
+            PatternKind::Prbs7 { seed } => EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs7, *seed)),
+            PatternKind::Prbs15 { seed } => {
+                EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs15, *seed))
+            }
+            PatternKind::Prbs23 { seed } => {
+                EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs23, *seed))
+            }
+            PatternKind::Prbs31 { seed } => {
+                EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs31, *seed))
+            }
+            _ => EngineState::Position(0),
+        };
+        Ok(PatternEngine { kind, state })
+    }
+
+    /// Creates an SRAM-playback engine, materializing the pattern from the
+    /// memory at construction (the hardware streams it; the effect is the
+    /// same).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRAM range errors; rejects zero-length playback.
+    pub fn new_with_sram(addr: u32, n_bits: usize, sram: &Sram) -> Result<PatternEngine> {
+        if n_bits == 0 {
+            return Err(DlcError::InvalidBitstream { reason: "SRAM playback length is zero" });
+        }
+        let bits = sram.read_bits(addr, n_bits)?;
+        Ok(PatternEngine {
+            kind: PatternKind::SramPlayback { addr, n_bits },
+            state: EngineState::Position(0),
+        }
+        .with_materialized(bits))
+    }
+
+    fn with_materialized(mut self, bits: BitStream) -> PatternEngine {
+        // Stash the materialized pattern by replacing the kind's payload.
+        if let PatternKind::SramPlayback { .. } = self.kind {
+            self.kind = PatternKind::Explicit(bits);
+        }
+        self
+    }
+
+    /// The configured pattern.
+    pub fn kind(&self) -> &PatternKind {
+        &self.kind
+    }
+
+    /// The bit at stream position `pos` for stateless pattern families.
+    fn bit_at(kind: &PatternKind, pos: u64) -> bool {
+        match kind {
+            PatternKind::Constant(level) => *level,
+            PatternKind::Clock => pos.is_multiple_of(2),
+            PatternKind::DividedClock { half_period } => {
+                (pos / *half_period as u64).is_multiple_of(2)
+            }
+            PatternKind::Word { word, width } => {
+                let bit = pos % *width as u64;
+                (word >> (*width as u64 - 1 - bit)) & 1 == 1
+            }
+            PatternKind::Counting => {
+                let value = (pos / 8) & 0xFF;
+                let bit = pos % 8;
+                (value >> (7 - bit)) & 1 == 1
+            }
+            PatternKind::WalkingOnes { width } => {
+                let row = (pos / *width as u64) % *width as u64;
+                let col = pos % *width as u64;
+                row == col
+            }
+            PatternKind::Checkerboard { width } => {
+                let row = pos / *width as u64;
+                let col = pos % *width as u64;
+                (row + col).is_multiple_of(2)
+            }
+            PatternKind::Explicit(bits) => bits[(pos % bits.len() as u64) as usize],
+            // LFSR and SRAM variants never reach here.
+            _ => unreachable!("stateful pattern in bit_at"),
+        }
+    }
+
+    /// Generates the next `n` bits, advancing the engine state.
+    pub fn generate(&mut self, n: usize) -> BitStream {
+        match &mut self.state {
+            EngineState::Lfsr(lfsr) => lfsr.generate(n),
+            EngineState::Position(pos) => {
+                let start = *pos;
+                *pos += n as u64;
+                let kind = &self.kind;
+                BitStream::from_fn(n, |i| Self::bit_at(kind, start + i as u64))
+            }
+        }
+    }
+
+    /// Resets the engine to its initial state.
+    pub fn reset(&mut self) {
+        match &mut self.state {
+            EngineState::Position(pos) => *pos = 0,
+            EngineState::Lfsr(lfsr) => {
+                *lfsr = match &self.kind {
+                    PatternKind::Prbs7 { seed } => Lfsr::new(PrbsPolynomial::Prbs7, *seed),
+                    PatternKind::Prbs15 { seed } => Lfsr::new(PrbsPolynomial::Prbs15, *seed),
+                    PatternKind::Prbs23 { seed } => Lfsr::new(PrbsPolynomial::Prbs23, *seed),
+                    PatternKind::Prbs31 { seed } => Lfsr::new(PrbsPolynomial::Prbs31, *seed),
+                    _ => unreachable!("LFSR state with non-PRBS kind"),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_and_constant() {
+        let mut clk = PatternEngine::new(PatternKind::Clock).unwrap();
+        assert_eq!(clk.generate(8).to_string(), "10101010");
+        let mut one = PatternEngine::new(PatternKind::Constant(true)).unwrap();
+        assert_eq!(one.generate(4).to_string(), "1111");
+        let mut zero = PatternEngine::new(PatternKind::Constant(false)).unwrap();
+        assert_eq!(zero.generate(4).to_string(), "0000");
+    }
+
+    #[test]
+    fn divided_clock_frames() {
+        // The Fig. 4 frame bit: much slower than the data channels.
+        let mut frame = PatternEngine::new(PatternKind::DividedClock { half_period: 4 }).unwrap();
+        assert_eq!(frame.generate(16).to_string(), "1111000011110000");
+    }
+
+    #[test]
+    fn word_repeats_msb_first() {
+        let mut w = PatternEngine::new(PatternKind::Word { word: 0xA, width: 4 }).unwrap();
+        assert_eq!(w.generate(12).to_string(), "101010101010");
+        let mut k7 = PatternEngine::new(PatternKind::Word { word: 0b1100000, width: 7 }).unwrap();
+        assert_eq!(k7.generate(14).to_string(), "11000001100000");
+    }
+
+    #[test]
+    fn counting_pattern() {
+        let mut c = PatternEngine::new(PatternKind::Counting).unwrap();
+        // Values 0, 1, 2 in 8-bit MSB-first form.
+        assert_eq!(c.generate(24).to_string(), "000000000000000100000010");
+    }
+
+    #[test]
+    fn walking_ones_diagonal() {
+        let mut w = PatternEngine::new(PatternKind::WalkingOnes { width: 4 }).unwrap();
+        assert_eq!(w.generate(16).to_string(), "1000010000100001");
+    }
+
+    #[test]
+    fn checkerboard_rows_alternate() {
+        let mut c = PatternEngine::new(PatternKind::Checkerboard { width: 4 }).unwrap();
+        assert_eq!(c.generate(8).to_string(), "10100101");
+    }
+
+    #[test]
+    fn state_persists_across_generate_calls() {
+        let mut clk = PatternEngine::new(PatternKind::Clock).unwrap();
+        let a = clk.generate(3);
+        let b = clk.generate(3);
+        assert_eq!(a.concat(&b).to_string(), "101010");
+        clk.reset();
+        assert_eq!(clk.generate(2).to_string(), "10");
+    }
+
+    #[test]
+    fn prbs_engines_match_raw_lfsr() {
+        let mut engine = PatternEngine::new(PatternKind::Prbs15 { seed: 0x1234 }).unwrap();
+        let direct = Lfsr::new(PrbsPolynomial::Prbs15, 0x1234).generate(128);
+        assert_eq!(engine.generate(128), direct);
+        engine.reset();
+        assert_eq!(engine.generate(128), direct);
+        assert_eq!(format!("{}", engine.kind()), "PRBS-15");
+    }
+
+    #[test]
+    fn all_prbs_orders_construct() {
+        for kind in [
+            PatternKind::Prbs7 { seed: 1 },
+            PatternKind::Prbs23 { seed: 1 },
+            PatternKind::Prbs31 { seed: 1 },
+        ] {
+            let mut e = PatternEngine::new(kind).unwrap();
+            assert_eq!(e.generate(64).len(), 64);
+        }
+    }
+
+    #[test]
+    fn explicit_pattern_loops() {
+        let mut e =
+            PatternEngine::new(PatternKind::Explicit(BitStream::from_str_bits("110"))).unwrap();
+        assert_eq!(e.generate(9).to_string(), "110110110");
+    }
+
+    #[test]
+    fn sram_playback() {
+        let mut sram = Sram::new(8);
+        sram.load_bits(0, &BitStream::from_str_bits("10110")).unwrap();
+        let mut e = PatternEngine::new_with_sram(0, 5, &sram).unwrap();
+        assert_eq!(e.generate(10).to_string(), "1011010110");
+    }
+
+    #[test]
+    fn invalid_configurations() {
+        assert!(PatternEngine::new(PatternKind::Word { word: 0, width: 0 }).is_err());
+        assert!(PatternEngine::new(PatternKind::Word { word: 0, width: 65 }).is_err());
+        assert!(PatternEngine::new(PatternKind::WalkingOnes { width: 0 }).is_err());
+        assert!(PatternEngine::new(PatternKind::Checkerboard { width: 0 }).is_err());
+        assert!(PatternEngine::new(PatternKind::DividedClock { half_period: 0 }).is_err());
+        assert!(PatternEngine::new(PatternKind::Explicit(BitStream::new())).is_err());
+        assert!(PatternEngine::new(PatternKind::SramPlayback { addr: 0, n_bits: 8 }).is_err());
+        let sram = Sram::new(1);
+        assert!(PatternEngine::new_with_sram(0, 0, &sram).is_err());
+        assert!(PatternEngine::new_with_sram(0, 999, &sram).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PatternKind::Clock.to_string(), "clock");
+        assert_eq!(PatternKind::Constant(true).to_string(), "constant 1");
+        assert_eq!(PatternKind::DividedClock { half_period: 4 }.to_string(), "clock/8");
+        assert_eq!(PatternKind::Word { word: 0xA, width: 4 }.to_string(), "word 0xa/4");
+        assert_eq!(PatternKind::Counting.to_string(), "counting");
+        assert_eq!(PatternKind::WalkingOnes { width: 8 }.to_string(), "walking-ones/8");
+        assert_eq!(PatternKind::Checkerboard { width: 2 }.to_string(), "checkerboard/2");
+        assert_eq!(PatternKind::SramPlayback { addr: 4, n_bits: 9 }.to_string(), "sram@0x4+9b");
+        assert_eq!(
+            PatternKind::Explicit(BitStream::from_str_bits("01")).to_string(),
+            "explicit[2]"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! SRAM pattern memory.
+//!
+//! The paper's DLC includes "a high-speed port to optional SRAM … \[which\]
+//! can provide extended test pattern storage when algorithmic pattern
+//! generation is not feasible" (§2). The paper does not use it in either
+//! application; we implement it anyway (per the reproduction brief) and use
+//! it for the memory-playback pattern engine.
+
+use signal::BitStream;
+
+use crate::{DlcError, Result};
+
+/// A word-addressed static RAM holding test-pattern data.
+///
+/// Words are 16 bits, matching the register-file width the USB host uses to
+/// fill it. Bit `0` of word `0` plays first.
+///
+/// # Examples
+///
+/// ```
+/// use dlc::sram::Sram;
+///
+/// let mut sram = Sram::new(1024);
+/// sram.write(0, 0b1010_1100_0011_0101)?;
+/// assert_eq!(sram.read(0)?, 0b1010_1100_0011_0101);
+/// let bits = sram.read_bits(0, 4)?;
+/// assert_eq!(bits.to_string(), "1010"); // LSB-first playback
+/// # Ok::<(), dlc::DlcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sram {
+    words: Vec<u16>,
+}
+
+impl Sram {
+    /// Creates a zeroed SRAM with `capacity` 16-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "SRAM capacity must be nonzero");
+        Sram { words: vec![0; capacity as usize] }
+    }
+
+    /// Device capacity in words.
+    pub fn capacity(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::SramOutOfRange`] past the end of the device.
+    pub fn read(&self, addr: u32) -> Result<u16> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(DlcError::SramOutOfRange { addr, capacity: self.capacity() })
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::SramOutOfRange`] past the end of the device.
+    pub fn write(&mut self, addr: u32, value: u16) -> Result<()> {
+        let cap = self.capacity();
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(DlcError::SramOutOfRange { addr, capacity: cap }),
+        }
+    }
+
+    /// Bulk-loads `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::SramOutOfRange`] if the block does not fit.
+    pub fn load(&mut self, addr: u32, data: &[u16]) -> Result<()> {
+        let end = addr as usize + data.len();
+        if end > self.words.len() {
+            return Err(DlcError::SramOutOfRange {
+                addr: end as u32,
+                capacity: self.capacity(),
+            });
+        }
+        self.words[addr as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Packs a bit stream into SRAM starting at word `addr`, LSB-first
+    /// within each word, zero-padding the final word.
+    ///
+    /// Returns the number of words written.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::SramOutOfRange`] if the pattern does not fit.
+    pub fn load_bits(&mut self, addr: u32, bits: &BitStream) -> Result<u32> {
+        let n_words = bits.len().div_ceil(16);
+        let mut words = vec![0u16; n_words];
+        for (i, b) in bits.iter().enumerate() {
+            if b {
+                words[i / 16] |= 1 << (i % 16);
+            }
+        }
+        self.load(addr, &words)?;
+        Ok(n_words as u32)
+    }
+
+    /// Reads `n_bits` back as a stream, starting at word `addr`, LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// [`DlcError::SramOutOfRange`] if the range exceeds the device.
+    pub fn read_bits(&self, addr: u32, n_bits: usize) -> Result<BitStream> {
+        let n_words = n_bits.div_ceil(16);
+        let end = addr as usize + n_words;
+        if end > self.words.len() {
+            return Err(DlcError::SramOutOfRange {
+                addr: end as u32,
+                capacity: self.capacity(),
+            });
+        }
+        Ok(BitStream::from_fn(n_bits, |i| {
+            self.words[addr as usize + i / 16] & (1 << (i % 16)) != 0
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut s = Sram::new(16);
+        assert_eq!(s.capacity(), 16);
+        s.write(3, 0xBEEF).unwrap();
+        assert_eq!(s.read(3).unwrap(), 0xBEEF);
+        assert_eq!(s.read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut s = Sram::new(4);
+        assert!(matches!(s.read(4), Err(DlcError::SramOutOfRange { addr: 4, capacity: 4 })));
+        assert!(s.write(4, 0).is_err());
+        assert!(s.load(2, &[1, 2, 3]).is_err());
+        assert!(s.read_bits(3, 32).is_err());
+    }
+
+    #[test]
+    fn bulk_load() {
+        let mut s = Sram::new(8);
+        s.load(2, &[10, 20, 30]).unwrap();
+        assert_eq!(s.read(2).unwrap(), 10);
+        assert_eq!(s.read(4).unwrap(), 30);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        let mut s = Sram::new(8);
+        let pattern = BitStream::from_str_bits("1101_0010_1111_0000_101");
+        let words = s.load_bits(0, &pattern).unwrap();
+        assert_eq!(words, 2); // 19 bits -> 2 words
+        let back = s.read_bits(0, pattern.len()).unwrap();
+        assert_eq!(back, pattern);
+    }
+
+    #[test]
+    fn bit_packing_order_is_lsb_first() {
+        let mut s = Sram::new(1);
+        s.load_bits(0, &BitStream::from_str_bits("1000")).unwrap();
+        assert_eq!(s.read(0).unwrap(), 0b0001);
+    }
+
+    #[test]
+    fn long_pattern_storage() {
+        // 64 Kb pattern in a 4K-word device.
+        let mut s = Sram::new(4096);
+        let pattern = BitStream::alternating(65_536);
+        s.load_bits(0, &pattern).unwrap();
+        assert_eq!(s.read_bits(0, 65_536).unwrap(), pattern);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Sram::new(0);
+    }
+}

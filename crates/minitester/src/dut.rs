@@ -1,0 +1,276 @@
+//! The wafer-level-packaged device under test.
+//!
+//! §4: the probing strategy "minimize\[s\] the complexity of the PCB … by
+//! using only a small number of signals for each mini-tester, taking
+//! advantage of BIST features of the DUT." The model supports the two BIST
+//! modes that strategy needs — loopback (the tester checks the returned
+//! signal) and an on-die PRBS checker (the DUT checks itself and reports a
+//! pass/fail count) — plus injectable defects so tests can verify that the
+//! tester actually catches bad parts.
+
+use pstime::{DataRate, Duration, Millivolts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use signal::{AnalogWaveform, BitStream};
+
+use crate::channel::WlpChannel;
+
+/// Standard normal deviate via Box–Muller (single value).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+/// BIST mode selected through the DUT's test port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BistMode {
+    /// The DUT retransmits the received stream through its own output
+    /// driver (the tester's sampler judges it).
+    Loopback,
+    /// The DUT's internal checker compares the received stream against its
+    /// own PRBS-15 generator and reports the error count.
+    PrbsChecker,
+}
+
+/// An injectable die/assembly defect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Defect {
+    /// An input stuck at a fixed logic level (cracked lead, open joint).
+    StuckInput {
+        /// The stuck level.
+        level: bool,
+    },
+    /// Excess lead resistance: extra attenuation on the received signal.
+    LossyLead {
+        /// Additional attenuation factor (0..1).
+        extra_attenuation: f64,
+    },
+    /// A slow input stage: degraded input sensitivity (offset threshold).
+    ShiftedThreshold {
+        /// Offset from nominal mid level.
+        offset: Millivolts,
+    },
+}
+
+/// A WLP die with BIST, reached through a [`WlpChannel`].
+///
+/// # Examples
+///
+/// ```
+/// use minitester::{BistMode, WlpChannel, WlpDut};
+///
+/// let dut = WlpDut::good(WlpChannel::interposer());
+/// assert_eq!(dut.defects().len(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlpDut {
+    channel: WlpChannel,
+    defects: Vec<Defect>,
+    input_threshold: Millivolts,
+}
+
+impl WlpDut {
+    /// A defect-free die behind `channel`.
+    pub fn good(channel: WlpChannel) -> Self {
+        WlpDut { channel, defects: Vec::new(), input_threshold: Millivolts::new(-1300) }
+    }
+
+    /// Adds a defect (builder style).
+    #[must_use]
+    pub fn with_defect(mut self, defect: Defect) -> Self {
+        self.defects.push(defect);
+        self
+    }
+
+    /// The injected defects.
+    pub fn defects(&self) -> &[Defect] {
+        &self.defects
+    }
+
+    /// The channel to the die.
+    pub fn channel(&self) -> &WlpChannel {
+        &self.channel
+    }
+
+    /// What the die's input comparator sees: the stimulus propagated
+    /// through the channel and any lead defects.
+    pub fn received_waveform(&self, stimulus: &AnalogWaveform, rate: DataRate) -> AnalogWaveform {
+        let mut wave = self.channel.propagate(stimulus, rate);
+        for defect in &self.defects {
+            if let Defect::LossyLead { extra_attenuation } = defect {
+                wave = wave.with_levels(wave.levels().attenuated(*extra_attenuation));
+            }
+        }
+        wave
+    }
+
+    /// The bit stream the die's input stage slices from the stimulus,
+    /// sampling mid-bit at `rate` (`n` bits from the waveform start).
+    pub fn sliced_bits(
+        &self,
+        stimulus: &AnalogWaveform,
+        rate: DataRate,
+        n: usize,
+        seed: u64,
+    ) -> BitStream {
+        let wave = self.received_waveform(stimulus, rate);
+        for defect in &self.defects {
+            if let Defect::StuckInput { level } = defect {
+                return if *level { BitStream::ones(n) } else { BitStream::zeros(n) };
+            }
+        }
+        let mut threshold = self.input_threshold;
+        for defect in &self.defects {
+            if let Defect::ShiftedThreshold { offset } = defect {
+                threshold += *offset;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ui = rate.unit_interval();
+        let start = wave.digital().start();
+        // The die's input stage: ~2 ps aperture jitter and ~8 mV rms
+        // input-referred comparator noise. The noise is what lets the
+        // tester catch resistive defects — a signal crushed by lead loss
+        // stops slicing reliably.
+        const APERTURE_RJ_PS: f64 = 2.0;
+        const COMPARATOR_NOISE_RMS_MV: f64 = 8.0;
+        BitStream::from_fn(n, |i| {
+            let aperture = Duration::from_ps_f64(gaussian(&mut rng) * APERTURE_RJ_PS);
+            let t = start + ui * i as i64 + ui / 2 + aperture;
+            let v = wave.value_at(t) + gaussian(&mut rng) * COMPARATOR_NOISE_RMS_MV;
+            v >= threshold.as_f64()
+        })
+    }
+
+    /// Runs the on-die PRBS checker: slices `n` bits and compares against
+    /// `expected`, returning the error count after best alignment (the
+    /// checker self-synchronizes).
+    pub fn bist_check(
+        &self,
+        stimulus: &AnalogWaveform,
+        rate: DataRate,
+        expected: &BitStream,
+        seed: u64,
+    ) -> usize {
+        let n = expected.len();
+        let got = self.sliced_bits(stimulus, rate, n, seed);
+        let (_, errors) = expected.best_alignment(&got, 4);
+        errors
+    }
+
+    /// Loopback mode: the die retransmits its sliced bits through its own
+    /// 120 ps output buffer and back through the channel toward the tester.
+    pub fn loopback(
+        &self,
+        stimulus: &AnalogWaveform,
+        rate: DataRate,
+        n: usize,
+        seed: u64,
+    ) -> AnalogWaveform {
+        use signal::jitter::JitterBudget;
+        use signal::{DigitalWaveform, EdgeShape, LevelSet};
+        let bits = self.sliced_bits(stimulus, rate, n, seed);
+        // Die output driver: 120 ps CMOS-class buffer, a little RJ.
+        let budget = JitterBudget::new().with_rj_rms_ps(2.0);
+        let retx = DigitalWaveform::from_bits(&bits, rate, &budget, seed ^ 0x100b);
+        let wave =
+            AnalogWaveform::new(retx, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0));
+        // Return trip through the same leads.
+        self.channel.propagate(&wave, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::jitter::NoJitter;
+    use signal::{DigitalWaveform, EdgeShape, LevelSet};
+
+    fn stimulus(bits: &BitStream, gbps: f64) -> (AnalogWaveform, DataRate) {
+        let rate = DataRate::from_gbps(gbps);
+        let d = DigitalWaveform::from_bits(bits, rate, &NoJitter, 0);
+        (
+            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0)),
+            rate,
+        )
+    }
+
+    #[test]
+    fn good_dut_slices_cleanly() {
+        let bits = BitStream::from_str_bits("1011001110001011").repeat(8);
+        let (w, rate) = stimulus(&bits, 2.5);
+        let dut = WlpDut::good(WlpChannel::interposer());
+        let got = dut.sliced_bits(&w, rate, bits.len(), 1);
+        let (errors, _) = bits.hamming_distance(&got);
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn bist_checker_passes_good_die() {
+        let bits = BitStream::from_str_bits("110010100011010111001010").repeat(8);
+        let (w, rate) = stimulus(&bits, 2.5);
+        let dut = WlpDut::good(WlpChannel::interposer());
+        assert_eq!(dut.bist_check(&w, rate, &bits, 3), 0);
+    }
+
+    #[test]
+    fn stuck_input_fails_bist() {
+        let bits = BitStream::alternating(128);
+        let (w, rate) = stimulus(&bits, 2.5);
+        let dut = WlpDut::good(WlpChannel::interposer())
+            .with_defect(Defect::StuckInput { level: true });
+        let errors = dut.bist_check(&w, rate, &bits, 3);
+        // Half the alternating bits disagree with all-ones.
+        assert!(errors > 40, "errors {errors}");
+        assert_eq!(dut.defects().len(), 1);
+    }
+
+    #[test]
+    fn lossy_lead_reduces_received_swing() {
+        let bits = BitStream::alternating(32);
+        let (w, rate) = stimulus(&bits, 2.5);
+        let good = WlpDut::good(WlpChannel::interposer());
+        let bad = WlpDut::good(WlpChannel::interposer())
+            .with_defect(Defect::LossyLead { extra_attenuation: 0.4 });
+        let swing_good = good.received_waveform(&w, rate).levels().swing();
+        let swing_bad = bad.received_waveform(&w, rate).levels().swing();
+        assert!(swing_bad < swing_good);
+        assert_eq!(swing_bad.as_mv(), (swing_good.as_mv() as f64 * 0.4).round() as i32);
+    }
+
+    #[test]
+    fn shifted_threshold_biases_decisions() {
+        // A threshold pushed above VOH reads everything low.
+        let bits = BitStream::ones(64);
+        let (w, rate) = stimulus(&bits, 1.0);
+        let dut = WlpDut::good(WlpChannel::ideal())
+            .with_defect(Defect::ShiftedThreshold { offset: Millivolts::new(600) });
+        let got = dut.sliced_bits(&w, rate, 64, 5);
+        assert_eq!(got.count_ones(), 0);
+    }
+
+    #[test]
+    fn loopback_echoes_through_both_channel_passes() {
+        let bits = BitStream::from_str_bits("1100101000110101").repeat(8);
+        let (w, rate) = stimulus(&bits, 2.5);
+        let dut = WlpDut::good(WlpChannel::interposer());
+        let returned = dut.loopback(&w, rate, bits.len(), 7);
+        // The die re-drives at full swing; only the return pass attenuates.
+        let expected_swing = (800.0 * 0.92f64).round() as i32;
+        assert!((returned.levels().swing().as_mv() - expected_swing).abs() <= 1);
+        // And still carries the data.
+        let recovered = returned
+            .digital()
+            .to_bits(rate, pstime::Duration::from_ps(200));
+        let (shift, errors) = bits.best_alignment(&recovered, 4);
+        assert_eq!(errors, 0, "loopback data intact (shift {shift})");
+    }
+
+    #[test]
+    fn channel_accessor() {
+        let dut = WlpDut::good(WlpChannel::degraded());
+        assert_eq!(dut.channel(), &WlpChannel::degraded());
+    }
+}

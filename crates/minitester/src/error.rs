@@ -1,0 +1,90 @@
+//! Error type for mini-tester operations.
+
+use core::fmt;
+
+/// Errors raised by the mini-tester layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MiniTesterError {
+    /// A test plan with inconsistent parameters.
+    BadTestPlan {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The capture scan found no passing strobe position at all.
+    EyeClosed,
+    /// Error from the DLC layer.
+    Dlc(dlc::DlcError),
+    /// Error from the PECL layer.
+    Pecl(pecl::PeclError),
+    /// Error from signal analysis.
+    Signal(signal::SignalError),
+}
+
+impl fmt::Display for MiniTesterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiniTesterError::BadTestPlan { reason } => write!(f, "bad test plan: {reason}"),
+            MiniTesterError::EyeClosed => write!(f, "eye completely closed: no passing strobe"),
+            MiniTesterError::Dlc(e) => write!(f, "DLC error: {e}"),
+            MiniTesterError::Pecl(e) => write!(f, "PECL error: {e}"),
+            MiniTesterError::Signal(e) => write!(f, "signal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiniTesterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiniTesterError::Dlc(e) => Some(e),
+            MiniTesterError::Pecl(e) => Some(e),
+            MiniTesterError::Signal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dlc::DlcError> for MiniTesterError {
+    fn from(e: dlc::DlcError) -> Self {
+        MiniTesterError::Dlc(e)
+    }
+}
+
+impl From<pecl::PeclError> for MiniTesterError {
+    fn from(e: pecl::PeclError) -> Self {
+        MiniTesterError::Pecl(e)
+    }
+}
+
+impl From<signal::SignalError> for MiniTesterError {
+    fn from(e: signal::SignalError) -> Self {
+        MiniTesterError::Signal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(MiniTesterError::BadTestPlan { reason: "zero bits" }
+            .to_string()
+            .contains("zero bits"));
+        assert!(MiniTesterError::EyeClosed.to_string().contains("closed"));
+        assert!(MiniTesterError::EyeClosed.source().is_none());
+        let e = MiniTesterError::from(dlc::DlcError::NotConfigured);
+        assert!(e.source().is_some());
+        let e = MiniTesterError::from(pecl::PeclError::DacCodeOutOfRange { code: 1, codes: 1 });
+        assert!(e.to_string().contains("PECL"));
+        let e = MiniTesterError::from(signal::SignalError::EmptyWaveform { context: "t" });
+        assert!(e.to_string().contains("signal"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<MiniTesterError>();
+    }
+}

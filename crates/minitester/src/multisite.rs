@@ -1,0 +1,323 @@
+//! Multi-site wafer runs: real testers over a simulated wafer map.
+//!
+//! [`crate::array`] models the *throughput arithmetic* of Fig. 13; this
+//! module runs the actual test content: a wafer of dies with a seeded
+//! defect distribution, probed touchdown by touchdown by an array of
+//! [`MiniTester`]s, producing a wafer map and binning summary — what the
+//! production floor actually sees.
+
+use core::fmt;
+
+use pstime::DataRate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::ProbeArray;
+use crate::channel::WlpChannel;
+use crate::dut::{Defect, WlpDut};
+use crate::tester::{MiniTester, TestPlan};
+use crate::Result;
+
+/// Hard bin assigned to a die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bin {
+    /// Passed every test.
+    Good,
+    /// Failed the BIST error-count limit.
+    FailBist,
+    /// Failed the at-speed eye-margin limit.
+    FailMargin,
+}
+
+impl Bin {
+    fn glyph(self) -> char {
+        match self {
+            Bin::Good => '.',
+            Bin::FailBist => 'X',
+            Bin::FailMargin => 'm',
+        }
+    }
+}
+
+/// Configuration of a wafer run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaferRunConfig {
+    /// Dies per wafer-map row (the map is square-ish).
+    pub columns: usize,
+    /// Total dies.
+    pub dies: usize,
+    /// Parallel tester sites.
+    pub sites: usize,
+    /// Fraction of dies with a hard defect (stuck input).
+    pub hard_defect_rate: f64,
+    /// Fraction of dies with a marginal channel (speed-dependent).
+    pub marginal_rate: f64,
+    /// Test rate.
+    pub rate: DataRate,
+    /// PRBS bits per test (keep modest: each die runs a real tester).
+    pub test_bits: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for WaferRunConfig {
+    /// A small demonstration wafer: 8 × 8 dies, 16 sites, realistic yield.
+    fn default() -> Self {
+        WaferRunConfig {
+            columns: 8,
+            dies: 64,
+            sites: 16,
+            hard_defect_rate: 0.06,
+            marginal_rate: 0.08,
+            rate: DataRate::from_gbps(2.5),
+            test_bits: 512,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-die measurement record from a wafer run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieRecord {
+    /// Die index on the wafer map.
+    pub die: usize,
+    /// Assigned bin.
+    pub bin: Bin,
+    /// BIST error count.
+    pub bist_errors: usize,
+    /// Loopback eye opening (UI), when the margin test ran.
+    pub eye_ui: Option<f64>,
+}
+
+/// The outcome of a wafer run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferReport {
+    bins: Vec<Bin>,
+    records: Vec<DieRecord>,
+    columns: usize,
+    touchdowns: usize,
+    injected_hard: usize,
+    injected_marginal: usize,
+}
+
+impl WaferReport {
+    /// Per-die bins in die order.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Per-die measurement records in die order.
+    pub fn records(&self) -> &[DieRecord] {
+        &self.records
+    }
+
+    /// Touchdowns the array needed.
+    pub fn touchdowns(&self) -> usize {
+        self.touchdowns
+    }
+
+    /// Wafer yield (fraction binned [`Bin::Good`]).
+    pub fn yield_ratio(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        self.bins.iter().filter(|b| **b == Bin::Good).count() as f64 / self.bins.len() as f64
+    }
+
+    /// Number of dies in a bin.
+    pub fn count(&self, bin: Bin) -> usize {
+        self.bins.iter().filter(|b| **b == bin).count()
+    }
+
+    /// Defects injected by the simulation (ground truth for escape
+    /// analysis).
+    pub fn injected_defects(&self) -> (usize, usize) {
+        (self.injected_hard, self.injected_marginal)
+    }
+
+    /// Test escapes: defective dies binned good.
+    pub fn escapes(&self) -> usize {
+        let caught = self.count(Bin::FailBist) + self.count(Bin::FailMargin);
+        (self.injected_hard + self.injected_marginal).saturating_sub(caught)
+    }
+}
+
+impl fmt::Display for WaferReport {
+    /// The wafer map: `.` good, `X` hard fail, `m` margin fail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.bins.chunks(self.columns) {
+            for bin in row {
+                write!(f, "{} ", bin.glyph())?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "yield {:.1}% ({} good / {} dies, {} hard, {} margin, {} touchdowns)",
+            100.0 * self.yield_ratio(),
+            self.count(Bin::Good),
+            self.bins.len(),
+            self.count(Bin::FailBist),
+            self.count(Bin::FailMargin),
+            self.touchdowns
+        )
+    }
+}
+
+/// Runs a full wafer through an array of real mini-testers.
+///
+/// Each die gets a BIST pass/fail and, if it passes, an at-speed loopback
+/// margin test. Defects are injected per the configured rates (seeded,
+/// reproducible).
+///
+/// # Errors
+///
+/// Propagates tester construction/run errors.
+pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x003a_fe12);
+    let array = ProbeArray::new(config.sites);
+    // One tester per site, reused across touchdowns (boot cost paid once).
+    let mut testers: Vec<MiniTester> =
+        (0..config.sites.min(config.dies)).map(|_| MiniTester::new()).collect::<Result<_>>()?;
+
+    let bist_plan = TestPlan::prbs_bist(config.rate, config.test_bits);
+    let mut margin_plan = TestPlan::prbs_loopback(config.rate, config.test_bits);
+    margin_plan.min_eye_ui = 0.8;
+
+    let mut bins = Vec::with_capacity(config.dies);
+    let mut records = Vec::with_capacity(config.dies);
+    let mut injected_hard = 0usize;
+    let mut injected_marginal = 0usize;
+
+    for die in 0..config.dies {
+        // Build this die.
+        let roll: f64 = rng.gen();
+        let dut = if roll < config.hard_defect_rate {
+            injected_hard += 1;
+            WlpDut::good(WlpChannel::interposer()).with_defect(Defect::StuckInput {
+                level: rng.gen(),
+            })
+        } else if roll < config.hard_defect_rate + config.marginal_rate {
+            injected_marginal += 1;
+            WlpDut::good(WlpChannel::degraded())
+        } else {
+            WlpDut::good(WlpChannel::interposer())
+        };
+
+        let site = die % testers.len();
+        let tester = &mut testers[site];
+        tester.insert_dut(dut);
+        let seed = config.seed.wrapping_add(die as u64 * 977);
+
+        let bist = tester.run(&bist_plan, seed)?;
+        let (bin, eye_ui) = if !bist.passed() {
+            (Bin::FailBist, None)
+        } else {
+            let margin = tester.run(&margin_plan, seed ^ 0xeedb)?;
+            let eye = margin.eye_ui.map(|u| u.value());
+            if margin.passed() {
+                (Bin::Good, eye)
+            } else {
+                (Bin::FailMargin, eye)
+            }
+        };
+        bins.push(bin);
+        records.push(DieRecord { die, bin, bist_errors: bist.errors, eye_ui });
+    }
+
+    Ok(WaferReport {
+        bins,
+        records,
+        columns: config.columns.max(1),
+        touchdowns: array.touchdowns(config.dies),
+        injected_hard,
+        injected_marginal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_wafer_yields_everything() {
+        let config = WaferRunConfig {
+            dies: 8,
+            columns: 4,
+            sites: 4,
+            hard_defect_rate: 0.0,
+            marginal_rate: 0.0,
+            test_bits: 256,
+            ..WaferRunConfig::default()
+        };
+        let report = run_wafer(&config).unwrap();
+        assert_eq!(report.bins().len(), 8);
+        assert_eq!(report.yield_ratio(), 1.0);
+        assert_eq!(report.escapes(), 0);
+        assert_eq!(report.touchdowns(), 2);
+        assert_eq!(report.injected_defects(), (0, 0));
+    }
+
+    #[test]
+    fn defective_dies_are_binned_out() {
+        let config = WaferRunConfig {
+            dies: 12,
+            columns: 4,
+            sites: 4,
+            hard_defect_rate: 0.5,
+            marginal_rate: 0.0,
+            test_bits: 256,
+            seed: 5,
+            ..WaferRunConfig::default()
+        };
+        let report = run_wafer(&config).unwrap();
+        let (hard, _) = report.injected_defects();
+        assert!(hard > 0, "the seed should inject some defects");
+        assert_eq!(report.count(Bin::FailBist), hard, "every stuck die caught");
+        assert_eq!(report.escapes(), 0);
+        assert!(report.yield_ratio() < 1.0);
+    }
+
+    #[test]
+    fn marginal_dies_fail_the_margin_test_at_speed() {
+        let config = WaferRunConfig {
+            dies: 8,
+            columns: 4,
+            sites: 2,
+            hard_defect_rate: 0.0,
+            marginal_rate: 1.0, // every die marginal
+            rate: DataRate::from_gbps(5.0),
+            test_bits: 512,
+            seed: 7,
+        };
+        let report = run_wafer(&config).unwrap();
+        assert_eq!(report.count(Bin::Good), 0, "{report}");
+        assert!(report.count(Bin::FailMargin) + report.count(Bin::FailBist) == 8);
+    }
+
+    #[test]
+    fn wafer_map_renders() {
+        let config = WaferRunConfig {
+            dies: 16,
+            columns: 4,
+            sites: 8,
+            hard_defect_rate: 0.3,
+            test_bits: 256,
+            seed: 11,
+            ..WaferRunConfig::default()
+        };
+        let report = run_wafer(&config).unwrap();
+        let map = report.to_string();
+        assert!(map.contains("yield"));
+        assert_eq!(map.lines().count(), 5); // 4 rows + summary
+        assert!(map.contains('.') || map.contains('X'));
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let config = WaferRunConfig { dies: 8, sites: 4, test_bits: 256, ..WaferRunConfig::default() };
+        let a = run_wafer(&config).unwrap();
+        let b = run_wafer(&config).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shmoo plots: the classic ATE pass/fail map over timing × voltage.
+//!
+//! The mini-tester's 10 ps strobe vernier and programmable comparator
+//! threshold make the standard two-dimensional margin plot possible
+//! entirely on the probe card: sweep strobe phase on one axis and decision
+//! threshold on the other, run the pattern at each point, and mark
+//! pass/fail.
+
+use core::fmt;
+
+use pstime::{DataRate, Duration, Millivolts};
+use signal::{AnalogWaveform, BitStream};
+
+use crate::capture::EtCapture;
+use crate::Result;
+
+/// Configuration of a shmoo sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmooConfig {
+    /// Strobe-phase step (defaults to the 10 ps vernier step).
+    pub phase_step: Duration,
+    /// Threshold sweep start.
+    pub v_start: Millivolts,
+    /// Threshold sweep end (inclusive).
+    pub v_end: Millivolts,
+    /// Threshold step.
+    pub v_step: Millivolts,
+}
+
+impl ShmooConfig {
+    /// The standard PECL shmoo: thresholds from −1650 to −950 mV in 50 mV
+    /// steps, strobe in 10 ps steps.
+    pub fn pecl() -> Self {
+        ShmooConfig {
+            phase_step: Duration::from_ps(10),
+            v_start: Millivolts::new(-1650),
+            v_end: Millivolts::new(-950),
+            v_step: Millivolts::new(50),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.phase_step <= Duration::ZERO {
+            return Err(crate::MiniTesterError::BadTestPlan { reason: "phase step must be positive" });
+        }
+        if self.v_step <= Millivolts::ZERO || self.v_end < self.v_start {
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "voltage sweep must be ascending with positive step",
+            });
+        }
+        Ok(())
+    }
+
+    fn voltage_points(&self) -> Vec<Millivolts> {
+        let mut v = self.v_start;
+        let mut points = Vec::new();
+        while v <= self.v_end {
+            points.push(v);
+            v += self.v_step;
+        }
+        points
+    }
+}
+
+/// A completed shmoo: pass/fail over (threshold row, strobe-phase column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShmooPlot {
+    thresholds: Vec<Millivolts>,
+    phases: Vec<Duration>,
+    pass: Vec<bool>, // row-major
+}
+
+impl ShmooPlot {
+    /// Runs the shmoo: for each (threshold, phase) point, capture the
+    /// pattern and mark pass (zero errors) or fail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and capture errors.
+    pub fn run(
+        wave: &AnalogWaveform,
+        rate: DataRate,
+        expected: &BitStream,
+        config: &ShmooConfig,
+        seed: u64,
+    ) -> Result<ShmooPlot> {
+        config.validate()?;
+        let ui = rate.unit_interval();
+        let n_phases = ((ui.as_fs() + config.phase_step.as_fs() - 1)
+            / config.phase_step.as_fs())
+        .max(1) as usize;
+        let phases: Vec<Duration> =
+            (0..n_phases).map(|k| config.phase_step * k as i64).collect();
+        let thresholds = config.voltage_points();
+
+        let mut capture = EtCapture::new();
+        let mut pass = Vec::with_capacity(thresholds.len() * phases.len());
+        for (ti, v) in thresholds.iter().enumerate() {
+            capture.sampler_mut().set_threshold(*v);
+            for (pi, phase) in phases.iter().enumerate() {
+                let point = capture.capture_at(
+                    wave,
+                    rate,
+                    expected,
+                    *phase,
+                    seed.wrapping_add((ti * 1031 + pi) as u64),
+                )?;
+                pass.push(point.errors == 0);
+            }
+        }
+        Ok(ShmooPlot { thresholds, phases, pass })
+    }
+
+    /// Threshold rows (ascending).
+    pub fn thresholds(&self) -> &[Millivolts] {
+        &self.thresholds
+    }
+
+    /// Strobe-phase columns.
+    pub fn phases(&self) -> &[Duration] {
+        &self.phases
+    }
+
+    /// Pass/fail at (threshold row, phase column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn passed(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.thresholds.len() && col < self.phases.len());
+        self.pass[row * self.phases.len() + col]
+    }
+
+    /// Fraction of points passing.
+    pub fn pass_ratio(&self) -> f64 {
+        if self.pass.is_empty() {
+            return 0.0;
+        }
+        self.pass.iter().filter(|p| **p).count() as f64 / self.pass.len() as f64
+    }
+
+    /// The widest contiguous passing phase run at any threshold, with the
+    /// threshold where it occurs: the operating point a production test
+    /// would pick.
+    pub fn best_operating_point(&self) -> Option<(Millivolts, Duration)> {
+        let cols = self.phases.len();
+        let mut best: Option<(usize, usize, usize)> = None; // (len, row, start)
+        for row in 0..self.thresholds.len() {
+            let mut run = 0usize;
+            for i in 0..2 * cols {
+                if self.pass[row * cols + i % cols] {
+                    run += 1;
+                    let capped = run.min(cols);
+                    if best.is_none_or(|(l, _, _)| capped > l) {
+                        best = Some((capped, row, i + 1 - run));
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+        }
+        best.filter(|(len, _, _)| *len > 0).map(|(len, row, start)| {
+            let centre = (start + len / 2) % cols;
+            (self.thresholds[row], self.phases[centre])
+        })
+    }
+}
+
+impl fmt::Display for ShmooPlot {
+    /// Classic shmoo rendering: one row per threshold (highest first),
+    /// `*` = pass, `.` = fail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (row, v) in self.thresholds.iter().enumerate().rev() {
+            write!(f, "{:>8} |", v.to_string())?;
+            for col in 0..self.phases.len() {
+                f.write_str(if self.passed(row, col) { "*" } else { "." })?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "{:>8} +{}",
+            "",
+            "-".repeat(self.phases.len())
+        )?;
+        write!(f, "{:>8}  phase 0..{}", "", self.phases.last().map(|p| p.to_string()).unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::MiniTesterDatapath;
+
+    fn prbs_setup(gbps: f64) -> (AnalogWaveform, DataRate, BitStream) {
+        let mut path = MiniTesterDatapath::new().unwrap();
+        let rate = DataRate::from_gbps(gbps);
+        let expected = path.expected_prbs(rate, 512).unwrap();
+        let mut path2 = MiniTesterDatapath::new().unwrap();
+        let wave = path2.prbs_stimulus(rate, 512, 17).unwrap();
+        (wave, rate, expected)
+    }
+
+    #[test]
+    fn shmoo_shows_an_open_region() {
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let plot = ShmooPlot::run(&wave, rate, &expected, &ShmooConfig::pecl(), 1).unwrap();
+        assert_eq!(plot.thresholds().len(), 15);
+        assert_eq!(plot.phases().len(), 40);
+        let ratio = plot.pass_ratio();
+        assert!(ratio > 0.2 && ratio < 0.95, "pass ratio {ratio}");
+        // The mid-threshold row must have a healthy pass band.
+        let mid_row = plot.thresholds().iter().position(|v| *v == Millivolts::new(-1300));
+        let mid_row = mid_row.expect("mid threshold present");
+        let passes: usize = (0..40).filter(|c| plot.passed(mid_row, *c)).count();
+        assert!(passes >= 25, "mid-row passes {passes}");
+    }
+
+    #[test]
+    fn best_operating_point_is_sane() {
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let plot = ShmooPlot::run(&wave, rate, &expected, &ShmooConfig::pecl(), 2).unwrap();
+        let (v, phase) = plot.best_operating_point().expect("open region exists");
+        // Threshold near mid-PECL, phase mid-UI.
+        assert!((-1500..=-1100).contains(&v.as_mv()), "threshold {v}");
+        let ps = phase.as_ps_f64();
+        assert!((80.0..=320.0).contains(&ps), "phase {ps} ps");
+    }
+
+    #[test]
+    fn rendering_looks_like_a_shmoo() {
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let plot = ShmooPlot::run(&wave, rate, &expected, &ShmooConfig::pecl(), 3).unwrap();
+        let text = plot.to_string();
+        assert!(text.contains('*'));
+        assert!(text.contains('.'));
+        assert!(text.contains("-1300 mV"));
+        assert!(text.lines().count() >= 16);
+    }
+
+    #[test]
+    fn extreme_thresholds_fail_everywhere() {
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let config = ShmooConfig {
+            v_start: Millivolts::new(-500),
+            v_end: Millivolts::new(-400),
+            ..ShmooConfig::pecl()
+        };
+        let plot = ShmooPlot::run(&wave, rate, &expected, &config, 4).unwrap();
+        assert_eq!(plot.pass_ratio(), 0.0);
+        assert!(plot.best_operating_point().is_none());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let bad_phase = ShmooConfig { phase_step: Duration::ZERO, ..ShmooConfig::pecl() };
+        assert!(ShmooPlot::run(&wave, rate, &expected, &bad_phase, 0).is_err());
+        let bad_v = ShmooConfig {
+            v_start: Millivolts::new(-900),
+            v_end: Millivolts::new(-1700),
+            ..ShmooConfig::pecl()
+        };
+        assert!(ShmooPlot::run(&wave, rate, &expected, &bad_v, 0).is_err());
+    }
+}

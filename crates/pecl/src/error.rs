@@ -1,0 +1,116 @@
+//! Error type for PECL signal-path operations.
+
+use core::fmt;
+
+/// Errors raised by PECL components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PeclError {
+    /// A delay code outside the vernier's range.
+    DelayCodeOutOfRange {
+        /// Requested code.
+        code: u32,
+        /// Number of valid codes.
+        codes: u32,
+    },
+    /// A requested delay outside the vernier's 10 ns range.
+    DelayOutOfRange {
+        /// Requested delay in picoseconds.
+        requested_ps: f64,
+        /// Range limit in picoseconds.
+        range_ps: f64,
+    },
+    /// Mux input lanes had mismatched lengths or counts.
+    LaneMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// A DAC code outside its range.
+    DacCodeOutOfRange {
+        /// Requested code.
+        code: u32,
+        /// Number of valid codes.
+        codes: u32,
+    },
+    /// The requested output rate exceeds a component's capability.
+    RateTooHigh {
+        /// Requested rate (Gbps).
+        requested_gbps: f64,
+        /// Component limit (Gbps).
+        limit_gbps: f64,
+    },
+    /// A signal-analysis error bubbled up from the `signal` crate.
+    Signal(signal::SignalError),
+}
+
+impl fmt::Display for PeclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeclError::DelayCodeOutOfRange { code, codes } => {
+                write!(f, "delay code {code} out of range (0..{codes})")
+            }
+            PeclError::DelayOutOfRange { requested_ps, range_ps } => {
+                write!(f, "delay {requested_ps} ps outside 0..{range_ps} ps range")
+            }
+            PeclError::LaneMismatch { expected, got } => {
+                write!(f, "mux lane mismatch: expected {expected}, got {got}")
+            }
+            PeclError::DacCodeOutOfRange { code, codes } => {
+                write!(f, "DAC code {code} out of range (0..{codes})")
+            }
+            PeclError::RateTooHigh { requested_gbps, limit_gbps } => {
+                write!(f, "requested {requested_gbps} Gbps exceeds component limit {limit_gbps} Gbps")
+            }
+            PeclError::Signal(e) => write!(f, "signal analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PeclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PeclError::Signal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<signal::SignalError> for PeclError {
+    fn from(e: signal::SignalError) -> Self {
+        PeclError::Signal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = PeclError::DelayCodeOutOfRange { code: 2000, codes: 1024 };
+        assert!(e.to_string().contains("2000"));
+        assert!(e.source().is_none());
+        let inner = signal::SignalError::EmptyWaveform { context: "x" };
+        let e = PeclError::from(inner.clone());
+        assert!(e.to_string().contains("signal analysis failed"));
+        assert!(e.source().is_some());
+        assert_eq!(e, PeclError::Signal(inner));
+        assert!(PeclError::LaneMismatch { expected: 8, got: 7 }.to_string().contains("8"));
+        assert!(PeclError::RateTooHigh { requested_gbps: 6.0, limit_gbps: 5.0 }
+            .to_string()
+            .contains("6"));
+        assert!(PeclError::DacCodeOutOfRange { code: 9, codes: 8 }.to_string().contains("9"));
+        assert!(PeclError::DelayOutOfRange { requested_ps: 1e5, range_ps: 10240.0 }
+            .to_string()
+            .contains("10240"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PeclError>();
+    }
+}

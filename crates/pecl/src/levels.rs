@@ -1,0 +1,260 @@
+//! Voltage-tuning DACs for the PECL output levels.
+//!
+//! Figs. 10–11 of the paper: "the high logic level is shown at its maximum
+//! value and at three lower values in 100 mV steps. Similar control is
+//! available on the low logic level and the midpoint bias. By controlling
+//! these values, a wide range of amplitude swings and midpoint bias values
+//! can be generated for characterizing the Data Vortex performance under
+//! non-ideal signal conditions."
+
+use pstime::Millivolts;
+use signal::LevelSet;
+
+use crate::{PeclError, Result};
+
+/// The three independently tunable quantities of the output stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKnob {
+    /// The high output level (VOH).
+    High,
+    /// The low output level (VOL).
+    Low,
+    /// The midpoint bias (VOH and VOL shift together).
+    MidBias,
+    /// The amplitude swing (VOH and VOL move apart symmetrically).
+    Swing,
+}
+
+/// A multi-channel voltage-tuning DAC bank driving a [`LevelSet`].
+///
+/// Codes step monotonically from the maximum value downward, matching the
+/// paper's presentation ("at its maximum value and at three lower values in
+/// 100 mV steps").
+///
+/// # Examples
+///
+/// ```
+/// use pecl::levels::LevelKnob;
+/// use pecl::VoltageTuningDac;
+/// use pstime::Millivolts;
+///
+/// let mut dac = VoltageTuningDac::new();
+/// // Fig. 10: lower VOH by two 100 mV steps.
+/// dac.set_code(LevelKnob::High, 2)?;
+/// assert_eq!(dac.levels().voh(), Millivolts::new(-1100));
+/// # Ok::<(), pecl::PeclError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageTuningDac {
+    base: LevelSet,
+    high_step: Millivolts,
+    low_step: Millivolts,
+    bias_step: Millivolts,
+    swing_step: Millivolts,
+    codes: u32,
+    high_code: u32,
+    low_code: u32,
+    bias_code: u32,
+    swing_code: u32,
+}
+
+impl VoltageTuningDac {
+    /// The paper's DAC bank: 100 mV steps on VOH/VOL/bias, 200 mV on swing
+    /// (Fig. 11), 8 codes each, starting from standard PECL levels.
+    pub fn new() -> Self {
+        VoltageTuningDac {
+            base: LevelSet::pecl(),
+            high_step: Millivolts::new(100),
+            low_step: Millivolts::new(100),
+            bias_step: Millivolts::new(100),
+            swing_step: Millivolts::new(200),
+            codes: 8,
+            high_code: 0,
+            low_code: 0,
+            bias_code: 0,
+            swing_code: 0,
+        }
+    }
+
+    /// Number of codes per knob.
+    pub fn codes(&self) -> u32 {
+        self.codes
+    }
+
+    /// The step size of a knob.
+    pub fn step(&self, knob: LevelKnob) -> Millivolts {
+        match knob {
+            LevelKnob::High => self.high_step,
+            LevelKnob::Low => self.low_step,
+            LevelKnob::MidBias => self.bias_step,
+            LevelKnob::Swing => self.swing_step,
+        }
+    }
+
+    /// The current code of a knob.
+    pub fn code(&self, knob: LevelKnob) -> u32 {
+        match knob {
+            LevelKnob::High => self.high_code,
+            LevelKnob::Low => self.low_code,
+            LevelKnob::MidBias => self.bias_code,
+            LevelKnob::Swing => self.swing_code,
+        }
+    }
+
+    /// Programs a knob code. Code 0 is the nominal value; each increment
+    /// lowers VOH / raises VOL / lowers the bias / shrinks the swing by one
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// [`PeclError::DacCodeOutOfRange`] beyond the last code, and for
+    /// swing codes that would collapse the swing to zero or less.
+    pub fn set_code(&mut self, knob: LevelKnob, code: u32) -> Result<()> {
+        if code >= self.codes {
+            return Err(PeclError::DacCodeOutOfRange { code, codes: self.codes });
+        }
+        match knob {
+            LevelKnob::High => self.high_code = code,
+            LevelKnob::Low => self.low_code = code,
+            LevelKnob::MidBias => self.bias_code = code,
+            LevelKnob::Swing => {
+                // Reject swing settings that invert the levels.
+                let shrink = self.swing_step * code as i32;
+                if shrink.as_mv() >= self.base.swing().as_mv() {
+                    return Err(PeclError::DacCodeOutOfRange { code, codes: self.codes });
+                }
+                self.swing_code = code;
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`LevelSet`] produced by the current codes.
+    ///
+    /// Knob composition order: swing first (about the nominal midpoint),
+    /// then individual VOH/VOL offsets, then the common-mode bias shift.
+    pub fn levels(&self) -> LevelSet {
+        let swung = if self.swing_code > 0 {
+            let new_swing = self.base.swing() - self.swing_step * self.swing_code as i32;
+            self.base.with_swing(new_swing)
+        } else {
+            self.base
+        };
+        let voh = swung.voh() - self.high_step * self.high_code as i32;
+        let vol = swung.vol() + self.low_step * self.low_code as i32;
+        let set = LevelSet::new(voh, vol);
+        let bias_shift = self.bias_step * self.bias_code as i32;
+        set.with_mid(set.mid() - bias_shift)
+    }
+
+    /// Resets every knob to code 0 (nominal PECL).
+    pub fn reset(&mut self) {
+        self.high_code = 0;
+        self.low_code = 0;
+        self.bias_code = 0;
+        self.swing_code = 0;
+    }
+
+    /// Sweeps one knob across `n` codes from 0, returning the level set at
+    /// each code — the data series behind Figs. 10 and 11.
+    ///
+    /// # Errors
+    ///
+    /// [`PeclError::DacCodeOutOfRange`] if `n` exceeds the code range.
+    pub fn sweep(&self, knob: LevelKnob, n: u32) -> Result<Vec<LevelSet>> {
+        let mut probe = self.clone();
+        (0..n)
+            .map(|code| {
+                probe.set_code(knob, code)?;
+                Ok(probe.levels())
+            })
+            .collect()
+    }
+}
+
+impl Default for VoltageTuningDac {
+    fn default() -> Self {
+        VoltageTuningDac::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_levels() {
+        let dac = VoltageTuningDac::new();
+        assert_eq!(dac.levels(), LevelSet::pecl());
+        assert_eq!(dac.codes(), 8);
+        assert_eq!(dac.code(LevelKnob::High), 0);
+        assert_eq!(dac.step(LevelKnob::Swing), Millivolts::new(200));
+        assert_eq!(VoltageTuningDac::default(), dac);
+    }
+
+    #[test]
+    fn fig10_voh_steps() {
+        // Fig. 10: VOH at max and three lower values in 100 mV steps.
+        let dac = VoltageTuningDac::new();
+        let series = dac.sweep(LevelKnob::High, 4).unwrap();
+        let vohs: Vec<i32> = series.iter().map(|l| l.voh().as_mv()).collect();
+        assert_eq!(vohs, vec![-900, -1000, -1100, -1200]);
+        // VOL untouched.
+        assert!(series.iter().all(|l| l.vol() == Millivolts::new(-1700)));
+    }
+
+    #[test]
+    fn fig11_swing_steps() {
+        // Fig. 11: amplitude swing in 200 mV steps around a fixed midpoint.
+        let dac = VoltageTuningDac::new();
+        let series = dac.sweep(LevelKnob::Swing, 3).unwrap();
+        let swings: Vec<i32> = series.iter().map(|l| l.swing().as_mv()).collect();
+        assert_eq!(swings, vec![800, 600, 400]);
+        let mids: Vec<i32> = series.iter().map(|l| l.mid().as_mv()).collect();
+        assert!(mids.windows(2).all(|w| w[0] == w[1]), "midpoint drifts: {mids:?}");
+    }
+
+    #[test]
+    fn vol_and_bias_knobs() {
+        let mut dac = VoltageTuningDac::new();
+        dac.set_code(LevelKnob::Low, 2).unwrap();
+        assert_eq!(dac.levels().vol(), Millivolts::new(-1500));
+        dac.reset();
+        dac.set_code(LevelKnob::MidBias, 3).unwrap();
+        let l = dac.levels();
+        assert_eq!(l.mid(), Millivolts::new(-1600));
+        assert_eq!(l.swing(), Millivolts::new(800));
+    }
+
+    #[test]
+    fn knob_composition() {
+        let mut dac = VoltageTuningDac::new();
+        dac.set_code(LevelKnob::Swing, 1).unwrap(); // swing 600
+        dac.set_code(LevelKnob::High, 1).unwrap(); // voh -100 more
+        let l = dac.levels();
+        // swing 600 about mid -1300: voh -1000, vol -1600; then voh -100.
+        assert_eq!(l.voh(), Millivolts::new(-1100));
+        assert_eq!(l.vol(), Millivolts::new(-1600));
+    }
+
+    #[test]
+    fn code_range_enforced() {
+        let mut dac = VoltageTuningDac::new();
+        assert!(matches!(
+            dac.set_code(LevelKnob::High, 8),
+            Err(PeclError::DacCodeOutOfRange { code: 8, codes: 8 })
+        ));
+        // Swing code 4 would shrink 800 mV by 800 mV -> rejected.
+        assert!(dac.set_code(LevelKnob::Swing, 4).is_err());
+        assert!(dac.set_code(LevelKnob::Swing, 3).is_ok());
+    }
+
+    #[test]
+    fn reset_restores_nominal() {
+        let mut dac = VoltageTuningDac::new();
+        dac.set_code(LevelKnob::High, 3).unwrap();
+        dac.set_code(LevelKnob::MidBias, 2).unwrap();
+        dac.reset();
+        assert_eq!(dac.levels(), LevelSet::pecl());
+    }
+}

@@ -1,0 +1,251 @@
+//! The strobed picosecond sampling circuit.
+//!
+//! "A high-speed PECL sampling circuit is designed to capture the returned
+//! signal, also with 10 ps resolution" (§1, §4). The sampler compares the
+//! input against a programmable threshold at strobe instants placed by a
+//! delay vernier; sweeping the strobe across the bit period reconstructs
+//! the eye in equivalent time — exactly how the mini-tester measures a DUT
+//! without a bench oscilloscope.
+
+use pstime::{DataRate, Duration, Instant, Millivolts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use signal::{AnalogWaveform, BitStream};
+
+/// A strobed comparator sampler with programmable threshold and aperture
+/// jitter.
+///
+/// # Examples
+///
+/// ```
+/// use pecl::StrobedSampler;
+/// use pstime::{DataRate, Duration, Instant, Millivolts};
+/// use signal::jitter::NoJitter;
+/// use signal::{AnalogWaveform, BitStream, DigitalWaveform, EdgeShape, LevelSet};
+///
+/// let rate = DataRate::from_gbps(2.5);
+/// let bits = BitStream::from_str_bits("1011");
+/// let wave = AnalogWaveform::new(
+///     DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0),
+///     LevelSet::pecl(),
+///     EdgeShape::default(),
+/// );
+/// let sampler = StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
+/// let captured = sampler.capture(&wave, rate, Duration::from_ps(200), 4, 1);
+/// assert_eq!(captured, bits);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrobedSampler {
+    threshold: Millivolts,
+    aperture_rj: Duration,
+    input_offset: Millivolts,
+}
+
+impl StrobedSampler {
+    /// Creates a sampler with a decision threshold and Gaussian aperture
+    /// jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aperture_rj` is negative.
+    pub fn new(threshold: Millivolts, aperture_rj: Duration) -> Self {
+        assert!(!aperture_rj.is_negative(), "aperture jitter must be nonnegative");
+        StrobedSampler { threshold, aperture_rj, input_offset: Millivolts::ZERO }
+    }
+
+    /// The mini-tester's capture comparator: mid-PECL threshold, 2 ps
+    /// aperture jitter.
+    pub fn minitester() -> Self {
+        StrobedSampler::new(Millivolts::new(-1300), Duration::from_ps(2))
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> Millivolts {
+        self.threshold
+    }
+
+    /// Reprograms the decision threshold (the vertical axis of a shmoo).
+    pub fn set_threshold(&mut self, threshold: Millivolts) {
+        self.threshold = threshold;
+    }
+
+    /// The aperture jitter rms.
+    pub fn aperture_rj(&self) -> Duration {
+        self.aperture_rj
+    }
+
+    /// Comparator input-referred offset (defaults to zero; settable for
+    /// fault-injection studies).
+    pub fn input_offset(&self) -> Millivolts {
+        self.input_offset
+    }
+
+    /// Sets the comparator offset.
+    pub fn set_input_offset(&mut self, offset: Millivolts) {
+        self.input_offset = offset;
+    }
+
+    /// Samples the waveform once at `strobe` (with aperture jitter drawn
+    /// from `rng`).
+    pub fn sample_at(&self, wave: &AnalogWaveform, strobe: Instant, rng: &mut StdRng) -> bool {
+        let t = if self.aperture_rj.is_zero() {
+            strobe
+        } else {
+            strobe + gaussian(rng, self.aperture_rj)
+        };
+        wave.value_at(t) >= (self.threshold + self.input_offset).as_f64()
+    }
+
+    /// Captures `n` bits: one strobe per unit interval at phase offset
+    /// `strobe_phase` into each bit, starting from the waveform start.
+    pub fn capture(
+        &self,
+        wave: &AnalogWaveform,
+        rate: DataRate,
+        strobe_phase: Duration,
+        n: usize,
+        seed: u64,
+    ) -> BitStream {
+        let ui = rate.unit_interval();
+        let start = wave.digital().start();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a11_ce0f);
+        BitStream::from_fn(n, |i| {
+            self.sample_at(wave, start + ui * i as i64 + strobe_phase, &mut rng)
+        })
+    }
+
+    /// Equivalent-time scan: sweeps the strobe phase across one UI in
+    /// `steps` increments, capturing `n` bits at each phase, and returns
+    /// the per-phase error count against `expected`.
+    ///
+    /// This is the mini-tester's software-scope mode: the pass band of the
+    /// resulting curve *is* the horizontal eye opening.
+    pub fn phase_scan(
+        &self,
+        wave: &AnalogWaveform,
+        rate: DataRate,
+        expected: &BitStream,
+        steps: usize,
+        seed: u64,
+    ) -> Vec<(Duration, usize)> {
+        let ui = rate.unit_interval();
+        let n = expected.len();
+        (0..steps)
+            .map(|k| {
+                let phase = ui.mul_f64(k as f64 / steps as f64);
+                let captured = self.capture(wave, rate, phase, n, seed.wrapping_add(k as u64));
+                let (errors, _) = captured.hamming_distance(expected);
+                (phase, errors)
+            })
+            .collect()
+    }
+}
+
+fn gaussian(rng: &mut StdRng, sigma: Duration) -> Duration {
+    // Box–Muller, single deviate.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    Duration::from_fs((z * sigma.as_fs() as f64).round() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::jitter::{JitterBudget, NoJitter};
+    use signal::{DigitalWaveform, EdgeShape, LevelSet};
+
+    fn wave(bits: &str, gbps: f64) -> (AnalogWaveform, DataRate, BitStream) {
+        let rate = DataRate::from_gbps(gbps);
+        let bs = BitStream::from_str_bits(bits);
+        let w = AnalogWaveform::new(
+            DigitalWaveform::from_bits(&bs, rate, &NoJitter, 0),
+            LevelSet::pecl(),
+            EdgeShape::default(),
+        );
+        (w, rate, bs)
+    }
+
+    #[test]
+    fn clean_capture_recovers_bits() {
+        let (w, rate, bits) = wave("1011001110001010", 2.5);
+        let sampler = StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
+        let captured = sampler.capture(&w, rate, Duration::from_ps(200), bits.len(), 0);
+        assert_eq!(captured, bits);
+    }
+
+    #[test]
+    fn minitester_defaults() {
+        let s = StrobedSampler::minitester();
+        assert_eq!(s.threshold(), Millivolts::new(-1300));
+        assert_eq!(s.aperture_rj(), Duration::from_ps(2));
+        assert_eq!(s.input_offset(), Millivolts::ZERO);
+    }
+
+    #[test]
+    fn threshold_programming_affects_decisions() {
+        let (w, _rate, _) = wave("1111", 2.5);
+        let mut s = StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample_at(&w, Instant::from_ps(600), &mut rng));
+        // Raise the threshold above VOH: everything reads low.
+        s.set_threshold(Millivolts::new(-800));
+        assert!(!s.sample_at(&w, Instant::from_ps(600), &mut rng));
+        // Comparator offset shifts the effective threshold.
+        s.set_threshold(Millivolts::new(-1300));
+        s.set_input_offset(Millivolts::new(500));
+        assert!(!s.sample_at(&w, Instant::from_ps(600), &mut rng));
+        assert_eq!(s.input_offset(), Millivolts::new(500));
+    }
+
+    #[test]
+    fn strobing_near_an_edge_is_unreliable_with_aperture_jitter() {
+        let (w, rate, _) = wave("10101010101010101010", 2.5);
+        let s = StrobedSampler::new(Millivolts::new(-1300), Duration::from_ps(20));
+        // Strobe exactly on the transitions: decisions flip randomly.
+        let captured = s.capture(&w, rate, Duration::ZERO, 20, 7);
+        let ones = captured.count_ones();
+        assert!(ones > 0 && ones < 20, "expected metastable-ish capture, got {captured}");
+    }
+
+    #[test]
+    fn capture_is_seed_deterministic() {
+        let (w, rate, _) = wave("1010110010", 2.5);
+        let s = StrobedSampler::minitester();
+        let a = s.capture(&w, rate, Duration::from_ps(200), 10, 3);
+        let b = s.capture(&w, rate, Duration::from_ps(200), 10, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_scan_shows_open_eye() {
+        // A clean 2.5 Gbps signal: errors at the crossover phases, none at
+        // the eye centre.
+        let rate = DataRate::from_gbps(2.5);
+        let bits = BitStream::alternating(64);
+        let w = AnalogWaveform::new(
+            DigitalWaveform::from_bits(
+                &bits,
+                rate,
+                &JitterBudget::new().with_rj_rms_ps(3.0),
+                5,
+            ),
+            LevelSet::pecl(),
+            EdgeShape::default(),
+        );
+        let s = StrobedSampler::minitester();
+        let scan = s.phase_scan(&w, rate, &bits, 40, 11);
+        assert_eq!(scan.len(), 40);
+        // Eye centre (phase ~UI/2) must be clean.
+        let centre = &scan[20];
+        assert_eq!(centre.1, 0, "errors at centre phase {}", centre.0);
+        // Crossover (phase ~0) must not be clean.
+        assert!(scan[0].1 > 0, "expected errors at the crossover");
+    }
+
+    #[test]
+    #[should_panic(expected = "aperture jitter must be nonnegative")]
+    fn negative_aperture_panics() {
+        let _ = StrobedSampler::new(Millivolts::ZERO, Duration::from_ps(-1));
+    }
+}

@@ -1,0 +1,235 @@
+//! The XOR timing generator (the "XOR" block of the paper's Fig. 15).
+//!
+//! A PECL XOR gate fed with a clock and a delayed copy of itself produces a
+//! pulse train with **two pulses per clock period** — a cheap frequency
+//! doubler whose pulse width equals the programmed delay. The mini-tester
+//! uses this trick to derive sampling strobes and double-rate select
+//! signals from the single RF input without another oscillator.
+
+use pstime::{Duration, Frequency, Instant};
+use signal::{DigitalWaveform, EdgePolarity};
+
+use crate::clock::RfClockSource;
+use crate::delay::ProgrammableDelayLine;
+use crate::Result;
+
+/// The XOR timing generator: clock source + programmable delay + XOR.
+///
+/// # Examples
+///
+/// ```
+/// use pecl::timing::TimingGenerator;
+/// use pstime::{Duration, Frequency};
+///
+/// let mut gen = TimingGenerator::new(Frequency::from_ghz(1.25));
+/// gen.set_pulse_width(Duration::from_ps(100))?;
+/// let pulses = gen.generate_pulses(8, 0);
+/// // Two pulses per input period (minus the unpaired final edge).
+/// assert_eq!(pulses.len(), 15);
+/// # Ok::<(), pecl::PeclError>(())
+/// ```
+#[derive(Debug)]
+pub struct TimingGenerator {
+    clock: RfClockSource,
+    delay: ProgrammableDelayLine,
+}
+
+/// One generated strobe pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pulse {
+    /// Rising edge of the pulse.
+    pub start: Instant,
+    /// Falling edge of the pulse.
+    pub end: Instant,
+}
+
+impl Pulse {
+    /// Pulse width.
+    pub fn width(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Pulse centre — where a sampler strobed by this pulse decides.
+    pub fn centre(&self) -> Instant {
+        self.start + self.width() / 2
+    }
+}
+
+impl TimingGenerator {
+    /// Creates a generator off a clean (bench-grade) RF clock at `freq`.
+    pub fn new(freq: Frequency) -> Self {
+        TimingGenerator {
+            clock: RfClockSource::bench_instrument(freq),
+            delay: ProgrammableDelayLine::standard(),
+        }
+    }
+
+    /// Uses a custom clock source (e.g. with a specific jitter).
+    pub fn with_clock(clock: RfClockSource) -> Self {
+        TimingGenerator { clock, delay: ProgrammableDelayLine::standard() }
+    }
+
+    /// The clock frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.clock.frequency()
+    }
+
+    /// Programs the pulse width (= the XOR path delay), quantized to the
+    /// vernier's 10 ps grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vernier range errors.
+    pub fn set_pulse_width(&mut self, width: Duration) -> Result<u32> {
+        self.delay.set_delay(width)
+    }
+
+    /// The programmed (nominal) pulse width.
+    pub fn pulse_width(&self) -> Duration {
+        self.delay.nominal_delay()
+    }
+
+    /// Generates the doubled-rate XOR output waveform for `cycles` input
+    /// clock periods.
+    pub fn generate_waveform(&self, cycles: usize, seed: u64) -> DigitalWaveform {
+        let clk = self.clock.generate(cycles, seed);
+        // The XOR sees the clock and its delayed copy; the vernier's
+        // insertion delay is common mode inside the gate, so only the
+        // programmed (actual) delay matters for the pulse width.
+        let delayed = clk.delayed(self.delay.actual_delay());
+        clk.xor(&delayed)
+    }
+
+    /// Generates the pulse list (rising-to-falling pairs) for `cycles`
+    /// input periods — the strobe times a sampler consumes.
+    pub fn generate_pulses(&self, cycles: usize, seed: u64) -> Vec<Pulse> {
+        let wave = self.generate_waveform(cycles, seed);
+        let mut pulses = Vec::new();
+        let mut start: Option<Instant> = None;
+        for e in wave.edges() {
+            match e.polarity {
+                EdgePolarity::Rising => start = Some(e.at),
+                EdgePolarity::Falling => {
+                    if let Some(s) = start.take() {
+                        pulses.push(Pulse { start: s, end: e.at });
+                    }
+                }
+            }
+        }
+        pulses
+    }
+
+    /// The doubled output frequency.
+    pub fn output_frequency(&self) -> Frequency {
+        self.clock.frequency().multiply(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_the_clock() {
+        let mut gen = TimingGenerator::new(Frequency::from_ghz(1.25));
+        gen.set_pulse_width(Duration::from_ps(200)).unwrap();
+        assert_eq!(gen.output_frequency(), Frequency::from_ghz(2.5));
+        let pulses = gen.generate_pulses(16, 0);
+        // Two pulses per 800 ps period; the final clock edge has no
+        // delayed partner, so a 2N-bit burst yields 2N-1 pulses.
+        assert_eq!(pulses.len(), 31);
+        // Pulse spacing is one half-period.
+        let spacing = pulses[1].start - pulses[0].start;
+        assert!((spacing - Duration::from_ps(400)).abs() < Duration::from_ps(10));
+    }
+
+    #[test]
+    fn pulse_width_follows_the_vernier() {
+        let mut gen = TimingGenerator::new(Frequency::from_ghz(1.0));
+        for width_ps in [50i64, 100, 150, 250] {
+            gen.set_pulse_width(Duration::from_ps(width_ps)).unwrap();
+            assert_eq!(gen.pulse_width(), Duration::from_ps(width_ps));
+            let pulses = gen.generate_pulses(8, 0);
+            for p in &pulses {
+                // Width within the vernier INL of the programmed value.
+                assert!(
+                    (p.width() - Duration::from_ps(width_ps)).abs() <= Duration::from_ps(3),
+                    "width {} at setting {width_ps} ps",
+                    p.width()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pulse_geometry() {
+        let p = Pulse { start: Instant::from_ps(100), end: Instant::from_ps(180) };
+        assert_eq!(p.width(), Duration::from_ps(80));
+        assert_eq!(p.centre(), Instant::from_ps(140));
+    }
+
+    #[test]
+    fn quantizes_to_ten_ps() {
+        let mut gen = TimingGenerator::new(Frequency::from_ghz(1.25));
+        gen.set_pulse_width(Duration::from_ps(104)).unwrap();
+        assert_eq!(gen.pulse_width(), Duration::from_ps(100));
+        gen.set_pulse_width(Duration::from_ps(106)).unwrap();
+        assert_eq!(gen.pulse_width(), Duration::from_ps(110));
+    }
+
+    #[test]
+    fn jittered_clock_jitters_the_pulses() {
+        use pstime::Duration as D;
+        let clock = RfClockSource::new(Frequency::from_ghz(1.25), D::from_ps(3));
+        let mut gen = TimingGenerator::with_clock(clock);
+        gen.set_pulse_width(D::from_ps(100)).unwrap();
+        assert_eq!(gen.frequency(), Frequency::from_ghz(1.25));
+        let pulses = gen.generate_pulses(512, 9);
+        // Pulse starts deviate from the ideal 400 ps grid.
+        let off_grid = pulses
+            .iter()
+            .filter(|p| p.start.as_fs() % 400_000 != 0)
+            .count();
+        assert!(off_grid > pulses.len() / 2);
+        // Widths stay near the programmed value (common-mode jitter
+        // cancels in the XOR, leaving only decorrelation over the delay).
+        for p in &pulses {
+            assert!((p.width() - D::from_ps(100)).abs() < D::from_ps(20));
+        }
+    }
+
+    #[test]
+    fn strobes_drive_a_sampler() {
+        // Close the loop with the sampler: strobe a known waveform at XOR
+        // pulse centres.
+        use pstime::{DataRate, Millivolts};
+        use signal::jitter::NoJitter;
+        use signal::{AnalogWaveform, BitStream, EdgeShape, LevelSet};
+
+        let rate = DataRate::from_gbps(2.5);
+        let bits = BitStream::from_str_bits("1011001110001011");
+        let wave = AnalogWaveform::new(
+            DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0),
+            LevelSet::pecl(),
+            EdgeShape::default(),
+        );
+        // 1.25 GHz XOR-doubled = one strobe per 400 ps bit. Pulse k is
+        // centred at 400·(k+1) + width/2, so stepping back 250 ps lands
+        // each strobe mid-bit k.
+        let mut gen = TimingGenerator::new(Frequency::from_ghz(1.25));
+        gen.set_pulse_width(Duration::from_ps(100)).unwrap();
+        let sampler = crate::StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        // One extra cycle: the pulse train loses its last pulse at the
+        // burst end (no delayed partner).
+        let pulses = gen.generate_pulses(bits.len() / 2 + 1, 0);
+        let captured: BitStream = pulses
+            .iter()
+            .take(bits.len())
+            .map(|p| sampler.sample_at(&wave, p.centre() - Duration::from_ps(250), &mut rng))
+            .collect();
+        let (errors, n) = captured.hamming_distance(&bits);
+        assert_eq!(n, 16);
+        assert_eq!(errors, 0, "captured {captured} vs {bits}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the PECL front end: mux trees, delay verniers,
+//! DACs, and the sampler.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pecl::levels::LevelKnob;
+use pecl::{Mux2, MuxTree, ProgrammableDelayLine, VoltageTuningDac};
+use pstime::{DataRate, Duration, Millivolts};
+use signal::BitStream;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mux_tree_is_lossless_and_ordered(
+        ways_pow in 1u32..5,
+        lane_bits in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let ways = 1usize << ways_pow;
+        let tree = MuxTree::new(ways).unwrap();
+        let lanes: Vec<BitStream> = (0..ways)
+            .map(|i| {
+                BitStream::from_fn(lane_bits, |j| {
+                    seed.rotate_left(((i + 3) * (j + 7)) as u32 % 63) & 1 == 1
+                })
+            })
+            .collect();
+        let serial = tree.serialize(&lanes).unwrap();
+        prop_assert_eq!(serial.len(), ways * lane_bits);
+        // Bit k of the serial stream is lane (k % ways), bit (k / ways).
+        for k in 0..serial.len() {
+            prop_assert_eq!(serial[k], lanes[k % ways][k / ways]);
+        }
+    }
+
+    #[test]
+    fn two_stage_equals_tree_with_regrouped_lanes(lane_bits in 1usize..16, seed in any::<u64>()) {
+        // 8:1 + 8:1 + 2:1 equals 16:1 on lanes reordered [0,8,1,9,...].
+        let lanes: Vec<BitStream> = (0..16)
+            .map(|i| BitStream::from_fn(lane_bits, |j| seed.rotate_left((i * 5 + j * 11) as u32 % 63) & 1 == 1))
+            .collect();
+        let t8 = MuxTree::new(8).unwrap();
+        let a = t8.serialize(&lanes[..8]).unwrap();
+        let b = t8.serialize(&lanes[8..]).unwrap();
+        let two_stage = Mux2::new().serialize(&a, &b).unwrap();
+
+        let reordered: Vec<BitStream> = (0..16)
+            .map(|i| lanes[if i % 2 == 0 { i / 2 } else { 8 + i / 2 }].clone())
+            .collect();
+        prop_assert_eq!(two_stage, BitStream::interleave(&reordered));
+    }
+
+    #[test]
+    fn delay_line_is_monotone_and_accurate(codes in vec(0u32..1024, 1..32)) {
+        let mut vernier = ProgrammableDelayLine::standard();
+        for code in codes {
+            vernier.set_code(code).unwrap();
+            let err = vernier.actual_delay() - vernier.nominal_delay();
+            prop_assert!(err.abs() <= Duration::from_ps(2), "INL {err}");
+        }
+    }
+
+    #[test]
+    fn delay_requests_quantize_within_half_step(ps in 0i64..10_240) {
+        let mut vernier = ProgrammableDelayLine::standard();
+        let requested = Duration::from_ps(ps);
+        vernier.set_delay(requested).unwrap();
+        let err = (vernier.nominal_delay() - requested).abs();
+        prop_assert!(err <= Duration::from_ps(5), "quantization {err}");
+    }
+
+    #[test]
+    fn dac_codes_step_linearly(knob_idx in 0usize..3, code in 0u32..4) {
+        let knob = [LevelKnob::High, LevelKnob::Low, LevelKnob::MidBias][knob_idx];
+        let mut dac = VoltageTuningDac::new();
+        dac.set_code(knob, code).unwrap();
+        let levels = dac.levels();
+        let expected_step = dac.step(knob) * code as i32;
+        match knob {
+            LevelKnob::High => {
+                prop_assert_eq!(levels.voh(), Millivolts::new(-900) - expected_step)
+            }
+            LevelKnob::Low => {
+                prop_assert_eq!(levels.vol(), Millivolts::new(-1700) + expected_step)
+            }
+            LevelKnob::MidBias => {
+                prop_assert_eq!(levels.mid(), Millivolts::new(-1300) - expected_step)
+            }
+            LevelKnob::Swing => unreachable!(),
+        }
+        // Levels always stay ordered.
+        prop_assert!(levels.voh() > levels.vol());
+    }
+
+    #[test]
+    fn chain_render_is_seed_deterministic(bits in vec(any::<bool>(), 8..128), seed in any::<u64>()) {
+        let chain = pecl::SignalChain::testbed_transmitter();
+        let stream = BitStream::from(bits);
+        let rate = DataRate::from_gbps(2.5);
+        let a = chain.render(&stream, rate, seed).unwrap();
+        let b = chain.render(&stream, rate, seed).unwrap();
+        prop_assert_eq!(a.digital(), b.digital());
+    }
+
+    #[test]
+    fn sampler_recovers_clean_data_at_any_sane_threshold(
+        bits in vec(any::<bool>(), 8..64),
+        threshold_mv in -1600i32..-1000,
+    ) {
+        use signal::jitter::NoJitter;
+        use signal::{AnalogWaveform, DigitalWaveform, EdgeShape, LevelSet};
+        let stream = BitStream::from(bits);
+        let rate = DataRate::from_gbps(1.0); // slow: fully settled mid-bit
+        let wave = AnalogWaveform::new(
+            DigitalWaveform::from_bits(&stream, rate, &NoJitter, 0),
+            LevelSet::pecl(),
+            EdgeShape::from_rise_2080_ps(72.0),
+        );
+        let sampler = pecl::StrobedSampler::new(Millivolts::new(threshold_mv), Duration::ZERO);
+        let captured = sampler.capture(&wave, rate, rate.unit_interval() / 2, stream.len(), 0);
+        prop_assert_eq!(captured, stream);
+    }
+}

@@ -1,0 +1,245 @@
+//! Absolute femtosecond timestamps.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::Duration;
+
+/// An absolute timestamp on the simulation timeline, in femtoseconds.
+///
+/// Time zero is the start of the current test burst (the first active clock
+/// edge out of the Digital Logic Core). Instants may be negative: pre-clock
+/// cycles emitted before the burst origin (Fig. 4's "pre-clocks for receiver
+/// start-up") naturally live at negative time.
+///
+/// `Instant − Instant = Duration` and `Instant ± Duration = Instant`; two
+/// instants cannot be added, which keeps timeline arithmetic honest.
+///
+/// # Examples
+///
+/// ```
+/// use pstime::{Duration, Instant};
+///
+/// let origin = Instant::ZERO;
+/// let edge = origin + Duration::from_ps(400);
+/// assert_eq!(edge - origin, Duration::from_ps(400));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(i64);
+
+impl Instant {
+    /// The burst origin.
+    pub const ZERO: Instant = Instant(0);
+    /// Latest representable instant.
+    pub const MAX: Instant = Instant(i64::MAX);
+    /// Earliest representable instant.
+    pub const MIN: Instant = Instant(i64::MIN);
+
+    /// Creates an instant at an exact femtosecond offset from the origin.
+    #[inline]
+    pub const fn from_fs(fs: i64) -> Self {
+        Instant(fs)
+    }
+
+    /// Creates an instant at an exact picosecond offset from the origin.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Self {
+        Instant(ps * crate::FS_PER_PS)
+    }
+
+    /// Creates an instant at an exact nanosecond offset from the origin.
+    #[inline]
+    pub const fn from_ns(ns: i64) -> Self {
+        Instant(ns * crate::FS_PER_NS)
+    }
+
+    /// Creates an instant from fractional picoseconds, rounded to 1 fs.
+    #[inline]
+    pub fn from_ps_f64(ps: f64) -> Self {
+        Instant((ps * crate::FS_PER_PS as f64).round() as i64)
+    }
+
+    /// Femtosecond offset from the origin.
+    #[inline]
+    pub const fn as_fs(self) -> i64 {
+        self.0
+    }
+
+    /// Offset from the origin as fractional picoseconds.
+    #[inline]
+    pub fn as_ps_f64(self) -> f64 {
+        self.0 as f64 / crate::FS_PER_PS as f64
+    }
+
+    /// Offset from the origin as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / crate::FS_PER_NS as f64
+    }
+
+    /// The span from the origin to this instant.
+    #[inline]
+    pub const fn elapsed(self) -> Duration {
+        Duration::from_fs(self.0)
+    }
+
+    /// Signed span from `earlier` to `self`.
+    #[inline]
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration::from_fs(self.0 - earlier.0)
+    }
+
+    /// Checked offset; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, d: Duration) -> Option<Instant> {
+        match self.0.checked_add(d.as_fs()) {
+            Some(v) => Some(Instant(v)),
+            None => None,
+        }
+    }
+
+    /// Folds this instant into a repeating window of length `period`,
+    /// returning the phase offset in `[ZERO, period)`.
+    ///
+    /// This is the core of eye-diagram folding: every sample time maps to
+    /// its position within one unit interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[inline]
+    pub const fn phase_in(self, period: Duration) -> Duration {
+        Duration::from_fs(self.0.rem_euclid(period.as_fs()))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.as_fs())
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_fs();
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0 - rhs.as_fs())
+    }
+}
+
+impl SubAssign<Duration> for Instant {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.as_fs();
+    }
+}
+
+impl Sub for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration::from_fs(self.0 - rhs.0)
+    }
+}
+
+impl From<Duration> for Instant {
+    /// Interprets a span from the origin as an absolute instant.
+    #[inline]
+    fn from(d: Duration) -> Instant {
+        Instant(d.as_fs())
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", Duration::from_fs(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_ps(100);
+        assert_eq!(t + Duration::from_ps(50), Instant::from_ps(150));
+        assert_eq!(t - Duration::from_ps(50), Instant::from_ps(50));
+        assert_eq!(Instant::from_ps(150) - t, Duration::from_ps(50));
+        assert_eq!(t.since(Instant::from_ps(150)), Duration::from_ps(-50));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Instant::ZERO;
+        t += Duration::from_ps(7);
+        assert_eq!(t, Instant::from_ps(7));
+        t -= Duration::from_ps(10);
+        assert_eq!(t, Instant::from_ps(-3));
+    }
+
+    #[test]
+    fn phase_folding() {
+        let ui = Duration::from_ps(400);
+        assert_eq!(Instant::from_ps(810).phase_in(ui), Duration::from_ps(10));
+        assert_eq!(Instant::from_ps(-10).phase_in(ui), Duration::from_ps(390));
+        assert_eq!(Instant::ZERO.phase_in(ui), Duration::ZERO);
+    }
+
+    #[test]
+    fn negative_pre_clock_instants() {
+        // Fig. 4 pre-clocks live before the burst origin.
+        let pre = Instant::ZERO - Duration::from_ps(5 * 400);
+        assert_eq!(pre.as_fs(), -2_000_000);
+        assert!(pre < Instant::ZERO);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Instant::from_ns(1).as_fs(), 1_000_000);
+        assert!((Instant::from_ps(250).as_ps_f64() - 250.0).abs() < 1e-12);
+        assert!((Instant::from_ps(2500).as_ns_f64() - 2.5).abs() < 1e-12);
+        assert_eq!(Instant::from_ps_f64(10.4), Instant::from_fs(10_400));
+        assert_eq!(Instant::from_ps(24).to_string(), "t=24 ps");
+        assert_eq!(Instant::from(Duration::from_ps(9)), Instant::from_ps(9));
+    }
+
+    #[test]
+    fn checked_and_minmax() {
+        assert_eq!(Instant::MAX.checked_add(Duration::from_fs(1)), None);
+        let a = Instant::from_ps(1);
+        let b = Instant::from_ps(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.elapsed(), Duration::from_ps(1));
+    }
+}

@@ -1,0 +1,63 @@
+//! # gigatest-pstime — picosecond-domain units for multi-gigahertz test simulation
+//!
+//! Foundation crate for the Gigatest workspace (a software reproduction of
+//! Keezer et al., *Low-Cost Multi-Gigahertz Test Systems Using CMOS FPGAs and
+//! PECL*, DATE 2005). Everything in the paper lives in the picosecond domain:
+//! 10 ps programmable-delay steps, 400 ps unit intervals at 2.5 Gbps, 200 ps
+//! at 5 Gbps, 3.2 ps rms edge jitter. Floating-point nanoseconds accumulate
+//! rounding error across the millions of unit intervals an eye-diagram fold
+//! consumes, so this crate provides **exact integer femtosecond arithmetic**:
+//!
+//! * [`Duration`] — a signed span of time in femtoseconds (1 fs = 10⁻¹⁵ s).
+//! * [`Instant`] — an absolute femtosecond timestamp on the simulation
+//!   timeline (time zero is the start of a test burst).
+//! * [`Frequency`] — exact hertz, with an exact femtosecond period for every
+//!   frequency that divides 10¹⁵ Hz·fs (all the paper's clock rates do).
+//! * [`DataRate`] — bits per second, with the unit interval as a [`Duration`].
+//! * [`UnitInterval`] — a dimensionless fraction of one bit period, the unit
+//!   eye openings are quoted in ("0.88 UI at 2.5 Gbps").
+//! * [`Millivolts`] — exact integer millivolt levels for PECL voltage tuning
+//!   (the paper steps VOH in 100 mV increments).
+//!
+//! An `i64` femtosecond count spans ±9 223 seconds — about two and a half
+//! hours of simulated time at 1 fs resolution, which is ~10 orders of
+//! magnitude longer than any test burst in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use pstime::{DataRate, Duration};
+//!
+//! let rate = DataRate::from_gbps(2.5);
+//! assert_eq!(rate.unit_interval(), Duration::from_ps(400));
+//!
+//! // 64 bit slots of 400 ps = the paper's 25.6 ns packet slot (Fig. 4).
+//! let slot = rate.unit_interval() * 64;
+//! assert_eq!(slot, Duration::from_ns_f64(25.6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duration;
+mod instant;
+mod rate;
+mod ui;
+mod voltage;
+
+pub use duration::Duration;
+pub use instant::Instant;
+pub use rate::{DataRate, Frequency};
+pub use ui::UnitInterval;
+pub use voltage::Millivolts;
+
+/// Femtoseconds per picosecond.
+pub const FS_PER_PS: i64 = 1_000;
+/// Femtoseconds per nanosecond.
+pub const FS_PER_NS: i64 = 1_000_000;
+/// Femtoseconds per microsecond.
+pub const FS_PER_US: i64 = 1_000_000_000;
+/// Femtoseconds per millisecond.
+pub const FS_PER_MS: i64 = 1_000_000_000_000;
+/// Femtoseconds per second.
+pub const FS_PER_S: i64 = 1_000_000_000_000_000;

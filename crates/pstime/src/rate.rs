@@ -1,0 +1,315 @@
+//! Exact frequencies and data rates.
+
+use core::fmt;
+
+use crate::{Duration, FS_PER_S};
+
+/// An exact frequency in hertz.
+///
+/// All clock rates in the reproduced paper (12 MHz crystal, 0.5–2.5 GHz RF
+/// reference, 1.25 GHz mini-tester clock) divide 10¹⁵ evenly, so their
+/// periods are exact femtosecond counts.
+///
+/// # Examples
+///
+/// ```
+/// use pstime::{Duration, Frequency};
+///
+/// let rf = Frequency::from_ghz(1.25);
+/// assert_eq!(rf.period(), Duration::from_ps(800));
+/// assert_eq!(rf.to_string(), "1.250 GHz");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Creates a frequency from exact hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[inline]
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be nonzero");
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from exact kilohertz.
+    #[inline]
+    pub fn from_khz(khz: u64) -> Self {
+        Frequency::from_hz(khz * 1_000)
+    }
+
+    /// Creates a frequency from exact megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: u64) -> Self {
+        Frequency::from_hz(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from fractional gigahertz, rounded to 1 Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not positive and finite.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        Frequency::from_hz((ghz * 1e9).round() as u64)
+    }
+
+    /// The frequency in exact hertz.
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The frequency as fractional gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The period, rounded to the nearest femtosecond.
+    ///
+    /// Exact (no rounding) whenever the frequency divides 10¹⁵ Hz·fs, which
+    /// holds for every clock in the paper.
+    #[inline]
+    pub fn period(self) -> Duration {
+        let hz = self.0;
+        Duration::from_fs(((FS_PER_S as u64 + hz / 2) / hz) as i64)
+    }
+
+    /// Frequency divided by an integer (a clock divider), rounded to 1 Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `div` is zero or the result would round to 0 Hz.
+    #[inline]
+    pub fn divide(self, div: u64) -> Frequency {
+        assert!(div > 0, "clock divider must be nonzero");
+        Frequency::from_hz(self.0 / div)
+    }
+
+    /// Frequency multiplied by an integer (a PLL multiplier).
+    #[inline]
+    pub fn multiply(self, mult: u64) -> Frequency {
+        Frequency::from_hz(self.0 * mult)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hz = self.0;
+        if hz >= 1_000_000_000 {
+            write!(f, "{:.3} GHz", hz as f64 / 1e9)
+        } else if hz >= 1_000_000 {
+            write!(f, "{:.3} MHz", hz as f64 / 1e6)
+        } else if hz >= 1_000 {
+            write!(f, "{:.3} kHz", hz as f64 / 1e3)
+        } else {
+            write!(f, "{hz} Hz")
+        }
+    }
+}
+
+/// An exact serial data rate in bits per second.
+///
+/// Distinct from [`Frequency`] because a bit rate and a clock rate differ by
+/// the DDR factor: the paper's 2.5 Gbps streams are clocked by a 1.25 GHz RF
+/// reference (both edges carry data through the final PECL mux).
+///
+/// # Examples
+///
+/// ```
+/// use pstime::{DataRate, Duration};
+///
+/// let r = DataRate::from_gbps(5.0);
+/// assert_eq!(r.unit_interval(), Duration::from_ps(200));
+/// assert_eq!(r.ddr_clock().period(), Duration::from_ps(400));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataRate(u64);
+
+impl DataRate {
+    /// Creates a data rate from exact bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is zero.
+    #[inline]
+    pub fn from_bps(bps: u64) -> Self {
+        assert!(bps > 0, "data rate must be nonzero");
+        DataRate(bps)
+    }
+
+    /// Creates a data rate from exact megabits per second.
+    #[inline]
+    pub fn from_mbps(mbps: u64) -> Self {
+        DataRate::from_bps(mbps * 1_000_000)
+    }
+
+    /// Creates a data rate from fractional gigabits per second, rounded to
+    /// 1 bps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive and finite.
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(gbps.is_finite() && gbps > 0.0, "data rate must be positive");
+        DataRate::from_bps((gbps * 1e9).round() as u64)
+    }
+
+    /// The rate in exact bits per second.
+    #[inline]
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// The rate as fractional gigabits per second.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The unit interval (one bit period), rounded to the nearest
+    /// femtosecond.
+    #[inline]
+    pub fn unit_interval(self) -> Duration {
+        Duration::from_fs(((FS_PER_S as u64 + self.0 / 2) / self.0) as i64)
+    }
+
+    /// The half-rate clock that drives this stream through a DDR output
+    /// stage (the paper's final 2:1 PECL mux toggles on both clock edges).
+    #[inline]
+    pub fn ddr_clock(self) -> Frequency {
+        Frequency::from_hz(self.0 / 2)
+    }
+
+    /// The full-rate clock (one edge per bit).
+    #[inline]
+    pub fn sdr_clock(self) -> Frequency {
+        Frequency::from_hz(self.0)
+    }
+
+    /// The per-lane rate when this stream is demultiplexed `ways` ways — the
+    /// rate each FPGA I/O pin must sustain before the PECL mux tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    #[inline]
+    pub fn demux(self, ways: u64) -> DataRate {
+        assert!(ways > 0, "demux ways must be nonzero");
+        DataRate::from_bps(self.0 / ways)
+    }
+
+    /// The aggregate rate of `lanes` parallel streams at this rate.
+    #[inline]
+    pub fn aggregate(self, lanes: u64) -> DataRate {
+        DataRate::from_bps(self.0 * lanes)
+    }
+
+    /// Number of whole unit intervals in `span`.
+    #[inline]
+    pub fn bits_in(self, span: Duration) -> i64 {
+        span / self.unit_interval()
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.0;
+        if bps >= 1_000_000_000_000 {
+            write!(f, "{:.3} Tbps", bps as f64 / 1e12)
+        } else if bps >= 1_000_000_000 {
+            write!(f, "{:.3} Gbps", bps as f64 / 1e9)
+        } else if bps >= 1_000_000 {
+            write!(f, "{:.1} Mbps", bps as f64 / 1e6)
+        } else {
+            write!(f, "{bps} bps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_periods_are_exact() {
+        assert_eq!(Frequency::from_mhz(12).period(), Duration::from_ns_f64(1000.0 / 12.0));
+        assert_eq!(Frequency::from_ghz(1.25).period(), Duration::from_ps(800));
+        assert_eq!(Frequency::from_ghz(2.5).period(), Duration::from_ps(400));
+        assert_eq!(Frequency::from_mhz(500).period(), Duration::from_ns(2));
+    }
+
+    #[test]
+    fn paper_unit_intervals() {
+        assert_eq!(DataRate::from_gbps(2.5).unit_interval(), Duration::from_ps(400));
+        assert_eq!(DataRate::from_gbps(4.0).unit_interval(), Duration::from_ps(250));
+        assert_eq!(DataRate::from_gbps(5.0).unit_interval(), Duration::from_ps(200));
+        assert_eq!(DataRate::from_gbps(1.0).unit_interval(), Duration::from_ps(1000));
+        assert_eq!(DataRate::from_mbps(400).unit_interval(), Duration::from_ps(2500));
+    }
+
+    #[test]
+    fn ddr_relationship() {
+        // 5 Gbps stream driven by a 2.5 GHz DDR clock.
+        let r = DataRate::from_gbps(5.0);
+        assert_eq!(r.ddr_clock(), Frequency::from_ghz(2.5));
+        assert_eq!(r.sdr_clock().as_hz(), 5_000_000_000);
+    }
+
+    #[test]
+    fn mux_tree_rates() {
+        // Paper §4: 16 CMOS signals at 312.5 Mbps -> 5 Gbps serial.
+        let out = DataRate::from_gbps(5.0);
+        let lane = out.demux(16);
+        assert_eq!(lane.as_bps(), 312_500_000);
+        assert_eq!(lane.aggregate(16), out);
+    }
+
+    #[test]
+    fn divide_multiply() {
+        let f = Frequency::from_ghz(2.5);
+        assert_eq!(f.divide(2), Frequency::from_ghz(1.25));
+        assert_eq!(f.multiply(2), Frequency::from_ghz(5.0));
+    }
+
+    #[test]
+    fn bits_in_span() {
+        let r = DataRate::from_gbps(2.5);
+        assert_eq!(r.bits_in(Duration::from_ns_f64(25.6)), 64);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Frequency::from_ghz(1.25).to_string(), "1.250 GHz");
+        assert_eq!(Frequency::from_mhz(12).to_string(), "12.000 MHz");
+        assert_eq!(Frequency::from_khz(32).to_string(), "32.000 kHz");
+        assert_eq!(Frequency::from_hz(50).to_string(), "50 Hz");
+        assert_eq!(DataRate::from_gbps(2.5).to_string(), "2.500 Gbps");
+        assert_eq!(DataRate::from_mbps(400).to_string(), "400.0 Mbps");
+        assert_eq!(DataRate::from_bps(100).to_string(), "100 bps");
+        assert_eq!(DataRate::from_gbps(2.5).aggregate(400).to_string(), "1.000 Tbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be nonzero")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_hz(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data rate must be nonzero")]
+    fn zero_rate_panics() {
+        let _ = DataRate::from_bps(0);
+    }
+
+    #[test]
+    fn accessors() {
+        assert!((Frequency::from_ghz(1.25).as_ghz() - 1.25).abs() < 1e-12);
+        assert!((DataRate::from_gbps(4.0).as_gbps() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Dimensionless unit-interval fractions.
+
+use core::fmt;
+use core::ops::{Add, Mul, Sub};
+
+use crate::{DataRate, Duration};
+
+/// A dimensionless fraction of one bit period (unit interval, UI).
+///
+/// Eye-diagram results in the paper are quoted in UI: "a usable eye opening
+/// of 0.88 UI" at 2.5 Gbps, degrading to 0.75 UI at 5 Gbps. A `UnitInterval`
+/// is meaningless without a data rate; [`UnitInterval::at_rate`] converts to
+/// absolute time once the rate is known.
+///
+/// # Examples
+///
+/// ```
+/// use pstime::{DataRate, Duration, UnitInterval};
+///
+/// let opening = UnitInterval::new(0.88);
+/// let abs = opening.at_rate(DataRate::from_gbps(2.5));
+/// assert_eq!(abs, Duration::from_ps(352));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct UnitInterval(f64);
+
+impl UnitInterval {
+    /// Zero UI.
+    pub const ZERO: UnitInterval = UnitInterval(0.0);
+    /// One full bit period.
+    pub const ONE: UnitInterval = UnitInterval(1.0);
+
+    /// Creates a UI fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ui` is not finite.
+    #[inline]
+    pub fn new(ui: f64) -> Self {
+        assert!(ui.is_finite(), "UI fraction must be finite");
+        UnitInterval(ui)
+    }
+
+    /// Expresses an absolute span as a fraction of the unit interval at
+    /// `rate`.
+    #[inline]
+    pub fn from_duration(span: Duration, rate: DataRate) -> Self {
+        UnitInterval::new(span.ratio(rate.unit_interval()))
+    }
+
+    /// The raw fraction.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to absolute time at a given data rate, rounded to 1 fs.
+    #[inline]
+    pub fn at_rate(self, rate: DataRate) -> Duration {
+        rate.unit_interval().mul_f64(self.0)
+    }
+
+    /// Clamps into `[0, 1]` — useful after subtracting jitter from an ideal
+    /// opening.
+    #[inline]
+    pub fn clamp_unit(self) -> UnitInterval {
+        UnitInterval(self.0.clamp(0.0, 1.0))
+    }
+}
+
+impl Add for UnitInterval {
+    type Output = UnitInterval;
+    #[inline]
+    fn add(self, rhs: UnitInterval) -> UnitInterval {
+        UnitInterval(self.0 + rhs.0)
+    }
+}
+
+impl Sub for UnitInterval {
+    type Output = UnitInterval;
+    #[inline]
+    fn sub(self, rhs: UnitInterval) -> UnitInterval {
+        UnitInterval(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for UnitInterval {
+    type Output = UnitInterval;
+    #[inline]
+    fn mul(self, rhs: f64) -> UnitInterval {
+        UnitInterval(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for UnitInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} UI", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let rate = DataRate::from_gbps(2.5);
+        assert_eq!(UnitInterval::new(0.5).at_rate(rate), Duration::from_ps(200));
+        let ui = UnitInterval::from_duration(Duration::from_ps(100), rate);
+        assert!((ui.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_eye_openings() {
+        // Fig. 7: 46.7 ps p-p jitter at 2.5 Gbps eats ~0.12 UI.
+        let rate = DataRate::from_gbps(2.5);
+        let jitter_ui = UnitInterval::from_duration(Duration::from_ps_f64(46.7), rate);
+        let opening = (UnitInterval::ONE - jitter_ui).clamp_unit();
+        assert!((opening.value() - 0.88).abs() < 0.005);
+
+        // Fig. 19: ~50 ps at 5 Gbps leaves ~0.75 UI.
+        let rate5 = DataRate::from_gbps(5.0);
+        let opening5 = (UnitInterval::ONE - UnitInterval::from_duration(Duration::from_ps(50), rate5)).clamp_unit();
+        assert!((opening5.value() - 0.75).abs() < 0.005);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = UnitInterval::new(0.4) + UnitInterval::new(0.2);
+        assert!((a.value() - 0.6).abs() < 1e-12);
+        let b = a * 0.5;
+        assert!((b.value() - 0.3).abs() < 1e-12);
+        assert_eq!(UnitInterval::new(0.88).to_string(), "0.88 UI");
+        assert_eq!(UnitInterval::new(1.5).clamp_unit(), UnitInterval::ONE);
+        assert_eq!(UnitInterval::new(-0.5).clamp_unit(), UnitInterval::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "UI fraction must be finite")]
+    fn non_finite_panics() {
+        let _ = UnitInterval::new(f64::NAN);
+    }
+}

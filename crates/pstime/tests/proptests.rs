@@ -1,0 +1,120 @@
+//! Property-based tests for the time/rate/voltage unit types.
+
+use proptest::prelude::*;
+use pstime::{DataRate, Duration, Frequency, Instant, Millivolts, UnitInterval};
+
+// Keep magnitudes below i64::MAX/4 femtoseconds so sums cannot overflow.
+const FS_BOUND: i64 = i64::MAX / 4;
+
+proptest! {
+    #[test]
+    fn duration_addition_is_commutative(a in -FS_BOUND..FS_BOUND, b in -FS_BOUND..FS_BOUND) {
+        let (x, y) = (Duration::from_fs(a), Duration::from_fs(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn duration_addition_is_associative(
+        a in -FS_BOUND / 2..FS_BOUND / 2,
+        b in -FS_BOUND / 2..FS_BOUND / 2,
+        c in -FS_BOUND / 2..FS_BOUND / 2,
+    ) {
+        let (x, y, z) = (Duration::from_fs(a), Duration::from_fs(b), Duration::from_fs(c));
+        prop_assert_eq!((x + y) + z, x + (y + z));
+    }
+
+    #[test]
+    fn duration_negation_is_involutive(a in -FS_BOUND..FS_BOUND) {
+        let x = Duration::from_fs(a);
+        prop_assert_eq!(-(-x), x);
+        prop_assert_eq!(x + (-x), Duration::ZERO);
+    }
+
+    #[test]
+    fn rem_euclid_is_a_valid_phase(a in -FS_BOUND..FS_BOUND, m in 1i64..1_000_000_000) {
+        let phase = Duration::from_fs(a).rem_euclid(Duration::from_fs(m));
+        prop_assert!(phase >= Duration::ZERO);
+        prop_assert!(phase < Duration::from_fs(m));
+        // Congruence: a - phase is a multiple of m.
+        prop_assert_eq!((a - phase.as_fs()).rem_euclid(m), 0);
+    }
+
+    #[test]
+    fn round_to_lands_on_grid_within_half_step(
+        a in -1_000_000_000i64..1_000_000_000,
+        step in 1i64..100_000,
+    ) {
+        let d = Duration::from_fs(a);
+        let s = Duration::from_fs(step);
+        let rounded = d.round_to(s);
+        prop_assert_eq!(rounded.as_fs().rem_euclid(step), 0);
+        prop_assert!((rounded - d).abs().as_fs() * 2 <= step);
+    }
+
+    #[test]
+    fn instant_duration_algebra(a in -FS_BOUND..FS_BOUND, b in -FS_BOUND / 2..FS_BOUND / 2) {
+        let t = Instant::from_fs(a);
+        let d = Duration::from_fs(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(t.since(t + d), -d);
+    }
+
+    #[test]
+    fn phase_in_is_stable_under_period_shifts(
+        a in -1_000_000_000i64..1_000_000_000,
+        period in 1i64..10_000_000,
+        k in -100i64..100,
+    ) {
+        let t = Instant::from_fs(a);
+        let p = Duration::from_fs(period);
+        let shifted = t + p * k;
+        prop_assert_eq!(t.phase_in(p), shifted.phase_in(p));
+    }
+
+    #[test]
+    fn data_rate_ui_inverse(gbps_tenths in 1u64..200) {
+        // Rates 0.1..20 Gbps: UI * rate ≈ 1 second-in-fs within rounding.
+        let rate = DataRate::from_bps(gbps_tenths * 100_000_000);
+        let ui = rate.unit_interval();
+        let product = ui.as_fs() as i128 * rate.as_bps() as i128;
+        let one_second = 1_000_000_000_000_000i128;
+        prop_assert!((product - one_second).abs() <= rate.as_bps() as i128);
+    }
+
+    #[test]
+    fn demux_aggregate_round_trip(bps in 1_000_000u64..10_000_000_000, ways in 1u64..64) {
+        let rate = DataRate::from_bps(bps * ways); // exactly divisible
+        prop_assert_eq!(rate.demux(ways).aggregate(ways), rate);
+    }
+
+    #[test]
+    fn frequency_divide_multiply(hz in 1_000u64..10_000_000_000, div in 1u64..1000) {
+        let f = Frequency::from_hz(hz * div);
+        prop_assert_eq!(f.divide(div).multiply(div), f);
+    }
+
+    #[test]
+    fn unit_interval_round_trips_at_rate(frac in 0.0f64..1.0, gbps_tenths in 1u64..100) {
+        let rate = DataRate::from_bps(gbps_tenths * 100_000_000);
+        let ui = UnitInterval::new(frac);
+        let back = UnitInterval::from_duration(ui.at_rate(rate), rate);
+        prop_assert!((back.value() - frac).abs() < 1e-5);
+    }
+
+    #[test]
+    fn millivolt_algebra(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+        let (x, y) = (Millivolts::new(a), Millivolts::new(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) - y, x);
+        // Midpoint is between the two values.
+        let mid = x.midpoint(y);
+        prop_assert!(mid >= x.min(y) && mid <= x.max(y));
+    }
+
+    #[test]
+    fn display_never_panics(a in -FS_BOUND..FS_BOUND) {
+        let _ = Duration::from_fs(a).to_string();
+        let _ = Instant::from_fs(a).to_string();
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for signal construction and analysis.
+
+use core::fmt;
+
+/// Errors produced while constructing or analyzing waveforms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SignalError {
+    /// A waveform was empty (no bits / no edges) where content was required.
+    EmptyWaveform {
+        /// What the caller was trying to do.
+        context: &'static str,
+    },
+    /// Not enough signal transitions to form the requested measurement.
+    InsufficientTransitions {
+        /// Transitions found.
+        found: usize,
+        /// Transitions required.
+        required: usize,
+    },
+    /// A threshold crossing could not be located in the search window.
+    CrossingNotFound {
+        /// Description of the search target.
+        context: &'static str,
+    },
+    /// A numeric parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::EmptyWaveform { context } => {
+                write!(f, "empty waveform while {context}")
+            }
+            SignalError::InsufficientTransitions { found, required } => write!(
+                f,
+                "insufficient transitions for measurement: found {found}, need {required}"
+            ),
+            SignalError::CrossingNotFound { context } => {
+                write!(f, "threshold crossing not found: {context}")
+            }
+            SignalError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SignalError::EmptyWaveform { context: "building an eye" };
+        assert_eq!(e.to_string(), "empty waveform while building an eye");
+        let e = SignalError::InsufficientTransitions { found: 1, required: 2 };
+        assert!(e.to_string().contains("found 1, need 2"));
+        let e = SignalError::CrossingNotFound { context: "rise 20%" };
+        assert!(e.to_string().contains("rise 20%"));
+        let e = SignalError::InvalidParameter { name: "sigma", constraint: "must be >= 0" };
+        assert!(e.to_string().contains("`sigma`"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SignalError>();
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII rendering of waveforms and eye diagrams.
+//!
+//! The paper's figures are oscilloscope photographs; the closest honest
+//! equivalent in a terminal is an ASCII persistence plot. Examples and bench
+//! reports use these renderers so a human can eyeball "that's an open eye at
+//! 2.5 Gbps" the same way the paper's readers do.
+
+use pstime::{Duration, Instant};
+
+use crate::analog::AnalogWaveform;
+use crate::eye::EyeRaster;
+
+/// Density ramp used for persistence plots, dimmest to brightest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders an [`EyeRaster`] as an ASCII persistence plot, one character per
+/// cell, brightness proportional to hit density.
+///
+/// # Examples
+///
+/// ```
+/// use pstime::DataRate;
+/// use signal::jitter::NoJitter;
+/// use signal::render::render_eye;
+/// use signal::{AnalogWaveform, BitStream, DigitalWaveform, EdgeShape, EyeRaster, LevelSet};
+///
+/// let rate = DataRate::from_gbps(2.5);
+/// let d = DigitalWaveform::from_bits(&BitStream::alternating(64), rate, &NoJitter, 0);
+/// let a = AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default());
+/// let txt = render_eye(&EyeRaster::build(&a, rate, 60, 16));
+/// assert!(txt.lines().count() >= 16);
+/// ```
+pub fn render_eye(raster: &EyeRaster) -> String {
+    let peak = raster.peak_count().max(1);
+    let mut out = String::with_capacity((raster.cols() + 3) * (raster.rows() + 2));
+    let (v_lo, v_hi) = raster.voltage_range();
+    out.push_str(&format!(
+        "eye persistence plot (2 UI = {} wide, {:.0}..{:.0} mV)\n",
+        raster.unit_interval() * 2,
+        v_lo,
+        v_hi
+    ));
+    for row in 0..raster.rows() {
+        out.push('|');
+        for col in 0..raster.cols() {
+            let c = raster.count(row, col);
+            let idx = if c == 0 {
+                0
+            } else {
+                1 + ((c - 1) as usize * (RAMP.len() - 2) / peak as usize).min(RAMP.len() - 2)
+            };
+            out.push(RAMP[idx] as char);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders a time-domain strip chart of `wave` over `[t0, t0 + span]` as a
+/// `cols × rows` ASCII grid with a `*` trace.
+///
+/// # Panics
+///
+/// Panics if `cols`/`rows` is zero or `span` is not positive.
+pub fn render_waveform(
+    wave: &AnalogWaveform,
+    t0: Instant,
+    span: Duration,
+    cols: usize,
+    rows: usize,
+) -> String {
+    assert!(cols > 0 && rows > 0, "render grid must be nonzero");
+    assert!(span > Duration::ZERO, "render span must be positive");
+    let swing = wave.levels().swing().as_f64();
+    let v_lo = wave.levels().vol().as_f64() - 0.1 * swing;
+    let v_hi = wave.levels().voh().as_f64() + 0.1 * swing;
+    let mut grid = vec![b' '; cols * rows];
+    for col in 0..cols {
+        let t = t0 + span.mul_f64(col as f64 / (cols - 1).max(1) as f64);
+        let v = wave.value_at(t);
+        let frac = ((v - v_lo) / (v_hi - v_lo)).clamp(0.0, 1.0);
+        let row = ((1.0 - frac) * (rows - 1) as f64).round() as usize;
+        grid[row * cols + col] = b'*';
+    }
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push_str(&format!(
+        "waveform {} .. {} ({:.0}..{:.0} mV)\n",
+        t0,
+        t0 + span,
+        v_lo,
+        v_hi
+    ));
+    for row in 0..rows {
+        out.push('|');
+        out.push_str(core::str::from_utf8(&grid[row * cols..(row + 1) * cols]).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jitter::NoJitter;
+    use crate::{BitStream, DigitalWaveform, EdgeShape, EyeRaster, LevelSet};
+    use pstime::DataRate;
+
+    fn sample_wave() -> (AnalogWaveform, DataRate) {
+        let rate = DataRate::from_gbps(2.5);
+        let d = DigitalWaveform::from_bits(&BitStream::alternating(32), rate, &NoJitter, 0);
+        (
+            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default()),
+            rate,
+        )
+    }
+
+    #[test]
+    fn eye_render_dimensions() {
+        let (a, rate) = sample_wave();
+        let raster = EyeRaster::build(&a, rate, 40, 12);
+        let txt = render_eye(&raster);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 13); // header + 12 rows
+        assert!(lines[1].len() >= 42);
+        assert!(txt.contains('@') || txt.contains('#') || txt.contains('%'));
+    }
+
+    #[test]
+    fn waveform_render_traces_transitions() {
+        let (a, _) = sample_wave();
+        let txt = render_waveform(&a, Instant::ZERO, Duration::from_ps(1600), 64, 10);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 11);
+        // Trace visits near-top and near-bottom rows (settled rails sit
+        // just inside the 10 % display margin).
+        let star_rows: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(*star_rows.iter().min().unwrap() <= 2, "rows {star_rows:?}");
+        assert!(*star_rows.iter().max().unwrap() >= 8, "rows {star_rows:?}");
+        // Every column has exactly one sample.
+        let stars: usize = txt.matches('*').count();
+        assert_eq!(stars, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "render span must be positive")]
+    fn zero_span_panics() {
+        let (a, _) = sample_wave();
+        let _ = render_waveform(&a, Instant::ZERO, Duration::ZERO, 10, 10);
+    }
+}

@@ -1,0 +1,326 @@
+//! Jitter spectrum: TIE analysis in the frequency domain.
+//!
+//! Peak-to-peak and rms numbers say *how much* jitter a signal has; the
+//! spectrum says *where it comes from*. Supply ripple shows up as a tone at
+//! the converter frequency, a noisy PLL as a skirt, data-dependent jitter
+//! as rate-related harmonics. This module computes the classic
+//! time-interval-error (TIE) spectrum: per-UI edge displacements (zero-order
+//! held across missing edges), Hann-windowed, discrete-Fourier-transformed,
+//! with a dominant-tone finder — the diagnostic the paper's team would run
+//! when Fig. 9's histogram turned out non-Gaussian.
+
+use pstime::{DataRate, Frequency};
+
+use crate::digital::DigitalWaveform;
+use crate::{Result, SignalError};
+
+/// A one-sided TIE amplitude spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterSpectrum {
+    bin_hz: f64,
+    amplitude_ps: Vec<f64>,
+    rms_ps: f64,
+    n_ui: usize,
+}
+
+impl JitterSpectrum {
+    /// Frequency resolution (Hz per bin).
+    pub fn bin_hz(&self) -> f64 {
+        self.bin_hz
+    }
+
+    /// Number of unit intervals analyzed.
+    pub fn n_ui(&self) -> usize {
+        self.n_ui
+    }
+
+    /// rms of the (mean-removed) TIE series, in picoseconds.
+    pub fn tie_rms_ps(&self) -> f64 {
+        self.rms_ps
+    }
+
+    /// Amplitude (ps, sine-peak equivalent) per positive-frequency bin;
+    /// bin `k` is centred at `k × bin_hz` (bin 0, the DC residue, is
+    /// forced to zero).
+    pub fn amplitudes_ps(&self) -> &[f64] {
+        &self.amplitude_ps
+    }
+
+    /// The frequency of bin `k`.
+    pub fn bin_frequency(&self, k: usize) -> Frequency {
+        Frequency::from_hz(((k as f64) * self.bin_hz).max(1.0).round() as u64)
+    }
+
+    /// The dominant spectral tone `(frequency, amplitude in ps)`, if any
+    /// bin rises more than `threshold_ratio` above the median bin —
+    /// a Gaussian-only spectrum has no such tone.
+    pub fn dominant_tone(&self, threshold_ratio: f64) -> Option<(Frequency, f64)> {
+        let mut sorted: Vec<f64> = self.amplitude_ps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite amplitudes"));
+        let median = sorted[sorted.len() / 2];
+        let (k, peak) = self
+            .amplitude_ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite amplitudes"))?;
+        if (median <= 0.0 || *peak / median >= threshold_ratio)
+            && *peak > 0.0 {
+                return Some((self.bin_frequency(k), *peak));
+            }
+        None
+    }
+}
+
+/// Computes the TIE spectrum of a waveform at `rate`.
+///
+/// The TIE series is sampled once per UI (edge displacement from the ideal
+/// grid, zero-order held where the data pattern has no edge), truncated to
+/// a power-of-two length for the radix-2 FFT, Hann-windowed, and scaled to
+/// sine-peak amplitudes.
+///
+/// # Errors
+///
+/// [`SignalError::InsufficientTransitions`] when the waveform has fewer
+/// than 64 UI or no edges at all.
+pub fn jitter_spectrum(wave: &DigitalWaveform, rate: DataRate) -> Result<JitterSpectrum> {
+    let ui = rate.unit_interval();
+    let n_total = (wave.span() / ui) as usize;
+    if n_total < 64 || wave.num_edges() == 0 {
+        return Err(SignalError::InsufficientTransitions {
+            found: wave.num_edges().min(n_total),
+            required: 64,
+        });
+    }
+
+    // Build the per-UI TIE series with zero-order hold.
+    let mut tie = Vec::with_capacity(n_total);
+    let mut edges = wave.edges().iter().peekable();
+    let mut held = 0.0f64;
+    for k in 0..n_total {
+        let ideal = wave.start() + ui * k as i64 + ui;
+        // Consume edges belonging to this UI boundary (within half a UI).
+        while let Some(e) = edges.peek() {
+            if e.at <= ideal + ui / 2 {
+                held = (e.at - ideal).as_ps_f64();
+                edges.next();
+            } else {
+                break;
+            }
+        }
+        tie.push(held);
+    }
+
+    // Truncate to a power of two.
+    let n = tie.len().next_power_of_two() >> 1;
+    let n = n.min(tie.len());
+    tie.truncate(n);
+
+    // Remove the mean and compute rms.
+    let mean = tie.iter().sum::<f64>() / n as f64;
+    for x in &mut tie {
+        *x -= mean;
+    }
+    let rms = (tie.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
+
+    // Hann window (coherent gain 0.5).
+    let mut re: Vec<f64> = tie
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let w = 0.5
+                - 0.5 * (2.0 * core::f64::consts::PI * i as f64 / (n as f64 - 1.0)).cos();
+            x * w
+        })
+        .collect();
+    let mut im = vec![0.0f64; n];
+    fft_radix2(&mut re, &mut im);
+
+    // One-sided sine-peak amplitudes: |X|/N × 2 (one-sided) / 0.5 (Hann).
+    let half = n / 2;
+    let mut amplitude_ps: Vec<f64> = (0..half)
+        .map(|k| {
+            let mag = (re[k] * re[k] + im[k] * im[k]).sqrt();
+            mag / n as f64 * 2.0 / 0.5
+        })
+        .collect();
+    if let Some(dc) = amplitude_ps.first_mut() {
+        *dc = 0.0;
+    }
+
+    let sample_rate_hz = rate.as_bps() as f64; // one TIE sample per UI
+    Ok(JitterSpectrum {
+        bin_hz: sample_rate_hz / n as f64,
+        amplitude_ps,
+        rms_ps: rms,
+        n_ui: n,
+    })
+}
+
+/// In-place radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or the buffers mismatch.
+fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "FFT buffers must match");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * core::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (a, b) = (start + k, start + k + len / 2);
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jitter::{JitterBudget, NoJitter, PeriodicJitter, RandomJitter};
+    use crate::BitStream;
+    use pstime::Duration;
+
+    fn wave_with(budget: &JitterBudget, n_bits: usize, seed: u64) -> DigitalWaveform {
+        DigitalWaveform::from_bits(
+            &BitStream::alternating(n_bits),
+            DataRate::from_gbps(2.5),
+            budget,
+            seed,
+        )
+    }
+
+    #[test]
+    fn fft_matches_a_known_tone() {
+        // A pure cosine at bin 8 of 64.
+        let n = 64;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * core::f64::consts::PI * 8.0 * i as f64 / n as f64).cos())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft_radix2(&mut re, &mut im);
+        for k in 0..n {
+            let mag = (re[k] * re[k] + im[k] * im[k]).sqrt();
+            if k == 8 || k == n - 8 {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "leakage at bin {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_an_injected_periodic_tone() {
+        // 5 ps of PJ at 50 MHz on a 2.5 Gbps clock pattern.
+        let pj_freq = Frequency::from_mhz(50);
+        let budget = JitterBudget::new()
+            .with_pj(Duration::from_ps(5), pj_freq, 0.3)
+            .with_rj_rms_ps(0.5);
+        let wave = wave_with(&budget, 8_192, 3);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        assert_eq!(spectrum.n_ui(), 4_096);
+        let (freq, amp) = spectrum.dominant_tone(5.0).expect("tone present");
+        let err_hz = (freq.as_hz() as f64 - 50e6).abs();
+        assert!(err_hz < 2.0 * spectrum.bin_hz(), "tone at {freq}, want 50 MHz");
+        assert!((amp - 5.0).abs() < 1.5, "amplitude {amp} ps, want ~5");
+    }
+
+    #[test]
+    fn gaussian_jitter_has_no_dominant_tone() {
+        let budget = JitterBudget::new().with_model(RandomJitter::from_rms_ps(3.0));
+        let wave = wave_with(&budget, 8_192, 9);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        // White floor: the peak stays within ~6x of the median bin.
+        assert!(spectrum.dominant_tone(8.0).is_none());
+        assert!((spectrum.tie_rms_ps() - 3.0).abs() < 0.5, "rms {}", spectrum.tie_rms_ps());
+    }
+
+    #[test]
+    fn clean_signal_is_silent() {
+        let wave = wave_with(&JitterBudget::new(), 1_024, 0);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        assert!(spectrum.tie_rms_ps() < 1e-9);
+        assert!(spectrum.amplitudes_ps().iter().all(|a| *a < 1e-9));
+        assert!(spectrum.dominant_tone(3.0).is_none());
+    }
+
+    #[test]
+    fn two_tones_the_larger_wins() {
+        let budget = JitterBudget::new()
+            .with_pj(Duration::from_ps(6), Frequency::from_mhz(40), 0.0)
+            .with_pj(Duration::from_ps(2), Frequency::from_mhz(90), 1.0);
+        let wave = wave_with(&budget, 8_192, 5);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        let (freq, _) = spectrum.dominant_tone(3.0).expect("tones present");
+        assert!(
+            (freq.as_hz() as f64 - 40e6).abs() < 2.0 * spectrum.bin_hz(),
+            "dominant at {freq}, want 40 MHz"
+        );
+    }
+
+    #[test]
+    fn requires_enough_signal() {
+        let short = wave_with(&JitterBudget::new(), 32, 0);
+        assert!(matches!(
+            jitter_spectrum(&short, DataRate::from_gbps(2.5)),
+            Err(SignalError::InsufficientTransitions { .. })
+        ));
+        let quiet = DigitalWaveform::from_bits(
+            &BitStream::ones(256),
+            DataRate::from_gbps(2.5),
+            &NoJitter,
+            0,
+        );
+        assert!(jitter_spectrum(&quiet, DataRate::from_gbps(2.5)).is_err());
+    }
+
+    #[test]
+    fn bin_frequencies() {
+        let wave = wave_with(&JitterBudget::new(), 1_024, 0);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        // 2.5 GHz sample rate over 512 bins.
+        assert!((spectrum.bin_hz() - 2.5e9 / 512.0).abs() < 1.0);
+        assert_eq!(spectrum.bin_frequency(0).as_hz(), 1); // clamped DC
+        let f10 = spectrum.bin_frequency(10).as_hz() as f64;
+        assert!((f10 - 10.0 * spectrum.bin_hz()).abs() < 1.0);
+    }
+
+    #[test]
+    fn pj_model_sanity_via_spectrum_and_histogram() {
+        // The same PJ seen by the spectrum matches the PeriodicJitter
+        // model's bound.
+        let pj = PeriodicJitter::new(Duration::from_ps(4), Frequency::from_mhz(25), 0.0);
+        let budget = JitterBudget::new().with_model(pj);
+        let wave = wave_with(&budget, 4_096, 1);
+        let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
+        let (_, amp) = spectrum.dominant_tone(4.0).expect("tone");
+        assert!(amp <= 4.5, "spectral amplitude {amp} must respect the model bound");
+        // Sine rms = A/sqrt(2).
+        assert!((spectrum.tie_rms_ps() - 4.0 / 2f64.sqrt()).abs() < 0.5);
+    }
+}

@@ -1,0 +1,413 @@
+//! Closed-loop end-to-end runs: TX → Data Vortex → RX.
+//!
+//! The test bed's purpose: push framed packets through the optical switch
+//! and verify delivery, latency, and payload integrity under programmable
+//! signal conditions. This module wires the transmitter, the fabric
+//! simulator, and the receiver into one measurement.
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vortex::{DataVortex, Packet, VortexParams};
+
+use crate::frame::{PacketSlot, SlotTiming};
+use crate::optics::Photodetector;
+use crate::rx::Receiver;
+use crate::tx::Transmitter;
+use crate::{Result, TestbedError};
+
+/// Configuration of an end-to-end run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E2eConfig {
+    /// Number of packets to send.
+    pub packets: usize,
+    /// Fabric geometry.
+    pub fabric: VortexParams,
+    /// Optical "on" power per wavelength (µW).
+    pub p_on_uw: f64,
+    /// Laser extinction ratio (linear).
+    pub extinction_ratio: f64,
+    /// Receiver noise rms (mV).
+    pub rx_noise_mv: f64,
+    /// Optical loss per fabric hop (linear transmission factor per node
+    /// traversal, 1.0 = lossless). Every deflection adds a hop, so
+    /// congested routes arrive dimmer — the cascaded-loss budget real
+    /// Data Vortex hardware lives or dies by.
+    pub loss_per_hop: f64,
+    /// Seed for payload generation, fabric injection, and receiver noise.
+    pub seed: u64,
+}
+
+impl Default for E2eConfig {
+    /// 64 packets through the 8-node fabric at healthy optical power.
+    fn default() -> Self {
+        E2eConfig {
+            packets: 64,
+            fabric: VortexParams::eight_node(),
+            p_on_uw: 500.0,
+            extinction_ratio: 10.0,
+            rx_noise_mv: 4.0,
+            loss_per_hop: 0.97, // ~0.13 dB per node after SOA compensation
+            seed: 1,
+        }
+    }
+}
+
+/// Results of an end-to-end run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2eReport {
+    /// Packets offered to the transmitter.
+    pub sent: usize,
+    /// Packets delivered by the fabric and decoded.
+    pub delivered: usize,
+    /// Payload bits compared.
+    pub bits_compared: u64,
+    /// Payload bits in error after the full path.
+    pub bit_errors: u64,
+    /// Packets whose decoded routing address disagreed with the intent.
+    pub address_errors: usize,
+    /// Mean fabric latency in slot times.
+    pub mean_latency_slots: f64,
+    /// Mean fabric latency in nanoseconds (slots × 25.6 ns).
+    pub mean_latency_ns: f64,
+    /// Total deflections across delivered packets.
+    pub deflections: u64,
+}
+
+impl E2eReport {
+    /// Measured payload bit error ratio.
+    pub fn ber(&self) -> f64 {
+        if self.bits_compared == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits_compared as f64
+        }
+    }
+
+    /// Fraction of offered packets delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+impl fmt::Display for E2eReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} packets, BER {:.2e} ({} / {} bits), {} addr errors, latency {:.1} slots = {:.1} ns, {} deflections",
+            self.delivered,
+            self.sent,
+            self.ber(),
+            self.bit_errors,
+            self.bits_compared,
+            self.address_errors,
+            self.mean_latency_slots,
+            self.mean_latency_ns,
+            self.deflections
+        )
+    }
+}
+
+/// Runs packets end to end: frame → transmit (electrical + optical) →
+/// decode the header at the fabric input → route through the Data Vortex →
+/// re-transmit at the output → decode and compare payloads.
+///
+/// # Errors
+///
+/// Propagates transmitter boot, PECL, fabric, and receiver errors.
+pub fn run(config: &E2eConfig) -> Result<E2eReport> {
+    let timing = SlotTiming::paper();
+    let mut tx = Transmitter::new(timing)?;
+    let rx = Receiver::new(timing);
+    let detector = Photodetector::new(2.0, config.rx_noise_mv);
+    let mut fabric = DataVortex::new(config.fabric);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe2e);
+
+    let ports = config.fabric.heights();
+    if ports > 16 {
+        return Err(TestbedError::BadAddress { address: ports - 1, ports: 16 });
+    }
+
+    let mut sent_slots = Vec::with_capacity(config.packets);
+    let mut out: Vec<vortex::Delivered> = Vec::new();
+    let mut delivered = 0usize;
+    let mut bit_errors = 0u64;
+    let mut bits_compared = 0u64;
+    let mut address_errors = 0usize;
+    let mut deflections = 0u64;
+
+    for id in 0..config.packets {
+        let payload: [u32; 4] = core::array::from_fn(|_| rng.gen());
+        let dest = rng.gen_range(0..ports);
+        let slot = PacketSlot::new(timing, payload, dest as u8);
+        let sent = tx.transmit_slot(&slot, config.seed.wrapping_add(id as u64 * 131))?;
+
+        // Header decode at the fabric input (through the optics).
+        let link = sent.to_optical(config.p_on_uw, config.extinction_ratio);
+        let at_input =
+            rx.receive_optical(&sent, &link, &detector, config.seed ^ (id as u64) << 8)?;
+        let decoded_dest = u32::from(at_input.address) % ports.max(1);
+        if decoded_dest != dest {
+            address_errors += 1;
+        }
+
+        // Inject with the *decoded* address — a header bit error misroutes,
+        // exactly as it would in the real fabric.
+        let angle = (id as u32) % config.fabric.angles();
+        let _ = fabric.inject(Packet::new(id as u64, decoded_dest, 1), angle);
+        sent_slots.push((sent, dest, payload));
+        out.extend(fabric.step());
+    }
+
+    out.extend(fabric.run_until_drained(100_000));
+    for d in &out {
+        let (sent, _intended_dest, payload) = &sent_slots[d.packet.id() as usize];
+        deflections += u64::from(d.packet.deflections());
+        // Output-side decode of the same physical slot: the fabric is
+        // transparent at the payload wavelengths, but every hop costs
+        // optical power — deflected packets arrive dimmer.
+        let hops = d.packet.hops();
+        let transmission = config.loss_per_hop.powi(hops as i32).clamp(1e-6, 1.0);
+        let launch = (config.p_on_uw * transmission).max(1e-3);
+        let link = sent.to_optical(launch, config.extinction_ratio);
+        let got = rx.receive_optical(
+            sent,
+            &link,
+            &detector,
+            config.seed ^ 0xdead ^ d.packet.id(),
+        )?;
+        for (got_word, sent_word) in got.payload.iter().zip(payload) {
+            bit_errors += u64::from((got_word ^ sent_word).count_ones());
+            bits_compared += 32;
+        }
+        delivered += 1;
+    }
+
+    let stats = fabric.stats();
+    let mean_latency_slots = stats.latency.mean();
+    Ok(E2eReport {
+        sent: config.packets,
+        delivered,
+        bits_compared,
+        bit_errors,
+        address_errors,
+        mean_latency_slots,
+        mean_latency_ns: mean_latency_slots * timing.slot_duration().as_ns_f64(),
+        deflections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_delivers_everything_error_free() {
+        let report = run(&E2eConfig { packets: 32, ..E2eConfig::default() }).unwrap();
+        assert_eq!(report.sent, 32);
+        assert_eq!(report.delivered, 32);
+        assert_eq!(report.bit_errors, 0, "clean optics must be error-free");
+        assert_eq!(report.address_errors, 0);
+        assert_eq!(report.bits_compared, 32 * 128);
+        assert!(report.delivery_ratio() > 0.99);
+        assert_eq!(report.ber(), 0.0);
+        // Fabric latency: at least 3 slots through 3 cylinders.
+        assert!(report.mean_latency_slots >= 3.0);
+        assert!(report.mean_latency_ns >= 3.0 * 25.6);
+        let text = report.to_string();
+        assert!(text.contains("32/32"));
+    }
+
+    #[test]
+    fn starved_optics_create_bit_errors() {
+        let config = E2eConfig {
+            packets: 16,
+            p_on_uw: 3.0,
+            extinction_ratio: 1.3,
+            rx_noise_mv: 25.0,
+            seed: 5,
+            ..E2eConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert!(report.bit_errors > 0, "starved link must show errors: {report}");
+        assert!(report.ber() > 1e-4);
+    }
+
+    #[test]
+    fn latency_reported_in_both_units() {
+        let report = run(&E2eConfig { packets: 8, seed: 9, ..E2eConfig::default() }).unwrap();
+        let ratio = report.mean_latency_ns / report.mean_latency_slots;
+        assert!((ratio - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_fabric_rejected() {
+        let config = E2eConfig {
+            fabric: VortexParams::new(5, 8), // 32 ports > 4 header bits
+            ..E2eConfig::default()
+        };
+        assert!(matches!(run(&config), Err(TestbedError::BadAddress { .. })));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = E2eConfig { packets: 12, seed: 77, ..E2eConfig::default() };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+/// Streaming variant of [`run`]: the whole packet train is rendered as one
+/// continuous burst (dead time and all), the fabric is stepped
+/// slot-synchronously, and the receiver re-locks on every detected slot
+/// window — the test bed's actual operating mode.
+///
+/// # Errors
+///
+/// Propagates transmitter, stream-receiver, and fabric errors.
+pub fn run_stream(config: &E2eConfig) -> Result<E2eReport> {
+    use crate::burst::StreamReceiver;
+
+    let timing = SlotTiming::paper();
+    let mut tx = Transmitter::new(timing)?;
+    let stream_rx = StreamReceiver::new(timing);
+    let mut fabric = DataVortex::new(config.fabric);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57e8);
+
+    let ports = config.fabric.heights();
+    if ports > 16 {
+        return Err(TestbedError::BadAddress { address: ports - 1, ports: 16 });
+    }
+
+    // Build and transmit the whole train as one burst.
+    let payloads: Vec<[u32; 4]> = (0..config.packets).map(|_| core::array::from_fn(|_| rng.gen())).collect();
+    let dests: Vec<u32> = (0..config.packets).map(|_| rng.gen_range(0..ports)).collect();
+    let slots: Vec<PacketSlot> = payloads
+        .iter()
+        .zip(&dests)
+        .map(|(p, d)| PacketSlot::new(timing, *p, *d as u8))
+        .collect();
+    let stream = tx.transmit_stream(&slots, config.seed)?;
+
+    // Decode the burst at the fabric input: one ReceivedSlot per window.
+    let decoded = stream_rx.receive_stream(&stream)?;
+    let mut out: Vec<vortex::Delivered> = Vec::new();
+    let mut address_errors = 0usize;
+    for (i, slot) in decoded.iter().enumerate() {
+        let dest = u32::from(slot.address) % ports.max(1);
+        if dest != dests[i] {
+            address_errors += 1;
+        }
+        let angle = (i as u32) % config.fabric.angles();
+        let _ = fabric.inject(Packet::new(i as u64, dest, 1), angle);
+        out.extend(fabric.step());
+    }
+    out.extend(fabric.run_until_drained(100_000));
+
+    // Compare payloads of delivered packets against intent.
+    let mut bit_errors = 0u64;
+    let mut bits_compared = 0u64;
+    let mut deflections = 0u64;
+    for d in &out {
+        let i = d.packet.id() as usize;
+        deflections += u64::from(d.packet.deflections());
+        for (got_word, sent_word) in decoded[i].payload.iter().zip(&payloads[i]) {
+            bit_errors += u64::from((got_word ^ sent_word).count_ones());
+            bits_compared += 32;
+        }
+    }
+
+    let stats = fabric.stats();
+    let mean_latency_slots = stats.latency.mean();
+    Ok(E2eReport {
+        sent: config.packets,
+        delivered: out.len(),
+        bits_compared,
+        bit_errors,
+        address_errors,
+        mean_latency_slots,
+        mean_latency_ns: mean_latency_slots * timing.slot_duration().as_ns_f64(),
+        deflections,
+    })
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+
+    #[test]
+    fn stream_run_is_error_free_on_clean_hardware() {
+        let report = run_stream(&E2eConfig { packets: 24, ..E2eConfig::default() }).unwrap();
+        assert_eq!(report.sent, 24);
+        assert_eq!(report.delivered, 24, "{report}");
+        assert_eq!(report.bit_errors, 0);
+        assert_eq!(report.address_errors, 0);
+        assert!(report.mean_latency_slots >= 3.0);
+    }
+
+    #[test]
+    fn stream_and_per_slot_runs_agree_on_clean_hardware() {
+        let config = E2eConfig { packets: 16, seed: 8, ..E2eConfig::default() };
+        let per_slot = run(&config).unwrap();
+        let stream = run_stream(&config).unwrap();
+        assert_eq!(per_slot.bit_errors, 0);
+        assert_eq!(stream.bit_errors, 0);
+        assert_eq!(per_slot.delivered, stream.delivered);
+    }
+
+    #[test]
+    fn stream_rejects_oversized_fabric() {
+        let config = E2eConfig {
+            fabric: vortex::VortexParams::new(5, 8),
+            ..E2eConfig::default()
+        };
+        assert!(matches!(run_stream(&config), Err(TestbedError::BadAddress { .. })));
+    }
+
+    #[test]
+    fn stream_deterministic() {
+        let config = E2eConfig { packets: 10, seed: 21, ..E2eConfig::default() };
+        assert_eq!(run_stream(&config).unwrap(), run_stream(&config).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+
+    #[test]
+    fn hop_loss_couples_congestion_to_signal_quality() {
+        // With heavy per-hop loss and a marginal receiver, a congested run
+        // (hotspot-ish traffic creating deflections) shows more errors
+        // than a lossless fabric carrying the same packets.
+        let base = E2eConfig {
+            packets: 24,
+            p_on_uw: 40.0,
+            extinction_ratio: 3.0,
+            rx_noise_mv: 10.0,
+            seed: 13,
+            ..E2eConfig::default()
+        };
+        let lossless = run(&E2eConfig { loss_per_hop: 1.0, ..base }).unwrap();
+        let lossy = run(&E2eConfig { loss_per_hop: 0.55, ..base }).unwrap();
+        assert!(lossy.deflections > 0, "need deflections to see the effect");
+        assert!(
+            lossy.bit_errors > lossless.bit_errors,
+            "hop loss must cost bit errors: lossless {} vs lossy {}",
+            lossless.bit_errors,
+            lossy.bit_errors
+        );
+    }
+
+    #[test]
+    fn default_loss_is_benign_at_full_power() {
+        let report = run(&E2eConfig { packets: 16, seed: 2, ..E2eConfig::default() }).unwrap();
+        assert_eq!(report.bit_errors, 0, "{report}");
+    }
+}

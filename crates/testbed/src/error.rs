@@ -1,0 +1,125 @@
+//! Error type for Optical Test Bed operations.
+
+use core::fmt;
+
+/// Errors raised by the test-bed layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TestbedError {
+    /// A slot-timing configuration whose segments do not tile the slot.
+    BadSlotTiming {
+        /// Explanation of the inconsistency.
+        reason: &'static str,
+    },
+    /// The receiver could not lock to the source-synchronous clock.
+    ClockRecoveryFailed {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A routing address beyond the fabric's ports.
+    BadAddress {
+        /// The offending address.
+        address: u32,
+        /// Number of output ports.
+        ports: u32,
+    },
+    /// Error from the DLC layer.
+    Dlc(dlc::DlcError),
+    /// Error from the PECL layer.
+    Pecl(pecl::PeclError),
+    /// Error from the fabric.
+    Vortex(vortex::VortexError),
+    /// Error from signal analysis.
+    Signal(signal::SignalError),
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::BadSlotTiming { reason } => write!(f, "bad slot timing: {reason}"),
+            TestbedError::ClockRecoveryFailed { reason } => {
+                write!(f, "clock recovery failed: {reason}")
+            }
+            TestbedError::BadAddress { address, ports } => {
+                write!(f, "routing address {address} exceeds {ports} ports")
+            }
+            TestbedError::Dlc(e) => write!(f, "DLC error: {e}"),
+            TestbedError::Pecl(e) => write!(f, "PECL error: {e}"),
+            TestbedError::Vortex(e) => write!(f, "fabric error: {e}"),
+            TestbedError::Signal(e) => write!(f, "signal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TestbedError::Dlc(e) => Some(e),
+            TestbedError::Pecl(e) => Some(e),
+            TestbedError::Vortex(e) => Some(e),
+            TestbedError::Signal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dlc::DlcError> for TestbedError {
+    fn from(e: dlc::DlcError) -> Self {
+        TestbedError::Dlc(e)
+    }
+}
+
+impl From<pecl::PeclError> for TestbedError {
+    fn from(e: pecl::PeclError) -> Self {
+        TestbedError::Pecl(e)
+    }
+}
+
+impl From<vortex::VortexError> for TestbedError {
+    fn from(e: vortex::VortexError) -> Self {
+        TestbedError::Vortex(e)
+    }
+}
+
+impl From<signal::SignalError> for TestbedError {
+    fn from(e: signal::SignalError) -> Self {
+        TestbedError::Signal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = TestbedError::BadSlotTiming { reason: "segments exceed slot" };
+        assert!(e.to_string().contains("segments exceed slot"));
+        assert!(e.source().is_none());
+
+        let e = TestbedError::from(dlc::DlcError::NotConfigured);
+        assert!(e.to_string().contains("DLC error"));
+        assert!(e.source().is_some());
+
+        let e = TestbedError::from(pecl::PeclError::DacCodeOutOfRange { code: 9, codes: 8 });
+        assert!(e.to_string().contains("PECL error"));
+
+        let e = TestbedError::from(vortex::VortexError::EntryBlocked { angle: 0 });
+        assert!(e.to_string().contains("fabric error"));
+
+        let e = TestbedError::from(signal::SignalError::EmptyWaveform { context: "x" });
+        assert!(e.to_string().contains("signal error"));
+
+        let e = TestbedError::BadAddress { address: 9, ports: 8 };
+        assert!(e.to_string().contains("9"));
+        let e = TestbedError::ClockRecoveryFailed { reason: "no edges" };
+        assert!(e.to_string().contains("no edges"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<TestbedError>();
+    }
+}

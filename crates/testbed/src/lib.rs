@@ -1,0 +1,55 @@
+//! # gigatest-testbed — the Optical Test Bed application
+//!
+//! The first of the paper's two systems (§3): a DLC + PECL transmitter and
+//! receiver that emulate "a parallel slice from a microprocessor-to-memory
+//! communication channel" to exercise a Data Vortex optical packet switch.
+//!
+//! * [`frame`] — the Fig. 4 packet-slot structure: a 25.6 ns slot of 64
+//!   400 ps bit periods (dead time, guard bands, pre/post clocks, a 32-bit
+//!   valid-data window), a source-synchronous clock, a frame bit, and four
+//!   header bits carrying the routing address.
+//! * [`optics`] — E/O and O/E conversion: laser drivers with finite
+//!   extinction ratio, WDM combining, receiver noise.
+//! * [`tx`] / [`rx`] — the transmitter that serializes DLC patterns through
+//!   the calibrated PECL chain, and the source-synchronous receiver that
+//!   recovers the parallel word.
+//! * [`e2e`] — closed-loop runs: packets through TX → Data Vortex → RX with
+//!   bit-error accounting.
+//! * [`scaling`] — the paper's stated end-goal arithmetic: ≥64-bit words at
+//!   10 Gbps per wavelength for ~Tb/s aggregate.
+//!
+//! ## Example
+//!
+//! ```
+//! use testbed::frame::{PacketSlot, SlotTiming};
+//!
+//! let timing = SlotTiming::paper();
+//! let slot = PacketSlot::new(timing, [0xDEAD_BEEF, 0x0123_4567, 0x89AB_CDEF, 0x5555_AAAA], 0b0101);
+//! let channels = slot.render_bits();
+//! assert_eq!(channels.clock.len(), 64);
+//! assert_eq!(channels.payload[0].len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod e2e;
+mod error;
+pub mod frame;
+pub mod optics;
+pub mod protocol;
+pub mod rx;
+pub mod scaling;
+pub mod tx;
+
+pub use burst::{StreamReceiver, StreamTransmission};
+pub use e2e::{E2eConfig, E2eReport};
+pub use error::TestbedError;
+pub use frame::{PacketSlot, SlotChannels, SlotTiming};
+pub use optics::{OpticalSignal, Photodetector, WdmLink};
+pub use rx::{Receiver, ReceivedSlot};
+pub use tx::{TransmittedSlot, Transmitter};
+
+/// Convenient result alias for test-bed operations.
+pub type Result<T> = std::result::Result<T, TestbedError>;

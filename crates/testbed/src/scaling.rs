@@ -1,0 +1,165 @@
+//! The paper's end-application scaling study.
+//!
+//! §1: "The end-application will require extending the word width to at
+//! least 64 bits, and increasing channel data rates to 10 Gbps at each
+//! wavelength, so that the aggregate data rate will be of the order of a
+//! Terabit-per-second." This module does that arithmetic honestly —
+//! including the framing efficiency of the Fig. 4 slot structure — and
+//! checks what the DLC + PECL architecture needs to supply it.
+
+use core::fmt;
+
+use pstime::DataRate;
+
+use crate::frame::SlotTiming;
+
+/// One configuration point of the scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingPoint {
+    /// Parallel word width (wavelength channels carrying payload).
+    pub word_width: u32,
+    /// Serial rate per wavelength.
+    pub rate_per_lambda: DataRate,
+}
+
+impl ScalingPoint {
+    /// The paper's demonstrated test bed: 4-bit word at 2.5 Gbps.
+    pub fn demonstrated() -> Self {
+        ScalingPoint { word_width: 4, rate_per_lambda: DataRate::from_gbps(2.5) }
+    }
+
+    /// The paper's stated end goal: ≥64-bit word at 10 Gbps per λ.
+    pub fn end_goal() -> Self {
+        ScalingPoint { word_width: 64, rate_per_lambda: DataRate::from_gbps(10.0) }
+    }
+
+    /// Raw aggregate rate: `word_width × rate_per_lambda`.
+    pub fn aggregate(&self) -> DataRate {
+        self.rate_per_lambda.aggregate(u64::from(self.word_width))
+    }
+
+    /// Payload-efficient aggregate after Fig. 4 framing: only
+    /// `data_bits / slot_bits` of each slot carries payload.
+    pub fn effective(&self, timing: &SlotTiming) -> DataRate {
+        let num = self.aggregate().as_bps() * timing.data_bits as u64;
+        DataRate::from_bps((num / timing.slot_bits as u64).max(1))
+    }
+
+    /// Number of FPGA I/O pins needed to feed the serializers at
+    /// `lane_rate_mbps` per pin (the DLC-side feasibility check).
+    pub fn fpga_pins_needed(&self, lane_rate_mbps: u64) -> u64 {
+        let lane = DataRate::from_mbps(lane_rate_mbps);
+        let per_lambda_lanes = self.rate_per_lambda.as_bps().div_ceil(lane.as_bps());
+        per_lambda_lanes * u64::from(self.word_width)
+    }
+
+    /// Mux fan-in per wavelength at a given FPGA lane rate.
+    pub fn mux_ways(&self, lane_rate_mbps: u64) -> u64 {
+        self.rate_per_lambda
+            .as_bps()
+            .div_ceil(DataRate::from_mbps(lane_rate_mbps).as_bps())
+            .next_power_of_two()
+    }
+}
+
+impl fmt::Display for ScalingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} λ × {} = {}",
+            self.word_width,
+            self.rate_per_lambda,
+            self.aggregate()
+        )
+    }
+}
+
+/// Produces the scaling table from the demonstrated system to the stated
+/// end goal: word width doubling from 4 to `max_width`, per-λ rate stepping
+/// 2.5 → 10 Gbps.
+pub fn scaling_table(max_width: u32) -> Vec<ScalingPoint> {
+    let mut rows = Vec::new();
+    let mut width = 4u32;
+    while width <= max_width {
+        for gbps in [2.5, 5.0, 10.0] {
+            rows.push(ScalingPoint {
+                word_width: width,
+                rate_per_lambda: DataRate::from_gbps(gbps),
+            });
+        }
+        width *= 2;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demonstrated_system_numbers() {
+        let p = ScalingPoint::demonstrated();
+        assert_eq!(p.aggregate(), DataRate::from_gbps(10.0));
+        // With Fig. 4 framing only half the slot carries payload.
+        let eff = p.effective(&SlotTiming::paper());
+        assert_eq!(eff, DataRate::from_gbps(5.0));
+    }
+
+    #[test]
+    fn end_goal_is_order_terabit() {
+        let p = ScalingPoint::end_goal();
+        let aggregate = p.aggregate().as_gbps();
+        // 64 x 10 Gbps = 640 Gbps: "of the order of a Terabit-per-second".
+        assert!((aggregate - 640.0).abs() < 1e-6);
+        assert!(aggregate > 100.0 && aggregate < 10_000.0);
+        assert!(p.to_string().contains("64"));
+    }
+
+    #[test]
+    fn fpga_feasibility() {
+        // Demonstrated: 2.5 Gbps per λ from 400 Mbps pins = 8 lanes/λ,
+        // 4 λ -> 32 pins. Well within the DLC's ~200 I/O.
+        let p = ScalingPoint::demonstrated();
+        assert_eq!(p.mux_ways(400), 8);
+        assert_eq!(p.fpga_pins_needed(400), 28); // ceil(2.5G/400M)=7 lanes x 4
+        // End goal: 10 Gbps per λ needs 25 lanes -> 32:1 mux, 64 λ
+        // -> 1600 pins: more than one DLC, which is why the paper
+        // envisions replication.
+        let goal = ScalingPoint::end_goal();
+        assert_eq!(goal.mux_ways(400), 32);
+        assert!(goal.fpga_pins_needed(400) > 200);
+    }
+
+    #[test]
+    fn scaling_table_shape() {
+        let rows = scaling_table(64);
+        // Widths 4, 8, 16, 32, 64 x 3 rates.
+        assert_eq!(rows.len(), 15);
+        assert_eq!(rows[0], ScalingPoint::demonstrated().clone_with_rate(2.5));
+        let last = rows.last().unwrap();
+        assert_eq!(last.word_width, 64);
+        assert_eq!(last.rate_per_lambda, DataRate::from_gbps(10.0));
+        // Monotone aggregate within each width group.
+        for w in rows.chunks(3) {
+            assert!(w[0].aggregate() < w[1].aggregate());
+            assert!(w[1].aggregate() < w[2].aggregate());
+        }
+    }
+
+    impl ScalingPoint {
+        fn clone_with_rate(mut self, gbps: f64) -> Self {
+            self.rate_per_lambda = DataRate::from_gbps(gbps);
+            self
+        }
+    }
+
+    #[test]
+    fn framing_efficiency_is_exactly_half_for_paper_timing() {
+        let t = SlotTiming::paper();
+        for p in scaling_table(16) {
+            let eff = p.effective(&t).as_bps() as f64;
+            let agg = p.aggregate().as_bps() as f64;
+            assert!((eff / agg - 0.5).abs() < 1e-9);
+        }
+    }
+}

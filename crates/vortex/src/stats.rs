@@ -1,0 +1,184 @@
+//! Fabric performance statistics.
+
+use core::fmt;
+
+/// Latency accumulator (in slot times).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyStats {
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats { count: 0, total: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one delivery latency (slots).
+    pub fn record(&mut self, slots: u64) {
+        self.count += 1;
+        self.total += slots;
+        self.min = self.min.min(slots);
+        self.max = self.max.max(slots);
+    }
+
+    /// Number of recorded deliveries.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (slots); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    pub fn min(&self) -> u64 {
+        assert!(self.count > 0, "min of empty LatencyStats");
+        self.min
+    }
+
+    /// Maximum latency (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "no deliveries")
+        } else {
+            write!(
+                f,
+                "{} delivered, latency {:.2} slots mean ({}..{})",
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+/// Aggregate fabric statistics over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FabricStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered to their destination height.
+    pub delivered: u64,
+    /// Injections refused because the entry node was occupied.
+    pub injection_blocked: u64,
+    /// Total deflection hops across all packets.
+    pub total_deflections: u64,
+    /// Slots simulated.
+    pub slots: u64,
+    /// Delivery latency distribution.
+    pub latency: LatencyStats,
+}
+
+impl FabricStats {
+    /// Fraction of injected packets delivered so far.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+
+    /// Mean deflections per delivered packet.
+    pub fn mean_deflections(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_deflections as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered packets per slot (aggregate throughput).
+    pub fn throughput(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.slots as f64
+        }
+    }
+}
+
+impl fmt::Display for FabricStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {}, delivered {} ({:.1}%), blocked {}, {:.2} deflections/pkt, {:.3} pkt/slot; {}",
+            self.injected,
+            self.delivered,
+            100.0 * self.delivery_ratio(),
+            self.injection_blocked,
+            self.mean_deflections(),
+            self.throughput(),
+            self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accumulation() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.max(), 0);
+        l.record(4);
+        l.record(8);
+        l.record(6);
+        assert_eq!(l.count(), 3);
+        assert!((l.mean() - 6.0).abs() < 1e-12);
+        assert_eq!(l.min(), 4);
+        assert_eq!(l.max(), 8);
+        assert!(l.to_string().contains("3 delivered"));
+        assert_eq!(LatencyStats::new().to_string(), "no deliveries");
+    }
+
+    #[test]
+    #[should_panic(expected = "min of empty")]
+    fn empty_min_panics() {
+        let _ = LatencyStats::new().min();
+    }
+
+    #[test]
+    fn fabric_ratios() {
+        let mut s = FabricStats::default();
+        assert_eq!(s.delivery_ratio(), 0.0);
+        assert_eq!(s.mean_deflections(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        s.injected = 10;
+        s.delivered = 8;
+        s.total_deflections = 16;
+        s.slots = 4;
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.mean_deflections() - 2.0).abs() < 1e-12);
+        assert!((s.throughput() - 2.0).abs() < 1e-12);
+        assert!(s.to_string().contains("80.0%"));
+    }
+}

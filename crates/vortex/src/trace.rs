@@ -1,0 +1,272 @@
+//! Occupancy tracing and fairness analysis.
+//!
+//! Virtual buffering means blocked packets *live in the fabric*: cylinder
+//! occupancy is the Data Vortex's queue depth, and deflection routing can
+//! in principle starve some inputs. These are the two questions a switch
+//! evaluation asks beyond raw throughput, so the tracer records both:
+//! per-cylinder occupancy over time, and per-input-angle delivery
+//! statistics with Jain's fairness index.
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fabric::DataVortex;
+use crate::packet::Packet;
+use crate::stats::LatencyStats;
+use crate::topology::VortexParams;
+use crate::traffic::Pattern;
+
+/// Per-input-angle accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AngleStats {
+    /// Packets injected at this angle.
+    pub injected: u64,
+    /// Packets from this angle delivered.
+    pub delivered: u64,
+    /// Latency of this angle's deliveries.
+    pub latency: LatencyStats,
+}
+
+/// The trace of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Mean occupancy per cylinder over the measured slots.
+    pub mean_occupancy: Vec<f64>,
+    /// Peak occupancy per cylinder.
+    pub peak_occupancy: Vec<usize>,
+    /// Per-input-angle statistics.
+    pub angles: Vec<AngleStats>,
+    /// Slots measured.
+    pub slots: u64,
+}
+
+impl TraceReport {
+    /// Jain's fairness index over per-angle throughput:
+    /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair, `1/n` = one angle hogs
+    /// everything.
+    pub fn fairness_index(&self) -> f64 {
+        let xs: Vec<f64> = self.angles.iter().map(|a| a.delivered as f64).collect();
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (xs.len() as f64 * sum_sq)
+    }
+
+    /// The most loaded cylinder's mean occupancy.
+    pub fn hottest_cylinder(&self) -> (usize, f64) {
+        self.mean_occupancy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, v)| (i, *v))
+            .unwrap_or((0, 0.0))
+    }
+
+    /// Worst latency spread between angles (max mean − min mean).
+    pub fn latency_spread(&self) -> f64 {
+        let means: Vec<f64> = self
+            .angles
+            .iter()
+            .filter(|a| a.latency.count() > 0)
+            .map(|a| a.latency.mean())
+            .collect();
+        if means.is_empty() {
+            return 0.0;
+        }
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace over {} slots:", self.slots)?;
+        for (c, (mean, peak)) in
+            self.mean_occupancy.iter().zip(&self.peak_occupancy).enumerate()
+        {
+            writeln!(f, "  cylinder {c}: mean occupancy {mean:.2}, peak {peak}")?;
+        }
+        write!(
+            f,
+            "  fairness {:.3}, latency spread {:.2} slots",
+            self.fairness_index(),
+            self.latency_spread()
+        )
+    }
+}
+
+/// Runs traffic while tracing occupancy and per-angle fairness.
+///
+/// Same injection model as [`crate::traffic::run_load`], with full
+/// accounting.
+///
+/// # Panics
+///
+/// Panics if `offered_load` is outside `[0, 1]`.
+pub fn run_traced(
+    params: VortexParams,
+    pattern: Pattern,
+    offered_load: f64,
+    measure_slots: u64,
+    seed: u64,
+) -> TraceReport {
+    assert!((0.0..=1.0).contains(&offered_load), "offered load must be in [0, 1]");
+    let mut dv = DataVortex::new(params);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ace);
+    let mut angles = vec![AngleStats::default(); params.angles() as usize];
+    let mut origin: Vec<u32> = Vec::new(); // packet id -> injection angle
+    let mut mean = vec![0.0f64; params.cylinders() as usize];
+    let mut peak = vec![0usize; params.cylinders() as usize];
+
+    let account = |delivered: &[crate::fabric::Delivered],
+                       angles: &mut Vec<AngleStats>,
+                       origin: &Vec<u32>| {
+        for d in delivered {
+            let a = origin[d.packet.id() as usize] as usize;
+            angles[a].delivered += 1;
+            angles[a].latency.record(d.latency());
+        }
+    };
+
+    for _ in 0..measure_slots {
+        for a in 0..params.angles() {
+            if rng.gen::<f64>() >= offered_load {
+                continue;
+            }
+            let dest = match pattern {
+                Pattern::UniformRandom => rng.gen_range(0..params.heights()),
+                Pattern::Permutation { offset } => {
+                    (a * params.heights() / params.angles() + offset) % params.heights()
+                }
+                Pattern::Hotspot { target, fraction } => {
+                    if rng.gen::<f64>() < fraction {
+                        target
+                    } else {
+                        rng.gen_range(0..params.heights())
+                    }
+                }
+            };
+            let id = origin.len() as u64;
+            if dv.inject(Packet::new(id, dest, (a % 8) as u8), a).is_ok() {
+                angles[a as usize].injected += 1;
+            }
+            origin.push(a);
+        }
+        for c in 0..params.cylinders() {
+            let occ = dv.cylinder_occupancy(c);
+            mean[c as usize] += occ as f64;
+            peak[c as usize] = peak[c as usize].max(occ);
+        }
+        let out = dv.step();
+        account(&out, &mut angles, &origin);
+    }
+    // Drain.
+    loop {
+        let out = dv.step();
+        account(&out, &mut angles, &origin);
+        if dv.in_flight() == 0 {
+            break;
+        }
+    }
+
+    for m in &mut mean {
+        *m /= measure_slots.max(1) as f64;
+    }
+    TraceReport { mean_occupancy: mean, peak_occupancy: peak, angles, slots: measure_slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_is_fair() {
+        let report = run_traced(
+            VortexParams::eight_node(),
+            Pattern::UniformRandom,
+            0.5,
+            500,
+            3,
+        );
+        assert_eq!(report.angles.len(), 4);
+        let fairness = report.fairness_index();
+        assert!(fairness > 0.97, "uniform traffic unfair: {fairness}");
+        // Everything injected was delivered.
+        let injected: u64 = report.angles.iter().map(|a| a.injected).sum();
+        let delivered: u64 = report.angles.iter().map(|a| a.delivered).sum();
+        assert_eq!(injected, delivered);
+        assert!(injected > 500);
+        assert!(report.latency_spread() < 1.0, "spread {}", report.latency_spread());
+    }
+
+    #[test]
+    fn occupancy_grows_with_load() {
+        let light = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.1, 400, 5);
+        let heavy = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.9, 400, 5);
+        let light_total: f64 = light.mean_occupancy.iter().sum();
+        let heavy_total: f64 = heavy.mean_occupancy.iter().sum();
+        assert!(
+            heavy_total > light_total * 3.0,
+            "occupancy should scale with load: {light_total} vs {heavy_total}"
+        );
+        assert!(heavy.peak_occupancy.iter().any(|p| *p > 4));
+    }
+
+    #[test]
+    fn hotspot_backpressure_fills_the_fabric() {
+        // A saturated output port backpressures through deflections: the
+        // whole fabric fills (outermost cylinders worst, since blocked
+        // descents pile upstream and injections keep arriving), fairness
+        // and latency spread degrade versus uniform traffic.
+        let uniform =
+            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.6, 400, 7);
+        let hotspot = run_traced(
+            VortexParams::eight_node(),
+            Pattern::Hotspot { target: 2, fraction: 0.9 },
+            0.6,
+            400,
+            7,
+        );
+        let occ_uniform: f64 = uniform.mean_occupancy.iter().sum();
+        let occ_hotspot: f64 = hotspot.mean_occupancy.iter().sum();
+        assert!(
+            occ_hotspot > occ_uniform * 3.0,
+            "hotspot should congest the fabric: {occ_uniform} vs {occ_hotspot}"
+        );
+        // Backpressure accumulates upstream: outermost cylinder hottest.
+        assert_eq!(hotspot.hottest_cylinder().0, 0, "{hotspot}");
+        assert!(hotspot.fairness_index() < uniform.fairness_index());
+        assert!(hotspot.latency_spread() > uniform.latency_spread());
+    }
+
+    #[test]
+    fn report_renders() {
+        let report =
+            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.3, 100, 1);
+        let text = report.to_string();
+        assert!(text.contains("cylinder 0"));
+        assert!(text.contains("fairness"));
+        assert_eq!(report.slots, 100);
+    }
+
+    #[test]
+    fn zero_load_trace() {
+        let report =
+            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.0, 50, 1);
+        assert_eq!(report.fairness_index(), 1.0);
+        assert_eq!(report.latency_spread(), 0.0);
+        assert!(report.mean_occupancy.iter().all(|m| *m == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.4, 200, 9);
+        let b = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.4, 200, 9);
+        assert_eq!(a, b);
+    }
+}

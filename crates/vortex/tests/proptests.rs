@@ -1,0 +1,108 @@
+//! Property-based tests for the Data Vortex fabric: conservation, delivery,
+//! and latency invariants under arbitrary traffic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vortex::{DataVortex, Packet, VortexParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_packet_is_delivered_to_its_destination(
+        dests in vec(0u32..8, 1..24),
+    ) {
+        let params = VortexParams::eight_node();
+        let mut dv = DataVortex::new(params);
+        let mut accepted = Vec::new();
+        let mut out = Vec::new();
+        for (id, dest) in dests.iter().enumerate() {
+            let angle = (id as u32) % params.angles();
+            if dv.inject(Packet::new(id as u64, *dest, 0), angle).is_ok() {
+                accepted.push((id as u64, *dest));
+            }
+            out.extend(dv.step());
+        }
+        out.extend(dv.run_until_drained(10_000));
+        prop_assert_eq!(dv.in_flight(), 0, "fabric must drain");
+        out.sort_by_key(|d| d.packet.id());
+        // Conservation + correct routing.
+        prop_assert_eq!(out.len(), accepted.len());
+        for d in &out {
+            let (_, dest) = accepted.iter().find(|(id, _)| *id == d.packet.id()).unwrap();
+            prop_assert_eq!(d.packet.dest_height(), *dest);
+        }
+    }
+
+    #[test]
+    fn latency_bounds(entry in 0u32..8, dest in 0u32..8) {
+        // A lone packet: latency = cylinders + (bits that mismatch at the
+        // moment each cylinder is reached). Bounded by 2x cylinders.
+        let params = VortexParams::eight_node();
+        let mut dv = DataVortex::new(params);
+        dv.try_inject_at(Packet::new(0, dest, 0), 0, entry).unwrap();
+        let out = dv.run_until_drained(100);
+        prop_assert_eq!(out.len(), 1);
+        let latency = out[0].latency();
+        prop_assert!(latency >= u64::from(params.cylinders()));
+        prop_assert!(latency <= 2 * u64::from(params.cylinders()));
+        // Deflections for a lone packet = mismatched bits only.
+        let mismatches = (entry ^ dest).count_ones();
+        prop_assert_eq!(out[0].packet.deflections(), mismatches);
+    }
+
+    #[test]
+    fn no_two_packets_exit_one_port_in_the_same_slot(
+        dests in vec(0u32..4, 4..20),
+    ) {
+        // Funnel traffic into few ports to force output contention.
+        let params = VortexParams::eight_node();
+        let mut dv = DataVortex::new(params);
+        for (id, dest) in dests.iter().enumerate() {
+            let _ = dv.inject(Packet::new(id as u64, *dest, 0), (id as u32) % 4);
+        }
+        let out = dv.run_until_drained(10_000);
+        let mut seen = std::collections::HashSet::new();
+        for d in &out {
+            prop_assert!(
+                seen.insert((d.packet.dest_height(), d.delivered_slot)),
+                "two packets left port {} in slot {}",
+                d.packet.dest_height(),
+                d.delivered_slot
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(dests in vec(0u32..8, 1..40), load_angles in 1u32..4) {
+        let params = VortexParams::eight_node();
+        let mut dv = DataVortex::new(params);
+        let mut injected = 0u64;
+        for (id, dest) in dests.iter().enumerate() {
+            if dv.inject(Packet::new(id as u64, *dest, 0), (id as u32) % load_angles).is_ok() {
+                injected += 1;
+            }
+            dv.step();
+        }
+        dv.run_until_drained(10_000);
+        let stats = dv.stats();
+        prop_assert_eq!(stats.injected, injected);
+        prop_assert_eq!(stats.delivered, injected);
+        prop_assert_eq!(stats.latency.count(), injected);
+        prop_assert!((stats.delivery_ratio() - 1.0).abs() < 1e-12);
+        if injected > 0 {
+            prop_assert!(stats.latency.min() >= u64::from(params.cylinders()));
+        }
+    }
+
+    #[test]
+    fn bigger_fabrics_also_route(cyl in 2u32..5, dest_seed in any::<u64>()) {
+        let params = VortexParams::new(cyl, 4);
+        let dest = (dest_seed % u64::from(params.heights())) as u32;
+        let mut dv = DataVortex::new(params);
+        dv.inject(Packet::new(0, dest, 0), 0).unwrap();
+        let out = dv.run_until_drained(1_000);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0].packet.dest_height(), dest);
+    }
+}

@@ -1,0 +1,67 @@
+//! The Optical Test Bed scenario (paper §3): framed packets through the
+//! Data Vortex optical switch, end to end.
+//!
+//! ```text
+//! cargo run --release -p gigatest-ate --example optical_testbed
+//! ```
+//!
+//! Builds Fig. 4 packet slots (64 × 400 ps with guard bands, pre/post
+//! clocks, frame bit and header), transmits them over ten wavelengths,
+//! routes them through an 8-node Data Vortex, and decodes the payloads at
+//! the output ports — first with healthy optics, then with the launch
+//! power starved to show the test bed catching a sick link.
+
+use testbed::e2e::{run, E2eConfig};
+use testbed::frame::{PacketSlot, SlotTiming};
+use testbed::{Receiver, Transmitter};
+use vortex::VortexParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Optical Test Bed: DLC + PECL driving a Data Vortex ==\n");
+
+    // The Fig. 4 slot structure, exactly.
+    let timing = SlotTiming::paper();
+    println!(
+        "slot {} = dead {} + guard {} + window {} + guard {}",
+        timing.slot_duration(),
+        timing.dead_duration(),
+        timing.guard_duration(),
+        timing.window_duration(),
+        timing.guard_duration(),
+    );
+
+    // One slot, by hand: transmit and decode it in electrical loopback.
+    let mut tx = Transmitter::new(timing)?;
+    let rx = Receiver::new(timing);
+    let slot = PacketSlot::new(timing, [0xCAFE_F00D, 0x0123_4567, 0xDEAD_BEEF, 0x8BAD_F00D], 0b0101);
+    let sent = tx.transmit_slot(&slot, 7)?;
+    let got = rx.receive(&sent)?;
+    println!(
+        "\nloopback slot: payload {:08X?} address {:04b} frame_ok {}",
+        got.payload, got.address, got.frame_ok
+    );
+    assert_eq!(got.payload, slot.payload());
+
+    // Now the full path: TX -> optics -> Data Vortex -> RX, 64 packets.
+    let healthy = E2eConfig {
+        packets: 64,
+        fabric: VortexParams::eight_node(),
+        seed: 2005,
+        ..E2eConfig::default()
+    };
+    let report = run(&healthy)?;
+    println!("\nhealthy optics : {report}");
+
+    // Starve the lasers: the same test bed now shows the failure.
+    let starved = E2eConfig {
+        p_on_uw: 3.0,
+        extinction_ratio: 1.3,
+        rx_noise_mv: 25.0,
+        ..healthy
+    };
+    let report = run(&starved)?;
+    println!("starved optics : {report}");
+    println!("\nThe test bed exists exactly for this: quantifying the Data");
+    println!("Vortex's signal-condition margins with programmable stimuli.");
+    Ok(())
+}
