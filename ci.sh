@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Hermetic CI: every step runs with --offline — the workspace has no
+# third-party dependencies, so a fresh checkout must build, test, and lint
+# with zero network access. (The criterion benches live outside the
+# workspace in crates/bench-criterion and are exercised separately, where a
+# registry is available.)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings
+cargo fmt --check

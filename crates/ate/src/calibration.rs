@@ -59,16 +59,10 @@ pub fn deskew_channels(
     let shape = EdgeShape::from_rise_2080_ps(72.0);
     let levels = LevelSet::pecl();
     let reference_bits = BitStream::from_str_bits("0011");
-    let base = DigitalWaveform::from_bits(
-        &reference_bits,
-        rate,
-        &signal::jitter::NoJitter,
-        0,
-    );
+    let base = DigitalWaveform::from_bits(&reference_bits, rate, &signal::jitter::NoJitter, 0);
 
     // Step 1: measure raw skew of every leg against leg 0.
-    let leg_wave =
-        |leg: usize| AnalogWaveform::new(fanout.distribute(&base, leg), levels, shape);
+    let leg_wave = |leg: usize| AnalogWaveform::new(fanout.distribute(&base, leg), levels, shape);
     let reference = leg_wave(0);
     let near = Instant::from_ps(800); // the 0->1 edge of "0011" at 2.5 Gbps
     let mut skews = Vec::with_capacity(n);
@@ -154,11 +148,7 @@ pub fn placement_audit(range: Duration, step: Duration) -> Result<Vec<PlacementP
 
 /// Worst-case absolute placement error in an audit.
 pub fn worst_placement_error(points: &[PlacementPoint]) -> Duration {
-    points
-        .iter()
-        .map(|p| p.error().abs())
-        .max()
-        .unwrap_or(Duration::ZERO)
+    points.iter().map(|p| p.error().abs()).max().unwrap_or(Duration::ZERO)
 }
 
 #[cfg(test)]
@@ -187,8 +177,8 @@ mod tests {
     #[test]
     fn deskew_fails_an_unreachable_target() {
         let fanout = ClockFanout::new(4, Duration::from_ps(1));
-        let err = deskew_channels(&fanout, DataRate::from_gbps(2.5), Duration::from_fs(100))
-            .unwrap_err();
+        let err =
+            deskew_channels(&fanout, DataRate::from_gbps(2.5), Duration::from_fs(100)).unwrap_err();
         assert!(matches!(err, AteError::CalibrationFailed { .. }));
     }
 
@@ -210,8 +200,7 @@ mod tests {
     fn placement_audit_bounds_error() {
         // Sweep the full 10 ns range in 137 ps requests (odd step exercises
         // quantization).
-        let points =
-            placement_audit(Duration::from_ns(10), Duration::from_ps(137)).unwrap();
+        let points = placement_audit(Duration::from_ns(10), Duration::from_ps(137)).unwrap();
         assert!(points.len() > 70);
         let worst = worst_placement_error(&points);
         // Half a 10 ps step + 2 ps INL = 7 ps, far inside ±25 ps.

@@ -103,13 +103,7 @@ impl BillOfMaterials {
 impl fmt::Display for BillOfMaterials {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for line in &self.lines {
-            writeln!(
-                f,
-                "{:>3} x {:<36} ${:>8.2}",
-                line.quantity,
-                line.part,
-                line.extended()
-            )?;
+            writeln!(f, "{:>3} x {:<36} ${:>8.2}", line.quantity, line.part, line.extended())?;
         }
         write!(f, "      {:<36} ${:>8.2}", "TOTAL", self.total())
     }

@@ -249,13 +249,7 @@ pub fn from_wafer(report: &minitester::WaferReport, min_eye_ui: f64) -> Datalog 
             Some(0.0),
         ));
         if let Some(eye) = record.eye_ui {
-            device.push(TestRecord::parametric(
-                "loopback_eye",
-                eye,
-                "UI",
-                Some(min_eye_ui),
-                None,
-            ));
+            device.push(TestRecord::parametric("loopback_eye", eye, "UI", Some(min_eye_ui), None));
         }
         datalog.push(device);
     }

@@ -52,7 +52,7 @@ pub mod textfmt;
 pub use error::AteError;
 pub use measurement::{Comparison, PaperValue, Report};
 pub use program::{LevelPlan, PatternPlan, TestProgram, TimingPlan};
-pub use system::{ProgramResult, SystemKind, TestSystem};
+pub use system::{ProgramResult, SystemKind, TestSystem, PRBS_LANE_STREAM};
 
 // Re-export the subsystem crates so downstream users need a single
 // dependency.

@@ -23,10 +23,7 @@ impl PaperValue {
     ///
     /// Panics if the tolerance is negative or not finite.
     pub fn new(value: f64, rel_tolerance: f64) -> Self {
-        assert!(
-            rel_tolerance.is_finite() && rel_tolerance >= 0.0,
-            "tolerance must be nonnegative"
-        );
+        assert!(rel_tolerance.is_finite() && rel_tolerance >= 0.0, "tolerance must be nonnegative");
         PaperValue { value, rel_tolerance }
     }
 }

@@ -2,10 +2,20 @@
 
 use pecl::SignalChain;
 use pstime::DataRate;
+use rng::{SeedTree, StreamId};
 use signal::{AnalogWaveform, BitStream, EyeDiagram};
 
 use crate::program::{PatternPlan, TestProgram};
 use crate::Result;
+
+/// Substream identity for per-lane PRBS generator seeds.
+pub const PRBS_LANE_STREAM: StreamId = StreamId::named("ate.pattern.prbs-lane");
+
+/// Master seed for pattern content. Pattern lanes are part of the *test
+/// program*, not the noise realization, so they derive from a fixed master
+/// rather than the per-run seed: every run of a program drives the same
+/// bits, as a real pattern memory would.
+const PATTERN_SEED: u64 = 0x1357;
 
 /// Which of the paper's two systems is instantiated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,11 +131,12 @@ impl TestSystem {
                     _ => 16,
                 };
                 let lane_rate = program.timing.rate.demux(lanes_n as u64);
+                let lane_tree = SeedTree::new(PATTERN_SEED).derive(PRBS_LANE_STREAM);
                 for ch in 0..lanes_n {
                     self.core.configure_channel(
                         ch,
                         dlc::PatternKind::Prbs15 {
-                            seed: 0x1357 ^ (ch as u32).wrapping_mul(0x2545_F491),
+                            seed: lane_tree.channel(ch as u64).seed() as u32,
                         },
                         lane_rate,
                     )?;
@@ -185,9 +196,8 @@ mod tests {
     fn testbed_system_reproduces_fig7() {
         let mut system = TestSystem::optical_testbed().unwrap();
         assert_eq!(system.kind(), SystemKind::OpticalTestbed);
-        let result = system
-            .run(&TestProgram::prbs_eye(DataRate::from_gbps(2.5), 4_096), 3)
-            .unwrap();
+        let result =
+            system.run(&TestProgram::prbs_eye(DataRate::from_gbps(2.5), 4_096), 3).unwrap();
         let opening = result.eye.opening_ui().value();
         assert!((opening - 0.88).abs() < 0.04, "opening {opening}");
         assert_eq!(result.driven_bits.len(), 4_096);
@@ -196,9 +206,8 @@ mod tests {
     #[test]
     fn minitester_system_reproduces_fig19() {
         let mut system = TestSystem::mini_tester().unwrap();
-        let result = system
-            .run(&TestProgram::prbs_eye(DataRate::from_gbps(5.0), 4_096), 5)
-            .unwrap();
+        let result =
+            system.run(&TestProgram::prbs_eye(DataRate::from_gbps(5.0), 4_096), 5).unwrap();
         let opening = result.eye.opening_ui().value();
         assert!((opening - 0.75).abs() < 0.05, "opening {opening}");
     }
@@ -208,21 +217,15 @@ mod tests {
         let mut system = TestSystem::optical_testbed().unwrap();
         let rate = DataRate::from_gbps(2.5);
         let predicted = system.predicted_opening(rate, 2_000).value();
-        let measured = system
-            .run(&TestProgram::prbs_eye(rate, 4_096), 7)
-            .unwrap()
-            .eye
-            .opening_ui()
-            .value();
+        let measured =
+            system.run(&TestProgram::prbs_eye(rate, 4_096), 7).unwrap().eye.opening_ui().value();
         assert!((predicted - measured).abs() < 0.05, "pred {predicted} vs meas {measured}");
     }
 
     #[test]
     fn clock_and_fixed_patterns() {
         let mut system = TestSystem::optical_testbed().unwrap();
-        let clock = system
-            .run(&TestProgram::clock(DataRate::from_gbps(1.25), 256), 0)
-            .unwrap();
+        let clock = system.run(&TestProgram::clock(DataRate::from_gbps(1.25), 256), 0).unwrap();
         assert_eq!(clock.driven_bits.transition_count(), 255);
         let fixed = system
             .run(

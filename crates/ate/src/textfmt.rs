@@ -65,9 +65,8 @@ pub fn from_text(text: &str) -> Result<TestProgram> {
         let key = parts.next().expect("nonempty line has a first token");
         match key {
             "pattern" => {
-                let kind = parts
-                    .next()
-                    .ok_or(AteError::BadProgram { reason: "pattern needs a kind" })?;
+                let kind =
+                    parts.next().ok_or(AteError::BadProgram { reason: "pattern needs a kind" })?;
                 let arg = parts
                     .next()
                     .ok_or(AteError::BadProgram { reason: "pattern needs an argument" })?;
@@ -133,25 +132,18 @@ pub fn from_text(text: &str) -> Result<TestProgram> {
             strobe_offset: strobe.unwrap_or(rate.unit_interval() / 2),
             launch_delay: launch,
         },
-        levels: LevelPlan {
-            drive,
-            compare_threshold: threshold.unwrap_or(drive.mid()),
-        },
+        levels: LevelPlan { drive, compare_threshold: threshold.unwrap_or(drive.mid()) },
     };
     program.validate()?;
     Ok(program)
 }
 
 fn parse_f64(token: Option<&str>, key: &'static str) -> Result<f64> {
-    token
-        .and_then(|t| t.parse().ok())
-        .ok_or(AteError::BadProgram { reason: key_err(key) })
+    token.and_then(|t| t.parse().ok()).ok_or(AteError::BadProgram { reason: key_err(key) })
 }
 
 fn parse_i32(token: Option<&str>, key: &'static str) -> Result<i32> {
-    token
-        .and_then(|t| t.parse().ok())
-        .ok_or(AteError::BadProgram { reason: key_err(key) })
+    token.and_then(|t| t.parse().ok()).ok_or(AteError::BadProgram { reason: key_err(key) })
 }
 
 fn key_err(key: &'static str) -> &'static str {
@@ -206,17 +198,15 @@ vol_mv -1700
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "\n# comment\npattern clock 64\n# another\nrate_gbps 1.0\n\nvoh_mv 0\nvol_mv -800\n";
+        let text =
+            "\n# comment\npattern clock 64\n# another\nrate_gbps 1.0\n\nvoh_mv 0\nvol_mv -800\n";
         assert!(from_text(text).is_ok());
     }
 
     #[test]
     fn unknown_keys_rejected() {
         let text = "pattern prbs 64\nrate_gbps 1.0\nvoh_mv 0\nvol_mv -800\nwibble 3\n";
-        assert!(matches!(
-            from_text(text),
-            Err(AteError::BadProgram { reason: "unknown key" })
-        ));
+        assert!(matches!(from_text(text), Err(AteError::BadProgram { reason: "unknown key" })));
     }
 
     #[test]

@@ -1,97 +1,148 @@
 //! Property-based tests for test programs, the text format, and the cost
 //! model.
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
 use ate::program::{LevelPlan, PatternPlan, TestProgram, TimingPlan};
 use ate::textfmt::{from_text, to_text};
-use proptest::prelude::*;
 use pstime::{DataRate, Duration, Millivolts};
+use rng::{Rng, SeedTree};
 use signal::{BitStream, LevelSet};
 
-fn arbitrary_program() -> impl Strategy<Value = TestProgram> {
-    let pattern = prop_oneof![
-        (64usize..8_192).prop_map(|n| PatternPlan::Prbs { n_bits: n }),
-        (2usize..512).prop_map(|n| PatternPlan::Clock { n_bits: n }),
-        proptest::collection::vec(any::<bool>(), 1..128)
-            .prop_map(|bits| PatternPlan::Fixed(BitStream::from(bits))),
-    ];
-    // Rates whose UI is exact in fs, drive levels strictly ordered.
-    (pattern, 1u64..50, 0i64..100, -1000i32..-800, -1800i32..-1600).prop_map(
-        |(pattern, rate_tenths, strobe_pct, voh, vol)| {
-            let rate = DataRate::from_bps(rate_tenths * 100_000_000);
-            let ui = rate.unit_interval();
-            let drive = LevelSet::new(Millivolts::new(voh), Millivolts::new(vol));
-            TestProgram {
-                pattern,
-                timing: TimingPlan {
-                    rate,
-                    strobe_offset: ui.mul_f64(strobe_pct as f64 / 101.0),
-                    launch_delay: Duration::from_ps(strobe_pct),
-                },
-                levels: LevelPlan { compare_threshold: drive.mid(), drive },
-            }
-        },
-    )
+const CASES: usize = 64;
+
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0xa7e).stream("ate.proptests").stream(label).rng(), CASES)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arbitrary_program(rng: &mut Rng) -> TestProgram {
+    let pattern = match rng.range_u32(0..3) {
+        0 => PatternPlan::Prbs { n_bits: rng.range_usize(64..8_192) },
+        1 => PatternPlan::Clock { n_bits: rng.range_usize(2..512) },
+        _ => {
+            let len = rng.range_usize(1..128);
+            PatternPlan::Fixed(BitStream::from_fn(len, |_| rng.bool()))
+        }
+    };
+    // Rates whose UI is exact in fs, drive levels strictly ordered.
+    let rate_tenths = rng.range_u64(1..50);
+    let strobe_pct = rng.range_i64(0..100);
+    let voh = rng.range_i32(-1000..-800);
+    let vol = rng.range_i32(-1800..-1600);
+    let rate = DataRate::from_bps(rate_tenths * 100_000_000);
+    let ui = rate.unit_interval();
+    let drive = LevelSet::new(Millivolts::new(voh), Millivolts::new(vol));
+    TestProgram {
+        pattern,
+        timing: TimingPlan {
+            rate,
+            strobe_offset: ui.mul_f64(strobe_pct as f64 / 101.0),
+            launch_delay: Duration::from_ps(strobe_pct),
+        },
+        levels: LevelPlan { compare_threshold: drive.mid(), drive },
+    }
+}
 
-    #[test]
-    fn valid_programs_round_trip_through_text(program in arbitrary_program()) {
-        prop_assume!(program.validate().is_ok());
+/// Random text over the same alphabet the old proptest regex used:
+/// `[a-z0-9_ .\n#-]{0,200}`.
+fn arbitrary_text(rng: &mut Rng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_ .\n#-";
+    let len = rng.range_usize(0..201);
+    (0..len).map(|_| ALPHABET[rng.range_usize(0..ALPHABET.len())] as char).collect()
+}
+
+#[test]
+fn valid_programs_round_trip_through_text() {
+    let (mut rng, n) = cases("text-round-trip");
+    for _ in 0..n {
+        let program = arbitrary_program(&mut rng);
+        if program.validate().is_err() {
+            continue;
+        }
         let text = to_text(&program);
         let back = from_text(&text).expect("serialized program must parse");
         // The strobe may round at the femtosecond level through the ps
         // float; everything else is exact.
-        prop_assert_eq!(&back.pattern, &program.pattern);
-        prop_assert_eq!(back.timing.rate, program.timing.rate);
-        prop_assert_eq!(back.levels.drive, program.levels.drive);
-        prop_assert_eq!(back.levels.compare_threshold, program.levels.compare_threshold);
-        prop_assert!(
+        assert_eq!(&back.pattern, &program.pattern);
+        assert_eq!(back.timing.rate, program.timing.rate);
+        assert_eq!(back.levels.drive, program.levels.drive);
+        assert_eq!(back.levels.compare_threshold, program.levels.compare_threshold);
+        assert!(
             (back.timing.strobe_offset - program.timing.strobe_offset).abs()
-                <= Duration::from_fs(500)
+                <= Duration::from_fs(500),
+            "strobe drift for {text}"
         );
-        prop_assert!(
+        assert!(
             (back.timing.launch_delay - program.timing.launch_delay).abs()
-                <= Duration::from_fs(500)
+                <= Duration::from_fs(500),
+            "launch drift for {text}"
         );
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(text in "[a-z0-9_ .\n#-]{0,200}") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let (mut rng, n) = cases("parser-no-panic");
+    for _ in 0..n {
+        let text = arbitrary_text(&mut rng);
         // Outcome may be Ok or Err; it must not panic.
         let _ = from_text(&text);
     }
+}
 
-    #[test]
-    fn validation_is_stable_under_round_trip(program in arbitrary_program()) {
-        prop_assume!(program.validate().is_ok());
+#[test]
+fn validation_is_stable_under_round_trip() {
+    let (mut rng, n) = cases("validation-stable");
+    for _ in 0..n {
+        let program = arbitrary_program(&mut rng);
+        if program.validate().is_err() {
+            continue;
+        }
         let back = from_text(&to_text(&program)).expect("parses");
-        prop_assert!(back.validate().is_ok());
+        assert!(back.validate().is_ok());
     }
+}
 
-    #[test]
-    fn bom_totals_are_sums(lines in proptest::collection::vec((1u32..10, 0.0f64..500.0), 1..10)) {
-        use ate::cost::BillOfMaterials;
+#[test]
+fn bom_totals_are_sums() {
+    use ate::cost::BillOfMaterials;
+    let (mut rng, n) = cases("bom-totals");
+    for _ in 0..n {
+        let lines: Vec<(u32, f64)> = (0..rng.range_usize(1..10))
+            .map(|_| (rng.range_u32(1..10), rng.range_f64(0.0, 500.0)))
+            .collect();
         let mut bom = BillOfMaterials::new();
         let mut expected = 0.0;
         for (i, (qty, cost)) in lines.iter().enumerate() {
             bom = bom.with(format!("part{i}"), *qty, *cost);
             expected += f64::from(*qty) * cost;
         }
-        prop_assert!((bom.total() - expected).abs() < 1e-9);
+        assert!((bom.total() - expected).abs() < 1e-9, "lines={lines:?}");
     }
+}
 
-    #[test]
-    fn comparison_tolerance_is_symmetric_in_sign(
-        paper in 0.1f64..1000.0,
-        rel in -0.2f64..0.2,
-        tol in 0.0f64..0.3,
-    ) {
-        use ate::measurement::{Comparison, PaperValue};
-        let above = Comparison::new("X", "q", "u", PaperValue::new(paper, tol), paper * (1.0 + rel));
-        let below = Comparison::new("X", "q", "u", PaperValue::new(paper, tol), paper * (1.0 - rel));
-        prop_assert_eq!(above.within_tolerance(), below.within_tolerance());
-        prop_assert!((above.relative_error() - rel.abs()).abs() < 1e-9);
+#[test]
+fn comparison_tolerance_is_symmetric_in_sign() {
+    use ate::measurement::{Comparison, PaperValue};
+    let (mut rng, n) = cases("comparison-symmetry");
+    for _ in 0..n {
+        let paper = rng.range_f64(0.1, 1000.0);
+        let rel = rng.range_f64(-0.2, 0.2);
+        let tol = rng.range_f64(0.0, 0.3);
+        let above =
+            Comparison::new("X", "q", "u", PaperValue::new(paper, tol), paper * (1.0 + rel));
+        let below =
+            Comparison::new("X", "q", "u", PaperValue::new(paper, tol), paper * (1.0 - rel));
+        assert_eq!(
+            above.within_tolerance(),
+            below.within_tolerance(),
+            "paper={paper} rel={rel} tol={tol}"
+        );
+        assert!(
+            (above.relative_error() - rel.abs()).abs() < 1e-9,
+            "paper={paper} rel={rel} tol={tol}"
+        );
     }
 }

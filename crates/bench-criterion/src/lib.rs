@@ -1,0 +1,2 @@
+//! Empty library target; this package exists only to host the criterion
+//! bench targets in `benches/` outside the offline workspace graph.

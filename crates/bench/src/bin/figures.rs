@@ -5,10 +5,7 @@
 //! ```
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2005u64);
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2005u64);
     println!("Gigatest reproduction — Keezer et al., DATE 2005");
     println!("seed = {seed}\n");
     let report = bench_support::full_report(seed);

@@ -19,7 +19,9 @@ use ate::{TestProgram, TestSystem};
 use minitester::{MiniTesterDatapath, ProbeArray};
 use pecl::SignalChain;
 use pstime::{DataRate, Duration};
-use signal::measure::{edge_jitter_from_acquisitions, measure_levels, measure_transition, transition_time_stats};
+use signal::measure::{
+    edge_jitter_from_acquisitions, measure_levels, measure_transition, transition_time_stats,
+};
 use signal::{BitStream, EyeDiagram};
 use testbed::frame::SlotTiming;
 use testbed::scaling::ScalingPoint;
@@ -57,8 +59,7 @@ pub fn fig06_tx_waveforms(seed: u64) -> Report {
     let chain = SignalChain::testbed_transmitter();
     let rate = DataRate::from_gbps(2.5);
     // Four 32-bit words serialized, as in the figure.
-    let words =
-        [0xDEAD_BEEFu32, 0x0123_4567, 0x8BAD_F00D, 0x5555_AAAA];
+    let words = [0xDEAD_BEEFu32, 0x0123_4567, 0x8BAD_F00D, 0x5555_AAAA];
     let mut rise_all = signal::RunningStats::new();
     let mut fall_all = signal::RunningStats::new();
     for (i, w) in words.iter().enumerate() {
@@ -96,9 +97,8 @@ fn eye_experiment(
     seed: u64,
 ) -> Report {
     let rate = DataRate::from_gbps(gbps);
-    let result = system
-        .run(&TestProgram::prbs_eye(rate, EYE_BITS), seed)
-        .expect("eye program runs");
+    let result =
+        system.run(&TestProgram::prbs_eye(rate, EYE_BITS), seed).expect("eye program runs");
     let mut report = Report::new();
     if let Some(pp) = paper_jitter_pp {
         report.push(Comparison::new(
@@ -139,9 +139,8 @@ pub fn fig09_edge_jitter(acquisitions: usize, seed: u64) -> Report {
     let bits = BitStream::from_str_bits("1100");
     let times: Vec<pstime::Instant> = (0..acquisitions)
         .map(|i| {
-            let wave = chain
-                .render(&bits, rate, seed.wrapping_add(i as u64))
-                .expect("rate within limits");
+            let wave =
+                chain.render(&bits, rate, seed.wrapping_add(i as u64)).expect("rate within limits");
             measure_transition(&wave, 0, rate).expect("edge measurable").mid_crossing
         })
         .collect();
@@ -177,7 +176,8 @@ pub fn fig10_fig11_levels(seed: u64) -> Report {
     // Fig. 10: four VOH codes at 1.25 Gbps.
     let rate = DataRate::from_gbps(1.25);
     let bits = BitStream::alternating(256);
-    for (code, levels) in dac.sweep(LevelKnob::High, 4).expect("codes in range").iter().enumerate() {
+    for (code, levels) in dac.sweep(LevelKnob::High, 4).expect("codes in range").iter().enumerate()
+    {
         let mut chain = chain.clone();
         chain.set_levels(*levels);
         let wave = chain.render(&bits, rate, seed + code as u64).expect("rate ok");
@@ -193,7 +193,8 @@ pub fn fig10_fig11_levels(seed: u64) -> Report {
 
     // Fig. 11: three swing codes at 2.5 Gbps.
     let rate = DataRate::from_gbps(2.5);
-    for (code, levels) in dac.sweep(LevelKnob::Swing, 3).expect("codes in range").iter().enumerate() {
+    for (code, levels) in dac.sweep(LevelKnob::Swing, 3).expect("codes in range").iter().enumerate()
+    {
         let mut chain = chain.clone();
         chain.set_levels(*levels);
         let wave = chain.render(&bits, rate, seed + 100 + code as u64).expect("rate ok");
@@ -226,7 +227,13 @@ pub fn fig13_parallel_probe() -> Report {
     report
 }
 
-fn mini_eye(id: &str, gbps: f64, paper_opening: f64, paper_jitter: Option<f64>, seed: u64) -> Report {
+fn mini_eye(
+    id: &str,
+    gbps: f64,
+    paper_opening: f64,
+    paper_jitter: Option<f64>,
+    seed: u64,
+) -> Report {
     let rate = DataRate::from_gbps(gbps);
     let mut path = MiniTesterDatapath::new().expect("datapath boots");
     let wave = path.prbs_stimulus(rate, EYE_BITS, seed).expect("stimulus renders");
@@ -287,11 +294,7 @@ pub fn fig18_mini_5g_pattern(seed: u64) -> Report {
         .pattern_stimulus(&BitStream::from_str_bits("0000000100000000").repeat(16), rate, seed + 1)
         .expect("pattern renders");
     let digital = wave5.digital();
-    let (lo, hi) = wave5.range_over(
-        digital.start(),
-        digital.end(),
-        Duration::from_ps(5),
-    );
+    let (lo, hi) = wave5.range_over(digital.start(), digital.end(), Duration::from_ps(5));
     let peak_swing = hi - lo;
     let settled_swing = wave5.levels().swing().as_f64();
     report.push(Comparison::new(
@@ -314,8 +317,8 @@ pub fn fig19_mini_eye_5g0(seed: u64) -> Report {
 
 /// SUMMARY — ±25 ps timing accuracy and 10 ps placement resolution.
 pub fn summary_timing_accuracy() -> Report {
-    let points = placement_audit(Duration::from_ns(10), Duration::from_ps(137))
-        .expect("audit within range");
+    let points =
+        placement_audit(Duration::from_ns(10), Duration::from_ps(137)).expect("audit within range");
     let worst = worst_placement_error(&points);
     let mut report = Report::new();
     // The paper claims a ±25 ps bound; our measured worst-case placement

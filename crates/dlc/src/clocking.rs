@@ -71,9 +71,7 @@ impl Dcm {
         }
         let f_out = f_in * u64::from(multiply) / u64::from(divide);
         if !(limits::F_OUT_MIN_HZ..=limits::F_OUT_MAX_HZ).contains(&f_out) {
-            return Err(DlcError::InvalidBitstream {
-                reason: "DCM output frequency out of range",
-            });
+            return Err(DlcError::InvalidBitstream { reason: "DCM output frequency out of range" });
         }
         Ok(Dcm { input, multiply, divide, input_jitter_rms: Duration::from_ps(1) })
     }
@@ -93,9 +91,7 @@ impl Dcm {
 
     /// The synthesized output frequency.
     pub fn output(&self) -> Frequency {
-        Frequency::from_hz(
-            self.input.as_hz() * u64::from(self.multiply) / u64::from(self.divide),
-        )
+        Frequency::from_hz(self.input.as_hz() * u64::from(self.multiply) / u64::from(self.divide))
     }
 
     /// The multiply/divide configuration.
@@ -110,7 +106,9 @@ impl Dcm {
     pub fn output_jitter_rms(&self) -> Duration {
         const DCM_SYNTH_RMS_FS: f64 = 10_000.0;
         let input_fs = self.input_jitter_rms.as_fs() as f64;
-        Duration::from_fs((input_fs * input_fs + DCM_SYNTH_RMS_FS * DCM_SYNTH_RMS_FS).sqrt().round() as i64)
+        Duration::from_fs(
+            (input_fs * input_fs + DCM_SYNTH_RMS_FS * DCM_SYNTH_RMS_FS).sqrt().round() as i64,
+        )
     }
 
     /// The highest serial rate the output clock can launch per I/O pin
@@ -128,9 +126,7 @@ impl Dcm {
     pub fn solve(input: Frequency, target: Frequency) -> Result<Dcm> {
         for multiply in limits::MULT_RANGE {
             for divide in limits::DIV_RANGE {
-                if input.as_hz() * u64::from(multiply)
-                    == target.as_hz() * u64::from(divide)
-                {
+                if input.as_hz() * u64::from(multiply) == target.as_hz() * u64::from(divide) {
                     if let Ok(dcm) = Dcm::new(input, multiply, divide) {
                         return Ok(dcm);
                     }
@@ -224,9 +220,8 @@ mod tests {
 
     #[test]
     fn jitter_multiplies_through() {
-        let clean = Dcm::new(Frequency::from_mhz(100), 4, 1)
-            .unwrap()
-            .with_input_jitter(Duration::ZERO);
+        let clean =
+            Dcm::new(Frequency::from_mhz(100), 4, 1).unwrap().with_input_jitter(Duration::ZERO);
         // Floor: the DCM's own synthesis jitter.
         assert_eq!(clean.output_jitter_rms(), Duration::from_ps(10));
         let noisy = Dcm::new(Frequency::from_mhz(100), 4, 1)
@@ -244,10 +239,7 @@ mod tests {
         // 100 MHz -> 312.5 MHz needs x25/8 (or an equivalent).
         let dcm = Dcm::solve(Frequency::from_mhz(100), Frequency::from_hz(312_500_000)).unwrap();
         let (m, d) = dcm.ratio();
-        assert_eq!(
-            100_000_000u64 * u64::from(m) / u64::from(d),
-            312_500_000
-        );
+        assert_eq!(100_000_000u64 * u64::from(m) / u64::from(d), 312_500_000);
         // Unreachable target.
         assert!(Dcm::solve(Frequency::from_mhz(100), Frequency::from_hz(312_500_001)).is_err());
     }

@@ -243,10 +243,7 @@ mod tests {
         assert!(core.generate(0, 4).is_ok());
         core.power_up().unwrap();
         // Power cycle wiped channel configs (new personalization).
-        assert!(matches!(
-            core.generate(0, 4),
-            Err(DlcError::ChannelNotConfigured { channel: 0 })
-        ));
+        assert!(matches!(core.generate(0, 4), Err(DlcError::ChannelNotConfigured { channel: 0 })));
     }
 
     #[test]
@@ -263,8 +260,7 @@ mod tests {
         let mut core = booted();
         let rate = DataRate::from_mbps(312);
         for ch in 0..8 {
-            core.configure_channel(ch, PatternKind::Prbs15 { seed: 10 + ch as u32 }, rate)
-                .unwrap();
+            core.configure_channel(ch, PatternKind::Prbs15 { seed: 10 + ch as u32 }, rate).unwrap();
         }
         let waves = core.render_channels(&[0, 1, 2, 3, 4, 5, 6, 7], 128, 99).unwrap();
         assert_eq!(waves.len(), 8);

@@ -202,9 +202,9 @@ impl FlashMemory {
             return Err(DlcError::InvalidBitstream { reason: "image too short" });
         }
         let len = self.words[2] as usize;
-        let total = len.checked_add(4).ok_or(DlcError::InvalidBitstream {
-            reason: "length field mismatch",
-        })?;
+        let total = len
+            .checked_add(4)
+            .ok_or(DlcError::InvalidBitstream { reason: "length field mismatch" })?;
         if total > self.words.len() {
             return Err(DlcError::InvalidBitstream { reason: "length field mismatch" });
         }

@@ -253,9 +253,7 @@ impl Fpga {
 
     fn channel_mut(&mut self, channel: usize) -> Result<&mut Channel> {
         let available = self.channels.len();
-        self.channels
-            .get_mut(channel)
-            .ok_or(DlcError::ChannelOutOfRange { channel, available })
+        self.channels.get_mut(channel).ok_or(DlcError::ChannelOutOfRange { channel, available })
     }
 
     /// Programs `channel` with a pattern at a per-pin rate.
@@ -390,10 +388,7 @@ mod tests {
         f.configure_channel(7, PatternKind::Clock, DataRate::from_mbps(400)).unwrap();
         assert_eq!(f.generate(7, 4).unwrap().to_string(), "1010");
         // Unconfigured channel errors.
-        assert!(matches!(
-            f.generate(8, 4),
-            Err(DlcError::ChannelNotConfigured { channel: 8 })
-        ));
+        assert!(matches!(f.generate(8, 4), Err(DlcError::ChannelNotConfigured { channel: 8 })));
         // Out-of-range channel errors.
         assert!(matches!(
             f.generate(200, 4),
@@ -408,9 +403,7 @@ mod tests {
     fn io_rate_derating_enforced() {
         let mut f = configured();
         // 500 Mbps exceeds the 400 Mbps derated default.
-        let err = f
-            .configure_channel(0, PatternKind::Clock, DataRate::from_mbps(500))
-            .unwrap_err();
+        let err = f.configure_channel(0, PatternKind::Clock, DataRate::from_mbps(500)).unwrap_err();
         assert!(matches!(err, DlcError::RateTooHigh { requested_mbps: 500, limit_mbps: 400 }));
         // Raising the derating (paper: pins are 800-capable) admits it.
         f.io_block_mut(0).unwrap().set_derated_limit_mbps(800);
@@ -418,9 +411,7 @@ mod tests {
         // But the hard ceiling holds.
         f.io_block_mut(0).unwrap().set_derated_limit_mbps(2_000);
         assert_eq!(f.io_block(0).unwrap().derated_limit_mbps(), 800);
-        assert!(f
-            .configure_channel(0, PatternKind::Clock, DataRate::from_mbps(900))
-            .is_err());
+        assert!(f.configure_channel(0, PatternKind::Clock, DataRate::from_mbps(900)).is_err());
     }
 
     #[test]
@@ -444,11 +435,8 @@ mod tests {
         assert_eq!(w.num_edges(), 63);
         assert_eq!(w.span(), rate.unit_interval() * 64);
         // Jitter applied: edges not exactly on the grid.
-        let on_grid = w
-            .edges()
-            .iter()
-            .filter(|e| e.at.as_fs() % rate.unit_interval().as_fs() == 0)
-            .count();
+        let on_grid =
+            w.edges().iter().filter(|e| e.at.as_fs() % rate.unit_interval().as_fs() == 0).count();
         assert!(on_grid < 8, "expected jittered edges, {on_grid} on grid");
     }
 
@@ -468,16 +456,19 @@ mod tests {
     fn sram_playback_channel() {
         let mut f = configured();
         f.sram_mut().load_bits(0, &BitStream::from_str_bits("110010")).unwrap();
-        f.configure_channel(2, PatternKind::SramPlayback { addr: 0, n_bits: 6 }, DataRate::from_mbps(300))
-            .unwrap();
+        f.configure_channel(
+            2,
+            PatternKind::SramPlayback { addr: 0, n_bits: 6 },
+            DataRate::from_mbps(300),
+        )
+        .unwrap();
         assert_eq!(f.generate(2, 12).unwrap().to_string(), "110010110010");
     }
 
     #[test]
     fn reset_engines_restarts_patterns() {
         let mut f = configured();
-        f.configure_channel(0, PatternKind::Prbs15 { seed: 77 }, DataRate::from_mbps(312))
-            .unwrap();
+        f.configure_channel(0, PatternKind::Prbs15 { seed: 77 }, DataRate::from_mbps(312)).unwrap();
         let first = f.generate(0, 64).unwrap();
         let _ = f.generate(0, 64).unwrap();
         f.reset_engines();

@@ -390,8 +390,21 @@ mod tests {
     fn every_state_reaches_reset_in_five_tms_ones() {
         use TapState::*;
         for s in [
-            TestLogicReset, RunTestIdle, SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr,
-            Exit2Dr, UpdateDr, SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir,
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
             UpdateIr,
         ] {
             let mut state = s;
@@ -429,10 +442,7 @@ mod tests {
         let mut port = JtagPort::new(16);
         port.reset();
         // In TestLogicReset, not RunTestIdle.
-        assert!(matches!(
-            port.shift_dr(0, 8),
-            Err(DlcError::JtagProtocol { .. })
-        ));
+        assert!(matches!(port.shift_dr(0, 8), Err(DlcError::JtagProtocol { .. })));
     }
 
     #[test]

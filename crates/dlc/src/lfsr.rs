@@ -149,7 +149,12 @@ mod tests {
     #[test]
     fn all_polynomials_are_maximal_length() {
         // Maximal-length check is cheap for the short ones.
-        for poly in [PrbsPolynomial::Prbs7, PrbsPolynomial::Prbs9, PrbsPolynomial::Prbs11, PrbsPolynomial::Prbs15] {
+        for poly in [
+            PrbsPolynomial::Prbs7,
+            PrbsPolynomial::Prbs9,
+            PrbsPolynomial::Prbs11,
+            PrbsPolynomial::Prbs15,
+        ] {
             let lfsr = Lfsr::new(poly, 1);
             assert_eq!(lfsr.cycle_length(), poly.period(), "{poly:?}");
         }

@@ -59,14 +59,14 @@ pub mod sequencer;
 pub mod sram;
 pub mod usb;
 
-pub use capture::{CaptureEngine, CaptureMode, CaptureSummary};
 pub use crate::core::DigitalLogicCore;
+pub use capture::{CaptureEngine, CaptureMode, CaptureSummary};
 pub use error::DlcError;
 pub use flash::{Bitstream, FlashMemory};
 pub use fpga::{Fpga, IoBlock, IoStandard};
 pub use lfsr::{Lfsr, PrbsPolynomial};
 pub use pattern::{PatternEngine, PatternKind};
-pub use regs::{RegisterFile, RegAddr};
+pub use regs::{RegAddr, RegisterFile};
 
 /// Convenient result alias for DLC operations.
 pub type Result<T> = std::result::Result<T, DlcError>;

@@ -164,7 +164,9 @@ impl PatternEngine {
             _ => {}
         }
         let state = match &kind {
-            PatternKind::Prbs7 { seed } => EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs7, *seed)),
+            PatternKind::Prbs7 { seed } => {
+                EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs7, *seed))
+            }
             PatternKind::Prbs15 { seed } => {
                 EngineState::Lfsr(Lfsr::new(PrbsPolynomial::Prbs15, *seed))
             }

@@ -103,10 +103,7 @@ impl RegisterFile {
     ///
     /// [`DlcError::UnmappedRegister`] if `addr` was never defined.
     pub fn read(&self, addr: RegAddr) -> Result<u16> {
-        self.regs
-            .get(&addr.0)
-            .copied()
-            .ok_or(DlcError::UnmappedRegister { addr: addr.0 })
+        self.regs.get(&addr.0).copied().ok_or(DlcError::UnmappedRegister { addr: addr.0 })
     }
 
     /// Writes a register. Writes to read-only registers are silently

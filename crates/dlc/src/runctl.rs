@@ -112,8 +112,7 @@ mod tests {
     #[test]
     fn starting_a_run_restarts_the_engines() {
         let mut f = fpga();
-        f.configure_channel(0, PatternKind::Prbs15 { seed: 3 }, DataRate::from_mbps(300))
-            .unwrap();
+        f.configure_channel(0, PatternKind::Prbs15 { seed: 3 }, DataRate::from_mbps(300)).unwrap();
         let first = f.generate(0, 64).unwrap();
         let _ = f.generate(0, 64).unwrap();
         // Start bit resets engines to the seed state.

@@ -115,7 +115,9 @@ impl SequencerProgram {
                 }
                 Instruction::LoopStart { count } => {
                     if *count == 0 {
-                        return Err(DlcError::InvalidBitstream { reason: "loop of zero iterations" });
+                        return Err(DlcError::InvalidBitstream {
+                            reason: "loop of zero iterations",
+                        });
                     }
                     depth += 1;
                     if depth > MAX_LOOP_DEPTH {
@@ -175,9 +177,9 @@ impl SequencerProgram {
                     pc += 1;
                 }
                 Instruction::Repeat { count } => {
-                    let bits = last_vector
-                        .as_ref()
-                        .ok_or(DlcError::InvalidBitstream { reason: "REPEAT must follow a vector" })?;
+                    let bits = last_vector.as_ref().ok_or(DlcError::InvalidBitstream {
+                        reason: "REPEAT must follow a vector",
+                    })?;
                     for _ in 0..*count {
                         self.emit(out, bits)?;
                     }
@@ -241,8 +243,9 @@ impl SequencerProgram {
                         pc += 1;
                     }
                     Instruction::Repeat { count } => {
-                        let len = last_vec_len
-                            .ok_or(DlcError::InvalidBitstream { reason: "REPEAT must follow a vector" })?;
+                        let len = last_vec_len.ok_or(DlcError::InvalidBitstream {
+                            reason: "REPEAT must follow a vector",
+                        })?;
                         total += len * *count as usize;
                         pc += 1;
                     }
@@ -257,7 +260,9 @@ impl SequencerProgram {
                     Instruction::Halt => return Ok((total, insns.len())),
                 }
                 if total > MAX_EXPANDED_BITS {
-                    return Err(DlcError::InvalidBitstream { reason: "program expansion too large" });
+                    return Err(DlcError::InvalidBitstream {
+                        reason: "program expansion too large",
+                    });
                 }
             }
             Ok((total, pc))
@@ -355,12 +360,9 @@ mod tests {
         assert!(SequencerProgram::assemble(vec![LoopStart { count: 1 }, vec_of("1")]).is_err());
         assert!(SequencerProgram::assemble(vec![vec_of("1"), LoopEnd]).is_err());
         // Zero-iteration loop / zero repeat.
-        assert!(SequencerProgram::assemble(vec![
-            LoopStart { count: 0 },
-            vec_of("1"),
-            LoopEnd
-        ])
-        .is_err());
+        assert!(
+            SequencerProgram::assemble(vec![LoopStart { count: 0 }, vec_of("1"), LoopEnd]).is_err()
+        );
         assert!(SequencerProgram::assemble(vec![vec_of("1"), Repeat { count: 0 }]).is_err());
         // Leading repeat.
         assert!(SequencerProgram::assemble(vec![Repeat { count: 1 }]).is_err());

@@ -84,10 +84,7 @@ impl Sram {
     pub fn load(&mut self, addr: u32, data: &[u16]) -> Result<()> {
         let end = addr as usize + data.len();
         if end > self.words.len() {
-            return Err(DlcError::SramOutOfRange {
-                addr: end as u32,
-                capacity: self.capacity(),
-            });
+            return Err(DlcError::SramOutOfRange { addr: end as u32, capacity: self.capacity() });
         }
         self.words[addr as usize..end].copy_from_slice(data);
         Ok(())
@@ -122,10 +119,7 @@ impl Sram {
         let n_words = n_bits.div_ceil(16);
         let end = addr as usize + n_words;
         if end > self.words.len() {
-            return Err(DlcError::SramOutOfRange {
-                addr: end as u32,
-                capacity: self.capacity(),
-            });
+            return Err(DlcError::SramOutOfRange { addr: end as u32, capacity: self.capacity() });
         }
         Ok(BitStream::from_fn(n_bits, |i| {
             self.words[addr as usize + i / 16] & (1 << (i % 16)) != 0

@@ -112,9 +112,7 @@ impl Packet {
     /// The 16-bit payload words.
     pub fn payload(&self) -> Vec<u16> {
         let n = self.bytes[1] as usize;
-        (0..n)
-            .map(|i| u16::from_le_bytes([self.bytes[2 + 2 * i], self.bytes[3 + 2 * i]]))
-            .collect()
+        (0..n).map(|i| u16::from_le_bytes([self.bytes[2 + 2 * i], self.bytes[3 + 2 * i]])).collect()
     }
 }
 
@@ -258,10 +256,7 @@ mod tests {
         let mut bytes = vec![0x55u8, 0x00];
         bytes.push(bytes.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
         let p = Packet::parse(&bytes).unwrap();
-        assert!(matches!(
-            p.opcode(),
-            Err(DlcError::UsbProtocol { reason: "unknown opcode" })
-        ));
+        assert!(matches!(p.opcode(), Err(DlcError::UsbProtocol { reason: "unknown opcode" })));
     }
 
     #[test]
@@ -276,25 +271,19 @@ mod tests {
     fn register_access_over_usb() {
         let (mut fpga, mut usb) = setup();
         // Read the ID register.
-        let resp = usb
-            .handle(&Packet::command(Opcode::ReadReg, &[map::ID.0]), &mut fpga)
-            .unwrap();
+        let resp = usb.handle(&Packet::command(Opcode::ReadReg, &[map::ID.0]), &mut fpga).unwrap();
         assert_eq!(resp.payload(), vec![map::ID_VALUE]);
         // Write then read CONTROL.
-        usb.handle(&Packet::command(Opcode::WriteReg, &[map::CONTROL.0, 3]), &mut fpga)
-            .unwrap();
-        let resp = usb
-            .handle(&Packet::command(Opcode::ReadReg, &[map::CONTROL.0]), &mut fpga)
-            .unwrap();
+        usb.handle(&Packet::command(Opcode::WriteReg, &[map::CONTROL.0, 3]), &mut fpga).unwrap();
+        let resp =
+            usb.handle(&Packet::command(Opcode::ReadReg, &[map::CONTROL.0]), &mut fpga).unwrap();
         assert_eq!(resp.payload(), vec![3]);
     }
 
     #[test]
     fn register_errors_propagate() {
         let (mut fpga, mut usb) = setup();
-        let err = usb
-            .handle(&Packet::command(Opcode::ReadReg, &[0x7777]), &mut fpga)
-            .unwrap_err();
+        let err = usb.handle(&Packet::command(Opcode::ReadReg, &[0x7777]), &mut fpga).unwrap_err();
         assert!(matches!(err, DlcError::UnmappedRegister { addr: 0x7777 }));
     }
 
@@ -307,10 +296,7 @@ mod tests {
             Packet::command(Opcode::LoadSram, &[]),
             Packet::command(Opcode::ReadSram, &[1]),
         ] {
-            assert!(matches!(
-                usb.handle(&bad, &mut fpga),
-                Err(DlcError::UsbProtocol { .. })
-            ));
+            assert!(matches!(usb.handle(&bad, &mut fpga), Err(DlcError::UsbProtocol { .. })));
         }
     }
 
@@ -322,9 +308,7 @@ mod tests {
         payload.extend_from_slice(&data);
         let resp = usb.handle(&Packet::command(Opcode::LoadSram, &payload), &mut fpga).unwrap();
         assert_eq!(resp.payload(), vec![3]);
-        let resp = usb
-            .handle(&Packet::command(Opcode::ReadSram, &[0x0010, 3]), &mut fpga)
-            .unwrap();
+        let resp = usb.handle(&Packet::command(Opcode::ReadSram, &[0x0010, 3]), &mut fpga).unwrap();
         assert_eq!(resp.payload(), data.to_vec());
     }
 

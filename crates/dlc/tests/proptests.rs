@@ -1,133 +1,182 @@
 //! Property-based tests for the Digital Logic Core substrate.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
 use dlc::flash::{Bitstream, FlashMemory};
 use dlc::jtag::JtagPort;
 use dlc::sram::Sram;
 use dlc::usb::{Opcode, Packet};
 use dlc::{Lfsr, PrbsPolynomial};
+use rng::{Rng, SeedTree};
 use signal::BitStream;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn lfsr_never_reaches_zero_state(seed in any::<u32>(), steps in 1usize..2_000) {
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0xd1c).stream("dlc.proptests").stream(label).rng(), CASES)
+}
+
+fn random_u32_frames(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+    let len = rng.range_usize(1..max_len);
+    (0..len).map(|_| rng.next_u32()).collect()
+}
+
+#[test]
+fn lfsr_never_reaches_zero_state() {
+    let (mut rng, n) = cases("lfsr-nonzero");
+    for _ in 0..n {
+        let seed = rng.next_u32();
+        let steps = rng.range_usize(1..2_000);
         let mut lfsr = Lfsr::new(PrbsPolynomial::Prbs15, seed);
         for _ in 0..steps {
             lfsr.next_bit();
-            prop_assert_ne!(lfsr.state(), 0, "LFSR locked up");
+            assert_ne!(lfsr.state(), 0, "LFSR locked up (seed={seed:#x})");
         }
     }
+}
 
-    #[test]
-    fn lfsr_windows_are_balanced(seed in 1u32..0x7FFF) {
-        // Any 1024-bit window of PRBS-15 is roughly half ones.
+#[test]
+fn lfsr_windows_are_balanced() {
+    // Any 1024-bit window of PRBS-15 is roughly half ones.
+    let (mut rng, n) = cases("lfsr-balance");
+    for _ in 0..n {
+        let seed = rng.range_u32(1..0x7FFF);
         let mut lfsr = Lfsr::new(PrbsPolynomial::Prbs15, seed);
         let bits = lfsr.generate(1024);
         let ones = bits.count_ones();
-        prop_assert!((400..=624).contains(&ones), "ones = {ones}");
+        assert!((400..=624).contains(&ones), "ones = {ones} (seed={seed:#x})");
     }
+}
 
-    #[test]
-    fn sram_bit_round_trip(data in vec(any::<bool>(), 1..512), addr in 0u32..16) {
+#[test]
+fn sram_bit_round_trip() {
+    let (mut rng, n) = cases("sram-bits");
+    for _ in 0..n {
+        let len = rng.range_usize(1..512);
+        let addr = rng.range_u32(0..16);
         let mut sram = Sram::new(1024);
-        let bits = BitStream::from(data);
+        let bits = BitStream::from_fn(len, |_| rng.bool());
         sram.load_bits(addr, &bits).unwrap();
-        prop_assert_eq!(sram.read_bits(addr, bits.len()).unwrap(), bits);
+        assert_eq!(sram.read_bits(addr, bits.len()).unwrap(), bits, "addr={addr}");
     }
+}
 
-    #[test]
-    fn sram_word_round_trip(words in vec(any::<u16>(), 1..64), addr in 0u32..32) {
+#[test]
+fn sram_word_round_trip() {
+    let (mut rng, n) = cases("sram-words");
+    for _ in 0..n {
+        let len = rng.range_usize(1..64);
+        let addr = rng.range_u32(0..32);
+        let words: Vec<u16> = (0..len).map(|_| rng.next_u32() as u16).collect();
         let mut sram = Sram::new(256);
         sram.load(addr, &words).unwrap();
         for (i, w) in words.iter().enumerate() {
-            prop_assert_eq!(sram.read(addr + i as u32).unwrap(), *w);
+            assert_eq!(sram.read(addr + i as u32).unwrap(), *w, "addr={addr} i={i}");
         }
     }
+}
 
-    #[test]
-    fn bitstream_round_trips_and_rejects_any_single_bit_flip(
-        frames in vec(any::<u32>(), 1..64),
-        flip_word in any::<prop::sample::Index>(),
-        flip_bit in 0u32..32,
-    ) {
+#[test]
+fn bitstream_round_trips_and_rejects_any_single_bit_flip() {
+    let (mut rng, n) = cases("bitstream-flip");
+    for _ in 0..n {
+        let frames = random_u32_frames(&mut rng, 64);
         let bs = Bitstream::new(dlc::flash::DEVICE_ID, frames);
         let words = bs.to_words();
-        prop_assert_eq!(Bitstream::from_words(&words).unwrap(), bs.clone());
+        assert_eq!(Bitstream::from_words(&words).unwrap(), bs.clone());
 
         // Flip one bit anywhere: the image must never parse back equal to
         // the original. (Payload/CRC/framing flips fail parse outright; a
         // device-id flip parses but targets a different device, which the
         // FPGA's configure step rejects.)
         let mut corrupted = words.clone();
-        let idx = flip_word.index(corrupted.len());
+        let idx = rng.range_usize(0..corrupted.len());
+        let flip_bit = rng.range_u32(0..32);
         corrupted[idx] ^= 1 << flip_bit;
         match Bitstream::from_words(&corrupted) {
             Err(_) => {}
             Ok(parsed) => {
-                prop_assert_ne!(parsed.device_id(), bs.device_id());
+                assert_ne!(parsed.device_id(), bs.device_id(), "idx={idx} bit={flip_bit}");
             }
         }
     }
+}
 
-    #[test]
-    fn flash_program_verify_any_image(frames in vec(any::<u32>(), 1..64)) {
+#[test]
+fn flash_program_verify_any_image() {
+    let (mut rng, n) = cases("flash");
+    for _ in 0..n {
+        let frames = random_u32_frames(&mut rng, 64);
         let bs = Bitstream::new(dlc::flash::DEVICE_ID, frames);
         let mut flash = FlashMemory::new(512);
         flash.program(&bs.to_words()).unwrap();
-        prop_assert_eq!(flash.load_bitstream().unwrap(), bs);
+        assert_eq!(flash.load_bitstream().unwrap(), bs);
     }
+}
 
-    #[test]
-    fn jtag_flash_flow_for_arbitrary_images(frames in vec(any::<u32>(), 1..32)) {
+#[test]
+fn jtag_flash_flow_for_arbitrary_images() {
+    let (mut rng, n) = cases("jtag");
+    for _ in 0..n {
+        let frames = random_u32_frames(&mut rng, 32);
         let bs = Bitstream::new(dlc::flash::DEVICE_ID, frames);
         let mut port = JtagPort::new(256);
         port.program_flash(&bs).unwrap();
-        prop_assert_eq!(port.flash().load_bitstream().unwrap(), bs);
+        assert_eq!(port.flash().load_bitstream().unwrap(), bs);
         // IDCODE still reads correctly afterwards.
-        prop_assert_eq!(port.read_idcode(), dlc::flash::DEVICE_ID);
+        assert_eq!(port.read_idcode(), dlc::flash::DEVICE_ID);
     }
+}
 
-    #[test]
-    fn usb_packets_round_trip(payload in vec(any::<u16>(), 0..64)) {
+#[test]
+fn usb_packets_round_trip() {
+    let (mut rng, n) = cases("usb-round-trip");
+    for _ in 0..n {
+        let len = rng.range_usize(0..64);
+        let payload: Vec<u16> = (0..len).map(|_| rng.next_u32() as u16).collect();
         let p = Packet::command(Opcode::LoadSram, &payload);
         let parsed = Packet::parse(p.as_bytes()).unwrap();
-        prop_assert_eq!(parsed.payload(), payload);
-        prop_assert_eq!(parsed.opcode().unwrap(), Opcode::LoadSram);
+        assert_eq!(parsed.payload(), payload);
+        assert_eq!(parsed.opcode().unwrap(), Opcode::LoadSram);
     }
+}
 
-    #[test]
-    fn usb_detects_any_single_byte_corruption(
-        payload in vec(any::<u16>(), 0..32),
-        which in any::<prop::sample::Index>(),
-        xor in 1u8..=255,
-    ) {
+#[test]
+fn usb_detects_any_single_byte_corruption() {
+    let (mut rng, n) = cases("usb-corruption");
+    for _ in 0..n {
+        let len = rng.range_usize(0..32);
+        let payload: Vec<u16> = (0..len).map(|_| rng.next_u32() as u16).collect();
+        let xor = rng.range_u32(1..256) as u8;
         let p = Packet::command(Opcode::ReadSram, &payload);
         let mut bytes = p.as_bytes().to_vec();
-        let idx = which.index(bytes.len());
+        let idx = rng.range_usize(0..bytes.len());
         bytes[idx] ^= xor;
         // Either parse fails (checksum/framing) or the opcode decodes to
         // something: a corrupted length byte is always caught; a corrupted
         // payload byte is caught by the checksum.
         if idx != 0 {
-            prop_assert!(Packet::parse(&bytes).is_err());
+            assert!(Packet::parse(&bytes).is_err(), "idx={idx} xor={xor:#x}");
         }
     }
+}
 
-    #[test]
-    fn tap_state_machine_always_recoverable(walk in vec(any::<bool>(), 0..64)) {
-        use dlc::jtag::TapState;
+#[test]
+fn tap_state_machine_always_recoverable() {
+    use dlc::jtag::TapState;
+    let (mut rng, n) = cases("tap");
+    for _ in 0..n {
+        let walk_len = rng.range_usize(0..64);
         let mut state = TapState::TestLogicReset;
-        for tms in walk {
-            state = state.next(tms);
+        for _ in 0..walk_len {
+            state = state.next(rng.bool());
         }
         // Five ones always reach reset, from anywhere.
         for _ in 0..5 {
             state = state.next(true);
         }
-        prop_assert_eq!(state, TapState::TestLogicReset);
+        assert_eq!(state, TapState::TestLogicReset);
     }
 }

@@ -183,7 +183,8 @@ mod tests {
 
     #[test]
     fn wafer_time_scales_with_touchdowns() {
-        let timing = ProbeTiming { step_time: Duration::from_ms(100), test_time: Duration::from_ms(100) };
+        let timing =
+            ProbeTiming { step_time: Duration::from_ms(100), test_time: Duration::from_ms(100) };
         let array = ProbeArray::with_timing(4, timing);
         // 8 dies / 4 sites = 2 touchdowns x 200 ms.
         assert_eq!(array.wafer_time(8), Duration::from_ms(400));

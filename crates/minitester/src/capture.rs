@@ -92,10 +92,7 @@ impl EyeScan {
     /// [`signal::BathtubCurve`] but *measured* rather than modeled.
     pub fn bathtub(&self) -> Vec<(f64, f64)> {
         let ui = self.rate.unit_interval();
-        self.points
-            .iter()
-            .map(|p| (p.phase.ratio(ui), p.error_ratio()))
-            .collect()
+        self.points.iter().map(|p| (p.phase.ratio(ui), p.error_ratio())).collect()
     }
 
     /// The best strobe phase: the centre of the widest passing run.
@@ -164,7 +161,10 @@ impl EtCapture {
     /// The paper's capture path: mid-PECL threshold sampler with 2 ps
     /// aperture jitter, 10 ps / 1024-code strobe vernier.
     pub fn new() -> Self {
-        EtCapture { sampler: StrobedSampler::minitester(), vernier: ProgrammableDelayLine::standard() }
+        EtCapture {
+            sampler: StrobedSampler::minitester(),
+            vernier: ProgrammableDelayLine::standard(),
+        }
     }
 
     /// The sampler (threshold programming for shmoo sweeps).
@@ -221,9 +221,7 @@ impl EtCapture {
         let step = self.vernier.step();
         let steps = ((ui.as_fs() + step.as_fs() - 1) / step.as_fs()).max(1);
         let points = (0..steps)
-            .map(|k| {
-                self.capture_at(wave, rate, expected, step * k, seed.wrapping_add(k as u64))
-            })
+            .map(|k| self.capture_at(wave, rate, expected, step * k, seed.wrapping_add(k as u64)))
             .collect::<Result<Vec<_>>>()?;
         Ok(EyeScan { points, rate, step })
     }
@@ -300,9 +298,7 @@ mod tests {
         let (wave, rate, expected) = prbs_setup(1.0, 512);
         let cap = EtCapture::new();
         // Mid-bit: clean.
-        let mid = cap
-            .capture_at(&wave, rate, &expected, Duration::from_ps(500), 4)
-            .unwrap();
+        let mid = cap.capture_at(&wave, rate, &expected, Duration::from_ps(500), 4).unwrap();
         assert_eq!(mid.errors, 0);
         assert_eq!(mid.compared, 512);
         assert_eq!(mid.error_ratio(), 0.0);
@@ -343,11 +339,7 @@ mod bathtub_tests {
         assert!(tub.last().unwrap().0 > 0.9);
         // Walls: errors near the crossover; floor: clean mid-eye.
         let wall: f64 = tub.iter().filter(|(p, _)| *p < 0.1 || *p > 0.9).map(|(_, e)| e).sum();
-        let floor: f64 = tub
-            .iter()
-            .filter(|(p, _)| (0.4..0.6).contains(p))
-            .map(|(_, e)| e)
-            .sum();
+        let floor: f64 = tub.iter().filter(|(p, _)| (0.4..0.6).contains(p)).map(|(_, e)| e).sum();
         assert!(wall > 0.0, "bathtub needs walls");
         assert_eq!(floor, 0.0, "bathtub floor must be clean");
         // The measured bathtub matches the modeled one qualitatively: the
@@ -412,14 +404,13 @@ impl EtCapture {
         acquisitions: usize,
         seed: u64,
     ) -> EtTrace {
-        use rand::SeedableRng;
         let step = self.vernier.step();
         let span = rate.unit_interval() * n_ui as i64;
         let n_points = (span.as_fs() / step.as_fs()).max(1) as usize;
         let start = wave.digital().start();
         let mut offsets = Vec::with_capacity(n_points);
         let mut p_high = Vec::with_capacity(n_points);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xe77ace);
+        let mut rng = rng::SeedTree::new(seed).stream("minitester.capture.et").rng();
         for k in 0..n_points {
             let offset = step * k as i64;
             let highs = (0..acquisitions.max(1))
@@ -475,12 +466,7 @@ mod trace_tests {
         let rate = DataRate::from_gbps(2.5);
         let bits = BitStream::alternating(64);
         let wave = AnalogWaveform::new(
-            DigitalWaveform::from_bits(
-                &bits,
-                rate,
-                &JitterBudget::new().with_rj_rms_ps(5.0),
-                7,
-            ),
+            DigitalWaveform::from_bits(&bits, rate, &JitterBudget::new().with_rj_rms_ps(5.0), 7),
             LevelSet::pecl(),
             EdgeShape::default(),
         );

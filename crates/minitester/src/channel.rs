@@ -146,10 +146,7 @@ mod tests {
     fn wave(bits: &str, gbps: f64) -> (AnalogWaveform, DataRate) {
         let rate = DataRate::from_gbps(gbps);
         let d = DigitalWaveform::from_bits(&BitStream::from_str_bits(bits), rate, &NoJitter, 0);
-        (
-            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0)),
-            rate,
-        )
+        (AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0)), rate)
     }
 
     #[test]

@@ -85,9 +85,8 @@ impl MiniTesterDatapath {
 
     /// Interleaves 16 physical lanes in the two-stage mux's serial order.
     fn two_stage_interleave(lanes: &[BitStream]) -> BitStream {
-        let reordered: Vec<BitStream> = (0..LANES)
-            .map(|i| lanes[Self::serial_lane_for_position(i)].clone())
-            .collect();
+        let reordered: Vec<BitStream> =
+            (0..LANES).map(|i| lanes[Self::serial_lane_for_position(i)].clone()).collect();
         BitStream::interleave(&reordered)
     }
 
@@ -159,11 +158,7 @@ impl MiniTesterDatapath {
         // Load each lane into the DLC as an explicit pattern to keep the
         // control flow identical to hardware operation.
         for (i, lane) in lanes.iter().enumerate() {
-            self.core.configure_channel(
-                i,
-                PatternKind::Explicit(lane.clone()),
-                lane_rate,
-            )?;
+            self.core.configure_channel(i, PatternKind::Explicit(lane.clone()), lane_rate)?;
         }
         let regenerated: Vec<BitStream> = (0..LANES)
             .map(|i| self.core.generate(i, lanes[i].len()))
@@ -218,10 +213,7 @@ mod tests {
             let wave = path.prbs_stimulus(rate, 4_096, 5).unwrap();
             let eye = EyeDiagram::analyze(&wave, rate).unwrap();
             let got = eye.opening_ui().value();
-            assert!(
-                (got - want).abs() < tol,
-                "at {gbps} Gbps measured {got}, paper ~{want} UI"
-            );
+            assert!((got - want).abs() < tol, "at {gbps} Gbps measured {got}, paper ~{want} UI");
         }
     }
 

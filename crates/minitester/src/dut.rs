@@ -9,18 +9,16 @@
 //! tester actually catches bad parts.
 
 use pstime::{DataRate, Duration, Millivolts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{SeedTree, StreamId};
 use signal::{AnalogWaveform, BitStream};
 
 use crate::channel::WlpChannel;
 
-/// Standard normal deviate via Box–Muller (single value).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
-}
+/// Substream identity for the die input stage (aperture + slicer noise).
+pub const DUT_SLICER_STREAM: StreamId = StreamId::named("minitester.dut.slicer");
+
+/// Substream identity for the die's loopback retransmit jitter.
+pub const DUT_LOOPBACK_STREAM: StreamId = StreamId::named("minitester.dut.loopback");
 
 /// BIST mode selected through the DUT's test port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,7 +125,7 @@ impl WlpDut {
                 threshold += *offset;
             }
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeedTree::new(seed).derive(DUT_SLICER_STREAM).rng();
         let ui = rate.unit_interval();
         let start = wave.digital().start();
         // The die's input stage: ~2 ps aperture jitter and ~8 mV rms
@@ -137,9 +135,9 @@ impl WlpDut {
         const APERTURE_RJ_PS: f64 = 2.0;
         const COMPARATOR_NOISE_RMS_MV: f64 = 8.0;
         BitStream::from_fn(n, |i| {
-            let aperture = Duration::from_ps_f64(gaussian(&mut rng) * APERTURE_RJ_PS);
+            let aperture = Duration::from_ps_f64(rng.gaussian() * APERTURE_RJ_PS);
             let t = start + ui * i as i64 + ui / 2 + aperture;
-            let v = wave.value_at(t) + gaussian(&mut rng) * COMPARATOR_NOISE_RMS_MV;
+            let v = wave.value_at(t) + rng.gaussian() * COMPARATOR_NOISE_RMS_MV;
             v >= threshold.as_f64()
         })
     }
@@ -174,9 +172,13 @@ impl WlpDut {
         let bits = self.sliced_bits(stimulus, rate, n, seed);
         // Die output driver: 120 ps CMOS-class buffer, a little RJ.
         let budget = JitterBudget::new().with_rj_rms_ps(2.0);
-        let retx = DigitalWaveform::from_bits(&bits, rate, &budget, seed ^ 0x100b);
-        let wave =
-            AnalogWaveform::new(retx, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0));
+        let retx = DigitalWaveform::from_bits(
+            &bits,
+            rate,
+            &budget,
+            SeedTree::new(seed).derive(DUT_LOOPBACK_STREAM).seed(),
+        );
+        let wave = AnalogWaveform::new(retx, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0));
         // Return trip through the same leads.
         self.channel.propagate(&wave, rate)
     }
@@ -191,10 +193,7 @@ mod tests {
     fn stimulus(bits: &BitStream, gbps: f64) -> (AnalogWaveform, DataRate) {
         let rate = DataRate::from_gbps(gbps);
         let d = DigitalWaveform::from_bits(bits, rate, &NoJitter, 0);
-        (
-            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0)),
-            rate,
-        )
+        (AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(120.0)), rate)
     }
 
     #[test]
@@ -219,8 +218,8 @@ mod tests {
     fn stuck_input_fails_bist() {
         let bits = BitStream::alternating(128);
         let (w, rate) = stimulus(&bits, 2.5);
-        let dut = WlpDut::good(WlpChannel::interposer())
-            .with_defect(Defect::StuckInput { level: true });
+        let dut =
+            WlpDut::good(WlpChannel::interposer()).with_defect(Defect::StuckInput { level: true });
         let errors = dut.bist_check(&w, rate, &bits, 3);
         // Half the alternating bits disagree with all-ones.
         assert!(errors > 40, "errors {errors}");
@@ -261,9 +260,7 @@ mod tests {
         let expected_swing = (800.0 * 0.92f64).round() as i32;
         assert!((returned.levels().swing().as_mv() - expected_swing).abs() <= 1);
         // And still carries the data.
-        let recovered = returned
-            .digital()
-            .to_bits(rate, pstime::Duration::from_ps(200));
+        let recovered = returned.digital().to_bits(rate, pstime::Duration::from_ps(200));
         let (shift, errors) = bits.best_alignment(&recovered, 4);
         assert_eq!(errors, 0, "loopback data intact (shift {shift})");
     }

@@ -42,8 +42,8 @@ pub mod capture;
 pub mod channel;
 pub mod datapath;
 pub mod dut;
-pub mod multisite;
 mod error;
+pub mod multisite;
 pub mod shmoo;
 mod tester;
 
@@ -54,7 +54,7 @@ pub use datapath::MiniTesterDatapath;
 pub use dut::{BistMode, Defect, WlpDut};
 pub use error::MiniTesterError;
 pub use multisite::{run_wafer, Bin, DieRecord, WaferReport, WaferRunConfig};
-pub use shmoo::{ShmooPlot, ShmooConfig};
+pub use shmoo::{ShmooConfig, ShmooPlot};
 pub use tester::{MiniTester, TestOutcome, TestPlan};
 
 /// Convenient result alias for mini-tester operations.

@@ -9,14 +9,19 @@
 use core::fmt;
 
 use pstime::DataRate;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{SeedTree, StreamId};
 
 use crate::array::ProbeArray;
 use crate::channel::WlpChannel;
 use crate::dut::{Defect, WlpDut};
 use crate::tester::{MiniTester, TestPlan};
 use crate::Result;
+
+/// Substream identity for defect-injection rolls across the wafer.
+pub const WAFER_DEFECT_STREAM: StreamId = StreamId::named("minitester.multisite.defects");
+
+/// Substream identity for per-die test-content seeds.
+pub const WAFER_DIE_STREAM: StreamId = StreamId::named("minitester.multisite.die");
 
 /// Hard bin assigned to a die.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,7 +179,9 @@ impl fmt::Display for WaferReport {
 ///
 /// Propagates tester construction/run errors.
 pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x003a_fe12);
+    let tree = SeedTree::new(config.seed);
+    let mut rng = tree.derive(WAFER_DEFECT_STREAM).rng();
+    let die_tree = tree.derive(WAFER_DIE_STREAM);
     let array = ProbeArray::new(config.sites);
     // One tester per site, reused across touchdowns (boot cost paid once).
     let mut testers: Vec<MiniTester> =
@@ -191,12 +198,11 @@ pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
 
     for die in 0..config.dies {
         // Build this die.
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         let dut = if roll < config.hard_defect_rate {
             injected_hard += 1;
-            WlpDut::good(WlpChannel::interposer()).with_defect(Defect::StuckInput {
-                level: rng.gen(),
-            })
+            WlpDut::good(WlpChannel::interposer())
+                .with_defect(Defect::StuckInput { level: rng.bool() })
         } else if roll < config.hard_defect_rate + config.marginal_rate {
             injected_marginal += 1;
             WlpDut::good(WlpChannel::degraded())
@@ -207,13 +213,13 @@ pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
         let site = die % testers.len();
         let tester = &mut testers[site];
         tester.insert_dut(dut);
-        let seed = config.seed.wrapping_add(die as u64 * 977);
+        let per_die = die_tree.channel(die as u64);
 
-        let bist = tester.run(&bist_plan, seed)?;
+        let bist = tester.run(&bist_plan, per_die.stream("bist").seed())?;
         let (bin, eye_ui) = if !bist.passed() {
             (Bin::FailBist, None)
         } else {
-            let margin = tester.run(&margin_plan, seed ^ 0xeedb)?;
+            let margin = tester.run(&margin_plan, per_die.stream("margin").seed())?;
             let eye = margin.eye_ui.map(|u| u.value());
             if margin.passed() {
                 (Bin::Good, eye)
@@ -315,7 +321,8 @@ mod tests {
 
     #[test]
     fn reproducible_given_seed() {
-        let config = WaferRunConfig { dies: 8, sites: 4, test_bits: 256, ..WaferRunConfig::default() };
+        let config =
+            WaferRunConfig { dies: 8, sites: 4, test_bits: 256, ..WaferRunConfig::default() };
         let a = run_wafer(&config).unwrap();
         let b = run_wafer(&config).unwrap();
         assert_eq!(a, b);

@@ -41,7 +41,9 @@ impl ShmooConfig {
 
     fn validate(&self) -> Result<()> {
         if self.phase_step <= Duration::ZERO {
-            return Err(crate::MiniTesterError::BadTestPlan { reason: "phase step must be positive" });
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "phase step must be positive",
+            });
         }
         if self.v_step <= Millivolts::ZERO || self.v_end < self.v_start {
             return Err(crate::MiniTesterError::BadTestPlan {
@@ -86,11 +88,9 @@ impl ShmooPlot {
     ) -> Result<ShmooPlot> {
         config.validate()?;
         let ui = rate.unit_interval();
-        let n_phases = ((ui.as_fs() + config.phase_step.as_fs() - 1)
-            / config.phase_step.as_fs())
-        .max(1) as usize;
-        let phases: Vec<Duration> =
-            (0..n_phases).map(|k| config.phase_step * k as i64).collect();
+        let n_phases = ((ui.as_fs() + config.phase_step.as_fs() - 1) / config.phase_step.as_fs())
+            .max(1) as usize;
+        let phases: Vec<Duration> = (0..n_phases).map(|k| config.phase_step * k as i64).collect();
         let thresholds = config.voltage_points();
 
         let mut capture = EtCapture::new();
@@ -177,13 +177,13 @@ impl fmt::Display for ShmooPlot {
             }
             writeln!(f)?;
         }
-        writeln!(
+        writeln!(f, "{:>8} +{}", "", "-".repeat(self.phases.len()))?;
+        write!(
             f,
-            "{:>8} +{}",
+            "{:>8}  phase 0..{}",
             "",
-            "-".repeat(self.phases.len())
-        )?;
-        write!(f, "{:>8}  phase 0..{}", "", self.phases.last().map(|p| p.to_string()).unwrap_or_default())
+            self.phases.last().map(|p| p.to_string()).unwrap_or_default()
+        )
     }
 }
 

@@ -10,9 +10,9 @@ use core::fmt;
 use pstime::{DataRate, UnitInterval};
 
 use crate::capture::EtCapture;
+use crate::channel::WlpChannel;
 use crate::datapath::MiniTesterDatapath;
 use crate::dut::{BistMode, WlpDut};
-use crate::channel::WlpChannel;
 use crate::{MiniTesterError, Result};
 
 /// A declarative test plan.
@@ -206,9 +206,8 @@ mod tests {
     #[test]
     fn good_die_passes_loopback() {
         let mut tester = MiniTester::new().unwrap();
-        let outcome = tester
-            .run(&TestPlan::prbs_loopback(DataRate::from_gbps(2.5), 2_048), 1)
-            .unwrap();
+        let outcome =
+            tester.run(&TestPlan::prbs_loopback(DataRate::from_gbps(2.5), 2_048), 1).unwrap();
         assert!(outcome.passed(), "{outcome}");
         assert_eq!(outcome.errors, 0);
         assert!(outcome.eye_ui.unwrap().value() > 0.4);
@@ -218,9 +217,7 @@ mod tests {
     #[test]
     fn good_die_passes_bist_at_5gbps() {
         let mut tester = MiniTester::new().unwrap();
-        let outcome = tester
-            .run(&TestPlan::prbs_bist(DataRate::from_gbps(5.0), 2_048), 2)
-            .unwrap();
+        let outcome = tester.run(&TestPlan::prbs_bist(DataRate::from_gbps(5.0), 2_048), 2).unwrap();
         assert!(outcome.passed(), "{outcome}");
         assert!(outcome.eye_ui.is_none());
     }
@@ -229,12 +226,9 @@ mod tests {
     fn stuck_input_is_caught() {
         let mut tester = MiniTester::new().unwrap();
         tester.insert_dut(
-            WlpDut::good(WlpChannel::interposer())
-                .with_defect(Defect::StuckInput { level: true }),
+            WlpDut::good(WlpChannel::interposer()).with_defect(Defect::StuckInput { level: true }),
         );
-        let outcome = tester
-            .run(&TestPlan::prbs_bist(DataRate::from_gbps(2.5), 1_024), 3)
-            .unwrap();
+        let outcome = tester.run(&TestPlan::prbs_bist(DataRate::from_gbps(2.5), 1_024), 3).unwrap();
         assert!(!outcome.passed());
         assert!(outcome.errors > 100);
         assert!(outcome.to_string().starts_with("FAIL"));
@@ -253,9 +247,8 @@ mod tests {
         // below the 0.4 UI limit.
         assert!(!at_speed.passed(), "degraded channel passed?! {at_speed}");
         // At a gentle rate the same die passes: the defect is speed-related.
-        let slow = tester
-            .run(&TestPlan::prbs_loopback(DataRate::from_gbps(1.0), 2_048), 4)
-            .unwrap();
+        let slow =
+            tester.run(&TestPlan::prbs_loopback(DataRate::from_gbps(1.0), 2_048), 4).unwrap();
         assert!(slow.passed(), "slow retest failed: {slow}");
         assert_eq!(tester.dut().channel(), &WlpChannel::degraded());
     }
@@ -263,9 +256,11 @@ mod tests {
     #[test]
     fn plans_are_validated() {
         let mut tester = MiniTester::new().unwrap();
-        let too_short = TestPlan { n_bits: 32, ..TestPlan::prbs_bist(DataRate::from_gbps(1.0), 32) };
+        let too_short =
+            TestPlan { n_bits: 32, ..TestPlan::prbs_bist(DataRate::from_gbps(1.0), 32) };
         assert!(tester.run(&too_short, 0).is_err());
-        let unaligned = TestPlan { n_bits: 100, ..TestPlan::prbs_bist(DataRate::from_gbps(1.0), 100) };
+        let unaligned =
+            TestPlan { n_bits: 100, ..TestPlan::prbs_bist(DataRate::from_gbps(1.0), 100) };
         assert!(tester.run(&unaligned, 0).is_err());
         let bad_eye = TestPlan {
             min_eye_ui: 2.0,
@@ -280,9 +275,8 @@ mod tests {
         tester
             .datapath_mut()
             .set_levels(signal::LevelSet::pecl().with_swing(pstime::Millivolts::new(600)));
-        let outcome = tester
-            .run(&TestPlan::prbs_loopback(DataRate::from_gbps(2.5), 1_024), 6)
-            .unwrap();
+        let outcome =
+            tester.run(&TestPlan::prbs_loopback(DataRate::from_gbps(2.5), 1_024), 6).unwrap();
         // Reduced swing still passes through a healthy channel.
         assert!(outcome.passed(), "{outcome}");
     }

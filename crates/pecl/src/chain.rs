@@ -238,7 +238,8 @@ impl SignalChain {
             });
         }
         let budget = self.jitter_budget();
-        let digital = DigitalWaveform::from_bits(bits, rate, &budget, seed).delayed(self.prop_delay);
+        let digital =
+            DigitalWaveform::from_bits(bits, rate, &budget, seed).delayed(self.prop_delay);
         Ok(AnalogWaveform::new(digital, self.levels, self.shape))
     }
 
@@ -313,7 +314,8 @@ impl SignalChainBuilder {
     pub fn add_clock(mut self, clock: &RfClockSource) -> Self {
         self.chain.add_rj(clock.rj_rms());
         let n = self.chain.stages.len();
-        self.chain.stages[n - 1] = format!("rf-clock {} ({} rms)", clock.frequency(), clock.rj_rms());
+        self.chain.stages[n - 1] =
+            format!("rf-clock {} ({} rms)", clock.frequency(), clock.rj_rms());
         self
     }
 
@@ -452,10 +454,7 @@ mod tests {
         let wave = chain.render(&bits, rate, 42).unwrap();
         let eye = EyeDiagram::analyze(&wave, rate).unwrap();
         let measured = eye.jitter_pp().as_ps_f64();
-        assert!(
-            (40.0..55.0).contains(&measured),
-            "measured TJ {measured} ps, expected ~47"
-        );
+        assert!((40.0..55.0).contains(&measured), "measured TJ {measured} ps, expected ~47");
         let opening = eye.opening_ui().value();
         assert!((opening - 0.88).abs() < 0.03, "measured opening {opening}");
     }
@@ -463,9 +462,8 @@ mod tests {
     #[test]
     fn rate_limit_enforced() {
         let chain = SignalChain::minitester_datapath();
-        let err = chain
-            .render(&BitStream::alternating(16), DataRate::from_gbps(6.0), 0)
-            .unwrap_err();
+        let err =
+            chain.render(&BitStream::alternating(16), DataRate::from_gbps(6.0), 0).unwrap_err();
         assert!(matches!(err, PeclError::RateTooHigh { .. }));
         assert!((chain.max_rate_gbps() - 5.0).abs() < 1e-9);
     }
@@ -504,9 +502,8 @@ mod tests {
         let line = ProgrammableDelayLine::standard();
         let chain = SignalChain::builder("with-delay").add_delay_line(&line).build();
         assert_eq!(chain.prop_delay(), Duration::from_ps(1200));
-        let wave = chain
-            .render(&BitStream::from_str_bits("10"), DataRate::from_gbps(1.0), 0)
-            .unwrap();
+        let wave =
+            chain.render(&BitStream::from_str_bits("10"), DataRate::from_gbps(1.0), 0).unwrap();
         assert_eq!(wave.digital().start(), pstime::Instant::from_ps(1200));
     }
 
@@ -516,9 +513,7 @@ mod tests {
         let reduced = LevelSet::pecl().with_swing(pstime::Millivolts::new(400));
         chain.set_levels(reduced);
         assert_eq!(chain.levels().swing(), pstime::Millivolts::new(400));
-        let wave = chain
-            .render(&BitStream::alternating(8), DataRate::from_gbps(1.25), 0)
-            .unwrap();
+        let wave = chain.render(&BitStream::alternating(8), DataRate::from_gbps(1.25), 0).unwrap();
         assert_eq!(wave.levels().swing(), pstime::Millivolts::new(400));
     }
 }

@@ -61,8 +61,7 @@ impl RfClockSource {
         // A clock is an alternating bit pattern at twice the frequency.
         let bits = BitStream::alternating(cycles * 2);
         let half_rate = pstime::DataRate::from_bps(self.freq.as_hz() * 2);
-        let budget = JitterBudget::new()
-            .with_model(signal::jitter::RandomJitter::new(self.rj_rms));
+        let budget = JitterBudget::new().with_model(signal::jitter::RandomJitter::new(self.rj_rms));
         DigitalWaveform::from_bits(&bits, half_rate, &budget, seed)
     }
 
@@ -204,11 +203,7 @@ mod tests {
         let period = measure_period(&clk).unwrap();
         assert!((period - Duration::from_ps(400)).abs() < Duration::from_ps(1));
         // But edges deviate from the ideal grid.
-        let off_grid = clk
-            .edges()
-            .iter()
-            .filter(|e| e.at.as_fs() % 200_000 != 0)
-            .count();
+        let off_grid = clk.edges().iter().filter(|e| e.at.as_fs() % 200_000 != 0).count();
         assert!(off_grid > clk.num_edges() / 2);
     }
 

@@ -146,10 +146,7 @@ impl ProgrammableDelayLine {
 
     /// Worst-case INL across all codes.
     pub fn max_inl(&self) -> Duration {
-        (0..self.codes)
-            .map(|c| self.inl_at(c).abs())
-            .max()
-            .unwrap_or(Duration::ZERO)
+        (0..self.codes).map(|c| self.inl_at(c).abs()).max().unwrap_or(Duration::ZERO)
     }
 
     /// The differential nonlinearity at `code` (step error vs. the ideal

@@ -61,7 +61,10 @@ impl fmt::Display for PeclError {
                 write!(f, "DAC code {code} out of range (0..{codes})")
             }
             PeclError::RateTooHigh { requested_gbps, limit_gbps } => {
-                write!(f, "requested {requested_gbps} Gbps exceeds component limit {limit_gbps} Gbps")
+                write!(
+                    f,
+                    "requested {requested_gbps} Gbps exceeds component limit {limit_gbps} Gbps"
+                )
             }
             PeclError::Signal(e) => write!(f, "signal analysis failed: {e}"),
         }

@@ -47,11 +47,7 @@ impl Mux2 {
     /// to ~5 Gbps ("at the upper limit of some of the individual PECL
     /// components", §3).
     pub fn new() -> Self {
-        Mux2 {
-            dcd: Duration::from_ps(4),
-            added_rj: Duration::from_ps_f64(0.8),
-            max_rate_gbps: 5.0,
-        }
+        Mux2 { dcd: Duration::from_ps(4), added_rj: Duration::from_ps_f64(0.8), max_rate_gbps: 5.0 }
     }
 
     /// Customizes the impairments.
@@ -223,13 +219,10 @@ mod tests {
     #[test]
     fn mux2_interleaves() {
         let m = Mux2::new();
-        let out = m
-            .serialize(&BitStream::from_str_bits("10"), &BitStream::from_str_bits("01"))
-            .unwrap();
+        let out =
+            m.serialize(&BitStream::from_str_bits("10"), &BitStream::from_str_bits("01")).unwrap();
         assert_eq!(out.to_string(), "1001");
-        assert!(m
-            .serialize(&BitStream::ones(2), &BitStream::ones(3))
-            .is_err());
+        assert!(m.serialize(&BitStream::ones(2), &BitStream::ones(3)).is_err());
         assert_eq!(m.dcd(), Duration::from_ps(4));
         assert_eq!(m.added_rj(), Duration::from_ps_f64(0.8));
         assert!((m.max_rate_gbps() - 5.0).abs() < 1e-12);
@@ -244,9 +237,7 @@ mod tests {
         for ways in [2usize, 4, 8, 16] {
             let tree = MuxTree::new(ways).unwrap();
             let lanes: Vec<BitStream> = (0..ways)
-                .map(|i| {
-                    BitStream::from_fn(8, move |j| (i * 7 + j * 3) % 5 < 2)
-                })
+                .map(|i| BitStream::from_fn(8, move |j| (i * 7 + j * 3) % 5 < 2))
                 .collect();
             let tree_out = tree.serialize(&lanes).unwrap();
             let flat = BitStream::interleave(&lanes);
@@ -261,12 +252,8 @@ mod tests {
         assert!(MuxTree::new(1).is_err());
         let tree = MuxTree::new(4).unwrap();
         assert!(tree.serialize(&vec![BitStream::ones(4); 3]).is_err());
-        let uneven = vec![
-            BitStream::ones(4),
-            BitStream::ones(4),
-            BitStream::ones(4),
-            BitStream::ones(5),
-        ];
+        let uneven =
+            vec![BitStream::ones(4), BitStream::ones(4), BitStream::ones(4), BitStream::ones(5)];
         assert!(tree.serialize(&uneven).is_err());
     }
 
@@ -305,18 +292,14 @@ mod tests {
         let lanes: Vec<BitStream> =
             (0..16).map(|i| BitStream::from_fn(4, move |j| (i + j) % 3 == 0)).collect();
         let t8 = MuxTree::new(8).unwrap();
-        let groups: Vec<BitStream> = lanes
-            .chunks(8)
-            .map(|g| t8.serialize(g).unwrap())
-            .collect();
+        let groups: Vec<BitStream> = lanes.chunks(8).map(|g| t8.serialize(g).unwrap()).collect();
         let final_mux = Mux2::new();
         let two_stage = final_mux.serialize(&groups[0], &groups[1]).unwrap();
         // Two-stage order: group A bit, group B bit, … where each group
         // internally interleaves its 8 lanes. That equals interleaving the
         // lane order [0,8,1,9,2,10,…].
-        let reordered: Vec<BitStream> = (0..16)
-            .map(|i| lanes[if i % 2 == 0 { i / 2 } else { 8 + i / 2 }].clone())
-            .collect();
+        let reordered: Vec<BitStream> =
+            (0..16).map(|i| lanes[if i % 2 == 0 { i / 2 } else { 8 + i / 2 }].clone()).collect();
         assert_eq!(two_stage, BitStream::interleave(&reordered));
     }
 

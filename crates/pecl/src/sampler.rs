@@ -8,9 +8,11 @@
 //! without a bench oscilloscope.
 
 use pstime::{DataRate, Duration, Instant, Millivolts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{Rng, SeedTree, StreamId};
 use signal::{AnalogWaveform, BitStream};
+
+/// Substream identity for capture aperture-jitter draws.
+pub const SAMPLER_STREAM: StreamId = StreamId::named("pecl.sampler");
 
 /// A strobed comparator sampler with programmable threshold and aperture
 /// jitter.
@@ -87,7 +89,7 @@ impl StrobedSampler {
 
     /// Samples the waveform once at `strobe` (with aperture jitter drawn
     /// from `rng`).
-    pub fn sample_at(&self, wave: &AnalogWaveform, strobe: Instant, rng: &mut StdRng) -> bool {
+    pub fn sample_at(&self, wave: &AnalogWaveform, strobe: Instant, rng: &mut Rng) -> bool {
         let t = if self.aperture_rj.is_zero() {
             strobe
         } else {
@@ -108,7 +110,7 @@ impl StrobedSampler {
     ) -> BitStream {
         let ui = rate.unit_interval();
         let start = wave.digital().start();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a11_ce0f);
+        let mut rng = SeedTree::new(seed).derive(SAMPLER_STREAM).rng();
         BitStream::from_fn(n, |i| {
             self.sample_at(wave, start + ui * i as i64 + strobe_phase, &mut rng)
         })
@@ -141,12 +143,8 @@ impl StrobedSampler {
     }
 }
 
-fn gaussian(rng: &mut StdRng, sigma: Duration) -> Duration {
-    // Box–Muller, single deviate.
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
-    Duration::from_fs((z * sigma.as_fs() as f64).round() as i64)
+fn gaussian(rng: &mut Rng, sigma: Duration) -> Duration {
+    Duration::from_fs((rng.gaussian() * sigma.as_fs() as f64).round() as i64)
 }
 
 #[cfg(test)]
@@ -186,7 +184,7 @@ mod tests {
     fn threshold_programming_affects_decisions() {
         let (w, _rate, _) = wave("1111", 2.5);
         let mut s = StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         assert!(s.sample_at(&w, Instant::from_ps(600), &mut rng));
         // Raise the threshold above VOH: everything reads low.
         s.set_threshold(Millivolts::new(-800));
@@ -224,12 +222,7 @@ mod tests {
         let rate = DataRate::from_gbps(2.5);
         let bits = BitStream::alternating(64);
         let w = AnalogWaveform::new(
-            DigitalWaveform::from_bits(
-                &bits,
-                rate,
-                &JitterBudget::new().with_rj_rms_ps(3.0),
-                5,
-            ),
+            DigitalWaveform::from_bits(&bits, rate, &JitterBudget::new().with_rj_rms_ps(3.0), 5),
             LevelSet::pecl(),
             EdgeShape::default(),
         );

@@ -186,10 +186,7 @@ mod tests {
         assert_eq!(gen.frequency(), Frequency::from_ghz(1.25));
         let pulses = gen.generate_pulses(512, 9);
         // Pulse starts deviate from the ideal 400 ps grid.
-        let off_grid = pulses
-            .iter()
-            .filter(|p| p.start.as_fs() % 400_000 != 0)
-            .count();
+        let off_grid = pulses.iter().filter(|p| p.start.as_fs() % 400_000 != 0).count();
         assert!(off_grid > pulses.len() / 2);
         // Widths stay near the programmed value (common-mode jitter
         // cancels in the XOR, leaving only decorrelation over the delay).
@@ -219,7 +216,7 @@ mod tests {
         let mut gen = TimingGenerator::new(Frequency::from_ghz(1.25));
         gen.set_pulse_width(Duration::from_ps(100)).unwrap();
         let sampler = crate::StrobedSampler::new(Millivolts::new(-1300), Duration::ZERO);
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = rng::Rng::seed_from_u64(0);
         // One extra cycle: the pulse train loses its last pulse at the
         // burst end (no delayed partner).
         let pulses = gen.generate_pulses(bits.len() / 2 + 1, 0);

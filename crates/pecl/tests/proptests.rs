@@ -1,117 +1,137 @@
 //! Property-based tests for the PECL front end: mux trees, delay verniers,
 //! DACs, and the sampler.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
 use pecl::levels::LevelKnob;
 use pecl::{Mux2, MuxTree, ProgrammableDelayLine, VoltageTuningDac};
 use pstime::{DataRate, Duration, Millivolts};
+use rng::{Rng, SeedTree};
 use signal::BitStream;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn mux_tree_is_lossless_and_ordered(
-        ways_pow in 1u32..5,
-        lane_bits in 1usize..32,
-        seed in any::<u64>(),
-    ) {
-        let ways = 1usize << ways_pow;
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0x9ec1).stream("pecl.proptests").stream(label).rng(), CASES)
+}
+
+fn random_bits(rng: &mut Rng, min_len: usize, max_len: usize) -> BitStream {
+    let len = rng.range_usize(min_len..max_len);
+    BitStream::from_fn(len, |_| rng.bool())
+}
+
+#[test]
+fn mux_tree_is_lossless_and_ordered() {
+    let (mut rng, n) = cases("mux-tree");
+    for _ in 0..n {
+        let ways = 1usize << rng.range_u32(1..5);
+        let lane_bits = rng.range_usize(1..32);
         let tree = MuxTree::new(ways).unwrap();
-        let lanes: Vec<BitStream> = (0..ways)
-            .map(|i| {
-                BitStream::from_fn(lane_bits, |j| {
-                    seed.rotate_left(((i + 3) * (j + 7)) as u32 % 63) & 1 == 1
-                })
-            })
-            .collect();
+        let lanes: Vec<BitStream> =
+            (0..ways).map(|_| BitStream::from_fn(lane_bits, |_| rng.bool())).collect();
         let serial = tree.serialize(&lanes).unwrap();
-        prop_assert_eq!(serial.len(), ways * lane_bits);
+        assert_eq!(serial.len(), ways * lane_bits);
         // Bit k of the serial stream is lane (k % ways), bit (k / ways).
         for k in 0..serial.len() {
-            prop_assert_eq!(serial[k], lanes[k % ways][k / ways]);
+            assert_eq!(serial[k], lanes[k % ways][k / ways], "ways={ways} k={k}");
         }
     }
+}
 
-    #[test]
-    fn two_stage_equals_tree_with_regrouped_lanes(lane_bits in 1usize..16, seed in any::<u64>()) {
-        // 8:1 + 8:1 + 2:1 equals 16:1 on lanes reordered [0,8,1,9,...].
-        let lanes: Vec<BitStream> = (0..16)
-            .map(|i| BitStream::from_fn(lane_bits, |j| seed.rotate_left((i * 5 + j * 11) as u32 % 63) & 1 == 1))
-            .collect();
+#[test]
+fn two_stage_equals_tree_with_regrouped_lanes() {
+    // 8:1 + 8:1 + 2:1 equals 16:1 on lanes reordered [0,8,1,9,...].
+    let (mut rng, n) = cases("two-stage");
+    for _ in 0..n {
+        let lane_bits = rng.range_usize(1..16);
+        let lanes: Vec<BitStream> =
+            (0..16).map(|_| BitStream::from_fn(lane_bits, |_| rng.bool())).collect();
         let t8 = MuxTree::new(8).unwrap();
         let a = t8.serialize(&lanes[..8]).unwrap();
         let b = t8.serialize(&lanes[8..]).unwrap();
         let two_stage = Mux2::new().serialize(&a, &b).unwrap();
 
-        let reordered: Vec<BitStream> = (0..16)
-            .map(|i| lanes[if i % 2 == 0 { i / 2 } else { 8 + i / 2 }].clone())
-            .collect();
-        prop_assert_eq!(two_stage, BitStream::interleave(&reordered));
+        let reordered: Vec<BitStream> =
+            (0..16).map(|i| lanes[if i % 2 == 0 { i / 2 } else { 8 + i / 2 }].clone()).collect();
+        assert_eq!(two_stage, BitStream::interleave(&reordered), "lane_bits={lane_bits}");
     }
+}
 
-    #[test]
-    fn delay_line_is_monotone_and_accurate(codes in vec(0u32..1024, 1..32)) {
-        let mut vernier = ProgrammableDelayLine::standard();
-        for code in codes {
-            vernier.set_code(code).unwrap();
-            let err = vernier.actual_delay() - vernier.nominal_delay();
-            prop_assert!(err.abs() <= Duration::from_ps(2), "INL {err}");
-        }
+#[test]
+fn delay_line_is_monotone_and_accurate() {
+    let (mut rng, n) = cases("delay-inl");
+    let mut vernier = ProgrammableDelayLine::standard();
+    for _ in 0..n {
+        let code = rng.range_u32(0..1024);
+        vernier.set_code(code).unwrap();
+        let err = vernier.actual_delay() - vernier.nominal_delay();
+        assert!(err.abs() <= Duration::from_ps(2), "INL {err} (code={code})");
     }
+}
 
-    #[test]
-    fn delay_requests_quantize_within_half_step(ps in 0i64..10_240) {
-        let mut vernier = ProgrammableDelayLine::standard();
+#[test]
+fn delay_requests_quantize_within_half_step() {
+    let (mut rng, n) = cases("delay-quantize");
+    let mut vernier = ProgrammableDelayLine::standard();
+    for _ in 0..n {
+        let ps = rng.range_i64(0..10_240);
         let requested = Duration::from_ps(ps);
         vernier.set_delay(requested).unwrap();
         let err = (vernier.nominal_delay() - requested).abs();
-        prop_assert!(err <= Duration::from_ps(5), "quantization {err}");
+        assert!(err <= Duration::from_ps(5), "quantization {err} (ps={ps})");
     }
+}
 
-    #[test]
-    fn dac_codes_step_linearly(knob_idx in 0usize..3, code in 0u32..4) {
-        let knob = [LevelKnob::High, LevelKnob::Low, LevelKnob::MidBias][knob_idx];
-        let mut dac = VoltageTuningDac::new();
-        dac.set_code(knob, code).unwrap();
-        let levels = dac.levels();
-        let expected_step = dac.step(knob) * code as i32;
-        match knob {
-            LevelKnob::High => {
-                prop_assert_eq!(levels.voh(), Millivolts::new(-900) - expected_step)
+#[test]
+fn dac_codes_step_linearly() {
+    for knob in [LevelKnob::High, LevelKnob::Low, LevelKnob::MidBias] {
+        for code in 0u32..4 {
+            let mut dac = VoltageTuningDac::new();
+            dac.set_code(knob, code).unwrap();
+            let levels = dac.levels();
+            let expected_step = dac.step(knob) * code as i32;
+            match knob {
+                LevelKnob::High => {
+                    assert_eq!(levels.voh(), Millivolts::new(-900) - expected_step)
+                }
+                LevelKnob::Low => {
+                    assert_eq!(levels.vol(), Millivolts::new(-1700) + expected_step)
+                }
+                LevelKnob::MidBias => {
+                    assert_eq!(levels.mid(), Millivolts::new(-1300) - expected_step)
+                }
+                LevelKnob::Swing => unreachable!(),
             }
-            LevelKnob::Low => {
-                prop_assert_eq!(levels.vol(), Millivolts::new(-1700) + expected_step)
-            }
-            LevelKnob::MidBias => {
-                prop_assert_eq!(levels.mid(), Millivolts::new(-1300) - expected_step)
-            }
-            LevelKnob::Swing => unreachable!(),
+            // Levels always stay ordered.
+            assert!(levels.voh() > levels.vol());
         }
-        // Levels always stay ordered.
-        prop_assert!(levels.voh() > levels.vol());
     }
+}
 
-    #[test]
-    fn chain_render_is_seed_deterministic(bits in vec(any::<bool>(), 8..128), seed in any::<u64>()) {
-        let chain = pecl::SignalChain::testbed_transmitter();
-        let stream = BitStream::from(bits);
+#[test]
+fn chain_render_is_seed_deterministic() {
+    let (mut rng, n) = cases("chain-deterministic");
+    let chain = pecl::SignalChain::testbed_transmitter();
+    for _ in 0..n.min(16) {
+        let stream = random_bits(&mut rng, 8, 128);
+        let seed = rng.next_u64();
         let rate = DataRate::from_gbps(2.5);
         let a = chain.render(&stream, rate, seed).unwrap();
         let b = chain.render(&stream, rate, seed).unwrap();
-        prop_assert_eq!(a.digital(), b.digital());
+        assert_eq!(a.digital(), b.digital(), "seed={seed}");
     }
+}
 
-    #[test]
-    fn sampler_recovers_clean_data_at_any_sane_threshold(
-        bits in vec(any::<bool>(), 8..64),
-        threshold_mv in -1600i32..-1000,
-    ) {
-        use signal::jitter::NoJitter;
-        use signal::{AnalogWaveform, DigitalWaveform, EdgeShape, LevelSet};
-        let stream = BitStream::from(bits);
+#[test]
+fn sampler_recovers_clean_data_at_any_sane_threshold() {
+    use signal::jitter::NoJitter;
+    use signal::{AnalogWaveform, DigitalWaveform, EdgeShape, LevelSet};
+    let (mut rng, n) = cases("sampler-threshold");
+    for _ in 0..n {
+        let stream = random_bits(&mut rng, 8, 64);
+        let threshold_mv = rng.range_i32(-1600..-1000);
         let rate = DataRate::from_gbps(1.0); // slow: fully settled mid-bit
         let wave = AnalogWaveform::new(
             DigitalWaveform::from_bits(&stream, rate, &NoJitter, 0),
@@ -120,6 +140,6 @@ proptest! {
         );
         let sampler = pecl::StrobedSampler::new(Millivolts::new(threshold_mv), Duration::ZERO);
         let captured = sampler.capture(&wave, rate, rate.unit_interval() / 2, stream.len(), 0);
-        prop_assert_eq!(captured, stream);
+        assert_eq!(captured, stream, "threshold={threshold_mv}");
     }
 }

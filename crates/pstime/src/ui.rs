@@ -120,7 +120,9 @@ mod tests {
 
         // Fig. 19: ~50 ps at 5 Gbps leaves ~0.75 UI.
         let rate5 = DataRate::from_gbps(5.0);
-        let opening5 = (UnitInterval::ONE - UnitInterval::from_duration(Duration::from_ps(50), rate5)).clamp_unit();
+        let opening5 = (UnitInterval::ONE
+            - UnitInterval::from_duration(Duration::from_ps(50), rate5))
+        .clamp_unit();
         assert!((opening5.value() - 0.75).abs() < 0.005);
     }
 

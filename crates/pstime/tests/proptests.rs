@@ -1,119 +1,184 @@
 //! Property-based tests for the time/rate/voltage unit types.
+//!
+//! Driven by the first-party `rng` crate instead of an external property
+//! framework: each test draws its cases from a named, seeded substream, so
+//! every run exercises the same (broad) slice of the input space and a
+//! failure is reproducible from the assert message's case values alone.
 
-use proptest::prelude::*;
 use pstime::{DataRate, Duration, Frequency, Instant, Millivolts, UnitInterval};
+use rng::{Rng, SeedTree};
 
 // Keep magnitudes below i64::MAX/4 femtoseconds so sums cannot overflow.
 const FS_BOUND: i64 = i64::MAX / 4;
 
-proptest! {
-    #[test]
-    fn duration_addition_is_commutative(a in -FS_BOUND..FS_BOUND, b in -FS_BOUND..FS_BOUND) {
+const CASES: usize = 256;
+
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0x9575).stream("pstime.proptests").stream(label).rng(), CASES)
+}
+
+#[test]
+fn duration_addition_is_commutative() {
+    let (mut rng, n) = cases("add-commutative");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND..FS_BOUND);
+        let b = rng.range_i64(-FS_BOUND..FS_BOUND);
         let (x, y) = (Duration::from_fs(a), Duration::from_fs(b));
-        prop_assert_eq!(x + y, y + x);
+        assert_eq!(x + y, y + x, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn duration_addition_is_associative(
-        a in -FS_BOUND / 2..FS_BOUND / 2,
-        b in -FS_BOUND / 2..FS_BOUND / 2,
-        c in -FS_BOUND / 2..FS_BOUND / 2,
-    ) {
+#[test]
+fn duration_addition_is_associative() {
+    let (mut rng, n) = cases("add-associative");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND / 2..FS_BOUND / 2);
+        let b = rng.range_i64(-FS_BOUND / 2..FS_BOUND / 2);
+        let c = rng.range_i64(-FS_BOUND / 2..FS_BOUND / 2);
         let (x, y, z) = (Duration::from_fs(a), Duration::from_fs(b), Duration::from_fs(c));
-        prop_assert_eq!((x + y) + z, x + (y + z));
+        assert_eq!((x + y) + z, x + (y + z), "a={a} b={b} c={c}");
     }
+}
 
-    #[test]
-    fn duration_negation_is_involutive(a in -FS_BOUND..FS_BOUND) {
+#[test]
+fn duration_negation_is_involutive() {
+    let (mut rng, n) = cases("negation");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND..FS_BOUND);
         let x = Duration::from_fs(a);
-        prop_assert_eq!(-(-x), x);
-        prop_assert_eq!(x + (-x), Duration::ZERO);
+        assert_eq!(-(-x), x, "a={a}");
+        assert_eq!(x + (-x), Duration::ZERO, "a={a}");
     }
+}
 
-    #[test]
-    fn rem_euclid_is_a_valid_phase(a in -FS_BOUND..FS_BOUND, m in 1i64..1_000_000_000) {
+#[test]
+fn rem_euclid_is_a_valid_phase() {
+    let (mut rng, n) = cases("rem-euclid");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND..FS_BOUND);
+        let m = rng.range_i64(1..1_000_000_000);
         let phase = Duration::from_fs(a).rem_euclid(Duration::from_fs(m));
-        prop_assert!(phase >= Duration::ZERO);
-        prop_assert!(phase < Duration::from_fs(m));
+        assert!(phase >= Duration::ZERO, "a={a} m={m}");
+        assert!(phase < Duration::from_fs(m), "a={a} m={m}");
         // Congruence: a - phase is a multiple of m.
-        prop_assert_eq!((a - phase.as_fs()).rem_euclid(m), 0);
+        assert_eq!((a - phase.as_fs()).rem_euclid(m), 0, "a={a} m={m}");
     }
+}
 
-    #[test]
-    fn round_to_lands_on_grid_within_half_step(
-        a in -1_000_000_000i64..1_000_000_000,
-        step in 1i64..100_000,
-    ) {
+#[test]
+fn round_to_lands_on_grid_within_half_step() {
+    let (mut rng, n) = cases("round-to");
+    for _ in 0..n {
+        let a = rng.range_i64(-1_000_000_000..1_000_000_000);
+        let step = rng.range_i64(1..100_000);
         let d = Duration::from_fs(a);
         let s = Duration::from_fs(step);
         let rounded = d.round_to(s);
-        prop_assert_eq!(rounded.as_fs().rem_euclid(step), 0);
-        prop_assert!((rounded - d).abs().as_fs() * 2 <= step);
+        assert_eq!(rounded.as_fs().rem_euclid(step), 0, "a={a} step={step}");
+        assert!((rounded - d).abs().as_fs() * 2 <= step, "a={a} step={step}");
     }
+}
 
-    #[test]
-    fn instant_duration_algebra(a in -FS_BOUND..FS_BOUND, b in -FS_BOUND / 2..FS_BOUND / 2) {
+#[test]
+fn instant_duration_algebra() {
+    let (mut rng, n) = cases("instant-algebra");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND..FS_BOUND);
+        let b = rng.range_i64(-FS_BOUND / 2..FS_BOUND / 2);
         let t = Instant::from_fs(a);
         let d = Duration::from_fs(b);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!(t.since(t + d), -d);
+        assert_eq!((t + d) - t, d, "a={a} b={b}");
+        assert_eq!((t + d) - d, t, "a={a} b={b}");
+        assert_eq!(t.since(t + d), -d, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn phase_in_is_stable_under_period_shifts(
-        a in -1_000_000_000i64..1_000_000_000,
-        period in 1i64..10_000_000,
-        k in -100i64..100,
-    ) {
+#[test]
+fn phase_in_is_stable_under_period_shifts() {
+    let (mut rng, n) = cases("phase-in");
+    for _ in 0..n {
+        let a = rng.range_i64(-1_000_000_000..1_000_000_000);
+        let period = rng.range_i64(1..10_000_000);
+        let k = rng.range_i64(-100..100);
         let t = Instant::from_fs(a);
         let p = Duration::from_fs(period);
         let shifted = t + p * k;
-        prop_assert_eq!(t.phase_in(p), shifted.phase_in(p));
+        assert_eq!(t.phase_in(p), shifted.phase_in(p), "a={a} period={period} k={k}");
     }
+}
 
-    #[test]
-    fn data_rate_ui_inverse(gbps_tenths in 1u64..200) {
-        // Rates 0.1..20 Gbps: UI * rate ≈ 1 second-in-fs within rounding.
+#[test]
+fn data_rate_ui_inverse() {
+    // Rates 0.1..20 Gbps: UI * rate ≈ 1 second-in-fs within rounding.
+    for gbps_tenths in 1u64..200 {
         let rate = DataRate::from_bps(gbps_tenths * 100_000_000);
         let ui = rate.unit_interval();
         let product = ui.as_fs() as i128 * rate.as_bps() as i128;
         let one_second = 1_000_000_000_000_000i128;
-        prop_assert!((product - one_second).abs() <= rate.as_bps() as i128);
+        assert!((product - one_second).abs() <= rate.as_bps() as i128, "gbps_tenths={gbps_tenths}");
     }
+}
 
-    #[test]
-    fn demux_aggregate_round_trip(bps in 1_000_000u64..10_000_000_000, ways in 1u64..64) {
+#[test]
+fn demux_aggregate_round_trip() {
+    let (mut rng, n) = cases("demux-aggregate");
+    for _ in 0..n {
+        let bps = rng.range_u64(1_000_000..10_000_000_000);
+        let ways = rng.range_u64(1..64);
         let rate = DataRate::from_bps(bps * ways); // exactly divisible
-        prop_assert_eq!(rate.demux(ways).aggregate(ways), rate);
+        assert_eq!(rate.demux(ways).aggregate(ways), rate, "bps={bps} ways={ways}");
     }
+}
 
-    #[test]
-    fn frequency_divide_multiply(hz in 1_000u64..10_000_000_000, div in 1u64..1000) {
+#[test]
+fn frequency_divide_multiply() {
+    let (mut rng, n) = cases("freq-div-mul");
+    for _ in 0..n {
+        let hz = rng.range_u64(1_000..10_000_000_000);
+        let div = rng.range_u64(1..1000);
         let f = Frequency::from_hz(hz * div);
-        prop_assert_eq!(f.divide(div).multiply(div), f);
+        assert_eq!(f.divide(div).multiply(div), f, "hz={hz} div={div}");
     }
+}
 
-    #[test]
-    fn unit_interval_round_trips_at_rate(frac in 0.0f64..1.0, gbps_tenths in 1u64..100) {
+#[test]
+fn unit_interval_round_trips_at_rate() {
+    let (mut rng, n) = cases("ui-round-trip");
+    for _ in 0..n {
+        let frac = rng.f64();
+        let gbps_tenths = rng.range_u64(1..100);
         let rate = DataRate::from_bps(gbps_tenths * 100_000_000);
         let ui = UnitInterval::new(frac);
         let back = UnitInterval::from_duration(ui.at_rate(rate), rate);
-        prop_assert!((back.value() - frac).abs() < 1e-5);
+        assert!((back.value() - frac).abs() < 1e-5, "frac={frac} gbps_tenths={gbps_tenths}");
     }
+}
 
-    #[test]
-    fn millivolt_algebra(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+#[test]
+fn millivolt_algebra() {
+    let (mut rng, n) = cases("millivolts");
+    for _ in 0..n {
+        let a = rng.range_i32(-100_000..100_000);
+        let b = rng.range_i32(-100_000..100_000);
         let (x, y) = (Millivolts::new(a), Millivolts::new(b));
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x + y) - y, x);
+        assert_eq!(x + y, y + x, "a={a} b={b}");
+        assert_eq!((x + y) - y, x, "a={a} b={b}");
         // Midpoint is between the two values.
         let mid = x.midpoint(y);
-        prop_assert!(mid >= x.min(y) && mid <= x.max(y));
+        assert!(mid >= x.min(y) && mid <= x.max(y), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn display_never_panics(a in -FS_BOUND..FS_BOUND) {
+#[test]
+fn display_never_panics() {
+    let (mut rng, n) = cases("display");
+    for _ in 0..n {
+        let a = rng.range_i64(-FS_BOUND..FS_BOUND);
+        let _ = Duration::from_fs(a).to_string();
+        let _ = Instant::from_fs(a).to_string();
+    }
+    // And the extremes of the allowed range.
+    for a in [-FS_BOUND, -1, 0, 1, FS_BOUND - 1] {
         let _ = Duration::from_fs(a).to_string();
         let _ = Instant::from_fs(a).to_string();
     }

@@ -495,12 +495,8 @@ mod tests {
     fn rise_time_matches_shape() {
         let a = analog("0011", 2.5, 72.0);
         // 20% and 80% points of -1700..-900: -1540 and -1060 mV.
-        let t20 = a
-            .find_crossing(-1540.0, Instant::from_ps(600), Instant::from_ps(1000))
-            .unwrap();
-        let t80 = a
-            .find_crossing(-1060.0, Instant::from_ps(600), Instant::from_ps(1000))
-            .unwrap();
+        let t20 = a.find_crossing(-1540.0, Instant::from_ps(600), Instant::from_ps(1000)).unwrap();
+        let t80 = a.find_crossing(-1060.0, Instant::from_ps(600), Instant::from_ps(1000)).unwrap();
         let rise = t80 - t20;
         assert!(
             (rise.as_ps_f64() - 72.0).abs() < 1.0,
@@ -513,18 +509,15 @@ mod tests {
     fn crossing_bisection_is_exact() {
         let a = analog("01", 2.5, 72.0);
         // Transition centered at 400 ps: mid-crossing must land within 1 fs.
-        let t = a
-            .find_crossing(-1300.0, Instant::from_ps(200), Instant::from_ps(600))
-            .unwrap();
+        let t = a.find_crossing(-1300.0, Instant::from_ps(200), Instant::from_ps(600)).unwrap();
         assert!((t - Instant::from_ps(400)).abs() <= Duration::from_fs(2));
     }
 
     #[test]
     fn crossing_not_found() {
         let a = analog("0000", 2.5, 72.0);
-        let err = a
-            .find_crossing(-1300.0, Instant::from_ps(0), Instant::from_ps(1000))
-            .unwrap_err();
+        let err =
+            a.find_crossing(-1300.0, Instant::from_ps(0), Instant::from_ps(1000)).unwrap_err();
         assert!(matches!(err, crate::SignalError::CrossingNotFound { .. }));
     }
 
@@ -540,11 +533,8 @@ mod tests {
 
         // The same pattern at 1 Gbps settles fully.
         let slow = analog("0010100", 1.0, 120.0);
-        let (_, max_slow) = slow.range_over(
-            Instant::from_ps(1500),
-            Instant::from_ps(5500),
-            Duration::from_ps(5),
-        );
+        let (_, max_slow) =
+            slow.range_over(Instant::from_ps(1500), Instant::from_ps(5500), Duration::from_ps(5));
         assert!((max_slow + 900.0).abs() < 2.0, "1 Gbps peak {max_slow}");
         let _ = min_v;
     }

@@ -110,12 +110,7 @@ impl BathtubCurve {
     ///
     /// Panics if `rj_rms` is negative, `dj_pp` is negative, or
     /// `transition_density` is outside `(0, 1]`.
-    pub fn new(
-        rj_rms: Duration,
-        dj_pp: Duration,
-        rate: DataRate,
-        transition_density: f64,
-    ) -> Self {
+    pub fn new(rj_rms: Duration, dj_pp: Duration, rate: DataRate, transition_density: f64) -> Self {
         assert!(!rj_rms.is_negative(), "RJ rms must be nonnegative");
         assert!(!dj_pp.is_negative(), "DJ p-p must be nonnegative");
         assert!(
@@ -230,18 +225,10 @@ mod tests {
         // ~0.88 UI at 2.5 Gbps (Fig. 7's numbers).
         let rate = DataRate::from_gbps(2.5);
         // TJ = DJ + 2*Q*sigma; choose DJ=24.3 ps, sigma=1.6 ps, Q(2e-12)≈7.
-        let tub = BathtubCurve::new(
-            Duration::from_ps_f64(1.6),
-            Duration::from_ps_f64(24.3),
-            rate,
-            0.5,
-        );
+        let tub =
+            BathtubCurve::new(Duration::from_ps_f64(1.6), Duration::from_ps_f64(24.3), rate, 0.5);
         let tj = tub.total_jitter_at_ber(1e-12);
-        assert!(
-            (tj.as_ps_f64() - 46.7).abs() < 2.0,
-            "TJ {} ps, expected ~46.7",
-            tj.as_ps_f64()
-        );
+        assert!((tj.as_ps_f64() - 46.7).abs() < 2.0, "TJ {} ps, expected ~46.7", tj.as_ps_f64());
         let opening = tub.opening_at_ber(1e-12);
         assert!((opening.value() - 0.88).abs() < 0.01, "opening {opening}");
     }

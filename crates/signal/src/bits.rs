@@ -92,9 +92,7 @@ impl BitStream {
     /// Panics if `width` exceeds 64.
     pub fn from_word_msb_first(word: u64, width: u32) -> Self {
         assert!(width <= 64, "word width exceeds 64 bits");
-        BitStream {
-            bits: (0..width).rev().map(|i| (word >> i) & 1 == 1).collect(),
-        }
+        BitStream { bits: (0..width).rev().map(|i| (word >> i) & 1 == 1).collect() }
     }
 
     /// Packs the low `width` bits of `word`, least-significant bit first.
@@ -104,9 +102,7 @@ impl BitStream {
     /// Panics if `width` exceeds 64.
     pub fn from_word_lsb_first(word: u64, width: u32) -> Self {
         assert!(width <= 64, "word width exceeds 64 bits");
-        BitStream {
-            bits: (0..width).map(|i| (word >> i) & 1 == 1).collect(),
-        }
+        BitStream { bits: (0..width).map(|i| (word >> i) & 1 == 1).collect() }
     }
 
     /// Generates a stream by calling `f(index)` for each bit.
@@ -260,10 +256,7 @@ impl BitStream {
     pub fn interleave(lanes: &[BitStream]) -> BitStream {
         assert!(!lanes.is_empty(), "interleave requires at least one lane");
         let n = lanes[0].len();
-        assert!(
-            lanes.iter().all(|l| l.len() == n),
-            "interleave requires equal-length lanes"
-        );
+        assert!(lanes.iter().all(|l| l.len() == n), "interleave requires equal-length lanes");
         let mut bits = Vec::with_capacity(n * lanes.len());
         for i in 0..n {
             for lane in lanes {

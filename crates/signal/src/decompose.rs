@@ -154,22 +154,15 @@ pub fn normal_quantile(p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn gaussian(rng: &mut StdRng) -> f64 {
-        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
-    }
+    use rng::SeedTree;
 
     /// Synthesizes a dual-Dirac + Gaussian population.
     fn population(rj: f64, dj: f64, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeedTree::new(seed).stream("signal.decompose.population").rng();
         (0..n)
             .map(|i| {
                 let dirac = if i % 2 == 0 { -dj / 2.0 } else { dj / 2.0 };
-                dirac + rj * gaussian(&mut rng)
+                dirac + rj * rng.gaussian()
             })
             .collect()
     }

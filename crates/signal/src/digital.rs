@@ -140,8 +140,7 @@ impl DigitalWaveform {
         for i in 1..n {
             if bits[i] != bits[i - 1] {
                 let ideal = start + ui * i as i64;
-                let polarity =
-                    if bits[i] { EdgePolarity::Rising } else { EdgePolarity::Falling };
+                let polarity = if bits[i] { EdgePolarity::Rising } else { EdgePolarity::Falling };
                 let ctx = EdgeContext {
                     index: edge_index,
                     ideal,
@@ -243,11 +242,7 @@ impl DigitalWaveform {
     pub fn delayed(&self, delay: Duration) -> DigitalWaveform {
         DigitalWaveform {
             initial: self.initial,
-            edges: self
-                .edges
-                .iter()
-                .map(|e| Edge::new(e.at + delay, e.polarity))
-                .collect(),
+            edges: self.edges.iter().map(|e| Edge::new(e.at + delay, e.polarity)).collect(),
             start: self.start + delay,
             end: self.end + delay,
         }
@@ -259,11 +254,7 @@ impl DigitalWaveform {
     pub fn inverted(&self) -> DigitalWaveform {
         DigitalWaveform {
             initial: !self.initial,
-            edges: self
-                .edges
-                .iter()
-                .map(|e| Edge::new(e.at, e.polarity.inverted()))
-                .collect(),
+            edges: self.edges.iter().map(|e| Edge::new(e.at, e.polarity.inverted())).collect(),
             start: self.start,
             end: self.end,
         }
@@ -314,10 +305,7 @@ impl DigitalWaveform {
             .into_iter()
             .map(|t| {
                 level = !level;
-                Edge::new(
-                    t,
-                    if level { EdgePolarity::Rising } else { EdgePolarity::Falling },
-                )
+                Edge::new(t, if level { EdgePolarity::Rising } else { EdgePolarity::Falling })
             })
             .collect();
         DigitalWaveform {
@@ -515,12 +503,8 @@ mod tests {
 
     #[test]
     fn empty_bitstream_yields_empty_waveform() {
-        let w = DigitalWaveform::from_bits(
-            &BitStream::new(),
-            DataRate::from_gbps(1.0),
-            &NoJitter,
-            0,
-        );
+        let w =
+            DigitalWaveform::from_bits(&BitStream::new(), DataRate::from_gbps(1.0), &NoJitter, 0);
         assert_eq!(w.num_edges(), 0);
         assert_eq!(w.span(), Duration::ZERO);
     }

@@ -18,10 +18,12 @@
 //! reproducible bit-for-bit.
 
 use pstime::{Duration, Frequency, Instant};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{Rng, SeedTree, StreamId};
 
 use crate::digital::EdgePolarity;
+
+/// Substream identity for Gaussian random-jitter samplers.
+pub const RJ_STREAM: StreamId = StreamId::named("signal.jitter.rj");
 
 /// Everything a jitter model may condition an edge displacement on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +83,8 @@ pub fn gaussian_extreme_q(n: u64) -> f64 {
     }
     // Asymptotic expected maximum of n standard normals.
     let ln_n = (n as f64).ln();
-    (2.0 * ln_n).sqrt() - ((ln_n.ln()) + (4.0 * core::f64::consts::PI).ln()) / (2.0 * (2.0 * ln_n).sqrt())
+    (2.0 * ln_n).sqrt()
+        - ((ln_n.ln()) + (4.0 * core::f64::consts::PI).ln()) / (2.0 * (2.0 * ln_n).sqrt())
 }
 
 /// The absence of jitter: every edge lands exactly on its ideal instant.
@@ -127,33 +130,12 @@ impl RandomJitter {
 
 struct RandomJitterSampler {
     sigma_fs: f64,
-    rng: StdRng,
-    spare: Option<f64>,
-}
-
-impl RandomJitterSampler {
-    /// Standard normal via Box–Muller (keeps the spare deviate).
-    fn standard_normal(&mut self) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
-            let u1: f64 = self.rng.gen::<f64>();
-            let u2: f64 = self.rng.gen::<f64>();
-            if u1 <= f64::MIN_POSITIVE {
-                continue;
-            }
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * core::f64::consts::PI * u2;
-            self.spare = Some(r * theta.sin());
-            return r * theta.cos();
-        }
-    }
+    rng: Rng,
 }
 
 impl JitterSampler for RandomJitterSampler {
     fn displacement(&mut self, _ctx: &EdgeContext) -> Duration {
-        Duration::from_fs((self.standard_normal() * self.sigma_fs).round() as i64)
+        Duration::from_fs((self.rng.gaussian() * self.sigma_fs).round() as i64)
     }
 }
 
@@ -161,8 +143,7 @@ impl JitterModel for RandomJitter {
     fn sampler(&self, seed: u64) -> Box<dyn JitterSampler + '_> {
         Box::new(RandomJitterSampler {
             sigma_fs: self.sigma.as_fs() as f64,
-            rng: StdRng::seed_from_u64(seed ^ 0x52_4a_5f_52_4a),
-            spare: None,
+            rng: SeedTree::new(seed).derive(RJ_STREAM).rng(),
         })
     }
 
@@ -294,10 +275,7 @@ impl IsiJitter {
     /// Panics if `max_shift` is negative or `tau_bits` is not positive.
     pub fn new(max_shift: Duration, tau_bits: f64) -> Self {
         assert!(!max_shift.is_negative(), "ISI max shift must be nonnegative");
-        assert!(
-            tau_bits.is_finite() && tau_bits > 0.0,
-            "ISI settling constant must be positive"
-        );
+        assert!(tau_bits.is_finite() && tau_bits > 0.0, "ISI settling constant must be positive");
         IsiJitter { max_shift, tau_bits }
     }
 
@@ -431,12 +409,15 @@ impl JitterSampler for BudgetSampler<'_> {
 
 impl JitterModel for JitterBudget {
     fn sampler(&self, seed: u64) -> Box<dyn JitterSampler + '_> {
+        // Each component model gets its own numbered substream so adding a
+        // model to the budget never perturbs the draws of the others.
+        let tree = SeedTree::new(seed).stream("signal.jitter.budget");
         Box::new(BudgetSampler {
             samplers: self
                 .models
                 .iter()
                 .enumerate()
-                .map(|(i, m)| m.sampler(seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))))
+                .map(|(i, m)| m.sampler(tree.index(i as u64).seed()))
                 .collect(),
         })
     }
@@ -486,11 +467,7 @@ mod tests {
             stats.push(d.as_ps_f64());
         }
         assert!(stats.mean().abs() < 0.1, "mean {} should be ~0", stats.mean());
-        assert!(
-            (stats.std_dev() - 3.2).abs() < 0.15,
-            "rms {} should be ~3.2 ps",
-            stats.std_dev()
-        );
+        assert!((stats.std_dev() - 3.2).abs() < 0.15, "rms {} should be ~3.2 ps", stats.std_dev());
         // p-p over 2e4 samples should be near 2*3.8 sigma = ~24 ps (Fig. 9).
         assert!(stats.peak_to_peak() > 20.0 && stats.peak_to_peak() < 30.0);
     }
@@ -512,14 +489,8 @@ mod tests {
     fn dcd_splits_by_polarity() {
         let dcd = DutyCycleDistortion::from_pp_ps(10.0);
         let mut s = dcd.sampler(0);
-        assert_eq!(
-            s.displacement(&ctx(0, 0, EdgePolarity::Rising, 1)),
-            Duration::from_ps(5)
-        );
-        assert_eq!(
-            s.displacement(&ctx(1, 0, EdgePolarity::Falling, 1)),
-            Duration::from_ps(-5)
-        );
+        assert_eq!(s.displacement(&ctx(0, 0, EdgePolarity::Rising, 1)), Duration::from_ps(5));
+        assert_eq!(s.displacement(&ctx(1, 0, EdgePolarity::Falling, 1)), Duration::from_ps(-5));
         assert_eq!(dcd.dj_pp(), Duration::from_ps(10));
     }
 
@@ -530,12 +501,11 @@ mod tests {
         let mut s = pj.sampler(0);
         assert_eq!(s.displacement(&ctx(0, 0, EdgePolarity::Rising, 1)), Duration::ZERO);
         // Quarter period -> peak amplitude.
-        assert_eq!(
-            s.displacement(&ctx(1, 2_500, EdgePolarity::Rising, 1)),
-            Duration::from_ps(8)
-        );
+        assert_eq!(s.displacement(&ctx(1, 2_500, EdgePolarity::Rising, 1)), Duration::from_ps(8));
         // Half period -> zero again.
-        assert!(s.displacement(&ctx(2, 5_000, EdgePolarity::Rising, 1)).abs() < Duration::from_fs(10));
+        assert!(
+            s.displacement(&ctx(2, 5_000, EdgePolarity::Rising, 1)).abs() < Duration::from_fs(10)
+        );
         assert_eq!(pj.dj_pp(), Duration::from_ps(16));
     }
 

@@ -60,8 +60,8 @@ pub use bits::BitStream;
 pub use decompose::JitterDecomposition;
 pub use digital::{DigitalWaveform, Edge, EdgePolarity};
 pub use error::SignalError;
-pub use mask::{mask_margin, mask_test, EyeMask, MaskTest};
 pub use eye::{EyeDiagram, EyeRaster};
+pub use mask::{mask_margin, mask_test, EyeMask, MaskTest};
 pub use spectrum::{jitter_spectrum, JitterSpectrum};
 pub use stats::{erfc, Histogram, RunningStats};
 

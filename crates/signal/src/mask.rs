@@ -46,11 +46,7 @@ impl EyeMask {
             "mask widths must satisfy 0 < full <= tip < 0.5 UI"
         );
         assert!(height_mv > 0.0, "mask height must be positive");
-        EyeMask {
-            half_width_full,
-            half_width_tip,
-            half_height_mv: height_mv / 2.0,
-        }
+        EyeMask { half_width_full, half_width_tip, half_height_mv: height_mv / 2.0 }
     }
 
     /// A mask sized for the paper's measured eyes: 0.3 UI of full-height
@@ -149,19 +145,15 @@ pub fn mask_test(
             violations += 1;
             // Depth into the mask: distance from the nearest edge,
             // approximated by the smaller of the normalized margins.
-            let depth = (1.0 - x.abs() / mask.half_width_tip)
-                .min(1.0 - y.abs() / mask.half_height_mv);
-            if worst.map_or(true, |(d, _, _)| depth > d) {
+            let depth =
+                (1.0 - x.abs() / mask.half_width_tip).min(1.0 - y.abs() / mask.half_height_mv);
+            if worst.is_none_or(|(d, _, _)| depth > d) {
                 worst = Some((depth, x, y));
             }
         }
         t += dt;
     }
-    Ok(MaskTest {
-        samples,
-        violations,
-        worst: worst.map(|(_, x, y)| (x, y)),
-    })
+    Ok(MaskTest { samples, violations, worst: worst.map(|(_, x, y)| (x, y)) })
 }
 
 /// The largest mask (of the [`EyeMask::hexagon`] family with the given
@@ -214,10 +206,7 @@ mod tests {
     fn wave(budget: &JitterBudget, gbps: f64, n: usize, seed: u64) -> (AnalogWaveform, DataRate) {
         let rate = DataRate::from_gbps(gbps);
         let d = DigitalWaveform::from_bits(&BitStream::alternating(n), rate, budget, seed);
-        (
-            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default()),
-            rate,
-        )
+        (AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default()), rate)
     }
 
     #[test]
@@ -275,12 +264,8 @@ mod tests {
     #[test]
     fn mask_margin_orders_eyes() {
         let (clean, rate) = wave(&JitterBudget::new().with_rj_rms_ps(2.0), 2.5, 512, 5);
-        let (dirty, _) = wave(
-            &JitterBudget::new().with_dcd_ps(100.0).with_rj_rms_ps(5.0),
-            2.5,
-            512,
-            5,
-        );
+        let (dirty, _) =
+            wave(&JitterBudget::new().with_dcd_ps(100.0).with_rj_rms_ps(5.0), 2.5, 512, 5);
         let big = EyeMask::hexagon(0.3, 0.4, 700.0);
         let m_clean = mask_margin(&clean, rate, &big, 24).unwrap();
         let m_dirty = mask_margin(&dirty, rate, &big, 24).unwrap();

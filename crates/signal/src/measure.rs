@@ -60,11 +60,7 @@ pub fn measure_transition(
             (wave.find_crossing(v80, lo, mid_crossing)?, wave.find_crossing(v20, mid_crossing, hi)?)
         }
     };
-    Ok(TransitionMeasurement {
-        polarity: edge.polarity,
-        mid_crossing,
-        t_2080: t_second - t_first,
-    })
+    Ok(TransitionMeasurement { polarity: edge.polarity, mid_crossing, t_2080: t_second - t_first })
 }
 
 /// Measures the 20–80 % transition time of every edge and returns the
@@ -144,10 +140,7 @@ pub fn measure_levels(wave: &AnalogWaveform, rate: DataRate) -> Result<LevelMeas
         }
     }
     if high.count() == 0 || low.count() == 0 {
-        return Err(SignalError::InsufficientTransitions {
-            found: 0,
-            required: 1,
-        });
+        return Err(SignalError::InsufficientTransitions { found: 0, required: 1 });
     }
     Ok(LevelMeasurement {
         voh_mv: high.mean(),
@@ -194,10 +187,7 @@ pub fn edge_jitter_from_acquisitions(
 ) -> Result<EdgeJitterMeasurement> {
     let times: Vec<Instant> = acquisitions.into_iter().collect();
     if times.len() < 2 {
-        return Err(SignalError::InsufficientTransitions {
-            found: times.len(),
-            required: 2,
-        });
+        return Err(SignalError::InsufficientTransitions { found: times.len(), required: 2 });
     }
     let mut stats = RunningStats::new();
     let mean_fs = times.iter().map(|t| t.as_fs() as f64).sum::<f64>() / times.len() as f64;
@@ -205,11 +195,8 @@ pub fn edge_jitter_from_acquisitions(
         stats.push((t.as_fs() as f64 - mean_fs) / 1_000.0);
     }
     let spread = stats.peak_to_peak().max(1e-3);
-    let mut histogram = Histogram::new(
-        stats.min() - 0.05 * spread,
-        stats.max() + 0.05 * spread,
-        hist_bins.max(1),
-    );
+    let mut histogram =
+        Histogram::new(stats.min() - 0.05 * spread, stats.max() + 0.05 * spread, hist_bins.max(1));
     for t in &times {
         histogram.push((t.as_fs() as f64 - mean_fs) / 1_000.0);
     }
@@ -255,10 +242,7 @@ mod tests {
     fn wave(bits: &str, gbps: f64, rise_ps: f64) -> (AnalogWaveform, DataRate) {
         let rate = DataRate::from_gbps(gbps);
         let d = DigitalWaveform::from_bits(&BitStream::from_str_bits(bits), rate, &NoJitter, 0);
-        (
-            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(rise_ps)),
-            rate,
-        )
+        (AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_2080_ps(rise_ps)), rate)
     }
 
     #[test]
@@ -274,11 +258,8 @@ mod tests {
     fn asymmetric_rise_fall() {
         let rate = DataRate::from_gbps(2.5);
         let d = DigitalWaveform::from_bits(&BitStream::from_str_bits("001100"), rate, &NoJitter, 0);
-        let a = AnalogWaveform::new(
-            d,
-            LevelSet::pecl(),
-            EdgeShape::from_rise_fall_2080_ps(70.0, 75.0),
-        );
+        let a =
+            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::from_rise_fall_2080_ps(70.0, 75.0));
         let (rise, fall) = transition_time_stats(&a, rate).unwrap();
         assert_eq!(rise.count(), 1);
         assert_eq!(fall.count(), 1);
@@ -357,7 +338,11 @@ mod tests {
         let bits = BitStream::alternating(16);
         let d = DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0);
         let a = AnalogWaveform::new(d.clone(), LevelSet::pecl(), EdgeShape::default());
-        let b = AnalogWaveform::new(d.delayed(Duration::from_ps(30)), LevelSet::pecl(), EdgeShape::default());
+        let b = AnalogWaveform::new(
+            d.delayed(Duration::from_ps(30)),
+            LevelSet::pecl(),
+            EdgeShape::default(),
+        );
         let skew = measure_skew(&b, &a, Instant::from_ps(1200), rate).unwrap();
         assert!((skew - Duration::from_ps(30)).abs() < Duration::from_ps(1), "skew {skew}");
     }

@@ -83,13 +83,7 @@ pub fn render_waveform(
         grid[row * cols + col] = b'*';
     }
     let mut out = String::with_capacity((cols + 3) * (rows + 2));
-    out.push_str(&format!(
-        "waveform {} .. {} ({:.0}..{:.0} mV)\n",
-        t0,
-        t0 + span,
-        v_lo,
-        v_hi
-    ));
+    out.push_str(&format!("waveform {} .. {} ({:.0}..{:.0} mV)\n", t0, t0 + span, v_lo, v_hi));
     for row in 0..rows {
         out.push('|');
         out.push_str(core::str::from_utf8(&grid[row * cols..(row + 1) * cols]).expect("ascii"));
@@ -108,10 +102,7 @@ mod tests {
     fn sample_wave() -> (AnalogWaveform, DataRate) {
         let rate = DataRate::from_gbps(2.5);
         let d = DigitalWaveform::from_bits(&BitStream::alternating(32), rate, &NoJitter, 0);
-        (
-            AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default()),
-            rate,
-        )
+        (AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default()), rate)
     }
 
     #[test]
@@ -133,12 +124,8 @@ mod tests {
         assert_eq!(lines.len(), 11);
         // Trace visits near-top and near-bottom rows (settled rails sit
         // just inside the 10 % display margin).
-        let star_rows: Vec<usize> = lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.contains('*'))
-            .map(|(i, _)| i)
-            .collect();
+        let star_rows: Vec<usize> =
+            lines.iter().enumerate().filter(|(_, l)| l.contains('*')).map(|(i, _)| i).collect();
         assert!(*star_rows.iter().min().unwrap() <= 2, "rows {star_rows:?}");
         assert!(*star_rows.iter().max().unwrap() >= 8, "rows {star_rows:?}");
         // Every column has exactly one sample.

@@ -63,10 +63,9 @@ impl JitterSpectrum {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite amplitudes"))?;
-        if (median <= 0.0 || *peak / median >= threshold_ratio)
-            && *peak > 0.0 {
-                return Some((self.bin_frequency(k), *peak));
-            }
+        if (median <= 0.0 || *peak / median >= threshold_ratio) && *peak > 0.0 {
+            return Some((self.bin_frequency(k), *peak));
+        }
         None
     }
 }
@@ -127,8 +126,7 @@ pub fn jitter_spectrum(wave: &DigitalWaveform, rate: DataRate) -> Result<JitterS
         .iter()
         .enumerate()
         .map(|(i, x)| {
-            let w = 0.5
-                - 0.5 * (2.0 * core::f64::consts::PI * i as f64 / (n as f64 - 1.0)).cos();
+            let w = 0.5 - 0.5 * (2.0 * core::f64::consts::PI * i as f64 / (n as f64 - 1.0)).cos();
             x * w
         })
         .collect();
@@ -148,12 +146,7 @@ pub fn jitter_spectrum(wave: &DigitalWaveform, rate: DataRate) -> Result<JitterS
     }
 
     let sample_rate_hz = rate.as_bps() as f64; // one TIE sample per UI
-    Ok(JitterSpectrum {
-        bin_hz: sample_rate_hz / n as f64,
-        amplitude_ps,
-        rms_ps: rms,
-        n_ui: n,
-    })
+    Ok(JitterSpectrum { bin_hz: sample_rate_hz / n as f64, amplitude_ps, rms_ps: rms, n_ui: n })
 }
 
 /// In-place radix-2 Cooley–Tukey FFT.
@@ -238,9 +231,8 @@ mod tests {
     fn finds_an_injected_periodic_tone() {
         // 5 ps of PJ at 50 MHz on a 2.5 Gbps clock pattern.
         let pj_freq = Frequency::from_mhz(50);
-        let budget = JitterBudget::new()
-            .with_pj(Duration::from_ps(5), pj_freq, 0.3)
-            .with_rj_rms_ps(0.5);
+        let budget =
+            JitterBudget::new().with_pj(Duration::from_ps(5), pj_freq, 0.3).with_rj_rms_ps(0.5);
         let wave = wave_with(&budget, 8_192, 3);
         let spectrum = jitter_spectrum(&wave, DataRate::from_gbps(2.5)).unwrap();
         assert_eq!(spectrum.n_ui(), 4_096);

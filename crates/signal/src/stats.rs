@@ -216,11 +216,7 @@ impl Histogram {
         if self.total() == 0 {
             return None;
         }
-        self.bins
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, c)| **c)
-            .map(|(i, _)| i)
+        self.bins.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i)
     }
 
     /// Iterates over `(bin_center, count)` pairs.
@@ -267,9 +263,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

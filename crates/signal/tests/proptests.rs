@@ -1,77 +1,98 @@
 //! Property-based tests for bit streams, waveforms, and eye analysis.
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use pstime::{DataRate, Duration, Instant};
+use rng::{Rng, SeedTree};
 use signal::jitter::{JitterBudget, NoJitter};
 use signal::{AnalogWaveform, BitStream, DigitalWaveform, EdgeShape, EyeDiagram, LevelSet};
 
-fn bits_strategy(max_len: usize) -> impl Strategy<Value = BitStream> {
-    vec(any::<bool>(), 1..max_len).prop_map(BitStream::from)
+const CASES: usize = 64;
+
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0x51634).stream("signal.proptests").stream(label).rng(), CASES)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bits(rng: &mut Rng, max_len: usize) -> BitStream {
+    let len = rng.range_usize(1..max_len);
+    BitStream::from_fn(len, |_| rng.bool())
+}
 
-    #[test]
-    fn interleave_deinterleave_round_trip(
-        lanes_pow in 1u32..5,
-        lane_bits in 1usize..32,
-        seed in any::<u64>(),
-    ) {
-        let lanes_n = 1usize << lanes_pow;
-        let lanes: Vec<BitStream> = (0..lanes_n)
-            .map(|i| {
-                BitStream::from_fn(lane_bits, |j| {
-                    (seed.rotate_left((i * 7 + j) as u32 % 63) & 1) == 1
-                })
-            })
-            .collect();
+#[test]
+fn interleave_deinterleave_round_trip() {
+    let (mut rng, n) = cases("interleave");
+    for _ in 0..n {
+        let lanes_n = 1usize << rng.range_u32(1..5);
+        let lane_bits = rng.range_usize(1..32);
+        let lanes: Vec<BitStream> =
+            (0..lanes_n).map(|_| BitStream::from_fn(lane_bits, |_| rng.bool())).collect();
         let serial = BitStream::interleave(&lanes);
-        prop_assert_eq!(serial.len(), lanes_n * lane_bits);
-        prop_assert_eq!(serial.deinterleave(lanes_n), lanes);
+        assert_eq!(serial.len(), lanes_n * lane_bits);
+        assert_eq!(serial.deinterleave(lanes_n), lanes, "lanes_n={lanes_n} lane_bits={lane_bits}");
     }
+}
 
-    #[test]
-    fn inversion_preserves_transitions(bits in bits_strategy(256)) {
+#[test]
+fn inversion_preserves_transitions() {
+    let (mut rng, n) = cases("inversion");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 256);
         let inv = bits.inverted();
-        prop_assert_eq!(bits.transition_count(), inv.transition_count());
-        prop_assert_eq!(bits.count_ones() + inv.count_ones(), bits.len());
-        prop_assert_eq!(inv.inverted(), bits);
+        assert_eq!(bits.transition_count(), inv.transition_count(), "bits={bits}");
+        assert_eq!(bits.count_ones() + inv.count_ones(), bits.len(), "bits={bits}");
+        assert_eq!(inv.inverted(), bits);
     }
+}
 
-    #[test]
-    fn word_round_trip(word in any::<u64>(), width in 1u32..=64) {
+#[test]
+fn word_round_trip() {
+    let (mut rng, n) = cases("word");
+    for _ in 0..n {
+        let word = rng.next_u64();
+        let width = rng.range_u32(1..65);
         let masked = if width == 64 { word } else { word & ((1 << width) - 1) };
         let bits = BitStream::from_word_msb_first(masked, width);
-        prop_assert_eq!(bits.word_msb_first(0, width), masked);
+        assert_eq!(bits.word_msb_first(0, width), masked, "word={word:#x} width={width}");
     }
+}
 
-    #[test]
-    fn hamming_distance_is_a_metric(a in bits_strategy(128), b in bits_strategy(128)) {
-        let (d_ab, n) = a.hamming_distance(&b);
-        let (d_ba, n2) = b.hamming_distance(&a);
-        prop_assert_eq!(d_ab, d_ba);
-        prop_assert_eq!(n, n2);
-        prop_assert!(d_ab <= n);
-        prop_assert_eq!(a.hamming_distance(&a).0, 0);
+#[test]
+fn hamming_distance_is_a_metric() {
+    let (mut rng, n) = cases("hamming");
+    for _ in 0..n {
+        let a = random_bits(&mut rng, 128);
+        let b = random_bits(&mut rng, 128);
+        let (d_ab, len) = a.hamming_distance(&b);
+        let (d_ba, len2) = b.hamming_distance(&a);
+        assert_eq!(d_ab, d_ba, "a={a} b={b}");
+        assert_eq!(len, len2);
+        assert!(d_ab <= len);
+        assert_eq!(a.hamming_distance(&a).0, 0);
     }
+}
 
-    #[test]
-    fn waveform_edge_count_matches_transitions(bits in bits_strategy(256)) {
+#[test]
+fn waveform_edge_count_matches_transitions() {
+    let (mut rng, n) = cases("edge-count");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 256);
         let rate = DataRate::from_gbps(2.5);
         let w = DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0);
-        prop_assert_eq!(w.num_edges(), bits.transition_count());
-        prop_assert_eq!(w.span(), rate.unit_interval() * bits.len() as i64);
+        assert_eq!(w.num_edges(), bits.transition_count(), "bits={bits}");
+        assert_eq!(w.span(), rate.unit_interval() * bits.len() as i64);
     }
+}
 
-    #[test]
-    fn jittered_edges_stay_ordered_and_within_half_ui(
-        bits in bits_strategy(512),
-        seed in any::<u64>(),
-        rj in 0.0f64..20.0,
-        dcd in 0.0f64..40.0,
-    ) {
+#[test]
+fn jittered_edges_stay_ordered_and_within_half_ui() {
+    let (mut rng, n) = cases("jitter-order");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 512);
+        let seed = rng.next_u64();
+        let rj = rng.range_f64(0.0, 20.0);
+        let dcd = rng.range_f64(0.0, 40.0);
         let rate = DataRate::from_gbps(2.5);
         let budget = JitterBudget::new().with_rj_rms_ps(rj).with_dcd_ps(dcd);
         let w = DigitalWaveform::from_bits(&bits, rate, &budget, seed);
@@ -79,50 +100,67 @@ proptest! {
         let mut prev: Option<Instant> = None;
         for e in w.edges() {
             if let Some(p) = prev {
-                prop_assert!(e.at > p, "edges must stay strictly ordered");
+                assert!(
+                    e.at > p,
+                    "edges must stay strictly ordered (seed={seed} rj={rj} dcd={dcd})"
+                );
             }
             prev = Some(e.at);
             // Each edge within half a UI of some grid point.
             let phase = e.at.phase_in(ui);
             let dist = phase.min(ui - phase);
-            prop_assert!(dist <= ui / 2);
+            assert!(dist <= ui / 2, "seed={seed} rj={rj} dcd={dcd}");
         }
     }
+}
 
-    #[test]
-    fn waveform_round_trips_through_mid_bit_sampling(bits in bits_strategy(256)) {
+#[test]
+fn waveform_round_trips_through_mid_bit_sampling() {
+    let (mut rng, n) = cases("mid-bit");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 256);
         let rate = DataRate::from_gbps(2.5);
         let w = DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0);
         let recovered = w.to_bits(rate, rate.unit_interval() / 2);
-        prop_assert_eq!(recovered, bits);
+        assert_eq!(recovered, bits);
     }
+}
 
-    #[test]
-    fn xor_is_commutative_and_self_cancelling(
-        a in bits_strategy(64),
-        b in bits_strategy(64),
-    ) {
+#[test]
+fn xor_is_commutative_and_self_cancelling() {
+    let (mut rng, n) = cases("xor");
+    for _ in 0..n {
+        let a = random_bits(&mut rng, 64);
+        let b = random_bits(&mut rng, 64);
         let rate = DataRate::from_gbps(1.0);
         let wa = DigitalWaveform::from_bits(&a, rate, &NoJitter, 0);
         let wb = DigitalWaveform::from_bits(&b, rate, &NoJitter, 0);
-        prop_assert_eq!(wa.xor(&wb), wb.xor(&wa));
-        prop_assert_eq!(wa.xor(&wa).num_edges(), 0);
+        assert_eq!(wa.xor(&wb), wb.xor(&wa), "a={a} b={b}");
+        assert_eq!(wa.xor(&wa).num_edges(), 0);
     }
+}
 
-    #[test]
-    fn delay_is_additive(bits in bits_strategy(64), d1 in 0i64..10_000, d2 in 0i64..10_000) {
+#[test]
+fn delay_is_additive() {
+    let (mut rng, n) = cases("delay");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 64);
+        let d1 = rng.range_i64(0..10_000);
+        let d2 = rng.range_i64(0..10_000);
         let rate = DataRate::from_gbps(1.0);
         let w = DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0);
         let a = w.delayed(Duration::from_ps(d1)).delayed(Duration::from_ps(d2));
         let b = w.delayed(Duration::from_ps(d1 + d2));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "d1={d1} d2={d2}");
     }
+}
 
-    #[test]
-    fn analog_value_stays_within_extended_rails(
-        bits in bits_strategy(128),
-        rise in 20.0f64..150.0,
-    ) {
+#[test]
+fn analog_value_stays_within_extended_rails() {
+    let (mut rng, n) = cases("rails");
+    for _ in 0..n {
+        let bits = random_bits(&mut rng, 128);
+        let rise = rng.range_f64(20.0, 150.0);
         let rate = DataRate::from_gbps(2.5);
         let d = DigitalWaveform::from_bits(&bits, rate, &NoJitter, 0);
         let levels = LevelSet::pecl();
@@ -132,13 +170,18 @@ proptest! {
         for i in 0..24 {
             let t = Instant::from_ps(i * 137);
             let v = w.value_at(t);
-            prop_assert!(v <= levels.voh().as_f64() + 1.0, "v={v}");
-            prop_assert!(v >= levels.vol().as_f64() - 1.0, "v={v}");
+            assert!(v <= levels.voh().as_f64() + 1.0, "v={v} rise={rise}");
+            assert!(v >= levels.vol().as_f64() - 1.0, "v={v} rise={rise}");
         }
     }
+}
 
-    #[test]
-    fn eye_opening_decreases_with_jitter(seed in any::<u64>(), dcd in 10.0f64..60.0) {
+#[test]
+fn eye_opening_decreases_with_jitter() {
+    let (mut rng, n) = cases("eye-jitter");
+    for _ in 0..n {
+        let seed = rng.next_u64();
+        let dcd = rng.range_f64(10.0, 60.0);
         let rate = DataRate::from_gbps(2.5);
         let bits = BitStream::alternating(512);
         let clean = {
@@ -152,21 +195,27 @@ proptest! {
             let w = AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default());
             EyeDiagram::analyze(&w, rate).unwrap().opening_ui().value()
         };
-        prop_assert!(dirty < clean, "dirty {dirty} !< clean {clean}");
+        assert!(dirty < clean, "dirty {dirty} !< clean {clean} (seed={seed} dcd={dcd})");
     }
+}
 
-    #[test]
-    fn level_set_invariants(voh in -500i32..500, swing in 2i32..2_000) {
-        let levels = LevelSet::new(
-            pstime::Millivolts::new(voh),
-            pstime::Millivolts::new(voh - swing),
-        );
-        prop_assert_eq!(levels.swing().as_mv(), swing);
+#[test]
+fn level_set_invariants() {
+    let (mut rng, n) = cases("level-set");
+    for _ in 0..n {
+        let voh = rng.range_i32(-500..500);
+        let swing = rng.range_i32(2..2_000);
+        let levels =
+            LevelSet::new(pstime::Millivolts::new(voh), pstime::Millivolts::new(voh - swing));
+        assert_eq!(levels.swing().as_mv(), swing, "voh={voh} swing={swing}");
         let mid = levels.mid();
-        prop_assert!(mid > levels.vol() && mid < levels.voh());
-        prop_assert!((levels.voh() - mid) - (mid - levels.vol()) <= pstime::Millivolts::new(1));
+        assert!(mid > levels.vol() && mid < levels.voh());
+        assert!((levels.voh() - mid) - (mid - levels.vol()) <= pstime::Millivolts::new(1));
         // with_swing preserves the midpoint to integer-mV quantization.
         let resized = levels.with_swing(pstime::Millivolts::new(swing.max(2) / 2 + 1));
-        prop_assert!((resized.mid() - levels.mid()).abs() <= pstime::Millivolts::new(1));
+        assert!(
+            (resized.mid() - levels.mid()).abs() <= pstime::Millivolts::new(1),
+            "voh={voh} swing={swing}"
+        );
     }
 }

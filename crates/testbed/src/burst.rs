@@ -11,8 +11,8 @@ use pstime::{Duration, Instant, Millivolts};
 use signal::{AnalogWaveform, BitStream};
 
 use crate::frame::{PacketSlot, SlotTiming};
-use crate::tx::Transmitter;
 use crate::rx::ReceivedSlot;
+use crate::tx::Transmitter;
 use crate::{Result, TestbedError};
 
 /// A rendered burst: continuous channel waveforms spanning every slot.
@@ -130,9 +130,8 @@ impl StreamReceiver {
         // Between slots the clock is quiet for 2·guard + dead bits; inside
         // the window edges are one bit period apart. Use half the gap as
         // the clustering threshold.
-        let gap = self.timing.bit_period()
-            * (self.timing.dead_bits + self.timing.guard_bits) as i64
-            / 2;
+        let gap =
+            self.timing.bit_period() * (self.timing.dead_bits + self.timing.guard_bits) as i64 / 2;
         let mut locks = Vec::new();
         let mut prev: Option<Instant> = None;
         for e in edges {
@@ -217,10 +216,7 @@ mod tests {
         assert_eq!(stream.duration(), Duration::from_ns_f64(25.6 * 5.0));
         assert_eq!(stream.timing().slot_bits, 64);
         // The clock spans the whole burst.
-        assert_eq!(
-            stream.clock.digital().span(),
-            Duration::from_ns_f64(25.6 * 5.0)
-        );
+        assert_eq!(stream.clock.digital().span(), Duration::from_ns_f64(25.6 * 5.0));
     }
 
     #[test]
@@ -293,9 +289,7 @@ mod tests {
             .iter()
             .zip(&payloads)
             .map(|(g, p)| {
-                (0..4)
-                    .map(|ch| (g.payload[ch] ^ p[ch]).count_ones() as usize)
-                    .sum::<usize>()
+                (0..4).map(|ch| (g.payload[ch] ^ p[ch]).count_ones() as usize).sum::<usize>()
             })
             .sum();
         assert_eq!(errors, 0, "long burst must decode error-free");

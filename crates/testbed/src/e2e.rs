@@ -7,8 +7,7 @@
 
 use core::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SeedTree;
 use vortex::{DataVortex, Packet, VortexParams};
 
 use crate::frame::{PacketSlot, SlotTiming};
@@ -126,7 +125,8 @@ pub fn run(config: &E2eConfig) -> Result<E2eReport> {
     let rx = Receiver::new(timing);
     let detector = Photodetector::new(2.0, config.rx_noise_mv);
     let mut fabric = DataVortex::new(config.fabric);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe2e);
+    let tree = SeedTree::new(config.seed).stream("testbed.e2e");
+    let mut rng = tree.stream("traffic").rng();
 
     let ports = config.fabric.heights();
     if ports > 16 {
@@ -142,15 +142,16 @@ pub fn run(config: &E2eConfig) -> Result<E2eReport> {
     let mut deflections = 0u64;
 
     for id in 0..config.packets {
-        let payload: [u32; 4] = core::array::from_fn(|_| rng.gen());
-        let dest = rng.gen_range(0..ports);
+        let payload: [u32; 4] = core::array::from_fn(|_| rng.next_u32());
+        let dest = rng.range_u32(0..ports);
         let slot = PacketSlot::new(timing, payload, dest as u8);
-        let sent = tx.transmit_slot(&slot, config.seed.wrapping_add(id as u64 * 131))?;
+        let per_packet = tree.index(id as u64);
+        let sent = tx.transmit_slot(&slot, per_packet.stream("tx").seed())?;
 
         // Header decode at the fabric input (through the optics).
         let link = sent.to_optical(config.p_on_uw, config.extinction_ratio);
         let at_input =
-            rx.receive_optical(&sent, &link, &detector, config.seed ^ (id as u64) << 8)?;
+            rx.receive_optical(&sent, &link, &detector, per_packet.stream("rx-in").seed())?;
         let decoded_dest = u32::from(at_input.address) % ports.max(1);
         if decoded_dest != dest {
             address_errors += 1;
@@ -179,7 +180,7 @@ pub fn run(config: &E2eConfig) -> Result<E2eReport> {
             sent,
             &link,
             &detector,
-            config.seed ^ 0xdead ^ d.packet.id(),
+            tree.index(d.packet.id()).stream("rx-out").seed(),
         )?;
         for (got_word, sent_word) in got.payload.iter().zip(payload) {
             bit_errors += u64::from((got_word ^ sent_word).count_ones());
@@ -278,7 +279,7 @@ pub fn run_stream(config: &E2eConfig) -> Result<E2eReport> {
     let mut tx = Transmitter::new(timing)?;
     let stream_rx = StreamReceiver::new(timing);
     let mut fabric = DataVortex::new(config.fabric);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57e8);
+    let mut rng = SeedTree::new(config.seed).stream("testbed.e2e.stream").rng();
 
     let ports = config.fabric.heights();
     if ports > 16 {
@@ -286,13 +287,11 @@ pub fn run_stream(config: &E2eConfig) -> Result<E2eReport> {
     }
 
     // Build and transmit the whole train as one burst.
-    let payloads: Vec<[u32; 4]> = (0..config.packets).map(|_| core::array::from_fn(|_| rng.gen())).collect();
-    let dests: Vec<u32> = (0..config.packets).map(|_| rng.gen_range(0..ports)).collect();
-    let slots: Vec<PacketSlot> = payloads
-        .iter()
-        .zip(&dests)
-        .map(|(p, d)| PacketSlot::new(timing, *p, *d as u8))
-        .collect();
+    let payloads: Vec<[u32; 4]> =
+        (0..config.packets).map(|_| core::array::from_fn(|_| rng.next_u32())).collect();
+    let dests: Vec<u32> = (0..config.packets).map(|_| rng.range_u32(0..ports)).collect();
+    let slots: Vec<PacketSlot> =
+        payloads.iter().zip(&dests).map(|(p, d)| PacketSlot::new(timing, *p, *d as u8)).collect();
     let stream = tx.transmit_stream(&slots, config.seed)?;
 
     // Decode the burst at the fabric input: one ReceivedSlot per window.
@@ -363,10 +362,7 @@ mod stream_tests {
 
     #[test]
     fn stream_rejects_oversized_fabric() {
-        let config = E2eConfig {
-            fabric: vortex::VortexParams::new(5, 8),
-            ..E2eConfig::default()
-        };
+        let config = E2eConfig { fabric: vortex::VortexParams::new(5, 8), ..E2eConfig::default() };
         assert!(matches!(run_stream(&config), Err(TestbedError::BadAddress { .. })));
     }
 

@@ -280,7 +280,9 @@ mod tests {
         t.pre_clock_bits = 8;
         assert!(matches!(
             t.validate(),
-            Err(TestbedError::BadSlotTiming { reason: "payload bits must be even for DDR clocking" })
+            Err(TestbedError::BadSlotTiming {
+                reason: "payload bits must be even for DDR clocking"
+            })
         ));
     }
 

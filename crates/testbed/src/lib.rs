@@ -48,7 +48,7 @@ pub use e2e::{E2eConfig, E2eReport};
 pub use error::TestbedError;
 pub use frame::{PacketSlot, SlotChannels, SlotTiming};
 pub use optics::{OpticalSignal, Photodetector, WdmLink};
-pub use rx::{Receiver, ReceivedSlot};
+pub use rx::{ReceivedSlot, Receiver};
 pub use tx::{TransmittedSlot, Transmitter};
 
 /// Convenient result alias for test-bed operations.

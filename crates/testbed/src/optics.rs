@@ -8,8 +8,7 @@
 //! receiver responsivity, and additive receiver noise.
 
 use pstime::{Duration, Instant, Millivolts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{Rng, SeedTree, StreamId};
 use signal::{AnalogWaveform, LevelSet};
 use vortex::Wavelength;
 
@@ -195,14 +194,8 @@ impl Photodetector {
     }
 
     /// Hard decision at `t` with noise drawn from `rng`.
-    pub fn decide(&self, signal: &OpticalSignal, t: Instant, rng: &mut StdRng) -> bool {
-        let noise = if self.noise_rms_mv == 0.0 {
-            0.0
-        } else {
-            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen();
-            (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos() * self.noise_rms_mv
-        };
+    pub fn decide(&self, signal: &OpticalSignal, t: Instant, rng: &mut Rng) -> bool {
+        let noise = if self.noise_rms_mv == 0.0 { 0.0 } else { rng.gaussian() * self.noise_rms_mv };
         self.detect_mv(signal, t) + noise >= self.threshold.as_f64()
     }
 
@@ -221,22 +214,28 @@ impl Photodetector {
         if self.noise_rms_mv == 0.0 {
             return f64::INFINITY;
         }
-        let separation =
-            (signal.p_on_uw() - signal.p_off_uw()) * self.responsivity_mv_per_uw;
+        let separation = (signal.p_on_uw() - signal.p_off_uw()) * self.responsivity_mv_per_uw;
         separation / (2.0 * self.noise_rms_mv)
     }
 }
 
+/// Substream identity for receiver/photodetector noise.
+pub const RX_NOISE_STREAM: StreamId = StreamId::named("testbed.optics.rx-noise");
+
 /// Deterministic seeded RNG for receiver noise.
-pub fn noise_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ 0x0e71_c5de_7ec7)
+pub fn noise_rng(seed: u64) -> Rng {
+    SeedTree::new(seed).derive(RX_NOISE_STREAM).rng()
 }
 
 /// Builds an optical signal around a settled electrical level for testing
 /// and examples: a constant waveform at VOH or VOL.
 pub fn constant_optical(level_high: bool, wavelength: Wavelength) -> OpticalSignal {
     use signal::{DigitalWaveform, EdgeShape};
-    let d = DigitalWaveform::constant(level_high, Instant::ZERO, Instant::ZERO + Duration::from_ns(100));
+    let d = DigitalWaveform::constant(
+        level_high,
+        Instant::ZERO,
+        Instant::ZERO + Duration::from_ns(100),
+    );
     let a = AnalogWaveform::new(d, LevelSet::pecl(), EdgeShape::default());
     OpticalSignal::modulate(a, wavelength, 500.0, 10.0)
 }

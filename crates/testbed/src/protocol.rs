@@ -164,7 +164,11 @@ impl fmt::Display for ProtocolEvaluation {
 ///
 /// Propagates transmitter/receiver errors; invalid slot layouts fail at
 /// [`SlotTiming::validate`].
-pub fn evaluate(variant: &ProtocolVariant, rx: &ReceiverRequirements, seed: u64) -> Result<ProtocolEvaluation> {
+pub fn evaluate(
+    variant: &ProtocolVariant,
+    rx: &ReceiverRequirements,
+    seed: u64,
+) -> Result<ProtocolEvaluation> {
     variant.timing.validate()?;
     let t = &variant.timing;
     // One clock cycle = 2 bits (the source-synchronous clock toggles per
@@ -200,10 +204,7 @@ pub fn evaluate(variant: &ProtocolVariant, rx: &ReceiverRequirements, seed: u64)
 ///
 /// Propagates per-variant evaluation errors.
 pub fn evaluate_catalog(rx: &ReceiverRequirements, seed: u64) -> Result<Vec<ProtocolEvaluation>> {
-    ProtocolVariant::catalog()
-        .iter()
-        .map(|v| evaluate(v, rx, seed))
-        .collect()
+    ProtocolVariant::catalog().iter().map(|v| evaluate(v, rx, seed)).collect()
 }
 
 #[cfg(test)]
@@ -225,7 +226,8 @@ mod tests {
 
     #[test]
     fn paper_protocol_is_viable_for_the_testbed_receiver() {
-        let eval = evaluate(&ProtocolVariant::paper(), &ReceiverRequirements::testbed(), 1).unwrap();
+        let eval =
+            evaluate(&ProtocolVariant::paper(), &ReceiverRequirements::testbed(), 1).unwrap();
         assert!(eval.viable(), "{eval}");
         assert!(eval.loopback_clean);
         assert!((eval.score() - 0.5).abs() < 1e-12);
@@ -267,7 +269,8 @@ mod tests {
 
     #[test]
     fn display_row() {
-        let eval = evaluate(&ProtocolVariant::paper(), &ReceiverRequirements::testbed(), 4).unwrap();
+        let eval =
+            evaluate(&ProtocolVariant::paper(), &ReceiverRequirements::testbed(), 4).unwrap();
         let row = eval.to_string();
         assert!(row.contains("paper-fig4"));
         assert!(row.contains("viable"));
@@ -277,9 +280,8 @@ mod tests {
     #[test]
     fn short_payload_masking() {
         // The conservative layout's 20-bit payload must mask correctly.
-        let eval =
-            evaluate(&ProtocolVariant::conservative(), &ReceiverRequirements::testbed(), 5)
-                .unwrap();
+        let eval = evaluate(&ProtocolVariant::conservative(), &ReceiverRequirements::testbed(), 5)
+            .unwrap();
         assert!(eval.loopback_clean);
     }
 }

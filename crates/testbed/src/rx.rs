@@ -103,9 +103,8 @@ impl Receiver {
     pub fn receive(&self, sent: &TransmittedSlot) -> Result<ReceivedSlot> {
         let lock_time = self.lock(&sent.clock)?;
         let sample = |wave: &AnalogWaveform, bit_in_window: usize| -> bool {
-            let t = lock_time
-                + self.timing.bit_period() * bit_in_window as i64
-                + self.sample_offset;
+            let t =
+                lock_time + self.timing.bit_period() * bit_in_window as i64 + self.sample_offset;
             wave.value_at(t) >= self.threshold.as_f64()
         };
         Ok(self.decode(lock_time, |wave, bit| sample(wave, bit), sent))
@@ -133,9 +132,8 @@ impl Receiver {
         let mut detector = detector.clone();
 
         let mut decide = |lambda: u8, bit_in_window: usize| -> bool {
-            let t = lock_time
-                + self.timing.bit_period() * bit_in_window as i64
-                + self.sample_offset;
+            let t =
+                lock_time + self.timing.bit_period() * bit_in_window as i64 + self.sample_offset;
             match link.drop_channel(Wavelength(lambda)) {
                 Some(sig) => {
                     detector.auto_threshold(&sig);
@@ -176,8 +174,7 @@ impl Receiver {
                 *word = (*word << 1) | u32::from(sample(&sent.payload[ch], pre + bit));
             }
         }
-        let frame_ok =
-            sample(&sent.frame, pre) && sample(&sent.frame, pre + t.data_bits - 1);
+        let frame_ok = sample(&sent.frame, pre) && sample(&sent.frame, pre + t.data_bits - 1);
         let mid = pre + t.data_bits / 2;
         let mut address = 0u8;
         for bit in 0..4 {
@@ -241,10 +238,7 @@ mod tests {
         let mut sent = tx.transmit_slot(&slot, 0).unwrap();
         // Sabotage: replace the clock with a dead channel.
         sent.clock = sent.payload[0].clone();
-        assert!(matches!(
-            rx.receive(&sent),
-            Err(TestbedError::ClockRecoveryFailed { .. })
-        ));
+        assert!(matches!(rx.receive(&sent), Err(TestbedError::ClockRecoveryFailed { .. })));
     }
 
     #[test]

@@ -64,13 +64,7 @@ impl ScalingPoint {
 
 impl fmt::Display for ScalingPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} λ × {} = {}",
-            self.word_width,
-            self.rate_per_lambda,
-            self.aggregate()
-        )
+        write!(f, "{} λ × {} = {}", self.word_width, self.rate_per_lambda, self.aggregate())
     }
 }
 
@@ -122,9 +116,9 @@ mod tests {
         let p = ScalingPoint::demonstrated();
         assert_eq!(p.mux_ways(400), 8);
         assert_eq!(p.fpga_pins_needed(400), 28); // ceil(2.5G/400M)=7 lanes x 4
-        // End goal: 10 Gbps per λ needs 25 lanes -> 32:1 mux, 64 λ
-        // -> 1600 pins: more than one DLC, which is why the paper
-        // envisions replication.
+                                                 // End goal: 10 Gbps per λ needs 25 lanes -> 32:1 mux, 64 λ
+                                                 // -> 1600 pins: more than one DLC, which is why the paper
+                                                 // envisions replication.
         let goal = ScalingPoint::end_goal();
         assert_eq!(goal.mux_ways(400), 32);
         assert!(goal.fpga_pins_needed(400) > 200);

@@ -189,9 +189,8 @@ impl Transmitter {
             )?;
         }
         let lane_bits = n_bits / 8;
-        let lanes: Vec<BitStream> = (0..8)
-            .map(|ch| self.core.generate(ch, lane_bits))
-            .collect::<dlc::Result<_>>()?;
+        let lanes: Vec<BitStream> =
+            (0..8).map(|ch| self.core.generate(ch, lane_bits)).collect::<dlc::Result<_>>()?;
         Ok(self.chain.serialize_8(&lanes, rate, seed)?)
     }
 }
@@ -243,9 +242,8 @@ mod tests {
     #[test]
     fn burst_renders_every_slot() {
         let mut tx = Transmitter::new(SlotTiming::paper()).unwrap();
-        let slots: Vec<PacketSlot> = (0..4)
-            .map(|i| PacketSlot::new(SlotTiming::paper(), [i; 4], i as u8))
-            .collect();
+        let slots: Vec<PacketSlot> =
+            (0..4).map(|i| PacketSlot::new(SlotTiming::paper(), [i; 4], i as u8)).collect();
         let sent = tx.transmit_burst(&slots, 5).unwrap();
         assert_eq!(sent.len(), 4);
         for (i, s) in sent.iter().enumerate() {

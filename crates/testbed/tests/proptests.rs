@@ -1,70 +1,85 @@
 //! Property-based tests for the Fig. 4 framing layer (pure, fast paths).
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
-use proptest::prelude::*;
+use rng::{Rng, SeedTree};
 use testbed::frame::{PacketSlot, SlotTiming};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn any_payload_round_trips_through_the_frame(
-        w0 in any::<u32>(),
-        w1 in any::<u32>(),
-        w2 in any::<u32>(),
-        w3 in any::<u32>(),
-        address in 0u8..16,
-    ) {
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0x7e57).stream("testbed.proptests").stream(label).rng(), CASES)
+}
+
+#[test]
+fn any_payload_round_trips_through_the_frame() {
+    let (mut rng, n) = cases("payload-round-trip");
+    for _ in 0..n {
+        let payload: [u32; 4] = core::array::from_fn(|_| rng.next_u32());
+        let address = rng.range_u32(0..16) as u8;
         let timing = SlotTiming::paper();
-        let slot = PacketSlot::new(timing, [w0, w1, w2, w3], address);
+        let slot = PacketSlot::new(timing, payload, address);
         let channels = slot.render_bits();
-        prop_assert_eq!(PacketSlot::extract_payload(&timing, &channels), [w0, w1, w2, w3]);
-        prop_assert_eq!(slot.address(), address);
+        assert_eq!(
+            PacketSlot::extract_payload(&timing, &channels),
+            payload,
+            "payload={payload:?} address={address}"
+        );
+        assert_eq!(slot.address(), address);
     }
+}
 
-    #[test]
-    fn frame_structure_invariants(w in any::<u32>(), address in any::<u8>()) {
+#[test]
+fn frame_structure_invariants() {
+    let (mut rng, n) = cases("frame-structure");
+    for _ in 0..n {
+        let w = rng.next_u32();
+        let address = rng.range_u32(0..256) as u8;
         let timing = SlotTiming::paper();
         let slot = PacketSlot::new(timing, [w; 4], address);
         let ch = slot.render_bits();
         // Every channel is exactly slot-length.
-        prop_assert_eq!(ch.clock.len(), timing.slot_bits);
-        prop_assert_eq!(ch.frame.len(), timing.slot_bits);
+        assert_eq!(ch.clock.len(), timing.slot_bits);
+        assert_eq!(ch.frame.len(), timing.slot_bits);
         // The clock always has 23 highs (alternating across the 46-bit
         // window), regardless of payload.
-        prop_assert_eq!(ch.clock.count_ones(), 23);
+        assert_eq!(ch.clock.count_ones(), 23, "w={w:#x}");
         // Frame marks exactly the payload window.
-        prop_assert_eq!(ch.frame.count_ones(), timing.data_bits);
+        assert_eq!(ch.frame.count_ones(), timing.data_bits);
         // Dead time is quiet on every channel.
         for i in 0..timing.dead_bits {
-            prop_assert!(!ch.clock[i]);
-            prop_assert!(!ch.frame[i]);
+            assert!(!ch.clock[i]);
+            assert!(!ch.frame[i]);
             for p in &ch.payload {
-                prop_assert!(!p[i]);
+                assert!(!p[i]);
             }
             for h in &ch.header {
-                prop_assert!(!h[i]);
+                assert!(!h[i]);
             }
         }
         // Header channels encode the masked address, MSB first.
         for bit in 0..4usize {
             let expect = (address & 0x0F) >> (3 - bit) & 1 == 1;
-            prop_assert_eq!(ch.header[bit].count_ones() > 0, expect);
+            assert_eq!(ch.header[bit].count_ones() > 0, expect, "address={address} bit={bit}");
         }
         // Payload ones never exceed the data window.
         for p in &ch.payload {
-            prop_assert!(p.count_ones() <= timing.data_bits);
+            assert!(p.count_ones() <= timing.data_bits);
         }
     }
+}
 
-    #[test]
-    fn custom_timings_tile_or_fail_validation(
-        dead in 0usize..20,
-        guard in 0usize..10,
-        pre in 0usize..12,
-        data_half in 1usize..20,
-        post in 0usize..12,
-    ) {
-        let data = data_half * 2;
+#[test]
+fn custom_timings_tile_or_fail_validation() {
+    let (mut rng, n) = cases("custom-timings");
+    for _ in 0..n {
+        let dead = rng.range_usize(0..20);
+        let guard = rng.range_usize(0..10);
+        let pre = rng.range_usize(0..12);
+        let data = rng.range_usize(1..20) * 2;
+        let post = rng.range_usize(0..12);
         let mut t = SlotTiming::paper();
         t.dead_bits = dead;
         t.guard_bits = guard;
@@ -74,34 +89,43 @@ proptest! {
         t.slot_bits = dead + 2 * guard + pre + data + post;
         // A timing built to tile always validates (payload is even and
         // nonzero by construction)…
-        prop_assert!(t.validate().is_ok());
-        // …and its derived durations are consistent.
-        prop_assert_eq!(
-            t.window_bits(),
-            pre + data + post
+        assert!(
+            t.validate().is_ok(),
+            "dead={dead} guard={guard} pre={pre} data={data} post={post}"
         );
-        prop_assert_eq!(t.data_start_bit(), dead + guard + pre);
+        // …and its derived durations are consistent.
+        assert_eq!(t.window_bits(), pre + data + post);
+        assert_eq!(t.data_start_bit(), dead + guard + pre);
         // Breaking the tiling breaks validation.
         let mut broken = t;
         broken.slot_bits += 1;
-        prop_assert!(broken.validate().is_err());
+        assert!(broken.validate().is_err());
     }
+}
 
-    #[test]
-    fn scaling_arithmetic_is_consistent(width_pow in 2u32..7, gbps_tenths in 10u64..120) {
-        use testbed::scaling::ScalingPoint;
+#[test]
+fn scaling_arithmetic_is_consistent() {
+    use testbed::scaling::ScalingPoint;
+    let (mut rng, n) = cases("scaling");
+    for _ in 0..n {
+        let width_pow = rng.range_u32(2..7);
+        let gbps_tenths = rng.range_u64(10..120);
         let p = ScalingPoint {
             word_width: 1 << width_pow,
             rate_per_lambda: pstime::DataRate::from_bps(gbps_tenths * 100_000_000),
         };
         let agg = p.aggregate();
-        prop_assert_eq!(agg.as_bps(), p.rate_per_lambda.as_bps() * u64::from(p.word_width));
+        assert_eq!(
+            agg.as_bps(),
+            p.rate_per_lambda.as_bps() * u64::from(p.word_width),
+            "width_pow={width_pow} gbps_tenths={gbps_tenths}"
+        );
         // Fig. 4 framing halves the effective rate.
         let eff = p.effective(&SlotTiming::paper());
-        prop_assert_eq!(eff.as_bps(), agg.as_bps() / 2);
+        assert_eq!(eff.as_bps(), agg.as_bps() / 2);
         // The mux fan-in is always a power of two and sufficient.
         let ways = p.mux_ways(400);
-        prop_assert!(ways.is_power_of_two());
-        prop_assert!(ways * 400_000_000 >= p.rate_per_lambda.as_bps());
+        assert!(ways.is_power_of_two());
+        assert!(ways * 400_000_000 >= p.rate_per_lambda.as_bps());
     }
 }

@@ -384,8 +384,7 @@ mod tests {
         // Fill all four angles with packets to distinct destinations.
         for a in 0..4 {
             for (i, dest) in [a, a + 4].iter().enumerate() {
-                dv.inject(Packet::new(u64::from(a * 2 + i as u32), *dest % 8, 0), a)
-                    .unwrap();
+                dv.inject(Packet::new(u64::from(a * 2 + i as u32), *dest % 8, 0), a).unwrap();
             }
         }
         assert_eq!(dv.in_flight(), 8);

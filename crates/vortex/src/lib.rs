@@ -47,5 +47,5 @@ pub mod traffic;
 pub use fabric::{DataVortex, Delivered, VortexError};
 pub use packet::{Packet, Wavelength};
 pub use stats::{FabricStats, LatencyStats};
-pub use trace::{run_traced, AngleStats, TraceReport};
 pub use topology::{NodeAddr, VortexParams};
+pub use trace::{run_traced, AngleStats, TraceReport};

@@ -43,13 +43,7 @@ impl Packet {
     /// Creates a packet addressed to `dest_height` on wavelength channel
     /// `lambda`.
     pub fn new(id: u64, dest_height: u32, lambda: u8) -> Self {
-        Packet {
-            id,
-            dest_height,
-            wavelength: Wavelength(lambda),
-            hops: 0,
-            deflections: 0,
-        }
+        Packet { id, dest_height, wavelength: Wavelength(lambda), hops: 0, deflections: 0 }
     }
 
     /// The packet's identity.
@@ -81,10 +75,7 @@ impl Packet {
     /// The header bits the transmitter would encode for this destination:
     /// MSB-first height address, one bit per cylinder.
     pub fn header_bits(&self, cylinders: u32) -> Vec<bool> {
-        (0..cylinders)
-            .rev()
-            .map(|b| (self.dest_height >> b) & 1 == 1)
-            .collect()
+        (0..cylinders).rev().map(|b| (self.dest_height >> b) & 1 == 1).collect()
     }
 
     pub(crate) fn record_hop(&mut self, deflected: bool) {

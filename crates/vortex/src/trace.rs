@@ -9,8 +9,7 @@
 
 use core::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SeedTree;
 
 use crate::fabric::DataVortex;
 use crate::packet::Packet;
@@ -86,9 +85,7 @@ impl TraceReport {
 impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "trace over {} slots:", self.slots)?;
-        for (c, (mean, peak)) in
-            self.mean_occupancy.iter().zip(&self.peak_occupancy).enumerate()
-        {
+        for (c, (mean, peak)) in self.mean_occupancy.iter().zip(&self.peak_occupancy).enumerate() {
             writeln!(f, "  cylinder {c}: mean occupancy {mean:.2}, peak {peak}")?;
         }
         write!(
@@ -117,15 +114,15 @@ pub fn run_traced(
 ) -> TraceReport {
     assert!((0.0..=1.0).contains(&offered_load), "offered load must be in [0, 1]");
     let mut dv = DataVortex::new(params);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ace);
+    let mut rng = SeedTree::new(seed).stream("vortex.trace").rng();
     let mut angles = vec![AngleStats::default(); params.angles() as usize];
     let mut origin: Vec<u32> = Vec::new(); // packet id -> injection angle
     let mut mean = vec![0.0f64; params.cylinders() as usize];
     let mut peak = vec![0usize; params.cylinders() as usize];
 
     let account = |delivered: &[crate::fabric::Delivered],
-                       angles: &mut Vec<AngleStats>,
-                       origin: &Vec<u32>| {
+                   angles: &mut Vec<AngleStats>,
+                   origin: &Vec<u32>| {
         for d in delivered {
             let a = origin[d.packet.id() as usize] as usize;
             angles[a].delivered += 1;
@@ -135,19 +132,19 @@ pub fn run_traced(
 
     for _ in 0..measure_slots {
         for a in 0..params.angles() {
-            if rng.gen::<f64>() >= offered_load {
+            if rng.f64() >= offered_load {
                 continue;
             }
             let dest = match pattern {
-                Pattern::UniformRandom => rng.gen_range(0..params.heights()),
+                Pattern::UniformRandom => rng.range_u32(0..params.heights()),
                 Pattern::Permutation { offset } => {
                     (a * params.heights() / params.angles() + offset) % params.heights()
                 }
                 Pattern::Hotspot { target, fraction } => {
-                    if rng.gen::<f64>() < fraction {
+                    if rng.f64() < fraction {
                         target
                     } else {
-                        rng.gen_range(0..params.heights())
+                        rng.range_u32(0..params.heights())
                     }
                 }
             };
@@ -186,13 +183,7 @@ mod tests {
 
     #[test]
     fn uniform_traffic_is_fair() {
-        let report = run_traced(
-            VortexParams::eight_node(),
-            Pattern::UniformRandom,
-            0.5,
-            500,
-            3,
-        );
+        let report = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.5, 500, 3);
         assert_eq!(report.angles.len(), 4);
         let fairness = report.fairness_index();
         assert!(fairness > 0.97, "uniform traffic unfair: {fairness}");
@@ -223,8 +214,7 @@ mod tests {
         // whole fabric fills (outermost cylinders worst, since blocked
         // descents pile upstream and injections keep arriving), fairness
         // and latency spread degrade versus uniform traffic.
-        let uniform =
-            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.6, 400, 7);
+        let uniform = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.6, 400, 7);
         let hotspot = run_traced(
             VortexParams::eight_node(),
             Pattern::Hotspot { target: 2, fraction: 0.9 },
@@ -246,8 +236,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let report =
-            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.3, 100, 1);
+        let report = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.3, 100, 1);
         let text = report.to_string();
         assert!(text.contains("cylinder 0"));
         assert!(text.contains("fairness"));
@@ -256,8 +245,7 @@ mod tests {
 
     #[test]
     fn zero_load_trace() {
-        let report =
-            run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.0, 50, 1);
+        let report = run_traced(VortexParams::eight_node(), Pattern::UniformRandom, 0.0, 50, 1);
         assert_eq!(report.fairness_index(), 1.0);
         assert_eq!(report.latency_spread(), 0.0);
         assert!(report.mean_occupancy.iter().all(|m| *m == 0.0));

@@ -5,13 +5,15 @@
 //! workloads here are the standard interconnect patterns used for that kind
 //! of characterization: uniform random, permutation, and hotspot.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::{Rng, SeedTree, StreamId};
 
 use crate::fabric::DataVortex;
 use crate::packet::Packet;
 use crate::stats::FabricStats;
 use crate::topology::VortexParams;
+
+/// Substream identity for load-generator arrival/destination draws.
+pub const TRAFFIC_STREAM: StreamId = StreamId::named("vortex.traffic");
 
 /// A traffic pattern for fabric characterization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,11 +73,11 @@ pub fn run_load(
         assert!((0.0..=1.0).contains(&fraction), "hotspot fraction must be in [0, 1]");
     }
     let mut dv = DataVortex::new(params);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e5_7b3d);
+    let mut rng = SeedTree::new(seed).derive(TRAFFIC_STREAM).rng();
     let mut next_id = 0u64;
     for _ in 0..measure_slots {
         for a in 0..params.angles() {
-            if rng.gen::<f64>() >= offered_load {
+            if rng.f64() >= offered_load {
                 continue;
             }
             let dest = destination(&params, pattern, a, &mut rng);
@@ -90,17 +92,17 @@ pub fn run_load(
     dv.stats().clone()
 }
 
-fn destination(params: &VortexParams, pattern: Pattern, angle: u32, rng: &mut StdRng) -> u32 {
+fn destination(params: &VortexParams, pattern: Pattern, angle: u32, rng: &mut Rng) -> u32 {
     match pattern {
-        Pattern::UniformRandom => rng.gen_range(0..params.heights()),
+        Pattern::UniformRandom => rng.range_u32(0..params.heights()),
         Pattern::Permutation { offset } => {
             (angle * params.heights() / params.angles() + offset) % params.heights()
         }
         Pattern::Hotspot { target, fraction } => {
-            if rng.gen::<f64>() < fraction {
+            if rng.f64() < fraction {
                 target
             } else {
-                rng.gen_range(0..params.heights())
+                rng.range_u32(0..params.heights())
             }
         }
     }
@@ -160,20 +162,10 @@ mod tests {
 
     #[test]
     fn latency_rises_with_load() {
-        let sweep = load_sweep(
-            VortexParams::eight_node(),
-            Pattern::UniformRandom,
-            0.9,
-            3,
-            400,
-            7,
-        );
+        let sweep = load_sweep(VortexParams::eight_node(), Pattern::UniformRandom, 0.9, 3, 400, 7);
         assert_eq!(sweep.len(), 3);
         let lat: Vec<f64> = sweep.iter().map(|p| p.stats.latency.mean()).collect();
-        assert!(
-            lat[2] > lat[0],
-            "latency should rise with load: {lat:?}"
-        );
+        assert!(lat[2] > lat[0], "latency should rise with load: {lat:?}");
         // Normalized throughput is a sane fraction.
         for p in &sweep {
             let t = p.normalized_throughput(&VortexParams::eight_node());
@@ -205,8 +197,7 @@ mod tests {
 
     #[test]
     fn bigger_fabric_runs() {
-        let stats =
-            run_load(VortexParams::thirty_two_node(), Pattern::UniformRandom, 0.2, 100, 3);
+        let stats = run_load(VortexParams::thirty_two_node(), Pattern::UniformRandom, 0.2, 100, 3);
         assert!(stats.delivered > 0);
         assert_eq!(stats.delivered, stats.injected);
     }

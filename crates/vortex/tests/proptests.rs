@@ -1,17 +1,29 @@
 //! Property-based tests for the Data Vortex fabric: conservation, delivery,
 //! and latency invariants under arbitrary traffic.
+//!
+//! Cases are drawn from named substreams of the first-party `rng` crate, so
+//! every run covers the same randomized slice of the input space
+//! deterministically.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rng::{Rng, SeedTree};
 use vortex::{DataVortex, Packet, VortexParams};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn every_packet_is_delivered_to_its_destination(
-        dests in vec(0u32..8, 1..24),
-    ) {
+fn cases(label: &str) -> (Rng, usize) {
+    (SeedTree::new(0x40e7).stream("vortex.proptests").stream(label).rng(), CASES)
+}
+
+fn random_dests(rng: &mut Rng, max_dest: u32, min_len: usize, max_len: usize) -> Vec<u32> {
+    let len = rng.range_usize(min_len..max_len);
+    (0..len).map(|_| rng.range_u32(0..max_dest)).collect()
+}
+
+#[test]
+fn every_packet_is_delivered_to_its_destination() {
+    let (mut rng, n) = cases("delivery");
+    for _ in 0..n {
+        let dests = random_dests(&mut rng, 8, 1, 24);
         let params = VortexParams::eight_node();
         let mut dv = DataVortex::new(params);
         let mut accepted = Vec::new();
@@ -24,38 +36,44 @@ proptest! {
             out.extend(dv.step());
         }
         out.extend(dv.run_until_drained(10_000));
-        prop_assert_eq!(dv.in_flight(), 0, "fabric must drain");
+        assert_eq!(dv.in_flight(), 0, "fabric must drain (dests={dests:?})");
         out.sort_by_key(|d| d.packet.id());
         // Conservation + correct routing.
-        prop_assert_eq!(out.len(), accepted.len());
+        assert_eq!(out.len(), accepted.len(), "dests={dests:?}");
         for d in &out {
             let (_, dest) = accepted.iter().find(|(id, _)| *id == d.packet.id()).unwrap();
-            prop_assert_eq!(d.packet.dest_height(), *dest);
+            assert_eq!(d.packet.dest_height(), *dest, "dests={dests:?}");
         }
     }
+}
 
-    #[test]
-    fn latency_bounds(entry in 0u32..8, dest in 0u32..8) {
-        // A lone packet: latency = cylinders + (bits that mismatch at the
-        // moment each cylinder is reached). Bounded by 2x cylinders.
-        let params = VortexParams::eight_node();
-        let mut dv = DataVortex::new(params);
-        dv.try_inject_at(Packet::new(0, dest, 0), 0, entry).unwrap();
-        let out = dv.run_until_drained(100);
-        prop_assert_eq!(out.len(), 1);
-        let latency = out[0].latency();
-        prop_assert!(latency >= u64::from(params.cylinders()));
-        prop_assert!(latency <= 2 * u64::from(params.cylinders()));
-        // Deflections for a lone packet = mismatched bits only.
-        let mismatches = (entry ^ dest).count_ones();
-        prop_assert_eq!(out[0].packet.deflections(), mismatches);
+#[test]
+fn latency_bounds() {
+    // A lone packet: latency = cylinders + (bits that mismatch at the
+    // moment each cylinder is reached). Bounded by 2x cylinders.
+    let params = VortexParams::eight_node();
+    for entry in 0u32..8 {
+        for dest in 0u32..8 {
+            let mut dv = DataVortex::new(params);
+            dv.try_inject_at(Packet::new(0, dest, 0), 0, entry).unwrap();
+            let out = dv.run_until_drained(100);
+            assert_eq!(out.len(), 1, "entry={entry} dest={dest}");
+            let latency = out[0].latency();
+            assert!(latency >= u64::from(params.cylinders()), "entry={entry} dest={dest}");
+            assert!(latency <= 2 * u64::from(params.cylinders()), "entry={entry} dest={dest}");
+            // Deflections for a lone packet = mismatched bits only.
+            let mismatches = (entry ^ dest).count_ones();
+            assert_eq!(out[0].packet.deflections(), mismatches, "entry={entry} dest={dest}");
+        }
     }
+}
 
-    #[test]
-    fn no_two_packets_exit_one_port_in_the_same_slot(
-        dests in vec(0u32..4, 4..20),
-    ) {
+#[test]
+fn no_two_packets_exit_one_port_in_the_same_slot() {
+    let (mut rng, n) = cases("port-contention");
+    for _ in 0..n {
         // Funnel traffic into few ports to force output contention.
+        let dests = random_dests(&mut rng, 4, 4, 20);
         let params = VortexParams::eight_node();
         let mut dv = DataVortex::new(params);
         for (id, dest) in dests.iter().enumerate() {
@@ -64,17 +82,22 @@ proptest! {
         let out = dv.run_until_drained(10_000);
         let mut seen = std::collections::HashSet::new();
         for d in &out {
-            prop_assert!(
+            assert!(
                 seen.insert((d.packet.dest_height(), d.delivered_slot)),
-                "two packets left port {} in slot {}",
+                "two packets left port {} in slot {} (dests={dests:?})",
                 d.packet.dest_height(),
                 d.delivered_slot
             );
         }
     }
+}
 
-    #[test]
-    fn stats_are_consistent(dests in vec(0u32..8, 1..40), load_angles in 1u32..4) {
+#[test]
+fn stats_are_consistent() {
+    let (mut rng, n) = cases("stats");
+    for _ in 0..n {
+        let dests = random_dests(&mut rng, 8, 1, 40);
+        let load_angles = rng.range_u32(1..4);
         let params = VortexParams::eight_node();
         let mut dv = DataVortex::new(params);
         let mut injected = 0u64;
@@ -86,23 +109,27 @@ proptest! {
         }
         dv.run_until_drained(10_000);
         let stats = dv.stats();
-        prop_assert_eq!(stats.injected, injected);
-        prop_assert_eq!(stats.delivered, injected);
-        prop_assert_eq!(stats.latency.count(), injected);
-        prop_assert!((stats.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.injected, injected, "dests={dests:?} angles={load_angles}");
+        assert_eq!(stats.delivered, injected);
+        assert_eq!(stats.latency.count(), injected);
+        assert!((stats.delivery_ratio() - 1.0).abs() < 1e-12);
         if injected > 0 {
-            prop_assert!(stats.latency.min() >= u64::from(params.cylinders()));
+            assert!(stats.latency.min() >= u64::from(params.cylinders()));
         }
     }
+}
 
-    #[test]
-    fn bigger_fabrics_also_route(cyl in 2u32..5, dest_seed in any::<u64>()) {
+#[test]
+fn bigger_fabrics_also_route() {
+    let (mut rng, n) = cases("bigger-fabrics");
+    for _ in 0..n {
+        let cyl = rng.range_u32(2..5);
         let params = VortexParams::new(cyl, 4);
-        let dest = (dest_seed % u64::from(params.heights())) as u32;
+        let dest = rng.range_u32(0..params.heights());
         let mut dv = DataVortex::new(params);
         dv.inject(Packet::new(0, dest, 0), 0).unwrap();
         let out = dv.run_until_drained(1_000);
-        prop_assert_eq!(out.len(), 1);
-        prop_assert_eq!(out[0].packet.dest_height(), dest);
+        assert_eq!(out.len(), 1, "cyl={cyl} dest={dest}");
+        assert_eq!(out[0].packet.dest_height(), dest);
     }
 }

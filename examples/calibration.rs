@@ -27,8 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst
     );
     for p in points.iter().take(5) {
-        println!("  requested {:>9} -> achieved {:>9} (err {:>6})", 
-            p.requested.to_string(), p.achieved.to_string(), p.error().to_string());
+        println!(
+            "  requested {:>9} -> achieved {:>9} (err {:>6})",
+            p.requested.to_string(),
+            p.achieved.to_string(),
+            p.error().to_string()
+        );
     }
     println!("  ...\n");
 

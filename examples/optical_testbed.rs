@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One slot, by hand: transmit and decode it in electrical loopback.
     let mut tx = Transmitter::new(timing)?;
     let rx = Receiver::new(timing);
-    let slot = PacketSlot::new(timing, [0xCAFE_F00D, 0x0123_4567, 0xDEAD_BEEF, 0x8BAD_F00D], 0b0101);
+    let slot =
+        PacketSlot::new(timing, [0xCAFE_F00D, 0x0123_4567, 0xDEAD_BEEF, 0x8BAD_F00D], 0b0101);
     let sent = tx.transmit_slot(&slot, 7)?;
     let got = rx.receive(&sent)?;
     println!(
@@ -53,12 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nhealthy optics : {report}");
 
     // Starve the lasers: the same test bed now shows the failure.
-    let starved = E2eConfig {
-        p_on_uw: 3.0,
-        extinction_ratio: 1.3,
-        rx_noise_mv: 25.0,
-        ..healthy
-    };
+    let starved = E2eConfig { p_on_uw: 3.0, extinction_ratio: 1.3, rx_noise_mv: 25.0, ..healthy };
     let report = run(&starved)?;
     println!("starved optics : {report}");
     println!("\nThe test bed exists exactly for this: quantifying the Data");

@@ -17,9 +17,8 @@ fn usb_controls_a_running_system() {
     let mut system = TestSystem::optical_testbed().expect("boots");
     let core = system.core_mut();
 
-    let resp = core
-        .usb_transaction(Packet::command(Opcode::Ping, &[]).as_bytes())
-        .expect("ping ok");
+    let resp =
+        core.usb_transaction(Packet::command(Opcode::Ping, &[]).as_bytes()).expect("ping ok");
     assert_eq!(Packet::parse(&resp).unwrap().payload(), vec![dlc::usb::PROTOCOL_VERSION]);
 
     let resp = core
@@ -75,12 +74,11 @@ fn testbed_slot_survives_the_optical_path_under_level_stress() {
     let mut tx = Transmitter::new(timing).expect("tx boots");
     tx.set_levels(signal::LevelSet::pecl().with_swing(Millivolts::new(400)));
     let rx = Receiver::new(timing);
-    let slot = PacketSlot::new(timing, [0xA5A5_5A5A, 0x0F0F_F0F0, 0xDEAD_BEEF, 0x1234_5678], 0b1011);
+    let slot =
+        PacketSlot::new(timing, [0xA5A5_5A5A, 0x0F0F_F0F0, 0xDEAD_BEEF, 0x1234_5678], 0b1011);
     let sent = tx.transmit_slot(&slot, 99).expect("renders");
     let link = sent.to_optical(500.0, 10.0);
-    let got = rx
-        .receive_optical(&sent, &link, &Photodetector::testbed(), 7)
-        .expect("decodes");
+    let got = rx.receive_optical(&sent, &link, &Photodetector::testbed(), 7).expect("decodes");
     assert_eq!(got.payload, slot.payload());
     assert_eq!(got.address, 0b1011);
 }
@@ -134,8 +132,8 @@ fn e2e_bit_errors_scale_with_optical_power() {
     // Sweep launch power downward: BER must be monotically worse at the
     // starved end than at the healthy end.
     use testbed::e2e::{run, E2eConfig};
-    let healthy = run(&E2eConfig { packets: 24, seed: 3, ..E2eConfig::default() })
-        .expect("healthy run");
+    let healthy =
+        run(&E2eConfig { packets: 24, seed: 3, ..E2eConfig::default() }).expect("healthy run");
     let starved = run(&E2eConfig {
         packets: 24,
         seed: 3,
