@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Hermetic CI: every step runs with --offline — the workspace has no
-# third-party dependencies, so a fresh checkout must build, test, and lint
-# with zero network access. (The criterion benches live outside the
-# workspace in crates/bench-criterion and are exercised separately, where a
-# registry is available.)
+# third-party dependencies, so a fresh checkout must build, test, lint,
+# and document with zero network access. (The criterion benches live
+# outside the workspace in crates/bench-criterion and are exercised
+# separately, where a registry is available.)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline -- -D warnings
+# First-party static analysis: determinism, unit-safety, and panic-freedom
+# contracts (rules R1–R7; see DESIGN.md "Enforced invariants").
+cargo run -p gigatest-xlint --release --offline
+cargo doc --offline --no-deps
 cargo fmt --check

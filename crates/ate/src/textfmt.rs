@@ -62,7 +62,9 @@ pub fn from_text(text: &str) -> Result<TestProgram> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let key = parts.next().expect("nonempty line has a first token");
+        let Some(key) = parts.next() else {
+            continue;
+        };
         match key {
             "pattern" => {
                 let kind =

@@ -25,35 +25,35 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig06_tx_waveforms(seed)
+            bench_support::fig06_tx_waveforms(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig07_eye_2g5", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig07_eye_2g5(seed)
+            bench_support::fig07_eye_2g5(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig08_eye_4g0", |b| {
         let mut seed = 100u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig08_eye_4g0(seed)
+            bench_support::fig08_eye_4g0(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig09_edge_jitter", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig09_edge_jitter(500, seed)
+            bench_support::fig09_edge_jitter(500, seed).expect("experiment runs")
         })
     });
     group.bench_function("fig10_fig11_levels", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let r = bench_support::fig10_fig11_levels(seed);
+            let r = bench_support::fig10_fig11_levels(seed).expect("experiment runs");
             assert_ok(&r);
             r
         })
@@ -69,33 +69,33 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig16_mini_eye_1g0(seed)
+            bench_support::fig16_mini_eye_1g0(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig17_mini_eye_2g5", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig17_mini_eye_2g5(seed)
+            bench_support::fig17_mini_eye_2g5(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig18_mini_5g_pattern", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig18_mini_5g_pattern(seed)
+            bench_support::fig18_mini_5g_pattern(seed).expect("experiment runs")
         })
     });
     group.bench_function("fig19_mini_eye_5g0", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            bench_support::fig19_mini_eye_5g0(seed)
+            bench_support::fig19_mini_eye_5g0(seed).expect("experiment runs")
         })
     });
     group.bench_function("summary_timing_accuracy", |b| {
         b.iter(|| {
-            let r = bench_support::summary_timing_accuracy();
+            let r = bench_support::summary_timing_accuracy().expect("experiment runs");
             assert_ok(&r);
             r
         })

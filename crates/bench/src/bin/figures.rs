@@ -8,7 +8,13 @@ fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2005u64);
     println!("Gigatest reproduction — Keezer et al., DATE 2005");
     println!("seed = {seed}\n");
-    let report = bench_support::full_report(seed);
+    let report = match bench_support::full_report(seed) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("{report}");
     if !report.all_within_tolerance() {
         std::process::exit(1);

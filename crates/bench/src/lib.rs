@@ -15,10 +15,11 @@
 use ate::calibration::{placement_audit, worst_placement_error};
 use ate::cost::CostComparison;
 use ate::measurement::{Comparison, PaperValue, Report};
-use ate::{TestProgram, TestSystem};
+use ate::{AteError, TestProgram, TestSystem};
 use minitester::{MiniTesterDatapath, ProbeArray};
 use pecl::SignalChain;
 use pstime::{DataRate, Duration};
+use rng::SeedTree;
 use signal::measure::{
     edge_jitter_from_acquisitions, measure_levels, measure_transition, transition_time_stats,
 };
@@ -55,16 +56,21 @@ pub fn fig04_packet_slot() -> Report {
 }
 
 /// Fig. 6 — 2.5 Gbps transmitter signals with 70–75 ps transitions.
-pub fn fig06_tx_waveforms(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates rate-limit errors from the PECL chain.
+pub fn fig06_tx_waveforms(seed: u64) -> Result<Report, AteError> {
     let chain = SignalChain::testbed_transmitter();
     let rate = DataRate::from_gbps(2.5);
     // Four 32-bit words serialized, as in the figure.
     let words = [0xDEAD_BEEFu32, 0x0123_4567, 0x8BAD_F00D, 0x5555_AAAA];
     let mut rise_all = signal::RunningStats::new();
     let mut fall_all = signal::RunningStats::new();
+    let tree = SeedTree::new(seed).stream("bench.fig06");
     for (i, w) in words.iter().enumerate() {
         let bits = BitStream::from_word_msb_first(u64::from(*w), 32);
-        let wave = chain.render(&bits, rate, seed + i as u64).expect("rate within limits");
+        let wave = chain.render(&bits, rate, tree.index(i as u64).seed())?;
         if let Ok((rise, fall)) = transition_time_stats(&wave, rate) {
             rise_all.merge(&rise);
             fall_all.merge(&fall);
@@ -85,7 +91,7 @@ pub fn fig06_tx_waveforms(seed: u64) -> Report {
         PaperValue::new(72.5, 0.07),
         fall_all.mean(),
     ));
-    report
+    Ok(report)
 }
 
 fn eye_experiment(
@@ -95,10 +101,9 @@ fn eye_experiment(
     paper_jitter_pp: Option<f64>,
     paper_opening: f64,
     seed: u64,
-) -> Report {
+) -> Result<Report, AteError> {
     let rate = DataRate::from_gbps(gbps);
-    let result =
-        system.run(&TestProgram::prbs_eye(rate, EYE_BITS), seed).expect("eye program runs");
+    let result = system.run(&TestProgram::prbs_eye(rate, EYE_BITS), seed)?;
     let mut report = Report::new();
     if let Some(pp) = paper_jitter_pp {
         report.push(Comparison::new(
@@ -116,35 +121,47 @@ fn eye_experiment(
         PaperValue::new(paper_opening, 0.06),
         result.eye.opening_ui().value(),
     ));
-    report
+    Ok(report)
 }
 
 /// Fig. 7 — 2.5 Gbps PRBS eye: 46.7 ps p-p jitter, 0.88 UI opening.
-pub fn fig07_eye_2g5(seed: u64) -> Report {
-    let mut system = TestSystem::optical_testbed().expect("system boots");
+///
+/// # Errors
+///
+/// Propagates system-boot and eye-program errors.
+pub fn fig07_eye_2g5(seed: u64) -> Result<Report, AteError> {
+    let mut system = TestSystem::optical_testbed()?;
     eye_experiment("FIG7", &mut system, 2.5, Some(46.7), 0.88, seed)
 }
 
 /// Fig. 8 — 4.0 Gbps PRBS eye: 47.2 ps p-p jitter, 0.81 UI opening.
-pub fn fig08_eye_4g0(seed: u64) -> Report {
-    let mut system = TestSystem::optical_testbed().expect("system boots");
+///
+/// # Errors
+///
+/// Propagates system-boot and eye-program errors.
+pub fn fig08_eye_4g0(seed: u64) -> Result<Report, AteError> {
+    let mut system = TestSystem::optical_testbed()?;
     eye_experiment("FIG8", &mut system, 4.0, Some(47.2), 0.81, seed)
 }
 
 /// Fig. 9 — single-edge jitter: 24 ps p-p, 3.2 ps rms over repeated
 /// acquisitions (no data-dependent effects).
-pub fn fig09_edge_jitter(acquisitions: usize, seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates render and edge-measurement errors.
+pub fn fig09_edge_jitter(acquisitions: usize, seed: u64) -> Result<Report, AteError> {
     let chain = SignalChain::testbed_transmitter();
     let rate = DataRate::from_gbps(2.5);
     let bits = BitStream::from_str_bits("1100");
+    let tree = SeedTree::new(seed).stream("bench.fig09");
     let times: Vec<pstime::Instant> = (0..acquisitions)
-        .map(|i| {
-            let wave =
-                chain.render(&bits, rate, seed.wrapping_add(i as u64)).expect("rate within limits");
-            measure_transition(&wave, 0, rate).expect("edge measurable").mid_crossing
+        .map(|i| -> Result<pstime::Instant, AteError> {
+            let wave = chain.render(&bits, rate, tree.index(i as u64).seed())?;
+            Ok(measure_transition(&wave, 0, rate)?.mid_crossing)
         })
-        .collect();
-    let m = edge_jitter_from_acquisitions(times, 64).expect("enough acquisitions");
+        .collect::<Result<_, _>>()?;
+    let m = edge_jitter_from_acquisitions(times, 64)?;
     let mut report = Report::new();
     report.push(Comparison::new(
         "FIG9",
@@ -160,12 +177,16 @@ pub fn fig09_edge_jitter(acquisitions: usize, seed: u64) -> Report {
         PaperValue::new(3.2, 0.15),
         m.rms().as_ps_f64(),
     ));
-    report
+    Ok(report)
 }
 
 /// Figs. 10–11 — programmable output levels: VOH in 100 mV steps at
 /// 1.25 Gbps; amplitude swing in 200 mV steps at 2.5 Gbps.
-pub fn fig10_fig11_levels(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates DAC-sweep, render, and level-measurement errors.
+pub fn fig10_fig11_levels(seed: u64) -> Result<Report, AteError> {
     use pecl::levels::LevelKnob;
     use pecl::VoltageTuningDac;
 
@@ -176,12 +197,12 @@ pub fn fig10_fig11_levels(seed: u64) -> Report {
     // Fig. 10: four VOH codes at 1.25 Gbps.
     let rate = DataRate::from_gbps(1.25);
     let bits = BitStream::alternating(256);
-    for (code, levels) in dac.sweep(LevelKnob::High, 4).expect("codes in range").iter().enumerate()
-    {
+    let tree_voh = SeedTree::new(seed).stream("bench.fig10.voh");
+    for (code, levels) in dac.sweep(LevelKnob::High, 4)?.iter().enumerate() {
         let mut chain = chain.clone();
         chain.set_levels(*levels);
-        let wave = chain.render(&bits, rate, seed + code as u64).expect("rate ok");
-        let m = measure_levels(&wave, rate).expect("both levels present");
+        let wave = chain.render(&bits, rate, tree_voh.index(code as u64).seed())?;
+        let m = measure_levels(&wave, rate)?;
         report.push(Comparison::new(
             "FIG10",
             format!("VOH at code {code}"),
@@ -193,12 +214,12 @@ pub fn fig10_fig11_levels(seed: u64) -> Report {
 
     // Fig. 11: three swing codes at 2.5 Gbps.
     let rate = DataRate::from_gbps(2.5);
-    for (code, levels) in dac.sweep(LevelKnob::Swing, 3).expect("codes in range").iter().enumerate()
-    {
+    let tree_swing = SeedTree::new(seed).stream("bench.fig11.swing");
+    for (code, levels) in dac.sweep(LevelKnob::Swing, 3)?.iter().enumerate() {
         let mut chain = chain.clone();
         chain.set_levels(*levels);
-        let wave = chain.render(&bits, rate, seed + 100 + code as u64).expect("rate ok");
-        let m = measure_levels(&wave, rate).expect("both levels present");
+        let wave = chain.render(&bits, rate, tree_swing.index(code as u64).seed())?;
+        let m = measure_levels(&wave, rate)?;
         report.push(Comparison::new(
             "FIG11",
             format!("swing at code {code}"),
@@ -207,7 +228,7 @@ pub fn fig10_fig11_levels(seed: u64) -> Report {
             m.swing_mv(),
         ));
     }
-    report
+    Ok(report)
 }
 
 /// Fig. 13 — parallel multi-site probing: "increasing production
@@ -233,11 +254,11 @@ fn mini_eye(
     paper_opening: f64,
     paper_jitter: Option<f64>,
     seed: u64,
-) -> Report {
+) -> Result<Report, AteError> {
     let rate = DataRate::from_gbps(gbps);
-    let mut path = MiniTesterDatapath::new().expect("datapath boots");
-    let wave = path.prbs_stimulus(rate, EYE_BITS, seed).expect("stimulus renders");
-    let eye = EyeDiagram::analyze(&wave, rate).expect("eye analyzable");
+    let mut path = MiniTesterDatapath::new()?;
+    let wave = path.prbs_stimulus(rate, EYE_BITS, seed)?;
+    let eye = EyeDiagram::analyze(&wave, rate)?;
     let mut report = Report::new();
     if let Some(pp) = paper_jitter {
         report.push(Comparison::new(
@@ -255,31 +276,46 @@ fn mini_eye(
         PaperValue::new(paper_opening, 0.06),
         eye.opening_ui().value(),
     ));
-    report
+    Ok(report)
 }
 
 /// Fig. 16 — mini-tester 1.0 Gbps eye: ~50 ps p-p jitter, ~0.95 UI.
-pub fn fig16_mini_eye_1g0(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates datapath and eye-analysis errors.
+pub fn fig16_mini_eye_1g0(seed: u64) -> Result<Report, AteError> {
     mini_eye("FIG16", 1.0, 0.95, Some(50.0), seed)
 }
 
 /// Fig. 17 — mini-tester 2.5 Gbps eye: ~0.87 UI.
-pub fn fig17_mini_eye_2g5(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates datapath and eye-analysis errors.
+pub fn fig17_mini_eye_2g5(seed: u64) -> Result<Report, AteError> {
     mini_eye("FIG17", 2.5, 0.87, None, seed)
 }
 
 /// Fig. 18 — 5.0 Gbps patterns: 120 ps 20–80 % rise and swing compression
 /// relative to low rates.
-pub fn fig18_mini_5g_pattern(seed: u64) -> Report {
-    let mut path = MiniTesterDatapath::new().expect("datapath boots");
+///
+/// # Errors
+///
+/// Propagates datapath and transition-measurement errors.
+pub fn fig18_mini_5g_pattern(seed: u64) -> Result<Report, AteError> {
+    let mut path = MiniTesterDatapath::new()?;
     let mut report = Report::new();
+    let tree = SeedTree::new(seed).stream("bench.fig18");
 
     // Rise time on a pattern slow enough to settle.
     let rate_slow = DataRate::from_gbps(1.0);
-    let wave = path
-        .pattern_stimulus(&BitStream::from_str_bits("0011").repeat(64), rate_slow, seed)
-        .expect("pattern renders");
-    let (rise, _) = transition_time_stats(&wave, rate_slow).expect("transitions measurable");
+    let wave = path.pattern_stimulus(
+        &BitStream::from_str_bits("0011").repeat(64),
+        rate_slow,
+        tree.channel(0).seed(),
+    )?;
+    let (rise, _) = transition_time_stats(&wave, rate_slow)?;
     report.push(Comparison::new(
         "FIG18",
         "I/O buffer rise 20-80%",
@@ -290,9 +326,11 @@ pub fn fig18_mini_5g_pattern(seed: u64) -> Report {
 
     // Swing compression at 5 Gbps: isolated-1 peak amplitude vs settled.
     let rate = DataRate::from_gbps(5.0);
-    let wave5 = path
-        .pattern_stimulus(&BitStream::from_str_bits("0000000100000000").repeat(16), rate, seed + 1)
-        .expect("pattern renders");
+    let wave5 = path.pattern_stimulus(
+        &BitStream::from_str_bits("0000000100000000").repeat(16),
+        rate,
+        tree.channel(1).seed(),
+    )?;
     let digital = wave5.digital();
     let (lo, hi) = wave5.range_over(digital.start(), digital.end(), Duration::from_ps(5));
     let peak_swing = hi - lo;
@@ -307,18 +345,25 @@ pub fn fig18_mini_5g_pattern(seed: u64) -> Report {
         PaperValue::new(0.80, 0.06),
         peak_swing / settled_swing,
     ));
-    report
+    Ok(report)
 }
 
 /// Fig. 19 — mini-tester 5.0 Gbps eye: ~50 ps jitter, ~0.75 UI.
-pub fn fig19_mini_eye_5g0(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates datapath and eye-analysis errors.
+pub fn fig19_mini_eye_5g0(seed: u64) -> Result<Report, AteError> {
     mini_eye("FIG19", 5.0, 0.75, Some(50.0), seed)
 }
 
 /// SUMMARY — ±25 ps timing accuracy and 10 ps placement resolution.
-pub fn summary_timing_accuracy() -> Report {
-    let points =
-        placement_audit(Duration::from_ns(10), Duration::from_ps(137)).expect("audit within range");
+///
+/// # Errors
+///
+/// Propagates placement-audit errors.
+pub fn summary_timing_accuracy() -> Result<Report, AteError> {
+    let points = placement_audit(Duration::from_ns(10), Duration::from_ps(137))?;
     let worst = worst_placement_error(&points);
     let mut report = Report::new();
     // The paper claims a ±25 ps bound; our measured worst-case placement
@@ -338,7 +383,7 @@ pub fn summary_timing_accuracy() -> Report {
         PaperValue::new(10.0, 0.0),
         pecl::ProgrammableDelayLine::standard().step().as_ps_f64(),
     ));
-    report
+    Ok(report)
 }
 
 /// DV — the Data Vortex under test-bed traffic: full delivery with virtual
@@ -409,28 +454,32 @@ pub fn cost_comparison() -> Report {
 }
 
 /// Runs every experiment and aggregates one full report, in paper order.
-pub fn full_report(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first failure from any experiment.
+pub fn full_report(seed: u64) -> Result<Report, AteError> {
     let mut report = Report::new();
     for part in [
         fig04_packet_slot(),
-        fig06_tx_waveforms(seed),
-        fig07_eye_2g5(seed),
-        fig08_eye_4g0(seed),
-        fig09_edge_jitter(2_000, seed),
-        fig10_fig11_levels(seed),
+        fig06_tx_waveforms(seed)?,
+        fig07_eye_2g5(seed)?,
+        fig08_eye_4g0(seed)?,
+        fig09_edge_jitter(2_000, seed)?,
+        fig10_fig11_levels(seed)?,
         fig13_parallel_probe(),
-        fig16_mini_eye_1g0(seed),
-        fig17_mini_eye_2g5(seed),
-        fig18_mini_5g_pattern(seed),
-        fig19_mini_eye_5g0(seed),
-        summary_timing_accuracy(),
+        fig16_mini_eye_1g0(seed)?,
+        fig17_mini_eye_2g5(seed)?,
+        fig18_mini_5g_pattern(seed)?,
+        fig19_mini_eye_5g0(seed)?,
+        summary_timing_accuracy()?,
         datavortex_routing(seed),
         ext_terabit_scaling(),
         cost_comparison(),
     ] {
         report.extend(part.rows().iter().cloned());
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -453,7 +502,7 @@ mod tests {
 
     #[test]
     fn summary_meets_bound() {
-        let r = summary_timing_accuracy();
+        let r = summary_timing_accuracy().expect("audit runs");
         assert!(r.all_within_tolerance(), "{r}");
         // Hard bound: measured worst error actually under 25 ps.
         assert!(r.rows()[0].measured <= 25.0);
@@ -461,8 +510,8 @@ mod tests {
 
     #[test]
     fn eye_experiments_within_tolerance() {
-        assert!(fig07_eye_2g5(11).all_within_tolerance());
-        assert!(fig16_mini_eye_1g0(11).all_within_tolerance());
+        assert!(fig07_eye_2g5(11).expect("runs").all_within_tolerance());
+        assert!(fig16_mini_eye_1g0(11).expect("runs").all_within_tolerance());
     }
 
     #[test]

@@ -330,7 +330,7 @@ impl Fpga {
             &bits,
             rate,
             &self.io_jitter,
-            seed ^ (channel as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            rng::SeedTree::new(seed).stream("dlc.fpga.io").channel(channel as u64).seed(),
         ))
     }
 

@@ -242,6 +242,7 @@ impl PatternEngine {
             }
             PatternKind::Explicit(bits) => bits[(pos % bits.len() as u64) as usize],
             // LFSR and SRAM variants never reach here.
+            // xlint::allow(no-panic-in-lib, bit_at is only called from the EngineState::Position arm and the constructor pairs Position exclusively with stateless kinds)
             _ => unreachable!("stateful pattern in bit_at"),
         }
     }
@@ -269,6 +270,7 @@ impl PatternEngine {
                     PatternKind::Prbs15 { seed } => Lfsr::new(PrbsPolynomial::Prbs15, *seed),
                     PatternKind::Prbs23 { seed } => Lfsr::new(PrbsPolynomial::Prbs23, *seed),
                     PatternKind::Prbs31 { seed } => Lfsr::new(PrbsPolynomial::Prbs31, *seed),
+                    // xlint::allow(no-panic-in-lib, the constructor pairs EngineState::Lfsr exclusively with the four PRBS kinds)
                     _ => unreachable!("LFSR state with non-PRBS kind"),
                 };
             }

@@ -220,8 +220,9 @@ impl EtCapture {
         let ui = rate.unit_interval();
         let step = self.vernier.step();
         let steps = ((ui.as_fs() + step.as_fs() - 1) / step.as_fs()).max(1);
+        let tree = rng::SeedTree::new(seed).stream("minitester.capture.eye-scan");
         let points = (0..steps)
-            .map(|k| self.capture_at(wave, rate, expected, step * k, seed.wrapping_add(k as u64)))
+            .map(|k| self.capture_at(wave, rate, expected, step * k, tree.index(k as u64).seed()))
             .collect::<Result<Vec<_>>>()?;
         Ok(EyeScan { points, rate, step })
     }

@@ -95,6 +95,7 @@ impl ShmooPlot {
 
         let mut capture = EtCapture::new();
         let mut pass = Vec::with_capacity(thresholds.len() * phases.len());
+        let tree = rng::SeedTree::new(seed).stream("minitester.shmoo");
         for (ti, v) in thresholds.iter().enumerate() {
             capture.sampler_mut().set_threshold(*v);
             for (pi, phase) in phases.iter().enumerate() {
@@ -103,7 +104,7 @@ impl ShmooPlot {
                     rate,
                     expected,
                     *phase,
-                    seed.wrapping_add((ti * 1031 + pi) as u64),
+                    tree.index(ti as u64).index(pi as u64).seed(),
                 )?;
                 pass.push(point.errors == 0);
             }

@@ -180,8 +180,10 @@ impl MiniTester {
                 let eye = scan.opening_ui().ok();
                 let errors = match scan.best_phase() {
                     Ok(phase) => {
+                        let best =
+                            rng::SeedTree::new(seed).stream("minitester.tester.best-phase").seed();
                         self.capture
-                            .capture_at(&returned, plan.rate, &expected, phase, seed ^ 0xf1)?
+                            .capture_at(&returned, plan.rate, &expected, phase, best)?
                             .errors
                     }
                     Err(_) => expected.len(),

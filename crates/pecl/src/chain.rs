@@ -93,6 +93,7 @@ impl SignalChain {
         use pstime::Frequency;
         let clock = RfClockSource::new(Frequency::from_ghz(1.25), Duration::from_ps_f64(1.6));
         let fanout = ClockFanout::new(8, Duration::from_ps_f64(1.2));
+        // xlint::allow(no-panic-in-lib, MuxTree::new only fails on a non-power-of-two way count and 8 is constant)
         let tree = MuxTree::new(8).expect("8 is a power of two");
         let buffer = SiGeOutputBuffer::new();
         let mut chain = SignalChain::builder("optical-testbed-tx")
@@ -116,6 +117,7 @@ impl SignalChain {
         use pstime::Frequency;
         let clock = RfClockSource::new(Frequency::from_ghz(1.25), Duration::from_ps_f64(1.8));
         let fanout = ClockFanout::new(4, Duration::from_ps_f64(1.4));
+        // xlint::allow(no-panic-in-lib, MuxTree::new only fails on a non-power-of-two way count and 8 is constant)
         let tree = MuxTree::new(8).expect("8 is a power of two");
         let final_mux = crate::mux::Mux2::new();
         let buffer = CmosIoBuffer::new();
@@ -259,6 +261,7 @@ impl SignalChain {
         if lanes.len() != 16 {
             return Err(PeclError::LaneMismatch { expected: 16, got: lanes.len() });
         }
+        // xlint::allow(no-panic-in-lib, MuxTree::new only fails on a non-power-of-two way count and 8 is constant)
         let tree = MuxTree::new(8).expect("8 is a power of two");
         let group_a = tree.serialize(&lanes[..8])?;
         let group_b = tree.serialize(&lanes[8..])?;
@@ -281,6 +284,7 @@ impl SignalChain {
         if lanes.len() != 8 {
             return Err(PeclError::LaneMismatch { expected: 8, got: lanes.len() });
         }
+        // xlint::allow(no-panic-in-lib, MuxTree::new only fails on a non-power-of-two way count and 8 is constant)
         let tree = MuxTree::new(8).expect("8 is a power of two");
         let serial = tree.serialize(lanes)?;
         self.render(&serial, out_rate, seed)

@@ -176,7 +176,7 @@ pub fn measure_period(clock: &DigitalWaveform) -> Option<Duration> {
     if rising.len() < 2 {
         return None;
     }
-    let total = *rising.last().expect("nonempty") - rising[0];
+    let total = rising[rising.len() - 1] - rising[0];
     Some(total / (rising.len() as i64 - 1))
 }
 

@@ -78,7 +78,7 @@ impl ProgrammableDelayLine {
 
     /// Full programmable range (`codes × step`).
     pub fn range(&self) -> Duration {
-        self.step * self.codes as i64
+        self.step * self.codes as i64 // xlint::allow(no-lossy-cast, u32 code count widens losslessly into i64)
     }
 
     /// The current code.
@@ -120,7 +120,7 @@ impl ProgrammableDelayLine {
             });
         }
         let code = (delay.as_fs() + self.step.as_fs() / 2) / self.step.as_fs();
-        let code = (code as u32).min(self.codes - 1);
+        let code = (code as u32).min(self.codes - 1); // xlint::allow(no-lossy-cast, code is a nonnegative fs quotient already clamped below self.codes)
         self.code = code;
         Ok(code)
     }
@@ -128,7 +128,7 @@ impl ProgrammableDelayLine {
     /// The ideal (linear) delay of the current code, excluding insertion
     /// delay.
     pub fn nominal_delay(&self) -> Duration {
-        self.step * self.code as i64
+        self.step * self.code as i64 // xlint::allow(no-lossy-cast, u32 code widens losslessly into i64)
     }
 
     /// The *actual* delay of the current code: nominal + INL, excluding
@@ -140,7 +140,7 @@ impl ProgrammableDelayLine {
 
     /// The INL error at a given code.
     pub fn inl_at(&self, code: u32) -> Duration {
-        let phase = 2.0 * core::f64::consts::PI * code as f64 / self.codes as f64;
+        let phase = 2.0 * core::f64::consts::PI * code as f64 / self.codes as f64; // xlint::allow(no-lossy-cast, u32 code and count convert exactly to f64)
         self.inl_peak.mul_f64(phase.sin())
     }
 

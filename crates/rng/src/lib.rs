@@ -47,6 +47,9 @@
 //! assert_ne!(capture(2005, 3), capture(2005, 4));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod splitmix;
 pub mod stream;
 pub mod xoshiro;

@@ -78,6 +78,7 @@ impl BitStream {
                 .map(|c| match c {
                     '0' => false,
                     '1' => true,
+                    // xlint::allow(no-panic-in-lib, from_str_bits is a literal builder with a documented panic contract; malformed literals are programmer error not runtime input)
                     other => panic!("invalid bit character {other:?}"),
                 })
                 .collect(),

@@ -56,7 +56,7 @@ impl JitterDecomposition {
             });
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite displacements"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let q = |p: f64| -> f64 {
             let idx = ((n as f64 - 1.0) * p).round() as usize;

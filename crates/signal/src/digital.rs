@@ -139,7 +139,7 @@ impl DigitalWaveform {
         let mut edge_index = 0u64;
         for i in 1..n {
             if bits[i] != bits[i - 1] {
-                let ideal = start + ui * i as i64;
+                let ideal = start + ui * i as i64; // xlint::allow(no-lossy-cast, bit index widens into i64 far below the fs overflow point)
                 let polarity = if bits[i] { EdgePolarity::Rising } else { EdgePolarity::Falling };
                 let ctx = EdgeContext {
                     index: edge_index,
@@ -157,7 +157,7 @@ impl DigitalWaveform {
                 edge_index += 1;
             }
         }
-        DigitalWaveform { initial, edges, start, end: start + ui * n as i64 }
+        DigitalWaveform { initial, edges, start, end: start + ui * n as i64 } // xlint::allow(no-lossy-cast, bit count widens into i64 far below the fs overflow point)
     }
 
     /// Builds a waveform directly from an edge list.
@@ -296,7 +296,7 @@ impl DigitalWaveform {
                     merged.push(b);
                     j += 1;
                 }
-                (None, None) => unreachable!(),
+                (None, None) => break,
             }
         }
         let initial = self.initial ^ other.initial;
@@ -324,8 +324,9 @@ impl DigitalWaveform {
     /// aperture jitter and threshold offsets lives in the `pecl` crate.
     pub fn to_bits(&self, rate: DataRate, sample_offset: Duration) -> BitStream {
         let ui = rate.unit_interval();
-        let n = (self.span() / ui) as usize;
+        let n = (self.span() / ui) as usize; // xlint::allow(no-lossy-cast, span/ui is a nonnegative bit count that fits usize)
         BitStream::from_fn(n, |i| self.level_at(self.start + ui * i as i64 + sample_offset))
+        // xlint::allow(no-lossy-cast, bit index widens into i64 far below the fs overflow point)
     }
 
     /// The edge nearest to instant `t`, if any edges exist.

@@ -82,7 +82,7 @@ pub fn gaussian_extreme_q(n: u64) -> f64 {
         return 0.0;
     }
     // Asymptotic expected maximum of n standard normals.
-    let ln_n = (n as f64).ln();
+    let ln_n = (n as f64).ln(); // xlint::allow(no-lossy-cast, edge count converts exactly to f64 below 2^53)
     (2.0 * ln_n).sqrt()
         - ((ln_n.ln()) + (4.0 * core::f64::consts::PI).ln()) / (2.0 * (2.0 * ln_n).sqrt())
 }
@@ -135,14 +135,14 @@ struct RandomJitterSampler {
 
 impl JitterSampler for RandomJitterSampler {
     fn displacement(&mut self, _ctx: &EdgeContext) -> Duration {
-        Duration::from_fs((self.rng.gaussian() * self.sigma_fs).round() as i64)
+        Duration::from_fs((self.rng.gaussian() * self.sigma_fs).round() as i64) // xlint::allow(no-lossy-cast, rounded gaussian displacement in fs fits i64)
     }
 }
 
 impl JitterModel for RandomJitter {
     fn sampler(&self, seed: u64) -> Box<dyn JitterSampler + '_> {
         Box::new(RandomJitterSampler {
-            sigma_fs: self.sigma.as_fs() as f64,
+            sigma_fs: self.sigma.as_fs() as f64, // xlint::allow(no-lossy-cast, sigma in fs converts exactly to f64 below 2^53)
             rng: SeedTree::new(seed).derive(RJ_STREAM).rng(),
         })
     }
@@ -233,16 +233,16 @@ struct PjSampler {
 
 impl JitterSampler for PjSampler {
     fn displacement(&mut self, ctx: &EdgeContext) -> Duration {
-        let arg = self.omega_per_fs * ctx.ideal.as_fs() as f64 + self.phase;
-        Duration::from_fs((self.amp_fs * arg.sin()).round() as i64)
+        let arg = self.omega_per_fs * ctx.ideal.as_fs() as f64 + self.phase; // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
+        Duration::from_fs((self.amp_fs * arg.sin()).round() as i64) // xlint::allow(no-lossy-cast, rounded sinusoid amplitude in fs fits i64)
     }
 }
 
 impl JitterModel for PeriodicJitter {
     fn sampler(&self, _seed: u64) -> Box<dyn JitterSampler + '_> {
         Box::new(PjSampler {
-            amp_fs: self.amplitude.as_fs() as f64,
-            omega_per_fs: 2.0 * core::f64::consts::PI * self.freq.as_hz() as f64 / 1e15,
+            amp_fs: self.amplitude.as_fs() as f64, // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
+            omega_per_fs: 2.0 * core::f64::consts::PI * self.freq.as_hz() as f64 / 1e15, // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
             phase: self.phase,
         })
     }
@@ -293,14 +293,15 @@ struct IsiSampler {
 
 impl JitterSampler for IsiSampler {
     fn displacement(&mut self, ctx: &EdgeContext) -> Duration {
-        let r = ctx.run_length.max(1) as f64;
+        let r = ctx.run_length.max(1) as f64; // xlint::allow(no-lossy-cast, run length is a small positive count; exact in f64)
         let frac = 1.0 - (-(r - 1.0) / self.tau).exp();
-        Duration::from_fs((self.max_fs * frac).round() as i64)
+        Duration::from_fs((self.max_fs * frac).round() as i64) // xlint::allow(no-lossy-cast, rounded ISI shift in fs fits i64)
     }
 }
 
 impl JitterModel for IsiJitter {
     fn sampler(&self, _seed: u64) -> Box<dyn JitterSampler + '_> {
+        // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
         Box::new(IsiSampler { max_fs: self.max_shift.as_fs() as f64, tau: self.tau_bits })
     }
 
@@ -417,7 +418,7 @@ impl JitterModel for JitterBudget {
                 .models
                 .iter()
                 .enumerate()
-                .map(|(i, m)| m.sampler(tree.index(i as u64).seed()))
+                .map(|(i, m)| m.sampler(tree.index(i as u64).seed())) // xlint::allow(no-lossy-cast, model index widens losslessly into u64)
                 .collect(),
         })
     }
@@ -428,11 +429,11 @@ impl JitterModel for JitterBudget {
             .models
             .iter()
             .map(|m| {
-                let fs = m.rj_rms().as_fs() as f64;
+                let fs = m.rj_rms().as_fs() as f64; // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
                 fs * fs
             })
             .sum();
-        Duration::from_fs(sum_sq.sqrt().round() as i64)
+        Duration::from_fs(sum_sq.sqrt().round() as i64) // xlint::allow(no-lossy-cast, rounded quadrature sum in fs fits i64)
     }
 
     /// Component DJ bounds add linearly (worst-case alignment).

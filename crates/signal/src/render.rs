@@ -86,7 +86,7 @@ pub fn render_waveform(
     out.push_str(&format!("waveform {} .. {} ({:.0}..{:.0} mV)\n", t0, t0 + span, v_lo, v_hi));
     for row in 0..rows {
         out.push('|');
-        out.push_str(core::str::from_utf8(&grid[row * cols..(row + 1) * cols]).expect("ascii"));
+        out.extend(grid[row * cols..(row + 1) * cols].iter().map(|b| char::from(*b)));
         out.push_str("|\n");
     }
     out

@@ -56,13 +56,9 @@ impl JitterSpectrum {
     /// a Gaussian-only spectrum has no such tone.
     pub fn dominant_tone(&self, threshold_ratio: f64) -> Option<(Frequency, f64)> {
         let mut sorted: Vec<f64> = self.amplitude_ps.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite amplitudes"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
-        let (k, peak) = self
-            .amplitude_ps
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite amplitudes"))?;
+        let (k, peak) = self.amplitude_ps.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         if (median <= 0.0 || *peak / median >= threshold_ratio) && *peak > 0.0 {
             return Some((self.bin_frequency(k), *peak));
         }

@@ -80,23 +80,26 @@ impl Transmitter {
         }
         let rate = timing.rate;
         let chain = self.chain().clone();
-        let render = |bits: &BitStream, salt: u64| -> Result<AnalogWaveform> {
-            Ok(chain.render(bits, rate, seed ^ salt)?)
+        // One lane = one derived channel: clock 0, payload 1–4, frame 5,
+        // header 6–9 (same layout as testbed.tx.slot, distinct stream).
+        let tree = rng::SeedTree::new(seed).stream("testbed.burst.render");
+        let render = |bits: &BitStream, lane: u64| -> Result<AnalogWaveform> {
+            Ok(chain.render(bits, rate, tree.channel(lane).seed())?)
         };
         Ok(StreamTransmission {
-            clock: render(&clock, 0x51)?,
+            clock: render(&clock, 0)?,
             payload: [
-                render(&payload[0], 0x61)?,
-                render(&payload[1], 0x62)?,
-                render(&payload[2], 0x63)?,
-                render(&payload[3], 0x64)?,
+                render(&payload[0], 1)?,
+                render(&payload[1], 2)?,
+                render(&payload[2], 3)?,
+                render(&payload[3], 4)?,
             ],
-            frame: render(&frame, 0x71)?,
+            frame: render(&frame, 5)?,
             header: [
-                render(&header[0], 0x81)?,
-                render(&header[1], 0x82)?,
-                render(&header[2], 0x83)?,
-                render(&header[3], 0x84)?,
+                render(&header[0], 6)?,
+                render(&header[1], 7)?,
+                render(&header[2], 8)?,
+                render(&header[3], 9)?,
             ],
             slots: slots.to_vec(),
             timing,

@@ -174,6 +174,7 @@ impl PacketSlot {
     /// [`SlotTiming::validate`] first for fallible checking) or the payload
     /// width exceeds the timing's data bits.
     pub fn new(timing: SlotTiming, payload: [u32; 4], address: u8) -> Self {
+        // xlint::allow(no-panic-in-lib, documented panic contract; SlotTiming::validate is the fallible path callers are told to use first)
         timing.validate().expect("slot timing must be consistent");
         assert!(timing.data_bits <= 32, "u32 payload supports at most 32 data bits");
         PacketSlot { timing, payload, address: address & 0x0F }

@@ -115,7 +115,7 @@ impl WdmLink {
     pub fn new(channels: Vec<OpticalSignal>, combiner_loss: f64, splitter_loss: f64) -> Self {
         assert!(combiner_loss > 0.0 && combiner_loss <= 1.0, "combiner loss in (0, 1]");
         assert!(splitter_loss > 0.0 && splitter_loss <= 1.0, "splitter loss in (0, 1]");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for ch in &channels {
             assert!(seen.insert(ch.wavelength()), "duplicate wavelength {}", ch.wavelength());
         }

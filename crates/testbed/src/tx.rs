@@ -127,23 +127,26 @@ impl Transmitter {
     pub fn transmit_slot(&mut self, slot: &PacketSlot, seed: u64) -> Result<TransmittedSlot> {
         let bits = slot.render_bits();
         let rate = self.timing.rate;
-        let render = |stream: &BitStream, salt: u64| -> Result<AnalogWaveform> {
-            Ok(self.chain.render(stream, rate, seed ^ salt)?)
+        // One lane = one derived channel: clock 0, payload 1–4, frame 5,
+        // header 6–9.
+        let tree = rng::SeedTree::new(seed).stream("testbed.tx.slot");
+        let render = |stream: &BitStream, lane: u64| -> Result<AnalogWaveform> {
+            Ok(self.chain.render(stream, rate, tree.channel(lane).seed())?)
         };
         Ok(TransmittedSlot {
-            clock: render(&bits.clock, 0x10)?,
+            clock: render(&bits.clock, 0)?,
             payload: [
-                render(&bits.payload[0], 0x21)?,
-                render(&bits.payload[1], 0x22)?,
-                render(&bits.payload[2], 0x23)?,
-                render(&bits.payload[3], 0x24)?,
+                render(&bits.payload[0], 1)?,
+                render(&bits.payload[1], 2)?,
+                render(&bits.payload[2], 3)?,
+                render(&bits.payload[3], 4)?,
             ],
-            frame: render(&bits.frame, 0x30)?,
+            frame: render(&bits.frame, 5)?,
             header: [
-                render(&bits.header[0], 0x41)?,
-                render(&bits.header[1], 0x42)?,
-                render(&bits.header[2], 0x43)?,
-                render(&bits.header[3], 0x44)?,
+                render(&bits.header[0], 6)?,
+                render(&bits.header[1], 7)?,
+                render(&bits.header[2], 8)?,
+                render(&bits.header[3], 9)?,
             ],
             slot: *slot,
         })
@@ -160,10 +163,11 @@ impl Transmitter {
         slots: &[PacketSlot],
         seed: u64,
     ) -> Result<Vec<TransmittedSlot>> {
+        let tree = rng::SeedTree::new(seed).stream("testbed.tx.burst");
         slots
             .iter()
             .enumerate()
-            .map(|(i, s)| self.transmit_slot(s, seed.wrapping_add(i as u64 * 0x9e37)))
+            .map(|(i, s)| self.transmit_slot(s, tree.index(i as u64).seed()))
             .collect()
     }
 

@@ -120,12 +120,19 @@ pub fn load_sweep(
     seed: u64,
 ) -> Vec<LoadPoint> {
     assert!(points > 0, "sweep needs at least one point");
+    let tree = SeedTree::new(seed).stream("vortex.traffic.load-sweep");
     (1..=points)
         .map(|i| {
             let offered_load = max_load * i as f64 / points as f64;
             LoadPoint {
                 offered_load,
-                stats: run_load(params, pattern, offered_load, measure_slots, seed + i as u64),
+                stats: run_load(
+                    params,
+                    pattern,
+                    offered_load,
+                    measure_slots,
+                    tree.index(i as u64).seed(),
+                ),
             }
         })
         .collect()

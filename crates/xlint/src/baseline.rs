@@ -1,0 +1,178 @@
+//! The warn-tier ratchet.
+//!
+//! Deny findings fail immediately; warn findings are compared against a
+//! committed allowlist of pre-existing debt. Each baseline entry caps the
+//! number of findings of one rule in one file. New findings push a count
+//! over its cap and fail CI; fixing old ones leaves headroom that
+//! `--fix-allowlist` shrinks back down — the ratchet only turns one way.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::error::XlintError;
+use crate::rules::{Finding, Severity};
+
+/// Allowed warn-finding counts keyed by `(rule_id, rel_path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// One `(rule, file)` group whose current findings exceed the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule id.
+    pub rule_id: String,
+    /// Root-relative path.
+    pub rel_path: String,
+    /// Findings now.
+    pub current: usize,
+    /// Findings allowed by the baseline.
+    pub allowed: usize,
+}
+
+impl Baseline {
+    /// Load a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, XlintError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => {
+                return Err(XlintError::Io { path: path.display().to_string(), msg: e.to_string() })
+            }
+        };
+        let mut counts = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let entry = (|| {
+                let count: usize = parts.next()?.parse().ok()?;
+                let rule = parts.next()?.to_string();
+                let path = parts.next()?.to_string();
+                Some(((rule, path), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    counts.insert(key, count);
+                }
+                None => {
+                    return Err(XlintError::BadBaseline {
+                        path: path.display().to_string(),
+                        line: u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1),
+                    })
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Build a baseline capturing the current warn-tier findings.
+    pub fn capture(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.severity == Severity::Warn) {
+            *counts.entry((f.rule_id.to_string(), f.rel_path.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serialize in the committed-file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# xlint warn-tier baseline — pre-existing findings allowed while they burn down.\n\
+             # Regenerate with `cargo run -p gigatest-xlint --release --offline -- --fix-allowlist`\n\
+             # after reducing counts; never regenerate to admit new findings.\n\
+             # format: <count> <rule-id> <path>\n",
+        );
+        for ((rule, path), count) in &self.counts {
+            out.push_str(&format!("{count} {rule} {path}\n"));
+        }
+        out
+    }
+
+    /// Compare current warn findings against the baseline. Returns the
+    /// `(rule, file)` groups that regressed, and the number of groups
+    /// with burn-down headroom (current < allowed).
+    pub fn compare(&self, findings: &[Finding]) -> (Vec<Regression>, usize) {
+        let current = Baseline::capture(findings);
+        let mut regressions = Vec::new();
+        let mut improved = 0usize;
+        for (key, &count) in &current.counts {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if count > allowed {
+                regressions.push(Regression {
+                    rule_id: key.0.clone(),
+                    rel_path: key.1.clone(),
+                    current: count,
+                    allowed,
+                });
+            } else if count < allowed {
+                improved += 1;
+            }
+        }
+        // Entries that vanished entirely also count as burn-down.
+        improved += self.counts.keys().filter(|k| !current.counts.contains_key(*k)).count();
+        (regressions, improved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule_id: rule,
+            severity: Severity::Warn,
+            rel_path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn ratchet_fails_on_new_findings_and_tolerates_burn_down() {
+        let old = [warn("no-lossy-cast", "a.rs"), warn("no-lossy-cast", "a.rs")];
+        let baseline = Baseline::capture(&old);
+
+        // Same count: clean. One fewer: improved. One more: regression.
+        assert!(baseline.compare(&old).0.is_empty());
+        let (regs, improved) = baseline.compare(&old[..1]);
+        assert!(regs.is_empty());
+        assert_eq!(improved, 1);
+        let more = [
+            warn("no-lossy-cast", "a.rs"),
+            warn("no-lossy-cast", "a.rs"),
+            warn("no-lossy-cast", "a.rs"),
+        ];
+        let (regs, _) = baseline.compare(&more);
+        assert_eq!(regs.len(), 1);
+        assert_eq!((regs[0].current, regs[0].allowed), (3, 2));
+    }
+
+    #[test]
+    fn render_and_reload_round_trip() {
+        let baseline =
+            Baseline::capture(&[warn("no-raw-time-volt", "crates/signal/src/jitter.rs")]);
+        let dir = std::env::temp_dir().join("xlint-baseline-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, baseline.render()).expect("write");
+        let loaded = Baseline::load(&path).expect("load");
+        assert_eq!(loaded, baseline);
+    }
+
+    #[test]
+    fn missing_file_is_empty_and_garbage_is_rejected() {
+        let missing = Path::new("/nonexistent/xlint-baseline");
+        assert_eq!(Baseline::load(missing).expect("empty"), Baseline::default());
+        let dir = std::env::temp_dir().join("xlint-baseline-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "not-a-count some-rule some-path\n").expect("write");
+        assert!(Baseline::load(&path).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Orchestration: walk, lex, run rules, apply suppressions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::classify::{collect_sources, SourceFile};
+use crate::error::XlintError;
+use crate::lexer::{lex, AllowDirective};
+use crate::rules::{check_file, check_stream_uniqueness, FileTokens, Finding, Severity};
+
+/// Suppression bookkeeping for one file: its directives and the set of
+/// lines that carry at least one token (so a directive on a comment-only
+/// line can cover the next line of code).
+struct FileSuppressions {
+    allows: Vec<AllowDirective>,
+    token_lines: BTreeSet<u32>,
+}
+
+impl FileSuppressions {
+    /// Does some directive in this file cover `finding`? A directive on
+    /// line L covers findings on L and on the next token-bearing line
+    /// after L (the "comment above the offending line" idiom).
+    fn covering(&self, finding: &Finding) -> Option<&AllowDirective> {
+        self.allows.iter().find(|d| {
+            d.rule_id == finding.rule_id
+                && (d.line == finding.line
+                    || self
+                        .token_lines
+                        .range(d.line + 1..)
+                        .next()
+                        .is_some_and(|next| *next == finding.line))
+        })
+    }
+}
+
+/// The post-suppression result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings that survived suppression, deny first, then by path/line.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by a reasoned `xlint::allow`.
+    pub suppressed: usize,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+/// Lint every in-scope file under `root`.
+pub fn analyze_root(root: &std::path::Path) -> Result<Analysis, XlintError> {
+    let sources = collect_sources(root)?;
+    analyze_files(&sources)
+}
+
+/// Lint an explicit file set (used by `analyze_root` and the fixture
+/// tests, which point it at a fake workspace).
+pub fn analyze_files(sources: &[SourceFile]) -> Result<Analysis, XlintError> {
+    let mut findings = Vec::new();
+    let mut streams = BTreeMap::new();
+    let mut suppressions: BTreeMap<String, FileSuppressions> = BTreeMap::new();
+
+    for file in sources {
+        let src = std::fs::read_to_string(&file.abs_path).map_err(|e| XlintError::Io {
+            path: file.abs_path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        let lexed = lex(&file.rel_path, &src)?;
+        let ft = FileTokens::new(file, &lexed);
+        check_file(&ft, &mut findings, &mut streams);
+        suppressions.insert(
+            file.rel_path.clone(),
+            FileSuppressions {
+                allows: lexed.allows.clone(),
+                token_lines: lexed.tokens.iter().map(|t| t.line).collect(),
+            },
+        );
+    }
+    check_stream_uniqueness(&streams, &mut findings);
+
+    let mut analysis = Analysis { files: sources.len(), ..Analysis::default() };
+    for finding in findings {
+        match suppressions.get(&finding.rel_path).and_then(|s| s.covering(&finding)) {
+            Some(directive) if directive.reason.is_empty() => {
+                // An allow with no reason is itself a contract violation:
+                // the audit trail is the point.
+                analysis.findings.push(Finding {
+                    rule_id: "bad-allow",
+                    severity: Severity::Deny,
+                    rel_path: finding.rel_path.clone(),
+                    line: directive.line,
+                    col: 1,
+                    message: format!(
+                        "xlint::allow({}) has no reason — write \
+                         xlint::allow({}, \"why this is sound\")",
+                        finding.rule_id, finding.rule_id
+                    ),
+                });
+            }
+            Some(_) => analysis.suppressed += 1,
+            None => analysis.findings.push(finding),
+        }
+    }
+    analysis.findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.rel_path.cmp(&b.rel_path))
+            .then_with(|| (a.line, a.col).cmp(&(b.line, b.col)))
+    });
+    Ok(analysis)
+}

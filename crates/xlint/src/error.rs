@@ -1,0 +1,51 @@
+//! Error type for the linter itself.
+
+use core::fmt;
+
+/// Errors the linter can hit while reading or lexing the tree. Rule
+/// violations are *findings*, not errors — see [`crate::rules::Finding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XlintError {
+    /// An I/O failure reading a file or walking a directory.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Underlying error, stringified.
+        msg: String,
+    },
+    /// The lexer could not tokenize a file (unterminated literal/comment).
+    Lex {
+        /// Path of the offending file.
+        path: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A baseline file had a malformed line.
+    BadBaseline {
+        /// Path of the baseline file.
+        path: String,
+        /// 1-based line number of the malformed entry.
+        line: u32,
+    },
+}
+
+impl fmt::Display for XlintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XlintError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            XlintError::Lex { path, line, col, msg } => {
+                write!(f, "{path}:{line}:{col}: lex error: {msg}")
+            }
+            XlintError::BadBaseline { path, line } => {
+                write!(f, "{path}:{line}: malformed baseline entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XlintError {}

@@ -1,0 +1,133 @@
+//! CLI for the workspace contract linter.
+//!
+//! ```text
+//! cargo run -p gigatest-xlint --release --offline                 # lint the tree
+//! cargo run -p gigatest-xlint --release --offline -- --fix-allowlist   # re-capture baseline
+//! ```
+//!
+//! Exit status: 0 when there are no deny-tier findings and no warn-tier
+//! findings beyond the committed baseline; 1 otherwise; 2 on internal
+//! errors (unreadable tree, unlexable file, malformed baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xlint::{analyze_root, Baseline, Severity, XlintError};
+
+struct Options {
+    root: PathBuf,
+    baseline: PathBuf,
+    fix_allowlist: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let mut fix_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root requires a path")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().ok_or("--baseline requires a path")?));
+            }
+            "--fix-allowlist" => fix_allowlist = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: xlint [--root DIR] [--baseline FILE] [--fix-allowlist]".to_string()
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("xlint.baseline"));
+    Ok(Options { root, baseline, fix_allowlist })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, XlintError> {
+    let analysis = analyze_root(&opts.root)?;
+
+    if opts.fix_allowlist {
+        let captured = Baseline::capture(&analysis.findings);
+        let rendered = captured.render();
+        std::fs::write(&opts.baseline, &rendered).map_err(|e| XlintError::Io {
+            path: opts.baseline.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        let entries = rendered.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+        println!(
+            "xlint: wrote {} with {entries} warn-tier entries ({} files scanned)",
+            opts.baseline.display(),
+            analysis.files
+        );
+        return Ok(true);
+    }
+
+    let baseline = Baseline::load(&opts.baseline)?;
+    let warn_findings: Vec<_> =
+        analysis.findings.iter().filter(|f| f.severity == Severity::Warn).cloned().collect();
+    let (regressions, improved) = baseline.compare(&warn_findings);
+
+    let mut failed = false;
+    for f in analysis.findings.iter().filter(|f| f.severity == Severity::Deny) {
+        println!("{}:{}:{}: [{}] deny: {}", f.rel_path, f.line, f.col, f.rule_id, f.message);
+        failed = true;
+    }
+    for reg in &regressions {
+        println!(
+            "{}: [{}] warn count {} exceeds baseline {} — new findings:",
+            reg.rel_path, reg.rule_id, reg.current, reg.allowed
+        );
+        for f in
+            warn_findings.iter().filter(|f| f.rel_path == reg.rel_path && f.rule_id == reg.rule_id)
+        {
+            println!("  {}:{}:{}: [{}] warn: {}", f.rel_path, f.line, f.col, f.rule_id, f.message);
+        }
+        failed = true;
+    }
+
+    let denies = analysis.findings.iter().filter(|f| f.severity == Severity::Deny).count();
+    println!(
+        "xlint: {} files, {} deny, {} warn ({} suppressed with reasons, {} groups under baseline)",
+        analysis.files,
+        denies,
+        warn_findings.len(),
+        analysis.suppressed,
+        improved
+    );
+    if improved > 0 && !failed {
+        println!(
+            "xlint: warn-tier debt shrank — run `cargo run -p gigatest-xlint --release --offline -- \
+             --fix-allowlist` to tighten the ratchet"
+        );
+    }
+    Ok(!failed)
+}

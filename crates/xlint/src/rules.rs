@@ -1,0 +1,556 @@
+//! The rule set: seven contracts the workspace already relies on,
+//! enforced mechanically.
+//!
+//! | id | tier | contract |
+//! |----|------|----------|
+//! | `no-adhoc-rng` (R1) | deny | all randomness flows through `rng::SeedTree`/`StreamId`; no raw generator construction or seed arithmetic outside `crates/rng` |
+//! | `stream-id-unique` (R2) | deny | a `SeedTree` stream label names exactly one component — the same label in two files silently correlates their noise |
+//! | `no-raw-time-volt` (R3) | warn | picosecond/millivolt quantities use the `pstime` newtypes; bare `f64` arithmetic on `*_ps`/`*_mv` identifiers is tracked and ratcheted down |
+//! | `no-panic-in-lib` (R4) | deny | library code returns the crate's error type; `unwrap`/`expect`/`panic!`/`unreachable!` are for tests |
+//! | `no-lossy-cast` (R5) | deny in timing paths, warn elsewhere | `as` casts silently truncate; timing-critical femtosecond arithmetic uses `From`/`try_from` or justifies the cast |
+//! | `no-wall-clock` (R6) | deny | no `std::time`, and no `HashMap`/`HashSet` in result-producing code — both break run-to-run determinism |
+//! | `forbid-unsafe-everywhere` (R7) | deny | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Rules see only *significant* tokens (comments and doc examples are
+//! stripped by the lexer) and skip `#[cfg(test)]` items where panicking
+//! and stream replay are legitimate.
+
+use std::collections::BTreeMap;
+
+use crate::classify::{FileClass, SourceFile};
+use crate::lexer::{LexOutput, Token, TokenKind};
+
+/// Severity tier of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Tracked in the warn-tier baseline; new instances fail CI, existing
+    /// ones burn down.
+    Warn,
+    /// Fails CI immediately unless suppressed with a reasoned
+    /// `xlint::allow`.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `no-panic-in-lib`.
+    pub rule_id: &'static str,
+    /// Tier.
+    pub severity: Severity,
+    /// Root-relative path.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Timing-path files where a lossy `as` cast is deny-tier: exact integer
+/// femtosecond arithmetic (`pstime`), the programmable-delay and vernier
+/// timing model (`pecl`), and edge placement / jitter sampling (`signal`).
+pub const TIMING_PATHS: &[&str] = &[
+    "crates/pstime/src/duration.rs",
+    "crates/pstime/src/instant.rs",
+    "crates/pecl/src/delay.rs",
+    "crates/pecl/src/timing.rs",
+    "crates/signal/src/digital.rs",
+    "crates/signal/src/jitter.rs",
+];
+
+/// Numeric primitive type names that make an `as` cast potentially lossy.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// A lexed file with its test-region mask, ready for rule matching.
+pub struct FileTokens<'a> {
+    /// The file being linted.
+    pub file: &'a SourceFile,
+    /// Significant tokens in source order.
+    pub tokens: &'a [Token],
+    /// `mask[i]` is true when `tokens[i]` is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl<'a> FileTokens<'a> {
+    /// Build the test-region mask for a lexed file.
+    pub fn new(file: &'a SourceFile, lexed: &'a LexOutput) -> Self {
+        let in_test = cfg_test_mask(&lexed.tokens);
+        FileTokens { file, tokens: &lexed.tokens, in_test }
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+    }
+
+    fn finding(&self, rule_id: &'static str, severity: Severity, i: usize, msg: String) -> Finding {
+        let (line, col) = self.tok(i).map_or((1, 1), |t| (t.line, t.col));
+        Finding { rule_id, severity, rel_path: self.file.rel_path.clone(), line, col, message: msg }
+    }
+}
+
+/// Mark every token that sits inside a `#[cfg(test)]`-gated item (module,
+/// fn, impl, use, …). `#[cfg(not(test))]` and `#[cfg(all(test, …))]` are
+/// distinguished by the presence of a `not` identifier inside the
+/// predicate.
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(punct_at(tokens, i, "#") && punct_at(tokens, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` of this attribute.
+        let Some(attr_end) = matching_close(tokens, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        let is_cfg_test = ident_at(tokens, i + 2, "cfg")
+            && tokens[i + 2..attr_end]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "test")
+            && !tokens[i + 2..attr_end]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "not");
+        if !is_cfg_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut j = attr_end + 1;
+        while punct_at(tokens, j, "#") && punct_at(tokens, j + 1, "[") {
+            match matching_close(tokens, j + 1, "[", "]") {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+        }
+        // The item ends at `;` at bracket depth zero, or at the `}`
+        // matching the first `{` at depth zero.
+        let mut depth_paren = 0i32;
+        let mut depth_brack = 0i32;
+        let mut end = tokens.len().saturating_sub(1);
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => depth_paren += 1,
+                    ")" => depth_paren -= 1,
+                    "[" => depth_brack += 1,
+                    "]" => depth_brack -= 1,
+                    ";" if depth_paren == 0 && depth_brack == 0 => {
+                        end = k;
+                        break;
+                    }
+                    "{" if depth_paren == 0 && depth_brack == 0 => {
+                        end = matching_close(tokens, k, "{", "}").unwrap_or(end);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn punct_at(tokens: &[Token], i: usize, s: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+}
+
+fn ident_at(tokens: &[Token], i: usize, s: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+fn matching_close(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokenKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A `StreamId` domain-string use site, collected for the cross-file R2
+/// uniqueness check.
+#[derive(Debug, Clone)]
+pub struct StreamUse {
+    /// Root-relative path of the use.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Run every per-file rule, appending findings and recording stream-label
+/// uses into `streams` for the later cross-file pass.
+pub fn check_file(
+    ft: &FileTokens<'_>,
+    findings: &mut Vec<Finding>,
+    streams: &mut BTreeMap<String, Vec<StreamUse>>,
+) {
+    let class = &ft.file.class;
+    let src_crate = match class {
+        FileClass::Src { crate_name } => Some(crate_name.as_str()),
+        _ => None,
+    };
+
+    // R7 applies to crate roots only and needs no token scan position.
+    if let Some(krate) = src_crate {
+        let is_root = ft.file.rel_path == format!("crates/{krate}/src/lib.rs")
+            || ft.file.rel_path == format!("crates/{krate}/src/main.rs");
+        if is_root && !has_forbid_unsafe(ft.tokens) {
+            findings.push(Finding {
+                rule_id: "forbid-unsafe-everywhere",
+                severity: Severity::Deny,
+                rel_path: ft.file.rel_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!("crate root of `{krate}` is missing `#![forbid(unsafe_code)]`"),
+            });
+        }
+    }
+
+    for i in 0..ft.tokens.len() {
+        let Some(tok) = ft.tok(i) else { break };
+        let in_test = ft.in_test.get(i).copied().unwrap_or(false);
+
+        // R2 collection: `.stream("…")` and `StreamId::named("…")` in
+        // non-test library code.
+        if src_crate.is_some() && !in_test {
+            let lit =
+                if ft.is_punct(i, ".") && ft.is_ident(i + 1, "stream") && ft.is_punct(i + 2, "(") {
+                    ft.tok(i + 3)
+                } else if ft.is_ident(i, "StreamId")
+                    && ft.is_punct(i + 1, ":")
+                    && ft.is_punct(i + 2, ":")
+                    && ft.is_ident(i + 3, "named")
+                    && ft.is_punct(i + 4, "(")
+                {
+                    ft.tok(i + 5)
+                } else {
+                    None
+                };
+            if let Some(lit) = lit {
+                if lit.kind == TokenKind::StrLit {
+                    streams.entry(lit.text.clone()).or_default().push(StreamUse {
+                        rel_path: ft.file.rel_path.clone(),
+                        line: lit.line,
+                        col: lit.col,
+                    });
+                }
+            }
+        }
+
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let ident = tok.text.as_str();
+
+        // R1: ad-hoc RNG construction / seed arithmetic outside crates/rng.
+        let r1_scope = !in_test
+            && match class {
+                FileClass::Src { crate_name } => crate_name != "rng",
+                FileClass::Example => true,
+                FileClass::Test => false,
+            };
+        if r1_scope {
+            if ident.starts_with("Xoshiro")
+                || ident == "SplitMix64"
+                || ident == "GOLDEN_GAMMA"
+                || ident == "seed_from_u64"
+            {
+                findings.push(ft.finding(
+                    "no-adhoc-rng",
+                    Severity::Deny,
+                    i,
+                    format!(
+                        "`{ident}` outside crates/rng — derive generators via \
+                         rng::SeedTree::stream(..).rng()"
+                    ),
+                ));
+            }
+            if ident == "seed" || ident.ends_with("_seed") {
+                let xor_next = ft.is_punct(i + 1, "^");
+                let xor_prev = i > 0 && ft.is_punct(i - 1, "^");
+                let wraps = ft.is_punct(i + 1, ".")
+                    && ft.tok(i + 2).is_some_and(|t| {
+                        t.kind == TokenKind::Ident
+                            && matches!(
+                                t.text.as_str(),
+                                "wrapping_add"
+                                    | "wrapping_mul"
+                                    | "wrapping_sub"
+                                    | "rotate_left"
+                                    | "rotate_right"
+                            )
+                    });
+                if xor_next || xor_prev || wraps {
+                    findings.push(
+                        ft.finding(
+                            "no-adhoc-rng",
+                            Severity::Deny,
+                            i,
+                            "ad-hoc seed arithmetic — derive substreams with \
+                         SeedTree::stream/channel/index, never xor or offset raw seeds"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R3: bare f64 arithmetic on *_ps / *_mv identifiers outside pstime.
+        let r3_scope = !in_test
+            && match class {
+                FileClass::Src { crate_name } => crate_name != "pstime",
+                FileClass::Example => true,
+                FileClass::Test => false,
+            };
+        if r3_scope && (ident.ends_with("_ps") || ident.ends_with("_mv")) && ident.len() > 3 {
+            let ops = ["+", "-", "*", "/", "%"];
+            let next_is_op = ops.iter().any(|op| ft.is_punct(i + 1, op))
+                && !(ft.is_punct(i + 1, "-") && ft.is_punct(i + 2, ">"));
+            let prev_is_binary_op = i >= 2
+                && ops.iter().any(|op| ft.is_punct(i - 1, op))
+                && ft.tok(i - 2).is_some_and(|t| {
+                    matches!(t.kind, TokenKind::Ident | TokenKind::NumLit)
+                        || (t.kind == TokenKind::Punct && (t.text == ")" || t.text == "]"))
+                });
+            if next_is_op || prev_is_binary_op {
+                findings.push(ft.finding(
+                    "no-raw-time-volt",
+                    Severity::Warn,
+                    i,
+                    format!(
+                        "raw arithmetic on `{ident}` — picosecond/millivolt math belongs in \
+                         pstime::Duration / Millivolts newtypes"
+                    ),
+                ));
+            }
+        }
+
+        // R4: panics in library code.
+        if src_crate.is_some() && !in_test {
+            if (ident == "unwrap" || ident == "expect")
+                && i > 0
+                && ft.is_punct(i - 1, ".")
+                && ft.is_punct(i + 1, "(")
+            {
+                findings.push(ft.finding(
+                    "no-panic-in-lib",
+                    Severity::Deny,
+                    i,
+                    format!(
+                        "`.{ident}()` in library code — route through the crate's error type \
+                         (see its error.rs)"
+                    ),
+                ));
+            }
+            if matches!(ident, "panic" | "unreachable" | "todo" | "unimplemented")
+                && ft.is_punct(i + 1, "!")
+            {
+                findings.push(ft.finding(
+                    "no-panic-in-lib",
+                    Severity::Deny,
+                    i,
+                    format!("`{ident}!` in library code — return an error instead of aborting"),
+                ));
+            }
+        }
+
+        // R5: `as` numeric casts.
+        if src_crate.is_some() && !in_test && ident == "as" {
+            if let Some(target) = ft.tok(i + 1) {
+                if target.kind == TokenKind::Ident && NUMERIC_TYPES.contains(&target.text.as_str())
+                {
+                    let severity = if TIMING_PATHS.contains(&ft.file.rel_path.as_str()) {
+                        Severity::Deny
+                    } else {
+                        Severity::Warn
+                    };
+                    findings.push(ft.finding(
+                        "no-lossy-cast",
+                        severity,
+                        i,
+                        format!(
+                            "`as {}` cast — prefer `From`/`try_from`, or justify with an \
+                             xlint::allow reason",
+                            target.text
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // R6: wall-clock time and hash-order iteration hazards.
+        if src_crate.is_some() && !in_test {
+            if ident == "std"
+                && ft.is_punct(i + 1, ":")
+                && ft.is_punct(i + 2, ":")
+                && ft.is_ident(i + 3, "time")
+            {
+                findings.push(
+                    ft.finding(
+                        "no-wall-clock",
+                        Severity::Deny,
+                        i,
+                        "`std::time` in result-producing code — simulated time lives in \
+                     pstime::Instant; wall-clock reads break determinism"
+                            .to_string(),
+                    ),
+                );
+            }
+            if matches!(ident, "SystemTime" | "UNIX_EPOCH") {
+                findings.push(ft.finding(
+                    "no-wall-clock",
+                    Severity::Deny,
+                    i,
+                    format!("`{ident}` is a wall-clock read — results must not depend on it"),
+                ));
+            }
+            if matches!(ident, "HashMap" | "HashSet") {
+                findings.push(ft.finding(
+                    "no-wall-clock",
+                    Severity::Deny,
+                    i,
+                    format!(
+                        "`{ident}` iteration order is nondeterministic — use \
+                         BTreeMap/BTreeSet in result-producing code"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Cross-file pass for R2: the same stream label in two different files
+/// means two components share one noise stream.
+pub fn check_stream_uniqueness(
+    streams: &BTreeMap<String, Vec<StreamUse>>,
+    findings: &mut Vec<Finding>,
+) {
+    for (label, uses) in streams {
+        let mut files: Vec<&str> = uses.iter().map(|u| u.rel_path.as_str()).collect();
+        files.sort_unstable();
+        files.dedup();
+        if files.len() < 2 {
+            continue;
+        }
+        let first = &uses[0];
+        for dup in &uses[1..] {
+            if dup.rel_path == first.rel_path {
+                continue;
+            }
+            findings.push(Finding {
+                rule_id: "stream-id-unique",
+                severity: Severity::Deny,
+                rel_path: dup.rel_path.clone(),
+                line: dup.line,
+                col: dup.col,
+                message: format!(
+                    "duplicate StreamId domain \"{label}\" — first used at {}:{}:{}; two \
+                     components sharing a label draw correlated noise",
+                    first.rel_path, first.line, first.col
+                ),
+            });
+        }
+    }
+}
+
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    for i in 0..tokens.len() {
+        if punct_at(tokens, i, "#")
+            && punct_at(tokens, i + 1, "!")
+            && punct_at(tokens, i + 2, "[")
+            && ident_at(tokens, i + 3, "forbid")
+            && punct_at(tokens, i + 4, "(")
+            && tokens[i + 4..]
+                .iter()
+                .take_while(|t| !(t.kind == TokenKind::Punct && t.text == "]"))
+                .any(|t| t.kind == TokenKind::Ident && t.text == "unsafe_code")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run_on(rel_path: &str, src: &str) -> Vec<Finding> {
+        let class = classify(rel_path).expect("classifiable");
+        let file =
+            SourceFile { rel_path: rel_path.to_string(), abs_path: PathBuf::from(rel_path), class };
+        let lexed = lex(rel_path, src).expect("lex");
+        let ft = FileTokens::new(&file, &lexed);
+        let mut findings = Vec::new();
+        let mut streams = BTreeMap::new();
+        check_file(&ft, &mut findings, &mut streams);
+        findings
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let findings = run_on("crates/signal/src/x.rs", src);
+        assert!(findings.iter().all(|f| f.rule_id != "no-panic-in-lib"), "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\npub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let findings = run_on("crates/signal/src/x.rs", src);
+        assert!(findings.iter().any(|f| f.rule_id == "no-panic-in-lib"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_trip_r4() {
+        let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap_or(0).max(v.unwrap_or_default()) }\n";
+        assert!(run_on("crates/signal/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! One integration test per rule R1–R7 against the seeded fixture
+//! workspace in `tests/xlint_fixtures/`, plus binary exit-code checks.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xlint::{analyze_root, Analysis, Finding, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/xlint_fixtures").join(name)
+}
+
+fn violations() -> Analysis {
+    analyze_root(&fixture("violations")).expect("fixture analyzes")
+}
+
+fn with_rule<'a>(analysis: &'a Analysis, rule: &str) -> Vec<&'a Finding> {
+    analysis.findings.iter().filter(|f| f.rule_id == rule).collect()
+}
+
+#[test]
+fn r1_adhoc_seed_arithmetic_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "no-adhoc-rng");
+    assert!(
+        hits.iter().any(|f| f.rel_path.ends_with("core/src/lib.rs")),
+        "expected seed-xor hit in core/src/lib.rs, got {hits:?}"
+    );
+    assert!(hits.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn r2_duplicate_stream_label_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "stream-id-unique");
+    assert!(!hits.is_empty(), "duplicate label fixture.duplicate must fire");
+    assert!(hits.iter().all(|f| f.severity == Severity::Deny));
+    assert!(hits.iter().any(|f| f.message.contains("fixture.duplicate")), "{hits:?}");
+}
+
+#[test]
+fn r3_raw_ps_arithmetic_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "no-raw-time-volt");
+    assert!(
+        hits.iter().any(|f| f.message.contains("edge_ps")),
+        "raw f64 math on edge_ps must fire, got {hits:?}"
+    );
+}
+
+#[test]
+fn r4_library_panic_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "no-panic-in-lib");
+    assert!(
+        hits.iter()
+            .any(|f| f.rel_path.ends_with("core/src/lib.rs") && f.severity == Severity::Deny),
+        "unwrap in library code must fire, got {hits:?}"
+    );
+}
+
+#[test]
+fn r5_lossy_cast_tiering() {
+    let a = violations();
+    let hits = with_rule(&a, "no-lossy-cast");
+    let warn = hits.iter().find(|f| f.rel_path.ends_with("core/src/lib.rs"));
+    let deny = hits.iter().find(|f| f.rel_path.ends_with("pstime/src/duration.rs"));
+    assert_eq!(warn.expect("cast outside timing paths fires").severity, Severity::Warn);
+    assert_eq!(deny.expect("cast in a timing path fires").severity, Severity::Deny);
+}
+
+#[test]
+fn r6_hash_iteration_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "no-wall-clock");
+    assert!(
+        hits.iter().any(|f| f.message.contains("HashMap")),
+        "HashMap in library code must fire, got {hits:?}"
+    );
+}
+
+#[test]
+fn r7_missing_forbid_unsafe_detected() {
+    let a = violations();
+    let hits = with_rule(&a, "forbid-unsafe-everywhere");
+    assert!(
+        hits.iter().any(|f| f.rel_path.ends_with("core/src/lib.rs")),
+        "crate root without forbid(unsafe_code) must fire, got {hits:?}"
+    );
+    // Conforming roots stay silent.
+    assert!(!hits.iter().any(|f| f.rel_path.ends_with("other/src/lib.rs")), "{hits:?}");
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_reasonless_allow_is_deny() {
+    let a = violations();
+    assert!(a.suppressed >= 1, "the reasoned allow must suppress its finding");
+    let panics = with_rule(&a, "no-panic-in-lib");
+    assert!(
+        !panics.iter().any(|f| f.rel_path.ends_with("core/src/allowed.rs")),
+        "both allowed.rs unwraps are covered by directives, got {panics:?}"
+    );
+    let bad = with_rule(&a, "bad-allow");
+    assert!(
+        bad.iter().any(|f| f.rel_path.ends_with("core/src/allowed.rs")),
+        "a reasonless allow must surface as bad-allow, got {bad:?}"
+    );
+    assert!(bad.iter().all(|f| f.severity == Severity::Deny));
+}
+
+/// Acceptance check: a tree seeded with an ad-hoc seed, a duplicate
+/// StreamId, and raw `_ps` f64 arithmetic yields three distinct rule-id
+/// diagnostics, and the binary exits non-zero on it.
+#[test]
+fn seeded_violations_fail_the_binary_with_three_distinct_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .args(["--root", fixture("violations").to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "seeded violations must exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    for rule in ["no-adhoc-rng", "stream-id-unique", "no-raw-time-volt"] {
+        assert!(stdout.contains(rule), "diagnostics must mention {rule}:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_tree_passes_the_binary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .args(["--root", fixture("clean").to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean fixture must exit 0: {out:?}");
+}

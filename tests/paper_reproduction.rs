@@ -10,31 +10,31 @@ fn fig04_packet_slot_structure() {
 
 #[test]
 fn fig06_transition_times() {
-    let r = bench_support::fig06_tx_waveforms(2005);
+    let r = bench_support::fig06_tx_waveforms(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG6 drifted:\n{r}");
 }
 
 #[test]
 fn fig07_eye_at_2g5() {
-    let r = bench_support::fig07_eye_2g5(2005);
+    let r = bench_support::fig07_eye_2g5(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG7 drifted:\n{r}");
 }
 
 #[test]
 fn fig08_eye_at_4g0() {
-    let r = bench_support::fig08_eye_4g0(2005);
+    let r = bench_support::fig08_eye_4g0(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG8 drifted:\n{r}");
 }
 
 #[test]
 fn fig09_single_edge_jitter() {
-    let r = bench_support::fig09_edge_jitter(2_000, 2005);
+    let r = bench_support::fig09_edge_jitter(2_000, 2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG9 drifted:\n{r}");
 }
 
 #[test]
 fn fig10_fig11_level_programming() {
-    let r = bench_support::fig10_fig11_levels(2005);
+    let r = bench_support::fig10_fig11_levels(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG10/11 drifted:\n{r}");
 }
 
@@ -46,31 +46,31 @@ fn fig13_parallel_probing_speedup() {
 
 #[test]
 fn fig16_mini_eye_at_1g0() {
-    let r = bench_support::fig16_mini_eye_1g0(2005);
+    let r = bench_support::fig16_mini_eye_1g0(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG16 drifted:\n{r}");
 }
 
 #[test]
 fn fig17_mini_eye_at_2g5() {
-    let r = bench_support::fig17_mini_eye_2g5(2005);
+    let r = bench_support::fig17_mini_eye_2g5(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG17 drifted:\n{r}");
 }
 
 #[test]
 fn fig18_five_gbps_pattern() {
-    let r = bench_support::fig18_mini_5g_pattern(2005);
+    let r = bench_support::fig18_mini_5g_pattern(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG18 drifted:\n{r}");
 }
 
 #[test]
 fn fig19_mini_eye_at_5g0() {
-    let r = bench_support::fig19_mini_eye_5g0(2005);
+    let r = bench_support::fig19_mini_eye_5g0(2005).expect("experiment runs");
     assert!(r.all_within_tolerance(), "FIG19 drifted:\n{r}");
 }
 
 #[test]
 fn summary_timing_accuracy_claim() {
-    let r = bench_support::summary_timing_accuracy();
+    let r = bench_support::summary_timing_accuracy().expect("experiment runs");
     assert!(r.all_within_tolerance(), "SUMMARY drifted:\n{r}");
     // The paper claims ±25 ps; the hard bound must hold, not just the
     // comparison tolerance.
@@ -125,7 +125,7 @@ fn eye_openings_degrade_monotonically_with_rate() {
 
 #[test]
 fn full_report_passes_every_row() {
-    let report = bench_support::full_report(2005);
+    let report = bench_support::full_report(2005).expect("experiment runs");
     assert!(
         report.all_within_tolerance(),
         "{} rows out of tolerance:\n{report}",

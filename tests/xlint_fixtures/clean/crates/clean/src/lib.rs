@@ -1,0 +1,18 @@
+//! A conforming fixture crate: xlint must exit 0 on this tree.
+#![forbid(unsafe_code)]
+
+/// Deterministic, panic-free, cast-free, unit-safe.
+pub fn double(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn doubles() {
+        // Test regions are exempt: unwrap here must not fire R4.
+        assert_eq!(Some(double(2)).map(|v| v + 0).unwrap(), 4);
+    }
+}

@@ -1,0 +1,13 @@
+//! Suppression fixtures: one reasoned allow, one reasonless allow.
+
+/// Suppressed with a reason — must NOT appear as a finding.
+pub fn justified(values: &[u64]) -> u64 {
+    // xlint::allow(no-panic-in-lib, fixture exercises a reasoned suppression)
+    *values.first().unwrap()
+}
+
+/// Suppressed WITHOUT a reason — must surface as a `bad-allow` deny.
+pub fn unjustified(values: &[u64]) -> u64 {
+    // xlint::allow(no-panic-in-lib)
+    *values.last().unwrap()
+}

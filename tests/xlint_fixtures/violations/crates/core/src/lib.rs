@@ -1,0 +1,53 @@
+//! Fixture crate root with a seeded violation per rule.
+//!
+//! Deliberately missing `#![forbid(unsafe_code)]` (R7).
+
+use std::collections::HashMap; // R6: hash iteration order
+
+pub mod allowed;
+
+/// R1: ad-hoc seed arithmetic outside crates/rng.
+pub fn derive_seed(seed: u64, lane: u64) -> u64 {
+    seed ^ lane.wrapping_mul(0x9E37_79B9)
+}
+
+/// R2 site A: stream label also claimed by crates/other.
+pub fn noise_stream(tree: &SeedTree) -> u64 {
+    tree.stream("fixture.duplicate").seed()
+}
+
+/// R3: raw f64 arithmetic on a picosecond-suffixed identifier.
+pub fn widen(edge_ps: f64) -> f64 {
+    edge_ps * 2.0 + 1.5
+}
+
+/// R4: panic path in library code.
+pub fn first(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+/// R5 (warn here — not a timing path): lossy numeric cast.
+pub fn narrow(wide: u64) -> f32 {
+    wide as f32
+}
+
+/// R6: nondeterministic iteration order.
+pub fn tally(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub struct SeedTree;
+
+impl SeedTree {
+    pub fn stream(&self, _label: &str) -> Stream {
+        Stream
+    }
+}
+
+pub struct Stream;
+
+impl Stream {
+    pub fn seed(&self) -> u64 {
+        0
+    }
+}

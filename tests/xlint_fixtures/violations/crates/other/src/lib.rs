@@ -1,0 +1,15 @@
+//! Fixture crate that re-claims a stream label owned by crates/core.
+#![forbid(unsafe_code)]
+
+/// R2 site B: duplicate of the label in crates/core/src/lib.rs.
+pub fn stream_id() -> StreamId {
+    StreamId::named("fixture.duplicate")
+}
+
+pub struct StreamId;
+
+impl StreamId {
+    pub fn named(_label: &str) -> Self {
+        StreamId
+    }
+}

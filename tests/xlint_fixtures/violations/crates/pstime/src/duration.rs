@@ -1,0 +1,6 @@
+//! Fixture file on xlint's timing-path list: casts here are deny-tier.
+
+/// R5 at deny tier — this rel path is in `TIMING_PATHS`.
+pub fn to_float(raw: i64) -> f64 {
+    raw as f64
+}

@@ -1,0 +1,4 @@
+//! Fixture pstime crate root (conforming, so only duration.rs fires).
+#![forbid(unsafe_code)]
+
+pub mod duration;
