@@ -8,10 +8,22 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline
-cargo test -q --offline
+# The full suite must pass regardless of pool width: once serially, once
+# with the exec engine fanned out to four workers.
+EXEC_THREADS=1 cargo test -q --offline
+EXEC_THREADS=4 cargo test -q --offline
 cargo clippy --offline -- -D warnings
 # First-party static analysis: determinism, unit-safety, and panic-freedom
 # contracts (rules R1–R7; see DESIGN.md "Enforced invariants").
 cargo run -p gigatest-xlint --release --offline
 cargo doc --offline --no-deps
 cargo fmt --check
+# Thread-count invariance canary: the deterministic sweep outputs (shmoo
+# plot, wafer map, eye scan, jitter report, BER digest) must be
+# byte-identical whether the exec pool runs 1 worker or 4.
+canary_dir="$(mktemp -d)"
+trap 'rm -rf "$canary_dir"' EXIT
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-bench --bin bench_exec -- --canary > "$canary_dir/t1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-bench --bin bench_exec -- --canary > "$canary_dir/t4.txt"
+diff "$canary_dir/t1.txt" "$canary_dir/t4.txt"
+echo "canary: sweep outputs identical at EXEC_THREADS=1 and 4"

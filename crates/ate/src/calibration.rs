@@ -133,17 +133,42 @@ impl PlacementPoint {
 ///
 /// # Errors
 ///
-/// Propagates vernier range errors.
+/// Propagates vernier range errors; [`AteError::BadProgram`] for a
+/// non-positive step.
 pub fn placement_audit(range: Duration, step: Duration) -> Result<Vec<PlacementPoint>> {
-    let mut vernier = ProgrammableDelayLine::standard();
-    let mut points = Vec::new();
-    let mut requested = Duration::ZERO;
-    while requested <= range {
-        vernier.set_delay(requested)?;
-        points.push(PlacementPoint { requested, achieved: vernier.actual_delay() });
-        requested += step;
+    placement_audit_with_pool(range, step, &exec::ExecPool::serial())
+}
+
+/// [`placement_audit`] fanned out over an explicit worker pool: each
+/// requested placement `step × k` is an independent vernier programming,
+/// so the audit is bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates vernier range and execution errors; [`AteError::BadProgram`]
+/// for a non-positive step.
+pub fn placement_audit_with_pool(
+    range: Duration,
+    step: Duration,
+    pool: &exec::ExecPool,
+) -> Result<Vec<PlacementPoint>> {
+    if step <= Duration::ZERO {
+        return Err(AteError::BadProgram { reason: "placement audit step must be positive" });
     }
-    Ok(points)
+    if range < Duration::ZERO {
+        return Ok(Vec::new());
+    }
+    // requested = step * k for k = 0 ..= floor(range / step): the same
+    // points the serial accumulation loop visits, computed directly so
+    // each is an independent job.
+    let count = usize::try_from(range.as_fs() / step.as_fs()).unwrap_or(0) + 1;
+    let outcome = pool.run(count, |k| -> Result<PlacementPoint> {
+        let requested = step * k as i64; // xlint::allow(no-lossy-cast, k <= range/step which fits i64)
+        let mut vernier = ProgrammableDelayLine::standard();
+        vernier.set_delay(requested)?;
+        Ok(PlacementPoint { requested, achieved: vernier.actual_delay() })
+    })?;
+    outcome.results.into_iter().collect()
 }
 
 /// Worst-case absolute placement error in an audit.
@@ -221,5 +246,24 @@ mod tests {
     #[test]
     fn empty_audit() {
         assert_eq!(worst_placement_error(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn audit_is_thread_count_invariant() {
+        let range = Duration::from_ns(10);
+        let step = Duration::from_ps(137);
+        let serial = placement_audit(range, step).unwrap();
+        for threads in [2, 8] {
+            let parallel =
+                placement_audit_with_pool(range, step, &exec::ExecPool::new(threads)).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn audit_rejects_nonpositive_step() {
+        let err = placement_audit(Duration::from_ns(1), Duration::ZERO).unwrap_err();
+        assert!(matches!(err, AteError::BadProgram { .. }));
+        assert!(placement_audit(Duration::from_ns(-1), Duration::from_ps(10)).unwrap().is_empty());
     }
 }

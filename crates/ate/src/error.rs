@@ -28,6 +28,8 @@ pub enum AteError {
     Testbed(testbed::TestbedError),
     /// Error from the mini-tester application.
     MiniTester(minitester::MiniTesterError),
+    /// Error from the parallel execution engine.
+    Exec(exec::ExecError),
 }
 
 impl fmt::Display for AteError {
@@ -42,6 +44,7 @@ impl fmt::Display for AteError {
             AteError::Signal(e) => write!(f, "signal error: {e}"),
             AteError::Testbed(e) => write!(f, "test-bed error: {e}"),
             AteError::MiniTester(e) => write!(f, "mini-tester error: {e}"),
+            AteError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -54,6 +57,7 @@ impl std::error::Error for AteError {
             AteError::Signal(e) => Some(e),
             AteError::Testbed(e) => Some(e),
             AteError::MiniTester(e) => Some(e),
+            AteError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +93,12 @@ impl From<minitester::MiniTesterError> for AteError {
     }
 }
 
+impl From<exec::ExecError> for AteError {
+    fn from(e: exec::ExecError) -> Self {
+        AteError::Exec(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +123,9 @@ mod tests {
         assert!(AteError::from(minitester::MiniTesterError::EyeClosed)
             .to_string()
             .contains("mini-tester"));
+        let e = AteError::from(exec::ExecError::MissingResult { index: 0 });
+        assert!(e.to_string().contains("execution"));
+        assert!(e.source().is_some());
     }
 
     #[test]

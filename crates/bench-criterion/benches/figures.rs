@@ -16,7 +16,7 @@ fn bench_figures(c: &mut Criterion) {
 
     group.bench_function("fig04_packet_slot", |b| {
         b.iter(|| {
-            let r = bench_support::fig04_packet_slot();
+            let r = bench_support::fig04_packet_slot().expect("experiment runs");
             assert_ok(&r);
             r
         })
@@ -60,7 +60,7 @@ fn bench_figures(c: &mut Criterion) {
     });
     group.bench_function("fig13_parallel_probe", |b| {
         b.iter(|| {
-            let r = bench_support::fig13_parallel_probe();
+            let r = bench_support::fig13_parallel_probe().expect("experiment runs");
             assert_ok(&r);
             r
         })
@@ -104,14 +104,14 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let r = bench_support::datavortex_routing(seed);
+            let r = bench_support::datavortex_routing(seed).expect("experiment runs");
             assert_ok(&r);
             r
         })
     });
     group.bench_function("ext_terabit_scaling", |b| {
         b.iter(|| {
-            let r = bench_support::ext_terabit_scaling();
+            let r = bench_support::ext_terabit_scaling().expect("experiment runs");
             assert_ok(&r);
             r
         })

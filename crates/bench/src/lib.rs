@@ -35,7 +35,11 @@ pub const EYE_BITS: usize = 4_096;
 
 /// Fig. 4 — the packet-slot timing structure: every segment duration the
 /// figure annotates, checked against the generated frame.
-pub fn fig04_packet_slot() -> Report {
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for a uniform figure API.
+pub fn fig04_packet_slot() -> Result<Report, AteError> {
     let t = SlotTiming::paper();
     let mut report = Report::new();
     let mut row = |quantity: &str, paper_ns: f64, measured: Duration| {
@@ -52,7 +56,7 @@ pub fn fig04_packet_slot() -> Report {
     row("guard time (5 bits)", 2.0, t.guard_duration());
     row("valid data (32 bits)", 12.8, t.data_duration());
     row("clock/data window (46 bits)", 18.4, t.window_duration());
-    report
+    Ok(report)
 }
 
 /// Fig. 6 — 2.5 Gbps transmitter signals with 70–75 ps transitions.
@@ -147,20 +151,37 @@ pub fn fig08_eye_4g0(seed: u64) -> Result<Report, AteError> {
 /// Fig. 9 — single-edge jitter: 24 ps p-p, 3.2 ps rms over repeated
 /// acquisitions (no data-dependent effects).
 ///
+/// Each acquisition renders an independently seeded edge, so the loop fans
+/// out over the default [`exec::ExecPool`] with bit-identical results for
+/// every thread count.
+///
 /// # Errors
 ///
-/// Propagates render and edge-measurement errors.
+/// Propagates render, edge-measurement, and execution errors.
 pub fn fig09_edge_jitter(acquisitions: usize, seed: u64) -> Result<Report, AteError> {
+    fig09_edge_jitter_with_pool(acquisitions, seed, &exec::ExecPool::from_env())
+}
+
+/// [`fig09_edge_jitter`] with an explicit worker pool — the hook used by
+/// benchmarks and thread-count-invariance tests.
+///
+/// # Errors
+///
+/// Propagates render, edge-measurement, and execution errors.
+pub fn fig09_edge_jitter_with_pool(
+    acquisitions: usize,
+    seed: u64,
+    pool: &exec::ExecPool,
+) -> Result<Report, AteError> {
     let chain = SignalChain::testbed_transmitter();
     let rate = DataRate::from_gbps(2.5);
     let bits = BitStream::from_str_bits("1100");
     let tree = SeedTree::new(seed).stream("bench.fig09");
-    let times: Vec<pstime::Instant> = (0..acquisitions)
-        .map(|i| -> Result<pstime::Instant, AteError> {
-            let wave = chain.render(&bits, rate, tree.index(i as u64).seed())?;
-            Ok(measure_transition(&wave, 0, rate)?.mid_crossing)
-        })
-        .collect::<Result<_, _>>()?;
+    let outcome = pool.run(acquisitions, |i| -> Result<pstime::Instant, AteError> {
+        let wave = chain.render(&bits, rate, tree.index(i as u64).seed())?;
+        Ok(measure_transition(&wave, 0, rate)?.mid_crossing)
+    })?;
+    let times: Vec<pstime::Instant> = outcome.results.into_iter().collect::<Result<_, _>>()?;
     let m = edge_jitter_from_acquisitions(times, 64)?;
     let mut report = Report::new();
     report.push(Comparison::new(
@@ -233,7 +254,11 @@ pub fn fig10_fig11_levels(seed: u64) -> Result<Report, AteError> {
 
 /// Fig. 13 — parallel multi-site probing: "increasing production
 /// throughput by an order of magnitude".
-pub fn fig13_parallel_probe() -> Report {
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for a uniform figure API.
+pub fn fig13_parallel_probe() -> Result<Report, AteError> {
     let serial = ProbeArray::new(1);
     let array = ProbeArray::new(16);
     let speedup = array.throughput_speedup(&serial, 256);
@@ -245,7 +270,7 @@ pub fn fig13_parallel_probe() -> Report {
         PaperValue::new(16.0, 0.01),
         speedup,
     ));
-    report
+    Ok(report)
 }
 
 fn mini_eye(
@@ -388,7 +413,11 @@ pub fn summary_timing_accuracy() -> Result<Report, AteError> {
 
 /// DV — the Data Vortex under test-bed traffic: full delivery with virtual
 /// buffering at moderate load (the behaviour reference \[4\] demonstrates).
-pub fn datavortex_routing(seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for a uniform figure API.
+pub fn datavortex_routing(seed: u64) -> Result<Report, AteError> {
     let stats = run_load(VortexParams::eight_node(), Pattern::UniformRandom, 0.4, 400, seed);
     let mut report = Report::new();
     report.push(Comparison::new(
@@ -405,12 +434,16 @@ pub fn datavortex_routing(seed: u64) -> Report {
         PaperValue::new(3.0, 0.0),
         f64::from(u32::try_from(stats.latency.min()).unwrap_or(u32::MAX)),
     ));
-    report
+    Ok(report)
 }
 
 /// EXT — the paper's end-goal scaling arithmetic: 64 λ × 10 Gbps ≈
 /// "order of a Terabit-per-second".
-pub fn ext_terabit_scaling() -> Report {
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for a uniform figure API.
+pub fn ext_terabit_scaling() -> Result<Report, AteError> {
     let goal = ScalingPoint::end_goal();
     let mut report = Report::new();
     report.push(Comparison::new(
@@ -427,12 +460,16 @@ pub fn ext_terabit_scaling() -> Report {
         PaperValue::new(320.0, 0.0),
         goal.effective(&SlotTiming::paper()).as_gbps(),
     ));
-    report
+    Ok(report)
 }
 
 /// COST — "significantly lower in cost than conventional ATE": the BOM
 /// comparison for both systems.
-pub fn cost_comparison() -> Report {
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for a uniform figure API.
+pub fn cost_comparison() -> Result<Report, AteError> {
     let testbed = CostComparison::optical_testbed();
     let mini = CostComparison::mini_tester();
     let mut report = Report::new();
@@ -450,7 +487,7 @@ pub fn cost_comparison() -> Report {
         PaperValue::new(6.0, 0.5),
         mini.savings_factor(),
     ));
-    report
+    Ok(report)
 }
 
 /// Runs every experiment and aggregates one full report, in paper order.
@@ -461,21 +498,21 @@ pub fn cost_comparison() -> Report {
 pub fn full_report(seed: u64) -> Result<Report, AteError> {
     let mut report = Report::new();
     for part in [
-        fig04_packet_slot(),
+        fig04_packet_slot()?,
         fig06_tx_waveforms(seed)?,
         fig07_eye_2g5(seed)?,
         fig08_eye_4g0(seed)?,
         fig09_edge_jitter(2_000, seed)?,
         fig10_fig11_levels(seed)?,
-        fig13_parallel_probe(),
+        fig13_parallel_probe()?,
         fig16_mini_eye_1g0(seed)?,
         fig17_mini_eye_2g5(seed)?,
         fig18_mini_5g_pattern(seed)?,
         fig19_mini_eye_5g0(seed)?,
         summary_timing_accuracy()?,
-        datavortex_routing(seed),
-        ext_terabit_scaling(),
-        cost_comparison(),
+        datavortex_routing(seed)?,
+        ext_terabit_scaling()?,
+        cost_comparison()?,
     ] {
         report.extend(part.rows().iter().cloned());
     }
@@ -488,16 +525,16 @@ mod tests {
 
     #[test]
     fn fig04_is_exact() {
-        let r = fig04_packet_slot();
+        let r = fig04_packet_slot().expect("experiment runs");
         assert_eq!(r.rows().len(), 5);
         assert!(r.all_within_tolerance(), "{r}");
     }
 
     #[test]
     fn fig13_and_ext_and_cost_are_exact() {
-        assert!(fig13_parallel_probe().all_within_tolerance());
-        assert!(ext_terabit_scaling().all_within_tolerance());
-        assert!(cost_comparison().all_within_tolerance());
+        assert!(fig13_parallel_probe().expect("experiment runs").all_within_tolerance());
+        assert!(ext_terabit_scaling().expect("experiment runs").all_within_tolerance());
+        assert!(cost_comparison().expect("experiment runs").all_within_tolerance());
     }
 
     #[test]
@@ -516,7 +553,17 @@ mod tests {
 
     #[test]
     fn vortex_experiment() {
-        let r = datavortex_routing(5);
+        let r = datavortex_routing(5).expect("experiment runs");
         assert!(r.all_within_tolerance(), "{r}");
+    }
+
+    #[test]
+    fn fig09_is_thread_count_invariant() {
+        let serial = fig09_edge_jitter_with_pool(200, 9, &exec::ExecPool::serial()).expect("runs");
+        let wide = fig09_edge_jitter_with_pool(200, 9, &exec::ExecPool::new(4)).expect("runs");
+        assert_eq!(serial.rows().len(), wide.rows().len());
+        for (a, b) in serial.rows().iter().zip(wide.rows()) {
+            assert_eq!(a.measured.to_bits(), b.measured.to_bits());
+        }
     }
 }

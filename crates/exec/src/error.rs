@@ -1,0 +1,72 @@
+//! Error type for the parallel execution engine.
+
+use core::fmt;
+
+/// Errors raised while executing a job set on an [`crate::ExecPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A job panicked on its worker thread. The pool catches the unwind,
+    /// records the first failing index, and stops claiming new work instead
+    /// of aborting the process.
+    JobPanicked {
+        /// Index of the job that panicked.
+        index: usize,
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// The operating system refused to spawn a worker thread.
+    SpawnFailed {
+        /// Worker slot that failed to start.
+        worker: usize,
+        /// The OS error text.
+        message: String,
+    },
+    /// Internal consistency failure: a result slot was never filled even
+    /// though no job panicked. This indicates a bug in the pool itself and
+    /// is surfaced as an error rather than a panic.
+    MissingResult {
+        /// The unfilled slot.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::JobPanicked { index, message } => {
+                write!(f, "job {index} panicked on its worker: {message}")
+            }
+            ExecError::SpawnFailed { worker, message } => {
+                write!(f, "failed to spawn worker {worker}: {message}")
+            }
+            ExecError::MissingResult { index } => {
+                write!(f, "result slot {index} was never filled (pool bug)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ExecError::JobPanicked { index: 7, message: "boom".to_string() };
+        assert!(e.to_string().contains("job 7"));
+        assert!(e.to_string().contains("boom"));
+        let e = ExecError::SpawnFailed { worker: 2, message: "EAGAIN".to_string() };
+        assert!(e.to_string().contains("worker 2"));
+        let e = ExecError::MissingResult { index: 0 };
+        assert!(e.to_string().contains("slot 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ExecError>();
+    }
+}

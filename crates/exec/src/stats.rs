@@ -1,0 +1,68 @@
+//! Per-run execution statistics.
+
+use core::fmt;
+
+/// Observability record for one pool run: how much work there was and how
+/// it was distributed. Stats describe *scheduling*, which may vary from run
+/// to run — results never do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total jobs in the set.
+    pub jobs: usize,
+    /// Workers actually used (never more than the job count).
+    pub workers: usize,
+    /// Number of times an idle worker stole a chunk from a busy one.
+    pub steals: usize,
+    /// Jobs completed by each worker, indexed by worker id.
+    pub per_worker: Vec<usize>,
+}
+
+impl ExecStats {
+    /// Stats for an empty job set handled by a pool of nominal width
+    /// `workers`.
+    pub fn empty(workers: usize) -> Self {
+        ExecStats { jobs: 0, workers, steals: 0, per_worker: Vec::new() }
+    }
+
+    /// The busiest worker's share of the jobs, in `[0, 1]` — a quick
+    /// load-balance indicator (1/workers is perfect, 1.0 is fully serial).
+    pub fn max_share(&self) -> f64 {
+        let max = self.per_worker.iter().copied().max().unwrap_or(0);
+        if self.jobs == 0 {
+            0.0
+        } else {
+            // Job counts are small enough to convert exactly.
+            max as f64 / self.jobs as f64 // xlint::allow(no-lossy-cast, job counts stay far below 2^53 so the f64 conversion is exact)
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs / {} workers, {} steals, per-worker {:?}",
+            self.jobs, self.workers, self.steals, self.per_worker
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = ExecStats::empty(4);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.max_share(), 0.0);
+        assert!(s.to_string().contains("0 jobs"));
+    }
+
+    #[test]
+    fn max_share_reflects_imbalance() {
+        let s = ExecStats { jobs: 10, workers: 2, steals: 1, per_worker: vec![9, 1] };
+        assert!((s.max_share() - 0.9).abs() < 1e-12);
+    }
+}

@@ -207,6 +207,12 @@ impl EtCapture {
     /// Sweeps the strobe across one unit interval in vernier steps,
     /// reconstructing the horizontal eye.
     ///
+    /// Runs serially: eye scans typically execute *inside* a die- or
+    /// cell-level job that is already fanned out (wafer sweeps, shmoo
+    /// grids), so nesting another pool here would oversubscribe. Direct
+    /// callers with an otherwise idle machine can use
+    /// [`EtCapture::eye_scan_with_pool`].
+    ///
     /// # Errors
     ///
     /// Propagates vernier errors.
@@ -217,13 +223,35 @@ impl EtCapture {
         expected: &BitStream,
         seed: u64,
     ) -> Result<EyeScan> {
+        self.eye_scan_with_pool(wave, rate, expected, seed, &exec::ExecPool::serial())
+    }
+
+    /// [`EtCapture::eye_scan`] with an explicit worker pool: one job per
+    /// strobe phase, each drawing from its own `tree.index(k)` substream,
+    /// so the scan is bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vernier and execution errors.
+    pub fn eye_scan_with_pool(
+        &self,
+        wave: &AnalogWaveform,
+        rate: DataRate,
+        expected: &BitStream,
+        seed: u64,
+        pool: &exec::ExecPool,
+    ) -> Result<EyeScan> {
         let ui = rate.unit_interval();
         let step = self.vernier.step();
         let steps = ((ui.as_fs() + step.as_fs() - 1) / step.as_fs()).max(1);
         let tree = rng::SeedTree::new(seed).stream("minitester.capture.eye-scan");
-        let points = (0..steps)
-            .map(|k| self.capture_at(wave, rate, expected, step * k, tree.index(k as u64).seed()))
-            .collect::<Result<Vec<_>>>()?;
+        let steps_usize = usize::try_from(steps).unwrap_or(0);
+        let outcome = pool.run(steps_usize, |k| {
+            let k = k as i64; // xlint::allow(no-lossy-cast, k < steps which fits i64 by construction)
+            self.capture_at(wave, rate, expected, step * k, tree.index(k as u64).seed())
+            // xlint::allow(no-lossy-cast, k is a non-negative step index)
+        })?;
+        let points = outcome.results.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(EyeScan { points, rate, step })
     }
 }

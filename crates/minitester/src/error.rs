@@ -19,6 +19,8 @@ pub enum MiniTesterError {
     Pecl(pecl::PeclError),
     /// Error from signal analysis.
     Signal(signal::SignalError),
+    /// Error from the parallel execution engine.
+    Exec(exec::ExecError),
 }
 
 impl fmt::Display for MiniTesterError {
@@ -29,6 +31,7 @@ impl fmt::Display for MiniTesterError {
             MiniTesterError::Dlc(e) => write!(f, "DLC error: {e}"),
             MiniTesterError::Pecl(e) => write!(f, "PECL error: {e}"),
             MiniTesterError::Signal(e) => write!(f, "signal error: {e}"),
+            MiniTesterError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -39,6 +42,7 @@ impl std::error::Error for MiniTesterError {
             MiniTesterError::Dlc(e) => Some(e),
             MiniTesterError::Pecl(e) => Some(e),
             MiniTesterError::Signal(e) => Some(e),
+            MiniTesterError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +66,12 @@ impl From<signal::SignalError> for MiniTesterError {
     }
 }
 
+impl From<exec::ExecError> for MiniTesterError {
+    fn from(e: exec::ExecError) -> Self {
+        MiniTesterError::Exec(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +90,9 @@ mod tests {
         assert!(e.to_string().contains("PECL"));
         let e = MiniTesterError::from(signal::SignalError::EmptyWaveform { context: "t" });
         assert!(e.to_string().contains("signal"));
+        let e = MiniTesterError::from(exec::ExecError::MissingResult { index: 3 });
+        assert!(e.to_string().contains("execution"));
+        assert!(e.source().is_some());
     }
 
     #[test]

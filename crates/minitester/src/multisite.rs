@@ -169,51 +169,70 @@ impl fmt::Display for WaferReport {
     }
 }
 
+/// Everything one die job produces; aggregated in die order afterwards.
+struct DieOutcome {
+    record: DieRecord,
+    injected_hard: bool,
+    injected_marginal: bool,
+}
+
 /// Runs a full wafer through an array of real mini-testers.
 ///
 /// Each die gets a BIST pass/fail and, if it passes, an at-speed loopback
 /// margin test. Defects are injected per the configured rates (seeded,
-/// reproducible).
+/// reproducible). Dies are fanned out over the default [`exec::ExecPool`];
+/// every die derives both its defect roll and its test-content seeds from
+/// die-indexed substreams, so the report is bit-identical for every thread
+/// count.
 ///
 /// # Errors
 ///
-/// Propagates tester construction/run errors.
+/// Propagates tester construction/run and execution errors.
 pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
+    run_wafer_with_pool(config, &exec::ExecPool::from_env())
+}
+
+/// [`run_wafer`] with an explicit worker pool — the hook used by
+/// benchmarks and thread-count-invariance tests.
+///
+/// # Errors
+///
+/// Propagates tester construction/run and execution errors.
+pub fn run_wafer_with_pool(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<WaferReport> {
     let tree = SeedTree::new(config.seed);
-    let mut rng = tree.derive(WAFER_DEFECT_STREAM).rng();
+    let defect_tree = tree.derive(WAFER_DEFECT_STREAM);
     let die_tree = tree.derive(WAFER_DIE_STREAM);
     let array = ProbeArray::new(config.sites);
-    // One tester per site, reused across touchdowns (boot cost paid once).
-    let mut testers: Vec<MiniTester> =
-        (0..config.sites.min(config.dies)).map(|_| MiniTester::new()).collect::<Result<_>>()?;
 
     let bist_plan = TestPlan::prbs_bist(config.rate, config.test_bits);
     let mut margin_plan = TestPlan::prbs_loopback(config.rate, config.test_bits);
     margin_plan.min_eye_ui = 0.8;
 
-    let mut bins = Vec::with_capacity(config.dies);
-    let mut records = Vec::with_capacity(config.dies);
-    let mut injected_hard = 0usize;
-    let mut injected_marginal = 0usize;
-
-    for die in 0..config.dies {
-        // Build this die.
+    let outcome = pool.run(config.dies, |die| -> Result<DieOutcome> {
+        let die_id = die as u64; // xlint::allow(no-lossy-cast, die index widens losslessly to u64)
+                                 // Build this die. Defect rolls come from a die-indexed substream
+                                 // (not one sequential stream) so injection is order-free.
+        let mut rng = defect_tree.channel(die_id).rng();
         let roll: f64 = rng.f64();
+        let mut injected_hard = false;
+        let mut injected_marginal = false;
         let dut = if roll < config.hard_defect_rate {
-            injected_hard += 1;
+            injected_hard = true;
             WlpDut::good(WlpChannel::interposer())
                 .with_defect(Defect::StuckInput { level: rng.bool() })
         } else if roll < config.hard_defect_rate + config.marginal_rate {
-            injected_marginal += 1;
+            injected_marginal = true;
             WlpDut::good(WlpChannel::degraded())
         } else {
             WlpDut::good(WlpChannel::interposer())
         };
 
-        let site = die % testers.len();
-        let tester = &mut testers[site];
+        // Each die job boots its own tester: the datapath reconfigures all
+        // lanes on every run, so a fresh tester reproduces a reused site
+        // exactly — and jobs never contend on shared hardware state.
+        let mut tester = MiniTester::new()?;
         tester.insert_dut(dut);
-        let per_die = die_tree.channel(die as u64);
+        let per_die = die_tree.channel(die_id);
 
         let bist = tester.run(&bist_plan, per_die.stream("bist").seed())?;
         let (bin, eye_ui) = if !bist.passed() {
@@ -227,8 +246,23 @@ pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
                 (Bin::FailMargin, eye)
             }
         };
-        bins.push(bin);
-        records.push(DieRecord { die, bin, bist_errors: bist.errors, eye_ui });
+        Ok(DieOutcome {
+            record: DieRecord { die, bin, bist_errors: bist.errors, eye_ui },
+            injected_hard,
+            injected_marginal,
+        })
+    })?;
+
+    let mut bins = Vec::with_capacity(config.dies);
+    let mut records = Vec::with_capacity(config.dies);
+    let mut injected_hard = 0usize;
+    let mut injected_marginal = 0usize;
+    for die in outcome.results {
+        let die = die?;
+        injected_hard += usize::from(die.injected_hard);
+        injected_marginal += usize::from(die.injected_marginal);
+        bins.push(die.record.bin);
+        records.push(die.record);
     }
 
     Ok(WaferReport {

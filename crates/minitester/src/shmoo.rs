@@ -76,15 +76,37 @@ impl ShmooPlot {
     /// Runs the shmoo: for each (threshold, phase) point, capture the
     /// pattern and mark pass (zero errors) or fail.
     ///
+    /// Grid cells are fanned out over the default [`exec::ExecPool`]
+    /// (`EXEC_THREADS` / available parallelism); every cell draws its
+    /// randomness from its own `tree.index(row).index(col)` substream, so
+    /// the plot is bit-identical for every thread count.
+    ///
     /// # Errors
     ///
-    /// Propagates configuration and capture errors.
+    /// Propagates configuration, capture, and execution errors.
     pub fn run(
         wave: &AnalogWaveform,
         rate: DataRate,
         expected: &BitStream,
         config: &ShmooConfig,
         seed: u64,
+    ) -> Result<ShmooPlot> {
+        ShmooPlot::run_with_pool(wave, rate, expected, config, seed, &exec::ExecPool::from_env())
+    }
+
+    /// [`ShmooPlot::run`] with an explicit worker pool — the hook used by
+    /// benchmarks and thread-count-invariance tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, capture, and execution errors.
+    pub fn run_with_pool(
+        wave: &AnalogWaveform,
+        rate: DataRate,
+        expected: &BitStream,
+        config: &ShmooConfig,
+        seed: u64,
+        pool: &exec::ExecPool,
     ) -> Result<ShmooPlot> {
         config.validate()?;
         let ui = rate.unit_interval();
@@ -93,21 +115,31 @@ impl ShmooPlot {
         let phases: Vec<Duration> = (0..n_phases).map(|k| config.phase_step * k as i64).collect();
         let thresholds = config.voltage_points();
 
-        let mut capture = EtCapture::new();
-        let mut pass = Vec::with_capacity(thresholds.len() * phases.len());
         let tree = rng::SeedTree::new(seed).stream("minitester.shmoo");
-        for (ti, v) in thresholds.iter().enumerate() {
-            capture.sampler_mut().set_threshold(*v);
-            for (pi, phase) in phases.iter().enumerate() {
-                let point = capture.capture_at(
+        let cols = phases.len();
+        let cells = thresholds.len() * cols;
+        // One job per grid cell. Each job builds its own capture head (the
+        // equivalent-time sampler is stateless between captures, so a fresh
+        // head at the cell's threshold reproduces the serial sweep exactly)
+        // and seeds from the cell's (row, col) substream.
+        let outcome = pool.run(cells, |cell| {
+            let ti = cell / cols;
+            let pi = cell % cols;
+            let mut capture = EtCapture::new();
+            capture.sampler_mut().set_threshold(thresholds[ti]);
+            capture
+                .capture_at(
                     wave,
                     rate,
                     expected,
-                    *phase,
+                    phases[pi],
                     tree.index(ti as u64).index(pi as u64).seed(),
-                )?;
-                pass.push(point.errors == 0);
-            }
+                )
+                .map(|point| point.errors == 0)
+        })?;
+        let mut pass = Vec::with_capacity(cells);
+        for cell in outcome.results {
+            pass.push(cell?);
         }
         Ok(ShmooPlot { thresholds, phases, pass })
     }

@@ -154,6 +154,45 @@ impl BathtubCurve {
         self.dj_pp + self.rj_rms.mul_f64(2.0 * q)
     }
 
+    /// Evaluates the bathtub at `points` evenly spaced phases across one
+    /// unit interval (inclusive of both crossovers), returning
+    /// `(phase in UI, BER)` pairs — the curve a plotting or margining tool
+    /// consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SignalError::InvalidParameter`] if `points < 2`.
+    pub fn sweep(&self, points: usize) -> crate::Result<Vec<(f64, f64)>> {
+        self.sweep_with_pool(points, &exec::ExecPool::serial())
+    }
+
+    /// [`BathtubCurve::sweep`] fanned out over an explicit worker pool.
+    /// Each phase is an independent pure evaluation, so the sweep is
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SignalError::InvalidParameter`] if `points < 2`; propagates
+    /// execution errors.
+    pub fn sweep_with_pool(
+        &self,
+        points: usize,
+        pool: &exec::ExecPool,
+    ) -> crate::Result<Vec<(f64, f64)>> {
+        if points < 2 {
+            return Err(crate::SignalError::InvalidParameter {
+                name: "points",
+                constraint: "a sweep needs at least both crossovers (points >= 2)",
+            });
+        }
+        let denom = (points - 1) as f64; // xlint::allow(no-lossy-cast, point counts stay far below 2^53 so the f64 conversion is exact)
+        let outcome = pool.run(points, |k| {
+            let phase = k as f64 / denom; // xlint::allow(no-lossy-cast, k < points which converts exactly)
+            (phase, self.ber_at_ui(phase))
+        })?;
+        Ok(outcome.results)
+    }
+
     /// The RJ rms this curve was built from.
     pub fn rj_rms(&self) -> Duration {
         self.rj_rms
@@ -244,6 +283,28 @@ mod tests {
         assert_eq!(tub.opening_at_ber(1e-12).value(), 0.0);
         assert_eq!(tub.rj_rms(), Duration::from_ps(50));
         assert_eq!(tub.dj_pp(), Duration::from_ps(300));
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_evaluation_for_any_pool() {
+        let tub = BathtubCurve::new(
+            Duration::from_ps_f64(3.2),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+        );
+        let serial = tub.sweep(101).unwrap();
+        assert_eq!(serial.len(), 101);
+        assert_eq!(serial[0].0, 0.0);
+        assert_eq!(serial[100].0, 1.0);
+        for (phase, ber) in &serial {
+            assert_eq!(*ber, tub.ber_at_ui(*phase));
+        }
+        for threads in [2, 8] {
+            let parallel = tub.sweep_with_pool(101, &exec::ExecPool::new(threads)).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+        assert!(tub.sweep(1).is_err());
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub enum SignalError {
         /// Human-readable constraint that was violated.
         constraint: &'static str,
     },
+    /// Error from the parallel execution engine.
+    Exec(exec::ExecError),
 }
 
 impl fmt::Display for SignalError {
@@ -48,11 +50,25 @@ impl fmt::Display for SignalError {
             SignalError::InvalidParameter { name, constraint } => {
                 write!(f, "invalid parameter `{name}`: {constraint}")
             }
+            SignalError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
 
-impl std::error::Error for SignalError {}
+impl std::error::Error for SignalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SignalError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<exec::ExecError> for SignalError {
+    fn from(e: exec::ExecError) -> Self {
+        SignalError::Exec(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -68,6 +84,10 @@ mod tests {
         assert!(e.to_string().contains("rise 20%"));
         let e = SignalError::InvalidParameter { name: "sigma", constraint: "must be >= 0" };
         assert!(e.to_string().contains("`sigma`"));
+        let e = SignalError::from(exec::ExecError::MissingResult { index: 1 });
+        assert!(e.to_string().contains("execution"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -79,6 +79,26 @@ fn r6_hash_iteration_detected() {
     );
 }
 
+/// A seeded exec-style worker-pool crate — ad-hoc per-worker seed
+/// arithmetic plus wall-clock-driven chunk sizing — trips both the
+/// determinism rules that matter most for a parallel engine.
+#[test]
+fn exec_style_pool_crate_trips_adhoc_rng_and_wall_clock() {
+    let a = violations();
+    let rng_hits = with_rule(&a, "no-adhoc-rng");
+    assert!(
+        rng_hits.iter().any(|f| f.rel_path.ends_with("parpool/src/lib.rs")),
+        "worker-seed xor arithmetic must fire, got {rng_hits:?}"
+    );
+    let clock_hits = with_rule(&a, "no-wall-clock");
+    assert!(
+        clock_hits
+            .iter()
+            .any(|f| f.rel_path.ends_with("parpool/src/lib.rs") && f.severity == Severity::Deny),
+        "std::time in pool scheduling must fire as deny, got {clock_hits:?}"
+    );
+}
+
 #[test]
 fn r7_missing_forbid_unsafe_detected() {
     let a = violations();

@@ -80,6 +80,57 @@ fn wafer_runs_are_reproducible() {
     assert_ne!(a.records(), c.records(), "distinct seeds must draw a distinct defect population");
 }
 
+/// Thread-count invariance across every exec-powered sweep: shmoo grids,
+/// wafer runs, and eye scans produce byte-identical outputs on pools of 1,
+/// 2, and 8 workers. Parallelism decides who computes a slot, never what
+/// lands in it.
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    use exec::ExecPool;
+    use minitester::multisite::run_wafer_with_pool;
+    use minitester::{EtCapture, MiniTesterDatapath, ShmooConfig, ShmooPlot};
+
+    let rate = DataRate::from_gbps(2.5);
+    let mut path = MiniTesterDatapath::new().unwrap();
+    let expected = path.expected_prbs(rate, 512).unwrap();
+    let mut path2 = MiniTesterDatapath::new().unwrap();
+    let wave = path2.prbs_stimulus(rate, 512, 17).unwrap();
+
+    let pools = [ExecPool::new(1), ExecPool::new(2), ExecPool::new(8)];
+
+    let shmoos: Vec<_> = pools
+        .iter()
+        .map(|p| ShmooPlot::run_with_pool(&wave, rate, &expected, &ShmooConfig::pecl(), 3, p))
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(shmoos[0], shmoos[1], "shmoo differs between 1 and 2 threads");
+    assert_eq!(shmoos[0], shmoos[2], "shmoo differs between 1 and 8 threads");
+    assert_eq!(shmoos[0].to_string(), shmoos[2].to_string());
+
+    let wafer_config = WaferRunConfig {
+        dies: 12,
+        columns: 4,
+        sites: 4,
+        test_bits: 256,
+        seed: 7,
+        ..WaferRunConfig::default()
+    };
+    let wafers: Vec<_> =
+        pools.iter().map(|p| run_wafer_with_pool(&wafer_config, p).unwrap()).collect();
+    assert_eq!(wafers[0], wafers[1], "wafer differs between 1 and 2 threads");
+    assert_eq!(wafers[0], wafers[2], "wafer differs between 1 and 8 threads");
+    assert_eq!(wafers[0].to_string(), wafers[2].to_string());
+
+    let cap = EtCapture::new();
+    let eyes: Vec<_> = pools
+        .iter()
+        .map(|p| cap.eye_scan_with_pool(&wave, rate, &expected, 5, p).unwrap())
+        .collect();
+    assert_eq!(eyes[0], eyes[1], "eye scan differs between 1 and 2 threads");
+    assert_eq!(eyes[0], eyes[2], "eye scan differs between 1 and 8 threads");
+    assert_eq!(eyes[0].to_string(), eyes[2].to_string());
+}
+
 /// Substreams honor domain separation at the application layer: the streams
 /// the refactor named for unrelated subsystems never collide, and sibling
 /// channel streams are pairwise decorrelated.

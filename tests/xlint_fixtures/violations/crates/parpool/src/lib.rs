@@ -1,0 +1,29 @@
+//! Fixture: an exec-style worker pool that cheats on determinism — the two
+//! ways a parallel engine most plausibly goes wrong.
+//!
+//! A real pool must (a) derive per-job randomness from the seed tree, never
+//! from ad-hoc seed arithmetic keyed on the worker id, and (b) never let
+//! wall-clock reads anywhere near scheduling decisions that could leak into
+//! results. This crate does both, and xlint must catch each.
+
+#![forbid(unsafe_code)]
+
+/// R1: per-worker seed derived with raw xor/multiply arithmetic instead of
+/// a `SeedTree` substream — worker count would change the stream.
+pub fn worker_seed(seed: u64, worker: u64) -> u64 {
+    seed ^ worker.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// R6: wall-clock-based chunk sizing — scheduling becomes time-dependent,
+/// and with it anything that observes completion order.
+pub fn adaptive_chunk(jobs: usize) -> usize {
+    let t0 = std::time::Instant::now();
+    let warm = (0..64).fold(0u64, |a, b| a.wrapping_add(b));
+    let elapsed = t0.elapsed().as_nanos();
+    let _ = warm;
+    if elapsed > 1_000 {
+        jobs / 4
+    } else {
+        jobs / 16
+    }
+}
