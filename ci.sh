@@ -13,9 +13,19 @@ cargo build --release --offline
 EXEC_THREADS=1 cargo test -q --offline
 EXEC_THREADS=4 cargo test -q --offline
 cargo clippy --offline -- -D warnings
-# First-party static analysis: determinism, unit-safety, and panic-freedom
-# contracts (rules R1–R7; see DESIGN.md "Enforced invariants").
-cargo run -p gigatest-xlint --release --offline
+# First-party static analysis: determinism, unit-safety, panic-freedom,
+# and job-purity contracts (rules R1–R8 plus the call-graph passes; see
+# DESIGN.md "Enforced invariants" and "Semantic analysis layer").
+# Run twice through the incremental cache — cold, then warm — and demand
+# byte-identical findings documents, then emit the SARIF artifact.
+rm -f target/xlint-cache.json
+xlint_dir="$(mktemp -d)"
+cargo run -p gigatest-xlint --release --offline -- --format json > "$xlint_dir/cold.json"
+cargo run -p gigatest-xlint --release --offline -- --format json > "$xlint_dir/warm.json"
+diff "$xlint_dir/cold.json" "$xlint_dir/warm.json"
+echo "xlint: warm-cache findings byte-identical to cold run"
+cargo run -p gigatest-xlint --release --offline -- --format sarif > xlint.sarif
+rm -rf "$xlint_dir"
 cargo doc --offline --no-deps
 cargo fmt --check
 # Thread-count invariance canary: the deterministic sweep outputs (shmoo

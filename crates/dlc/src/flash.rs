@@ -112,7 +112,7 @@ impl Bitstream {
         if words.len() != len + 4 {
             return Err(DlcError::InvalidBitstream { reason: "length field mismatch" });
         }
-        let frames = words[3..3 + len].to_vec();
+        let frames = words[3..3 + len].to_vec(); // xlint::allow(panic-reachable, the length-field guard above pins words.len() to exactly len + 4)
         let crc = words[3 + len];
         let bs = Bitstream { device_id, frames, crc };
         bs.verify()?;

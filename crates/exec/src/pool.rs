@@ -120,7 +120,7 @@ impl ExecPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        Ok(self.run(items.len(), |i| f(i, &items[i]))?.results)
+        Ok(self.run(items.len(), |i| f(i, &items[i]))?.results) // xlint::allow(panic-reachable, run only hands the job indices 0..items.len())
     }
 
     /// Maps in parallel, then folds the mapped values **in index order on
@@ -143,7 +143,7 @@ impl ExecPool {
         F: Fn(usize, &T) -> R + Sync,
         G: FnMut(A, R) -> A,
     {
-        let mapped = self.run(items.len(), |i| map(i, &items[i]))?;
+        let mapped = self.run(items.len(), |i| map(i, &items[i]))?; // xlint::allow(panic-reachable, run only hands the job indices 0..items.len())
         Ok(mapped.results.into_iter().fold(init, fold))
     }
 }

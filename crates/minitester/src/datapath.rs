@@ -86,7 +86,7 @@ impl MiniTesterDatapath {
     /// Interleaves 16 physical lanes in the two-stage mux's serial order.
     fn two_stage_interleave(lanes: &[BitStream]) -> BitStream {
         let reordered: Vec<BitStream> =
-            (0..LANES).map(|i| lanes[Self::serial_lane_for_position(i)].clone()).collect();
+            (0..LANES).map(|i| lanes[Self::serial_lane_for_position(i)].clone()).collect(); // xlint::allow(panic-reachable, callers pass exactly LANES lanes and serial_lane_for_position maps 0..LANES into 0..LANES)
         BitStream::interleave(&reordered)
     }
 

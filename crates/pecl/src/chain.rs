@@ -263,7 +263,7 @@ impl SignalChain {
         }
         // xlint::allow(no-panic-in-lib, MuxTree::new only fails on a non-power-of-two way count and 8 is constant)
         let tree = MuxTree::new(8).expect("8 is a power of two");
-        let group_a = tree.serialize(&lanes[..8])?;
+        let group_a = tree.serialize(&lanes[..8])?; // xlint::allow(panic-reachable, the LaneMismatch guard above pins lanes.len() to 16)
         let group_b = tree.serialize(&lanes[8..])?;
         let final_mux = crate::mux::Mux2::new();
         let serial = final_mux.serialize(&group_a, &group_b)?;

@@ -176,7 +176,7 @@ impl MuxTree {
         let mut level: Vec<BitStream> = (0..self.ways)
             .map(|i| {
                 let j = (i as u32).reverse_bits() >> (32 - bits);
-                lanes[j as usize].clone()
+                lanes[j as usize].clone() // xlint::allow(panic-reachable, bit-reversing i < ways within levels() bits permutes 0..ways, and the guard above pins lanes.len() to ways)
             })
             .collect();
         while level.len() > 1 {

@@ -4,6 +4,20 @@ use core::fmt;
 
 use crate::{Duration, FS_PER_S};
 
+/// Unsigned twin of [`FS_PER_S`] for period math on `u64` rates.
+const FS_PER_S_U64: u64 = 1_000_000_000_000_000;
+const _: () = assert!(FS_PER_S == 1_000_000_000_000_000);
+
+/// Rounds an asserted-positive, finite hertz/bps value to an exact count.
+fn round_to_u64(x: f64) -> u64 {
+    x.round() as u64 // xlint::allow(no-lossy-cast, callers assert the value is positive and finite and the saturating float cast is the intended rounding)
+}
+
+/// Approximate `f64` view of an exact count, for display and ratio math.
+fn approx_f64(n: u64) -> f64 {
+    n as f64 // xlint::allow(no-lossy-cast, approximate read-only view; exact below 2^53 which covers every rate in the paper)
+}
+
 /// An exact frequency in hertz.
 ///
 /// All clock rates in the reproduced paper (12 MHz crystal, 0.5–2.5 GHz RF
@@ -54,7 +68,7 @@ impl Frequency {
     #[inline]
     pub fn from_ghz(ghz: f64) -> Self {
         assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
-        Frequency::from_hz((ghz * 1e9).round() as u64)
+        Frequency::from_hz(round_to_u64(ghz * 1e9))
     }
 
     /// The frequency in exact hertz.
@@ -66,7 +80,7 @@ impl Frequency {
     /// The frequency as fractional gigahertz.
     #[inline]
     pub fn as_ghz(self) -> f64 {
-        self.0 as f64 / 1e9
+        approx_f64(self.0) / 1e9
     }
 
     /// The period, rounded to the nearest femtosecond.
@@ -76,7 +90,8 @@ impl Frequency {
     #[inline]
     pub fn period(self) -> Duration {
         let hz = self.0;
-        Duration::from_fs(((FS_PER_S as u64 + hz / 2) / hz) as i64)
+        let fs = (FS_PER_S_U64 + hz / 2) / hz;
+        Duration::from_fs(i64::try_from(fs).unwrap_or(i64::MAX))
     }
 
     /// Frequency divided by an integer (a clock divider), rounded to 1 Hz.
@@ -101,11 +116,11 @@ impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let hz = self.0;
         if hz >= 1_000_000_000 {
-            write!(f, "{:.3} GHz", hz as f64 / 1e9)
+            write!(f, "{:.3} GHz", approx_f64(hz) / 1e9)
         } else if hz >= 1_000_000 {
-            write!(f, "{:.3} MHz", hz as f64 / 1e6)
+            write!(f, "{:.3} MHz", approx_f64(hz) / 1e6)
         } else if hz >= 1_000 {
-            write!(f, "{:.3} kHz", hz as f64 / 1e3)
+            write!(f, "{:.3} kHz", approx_f64(hz) / 1e3)
         } else {
             write!(f, "{hz} Hz")
         }
@@ -157,7 +172,7 @@ impl DataRate {
     #[inline]
     pub fn from_gbps(gbps: f64) -> Self {
         assert!(gbps.is_finite() && gbps > 0.0, "data rate must be positive");
-        DataRate::from_bps((gbps * 1e9).round() as u64)
+        DataRate::from_bps(round_to_u64(gbps * 1e9))
     }
 
     /// The rate in exact bits per second.
@@ -169,14 +184,15 @@ impl DataRate {
     /// The rate as fractional gigabits per second.
     #[inline]
     pub fn as_gbps(self) -> f64 {
-        self.0 as f64 / 1e9
+        approx_f64(self.0) / 1e9
     }
 
     /// The unit interval (one bit period), rounded to the nearest
     /// femtosecond.
     #[inline]
     pub fn unit_interval(self) -> Duration {
-        Duration::from_fs(((FS_PER_S as u64 + self.0 / 2) / self.0) as i64)
+        let fs = (FS_PER_S_U64 + self.0 / 2) / self.0;
+        Duration::from_fs(i64::try_from(fs).unwrap_or(i64::MAX))
     }
 
     /// The half-rate clock that drives this stream through a DDR output
@@ -221,11 +237,11 @@ impl fmt::Display for DataRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let bps = self.0;
         if bps >= 1_000_000_000_000 {
-            write!(f, "{:.3} Tbps", bps as f64 / 1e12)
+            write!(f, "{:.3} Tbps", approx_f64(bps) / 1e12)
         } else if bps >= 1_000_000_000 {
-            write!(f, "{:.3} Gbps", bps as f64 / 1e9)
+            write!(f, "{:.3} Gbps", approx_f64(bps) / 1e9)
         } else if bps >= 1_000_000 {
-            write!(f, "{:.1} Mbps", bps as f64 / 1e6)
+            write!(f, "{:.1} Mbps", approx_f64(bps) / 1e6)
         } else {
             write!(f, "{bps} bps")
         }

@@ -37,7 +37,7 @@ impl Millivolts {
     /// Creates a level from fractional volts, rounded to 1 mV.
     #[inline]
     pub fn from_volts(v: f64) -> Self {
-        Millivolts((v * 1000.0).round() as i32)
+        Millivolts((v * 1000.0).round() as i32) // xlint::allow(no-lossy-cast, the saturating float cast is the intended rounding onto the representable millivolt range)
     }
 
     /// The exact millivolt count.
@@ -49,13 +49,13 @@ impl Millivolts {
     /// The level as fractional volts.
     #[inline]
     pub fn as_volts(self) -> f64 {
-        self.0 as f64 / 1000.0
+        f64::from(self.0) / 1000.0
     }
 
     /// The level as fractional millivolts (for analog math).
     #[inline]
     pub fn as_f64(self) -> f64 {
-        self.0 as f64
+        f64::from(self.0)
     }
 
     /// The midpoint between two levels (rounded toward negative infinity).

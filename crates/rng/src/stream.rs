@@ -49,7 +49,7 @@ const fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     let mut i = 0;
     while i < bytes.len() {
-        h ^= bytes[i] as u64;
+        h ^= bytes[i] as u64; // xlint::allow(no-lossy-cast, widening u8 to u64 is lossless; u64::from is not usable in a const fn)
         h = h.wrapping_mul(FNV_PRIME);
         i += 1;
     }

@@ -71,14 +71,14 @@ impl Rng {
     /// The next 32 raw bits (the upper half of one 64-bit output).
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
+        (self.next_u64() >> 32) as u32 // xlint::allow(no-lossy-cast, the shift keeps only the top 32 bits so the cast is lossless)
     }
 
     /// A uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution.
     #[inline]
     pub fn f64(&mut self) -> f64 {
         // 53 top bits scaled by 2^-53.
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) // xlint::allow(no-lossy-cast, both casts are exact: 53-bit values and 2^53 are representable in f64)
     }
 
     /// A uniform bool.
@@ -99,6 +99,7 @@ impl Rng {
     pub fn range_u64(&mut self, range: core::ops::Range<u64>) -> u64 {
         assert!(range.start < range.end, "range must be nonempty");
         let width = range.end - range.start;
+        // xlint::allow(no-lossy-cast, the u128 product shifted right by 64 always fits in u64)
         range.start + ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64
     }
 
@@ -109,7 +110,7 @@ impl Rng {
     /// Panics on an empty range.
     #[inline]
     pub fn range_u32(&mut self, range: core::ops::Range<u32>) -> u32 {
-        self.range_u64(u64::from(range.start)..u64::from(range.end)) as u32
+        self.range_u64(u64::from(range.start)..u64::from(range.end)) as u32 // xlint::allow(no-lossy-cast, range_u64 returns a value below range.end which fits u32)
     }
 
     /// A uniform index in `[range.start, range.end)`.
@@ -119,7 +120,7 @@ impl Rng {
     /// Panics on an empty range.
     #[inline]
     pub fn range_usize(&mut self, range: core::ops::Range<usize>) -> usize {
-        self.range_u64(range.start as u64..range.end as u64) as usize
+        self.range_u64(range.start as u64..range.end as u64) as usize // xlint::allow(no-lossy-cast, usize is at most 64 bits here and the result stays below range.end)
     }
 
     /// A uniform integer in `[range.start, range.end)`.
@@ -130,7 +131,7 @@ impl Rng {
     #[inline]
     pub fn range_i64(&mut self, range: core::ops::Range<i64>) -> i64 {
         assert!(range.start < range.end, "range must be nonempty");
-        let width = range.end.wrapping_sub(range.start) as u64;
+        let width = range.end.wrapping_sub(range.start) as u64; // xlint::allow(no-lossy-cast, two's-complement width arithmetic: the wrapping cast pair is exact for any i64 range)
         range.start.wrapping_add(self.range_u64(0..width) as i64)
     }
 
@@ -141,7 +142,7 @@ impl Rng {
     /// Panics on an empty range.
     #[inline]
     pub fn range_i32(&mut self, range: core::ops::Range<i32>) -> i32 {
-        self.range_i64(i64::from(range.start)..i64::from(range.end)) as i32
+        self.range_i64(i64::from(range.start)..i64::from(range.end)) as i32 // xlint::allow(no-lossy-cast, range_i64 returns a value inside the i32 range passed in)
     }
 
     /// A uniform `f64` in `[lo, hi)`.

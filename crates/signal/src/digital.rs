@@ -138,9 +138,10 @@ impl DigitalWaveform {
         let mut last = start - ui; // lower bound for monotonicity clamping
         let mut edge_index = 0u64;
         for i in 1..n {
+            // xlint::allow(panic-reachable, i ranges over 1..bits.len() so both indices are in bounds by construction)
             if bits[i] != bits[i - 1] {
                 let ideal = start + ui * i as i64; // xlint::allow(no-lossy-cast, bit index widens into i64 far below the fs overflow point)
-                let polarity = if bits[i] { EdgePolarity::Rising } else { EdgePolarity::Falling };
+                let polarity = if bits[i] { EdgePolarity::Rising } else { EdgePolarity::Falling }; // xlint::allow(panic-reachable, i ranges over 1..bits.len() so the index is in bounds by construction)
                 let ctx = EdgeContext {
                     index: edge_index,
                     ideal,

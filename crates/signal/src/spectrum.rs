@@ -169,16 +169,22 @@ fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
     while len <= n {
         let ang = -2.0 * core::f64::consts::PI / len as f64;
         let (wr, wi) = (ang.cos(), ang.sin());
+        let half = len / 2;
         for start in (0..n).step_by(len) {
+            // Split each block into its two halves once, so the butterfly
+            // body indexes bounds-checked locals instead of the raw buffers.
+            let block_r = &mut re[start..start + len]; // xlint::allow(panic-reachable, len divides n so start + len <= n == re.len())
+            let block_i = &mut im[start..start + len]; // xlint::allow(panic-reachable, len divides n so start + len <= n == im.len())
+            let (ra, rb) = block_r.split_at_mut(half);
+            let (ia, ib) = block_i.split_at_mut(half);
             let (mut cr, mut ci) = (1.0f64, 0.0f64);
-            for k in 0..len / 2 {
-                let (a, b) = (start + k, start + k + len / 2);
-                let tr = re[b] * cr - im[b] * ci;
-                let ti = re[b] * ci + im[b] * cr;
-                re[b] = re[a] - tr;
-                im[b] = im[a] - ti;
-                re[a] += tr;
-                im[a] += ti;
+            for k in 0..half {
+                let tr = rb[k] * cr - ib[k] * ci;
+                let ti = rb[k] * ci + ib[k] * cr;
+                rb[k] = ra[k] - tr;
+                ib[k] = ia[k] - ti;
+                ra[k] += tr;
+                ia[k] += ti;
                 let ncr = cr * wr - ci * wi;
                 ci = cr * wi + ci * wr;
                 cr = ncr;

@@ -23,6 +23,12 @@ pub enum FileClass {
     Test,
     /// Example programs under `examples/`.
     Example,
+    /// Cargo build scripts (`build.rs`, `crates/*/build.rs`). These run at
+    /// compile time and feed generated code into the build, so the
+    /// hermeticity rules (`no-adhoc-rng`, `no-wall-clock`) bind here too —
+    /// a wall-clock read or ad-hoc seed in a build script makes the
+    /// *artifact* nondeterministic before any test runs.
+    BuildScript,
 }
 
 /// One file scheduled for linting.
@@ -85,6 +91,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
             Some(FileClass::Test)
         }
         ["examples", ..] | ["crates", _, "examples", ..] => Some(FileClass::Example),
+        ["build.rs"] | ["crates", _, "build.rs"] => Some(FileClass::BuildScript),
         _ => None,
     }
 }
@@ -102,6 +109,19 @@ mod tests {
         assert_eq!(classify("crates/pecl/tests/proptests.rs"), Some(FileClass::Test));
         assert_eq!(classify("tests/determinism.rs"), Some(FileClass::Test));
         assert_eq!(classify("examples/quickstart.rs"), Some(FileClass::Example));
-        assert_eq!(classify("build.rs"), None);
+        assert_eq!(classify("Cargo.toml.rs"), None);
+    }
+
+    #[test]
+    fn build_scripts_are_in_scope() {
+        assert_eq!(classify("build.rs"), Some(FileClass::BuildScript));
+        assert_eq!(classify("crates/pecl/build.rs"), Some(FileClass::BuildScript));
+        // Only the canonical locations: a stray build.rs deeper in a tree
+        // is ordinary source or out of scope, not a build script.
+        assert_eq!(
+            classify("crates/pecl/src/build.rs"),
+            Some(FileClass::Src { crate_name: "pecl".to_string() })
+        );
+        assert_eq!(classify("scripts/build.rs"), None);
     }
 }

@@ -1,36 +1,23 @@
-//! Orchestration: walk, lex, run rules, apply suppressions.
+//! Orchestration: walk, build (or reuse cached) per-file facts, run the
+//! cross-file passes, apply suppressions.
+//!
+//! Analysis is two-phase. The per-file phase (lex → parse → local rules)
+//! is a pure function of each file's bytes and is what the incremental
+//! cache skips for unchanged files. The cross-file phase (stream-label
+//! uniqueness, call-graph panic reachability, error-bridge completeness)
+//! always runs over the complete fact set, so a warm run produces
+//! byte-identical findings to a cold one.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::path::Path;
 
+use crate::cache;
 use crate::classify::{collect_sources, SourceFile};
 use crate::error::XlintError;
-use crate::lexer::{lex, AllowDirective};
-use crate::rules::{check_file, check_stream_uniqueness, FileTokens, Finding, Severity};
-
-/// Suppression bookkeeping for one file: its directives and the set of
-/// lines that carry at least one token (so a directive on a comment-only
-/// line can cover the next line of code).
-struct FileSuppressions {
-    allows: Vec<AllowDirective>,
-    token_lines: BTreeSet<u32>,
-}
-
-impl FileSuppressions {
-    /// Does some directive in this file cover `finding`? A directive on
-    /// line L covers findings on L and on the next token-bearing line
-    /// after L (the "comment above the offending line" idiom).
-    fn covering(&self, finding: &Finding) -> Option<&AllowDirective> {
-        self.allows.iter().find(|d| {
-            d.rule_id == finding.rule_id
-                && (d.line == finding.line
-                    || self
-                        .token_lines
-                        .range(d.line + 1..)
-                        .next()
-                        .is_some_and(|next| *next == finding.line))
-        })
-    }
-}
+use crate::facts::{build_facts, FileFacts};
+use crate::graph::{check_error_bridges, check_panic_reachable};
+use crate::lexer::AllowDirective;
+use crate::rules::{check_stream_uniqueness, Finding, Severity, StreamUse};
 
 /// The post-suppression result of linting a tree.
 #[derive(Debug, Default)]
@@ -41,42 +28,93 @@ pub struct Analysis {
     pub suppressed: usize,
     /// Number of files linted.
     pub files: usize,
+    /// Number of files whose facts came from the cache unchanged.
+    pub cache_hits: usize,
 }
 
-/// Lint every in-scope file under `root`.
-pub fn analyze_root(root: &std::path::Path) -> Result<Analysis, XlintError> {
+/// Lint every in-scope file under `root`, without a cache.
+pub fn analyze_root(root: &Path) -> Result<Analysis, XlintError> {
+    analyze_root_cached(root, None)
+}
+
+/// Lint every in-scope file under `root`. With `Some(cache_path)`, facts
+/// for unchanged files are reused from the cache, and the refreshed cache
+/// is written back (best-effort).
+pub fn analyze_root_cached(root: &Path, cache_path: Option<&Path>) -> Result<Analysis, XlintError> {
     let sources = collect_sources(root)?;
-    analyze_files(&sources)
+    let cached = cache_path.map(cache::load).unwrap_or_default();
+
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(sources.len());
+    let mut cache_hits = 0usize;
+    for file in &sources {
+        let src = read_source(file)?;
+        let hash = crate::facts::fnv1a(src.as_bytes());
+        match cached.get(&file.rel_path) {
+            Some(hit) if hit.hash == hash && hit.class == file.class => {
+                cache_hits += 1;
+                facts.push(hit.clone());
+            }
+            _ => facts.push(build_facts(file, &src)?),
+        }
+    }
+    if let Some(path) = cache_path {
+        cache::save(path, &facts);
+    }
+    let mut analysis = analyze_facts(facts);
+    analysis.cache_hits = cache_hits;
+    Ok(analysis)
 }
 
-/// Lint an explicit file set (used by `analyze_root` and the fixture
-/// tests, which point it at a fake workspace).
+/// Lint an explicit file set (used by the fixture tests, which point it
+/// at a fake workspace). Never cached.
 pub fn analyze_files(sources: &[SourceFile]) -> Result<Analysis, XlintError> {
-    let mut findings = Vec::new();
-    let mut streams = BTreeMap::new();
-    let mut suppressions: BTreeMap<String, FileSuppressions> = BTreeMap::new();
-
+    let mut facts = Vec::with_capacity(sources.len());
     for file in sources {
-        let src = std::fs::read_to_string(&file.abs_path).map_err(|e| XlintError::Io {
-            path: file.abs_path.display().to_string(),
-            msg: e.to_string(),
-        })?;
-        let lexed = lex(&file.rel_path, &src)?;
-        let ft = FileTokens::new(file, &lexed);
-        check_file(&ft, &mut findings, &mut streams);
-        suppressions.insert(
-            file.rel_path.clone(),
-            FileSuppressions {
-                allows: lexed.allows.clone(),
-                token_lines: lexed.tokens.iter().map(|t| t.line).collect(),
-            },
-        );
+        let src = read_source(file)?;
+        facts.push(build_facts(file, &src)?);
+    }
+    Ok(analyze_facts(facts))
+}
+
+fn read_source(file: &SourceFile) -> Result<String, XlintError> {
+    std::fs::read_to_string(&file.abs_path).map_err(|e| XlintError::Io {
+        path: file.abs_path.display().to_string(),
+        msg: e.to_string(),
+    })
+}
+
+/// The cross-file phase: merge local findings, run the workspace-wide
+/// rules, apply suppressions, sort deterministically.
+fn analyze_facts(facts: Vec<FileFacts>) -> Analysis {
+    let mut findings: Vec<Finding> = Vec::new();
+    for fact in &facts {
+        findings.extend(fact.local_findings.iter().cloned());
+    }
+
+    // R2: stream-label uniqueness across files.
+    let mut streams: BTreeMap<String, Vec<StreamUse>> = BTreeMap::new();
+    for fact in &facts {
+        for s in &fact.streams {
+            streams.entry(s.label.clone()).or_default().push(StreamUse {
+                rel_path: fact.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+            });
+        }
     }
     check_stream_uniqueness(&streams, &mut findings);
 
-    let mut analysis = Analysis { files: sources.len(), ..Analysis::default() };
+    // Semantic passes over the call graph and the exec bridges.
+    check_panic_reachable(&facts, &mut findings);
+    check_error_bridges(&facts, &mut findings);
+
+    let mut analysis = Analysis { files: facts.len(), ..Analysis::default() };
     for finding in findings {
-        match suppressions.get(&finding.rel_path).and_then(|s| s.covering(&finding)) {
+        let covering = facts
+            .iter()
+            .find(|f| f.rel_path == finding.rel_path)
+            .and_then(|f| covering_allow(&f.allows, &f.token_lines, &finding));
+        match covering {
             Some(directive) if directive.reason.is_empty() => {
                 // An allow with no reason is itself a contract violation:
                 // the audit trail is the point.
@@ -102,6 +140,26 @@ pub fn analyze_files(sources: &[SourceFile]) -> Result<Analysis, XlintError> {
             .cmp(&a.severity)
             .then_with(|| a.rel_path.cmp(&b.rel_path))
             .then_with(|| (a.line, a.col).cmp(&(b.line, b.col)))
+            .then_with(|| a.rule_id.cmp(b.rule_id))
     });
-    Ok(analysis)
+    analysis.findings.dedup();
+    analysis
+}
+
+/// Does some directive cover `finding`? A directive on line L covers
+/// findings on L and on the next token-bearing line after L (the
+/// "comment above the offending line" idiom).
+fn covering_allow<'a>(
+    allows: &'a [AllowDirective],
+    token_lines: &[u32],
+    finding: &Finding,
+) -> Option<&'a AllowDirective> {
+    allows.iter().find(|d| {
+        d.rule_id == finding.rule_id
+            && (d.line == finding.line
+                || token_lines
+                    .iter()
+                    .find(|t| **t > d.line)
+                    .is_some_and(|next| *next == finding.line))
+    })
 }

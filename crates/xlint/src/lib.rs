@@ -18,9 +18,22 @@
 //!
 //! ## Rules
 //!
-//! See [`rules`] for the table of R1–R7 (`no-adhoc-rng`,
+//! See [`rules`] for the table of R1–R8 (`no-adhoc-rng`,
 //! `stream-id-unique`, `no-raw-time-volt`, `no-panic-in-lib`,
-//! `no-lossy-cast`, `no-wall-clock`, `forbid-unsafe-everywhere`).
+//! `no-lossy-cast`, `no-wall-clock`, `forbid-unsafe-everywhere`,
+//! `exec-job-racy`) and [`graph`] for the semantic passes built on the
+//! item parser ([`parse`]): `panic-reachable` (interprocedural panic
+//! reachability over the workspace call graph) and
+//! `error-bridge-exhaustive` (every crate invoking `exec` bridges
+//! `ExecError` completely into its own error type).
+//!
+//! ## Machine output and the incremental cache
+//!
+//! `--format json|sarif` renders findings through the first-party
+//! byte-stable JSON layer ([`json`], [`output`]); the content-hash cache
+//! ([`cache`], default `target/xlint-cache.json`) lets warm runs skip
+//! per-file analysis for unchanged files while recomputing every
+//! cross-file rule, so cold and warm findings are byte-identical.
 //!
 //! ## Suppressions and the ratchet
 //!
@@ -40,14 +53,20 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod classify;
 pub mod engine;
 pub mod error;
+pub mod facts;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod output;
+pub mod parse;
 pub mod rules;
 
 pub use baseline::{Baseline, Regression};
 pub use classify::{classify, collect_sources, FileClass, SourceFile};
-pub use engine::{analyze_files, analyze_root, Analysis};
+pub use engine::{analyze_files, analyze_root, analyze_root_cached, Analysis};
 pub use error::XlintError;
 pub use rules::{Finding, Severity, TIMING_PATHS};

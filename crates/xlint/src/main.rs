@@ -3,7 +3,15 @@
 //! ```text
 //! cargo run -p gigatest-xlint --release --offline                 # lint the tree
 //! cargo run -p gigatest-xlint --release --offline -- --fix-allowlist   # re-capture baseline
+//! cargo run -p gigatest-xlint --release --offline -- --format sarif > xlint.sarif
 //! ```
+//!
+//! Flags: `--root DIR`, `--baseline FILE`, `--fix-allowlist`,
+//! `--format text|json|sarif`, `--cache FILE`, `--no-cache`. The cache
+//! defaults to `<root>/target/xlint-cache.json`; warm runs reuse per-file
+//! facts for unchanged files and always produce findings byte-identical
+//! to a cold run. In the machine formats the document goes to stdout and
+//! the human summary to stderr.
 //!
 //! Exit status: 0 when there are no deny-tier findings and no warn-tier
 //! findings beyond the committed baseline; 1 otherwise; 2 on internal
@@ -15,18 +23,31 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xlint::{analyze_root, Baseline, Severity, XlintError};
+use xlint::output::{findings_json, sarif};
+use xlint::{analyze_root_cached, Baseline, Severity, XlintError};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     root: PathBuf,
     baseline: PathBuf,
     fix_allowlist: bool,
+    format: Format,
+    cache: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut root = PathBuf::from(".");
     let mut baseline = None;
     let mut fix_allowlist = false;
+    let mut format = Format::Text;
+    let mut cache = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,16 +58,33 @@ fn parse_args() -> Result<Options, String> {
                 baseline = Some(PathBuf::from(args.next().ok_or("--baseline requires a path")?));
             }
             "--fix-allowlist" => fix_allowlist = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => return Err("--format requires one of: text, json, sarif".to_string()),
+                };
+            }
+            "--cache" => {
+                cache = Some(PathBuf::from(args.next().ok_or("--cache requires a path")?));
+            }
+            "--no-cache" => no_cache = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: xlint [--root DIR] [--baseline FILE] [--fix-allowlist]".to_string()
-                )
+                return Err("usage: xlint [--root DIR] [--baseline FILE] [--fix-allowlist] \
+                            [--format text|json|sarif] [--cache FILE] [--no-cache]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
     let baseline = baseline.unwrap_or_else(|| root.join("xlint.baseline"));
-    Ok(Options { root, baseline, fix_allowlist })
+    let cache = if no_cache {
+        None
+    } else {
+        Some(cache.unwrap_or_else(|| root.join("target").join("xlint-cache.json")))
+    };
+    Ok(Options { root, baseline, fix_allowlist, format, cache })
 }
 
 fn main() -> ExitCode {
@@ -73,7 +111,7 @@ fn main() -> ExitCode {
 }
 
 fn run(opts: &Options) -> Result<bool, XlintError> {
-    let analysis = analyze_root(&opts.root)?;
+    let analysis = analyze_root_cached(&opts.root, opts.cache.as_deref())?;
 
     if opts.fix_allowlist {
         let captured = Baseline::capture(&analysis.findings);
@@ -96,37 +134,55 @@ fn run(opts: &Options) -> Result<bool, XlintError> {
         analysis.findings.iter().filter(|f| f.severity == Severity::Warn).cloned().collect();
     let (regressions, improved) = baseline.compare(&warn_findings);
 
+    // Machine formats: the document on stdout, the summary on stderr.
+    // Pass/fail semantics are identical to text mode.
+    match opts.format {
+        Format::Json => println!("{}", findings_json(&analysis).render()),
+        Format::Sarif => println!("{}", sarif(&analysis).render()),
+        Format::Text => {}
+    }
+
     let mut failed = false;
+    let report = |line: String| match opts.format {
+        Format::Text => println!("{line}"),
+        _ => eprintln!("{line}"),
+    };
     for f in analysis.findings.iter().filter(|f| f.severity == Severity::Deny) {
-        println!("{}:{}:{}: [{}] deny: {}", f.rel_path, f.line, f.col, f.rule_id, f.message);
+        report(format!("{}:{}:{}: [{}] deny: {}", f.rel_path, f.line, f.col, f.rule_id, f.message));
         failed = true;
     }
     for reg in &regressions {
-        println!(
+        report(format!(
             "{}: [{}] warn count {} exceeds baseline {} — new findings:",
             reg.rel_path, reg.rule_id, reg.current, reg.allowed
-        );
+        ));
         for f in
             warn_findings.iter().filter(|f| f.rel_path == reg.rel_path && f.rule_id == reg.rule_id)
         {
-            println!("  {}:{}:{}: [{}] warn: {}", f.rel_path, f.line, f.col, f.rule_id, f.message);
+            report(format!(
+                "  {}:{}:{}: [{}] warn: {}",
+                f.rel_path, f.line, f.col, f.rule_id, f.message
+            ));
         }
         failed = true;
     }
 
     let denies = analysis.findings.iter().filter(|f| f.severity == Severity::Deny).count();
-    println!(
-        "xlint: {} files, {} deny, {} warn ({} suppressed with reasons, {} groups under baseline)",
+    report(format!(
+        "xlint: {} files ({} from cache), {} deny, {} warn ({} suppressed with reasons, \
+         {} groups under baseline)",
         analysis.files,
+        analysis.cache_hits,
         denies,
         warn_findings.len(),
         analysis.suppressed,
         improved
-    );
+    ));
     if improved > 0 && !failed {
-        println!(
-            "xlint: warn-tier debt shrank — run `cargo run -p gigatest-xlint --release --offline -- \
-             --fix-allowlist` to tighten the ratchet"
+        report(
+            "xlint: warn-tier debt shrank — run `cargo run -p gigatest-xlint --release --offline \
+             -- --fix-allowlist` to tighten the ratchet"
+                .to_string(),
         );
     }
     Ok(!failed)

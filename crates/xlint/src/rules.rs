@@ -10,6 +10,13 @@
 //! | `no-lossy-cast` (R5) | deny in timing paths, warn elsewhere | `as` casts silently truncate; timing-critical femtosecond arithmetic uses `From`/`try_from` or justifies the cast |
 //! | `no-wall-clock` (R6) | deny | no `std::time`, and no `HashMap`/`HashSet` in result-producing code — both break run-to-run determinism |
 //! | `forbid-unsafe-everywhere` (R7) | deny | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `exec-job-racy` (R8) | deny | job closures handed to `ExecPool` must be pure: no shared-mutation primitives (`Mutex`, `RefCell`, `Atomic*`, channels, `static mut`) inside the argument span — they would break the bit-identical-at-any-thread-count contract |
+//!
+//! The hermeticity rules (R1, R6) also bind in build scripts
+//! ([`FileClass::BuildScript`]): a wall-clock read or ad-hoc seed there
+//! makes the *artifact* nondeterministic. The semantic rules
+//! (`panic-reachable`, `error-bridge-exhaustive`) live in
+//! [`crate::graph`]; this module hosts the per-file token rules.
 //!
 //! Rules see only *significant* tokens (comments and doc examples are
 //! stripped by the lexer) and skip `#[cfg(test)]` items where panicking
@@ -18,6 +25,7 @@
 use std::collections::BTreeMap;
 
 use crate::classify::{FileClass, SourceFile};
+use crate::facts::StreamFact;
 use crate::lexer::{LexOutput, Token, TokenKind};
 
 /// Severity tier of a finding.
@@ -97,11 +105,11 @@ impl<'a> FileTokens<'a> {
         self.tokens.get(i)
     }
 
-    fn is_punct(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn is_punct(&self, i: usize, s: &str) -> bool {
         self.tok(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
     }
 
-    fn is_ident(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn is_ident(&self, i: usize, s: &str) -> bool {
         self.tok(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
     }
 
@@ -115,7 +123,7 @@ impl<'a> FileTokens<'a> {
 /// fn, impl, use, …). `#[cfg(not(test))]` and `#[cfg(all(test, …))]` are
 /// distinguished by the presence of a `not` identifier inside the
 /// predicate.
-fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -128,13 +136,10 @@ fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
             i += 1;
             continue;
         };
+        let predicate = tokens.get(i + 2..attr_end).unwrap_or(&[]);
         let is_cfg_test = ident_at(tokens, i + 2, "cfg")
-            && tokens[i + 2..attr_end]
-                .iter()
-                .any(|t| t.kind == TokenKind::Ident && t.text == "test")
-            && !tokens[i + 2..attr_end]
-                .iter()
-                .any(|t| t.kind == TokenKind::Ident && t.text == "not");
+            && predicate.iter().any(|t| t.kind == TokenKind::Ident && t.text == "test")
+            && !predicate.iter().any(|t| t.kind == TokenKind::Ident && t.text == "not");
         if !is_cfg_test {
             i = attr_end + 1;
             continue;
@@ -154,7 +159,7 @@ fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
         let mut end = tokens.len().saturating_sub(1);
         let mut k = j;
         while k < tokens.len() {
-            let t = &tokens[k];
+            let Some(t) = tokens.get(k) else { break };
             if t.kind == TokenKind::Punct {
                 match t.text.as_str() {
                     "(" => depth_paren += 1,
@@ -220,18 +225,28 @@ pub struct StreamUse {
     pub col: u32,
 }
 
+/// Identifiers that mean a job closure mutates shared state: handing one
+/// of these to an `ExecPool` job breaks the thread-count-invariance
+/// contract (results must be bit-identical at every `EXEC_THREADS`).
+const RACY_TYPES: &[&str] =
+    &["Mutex", "RwLock", "RefCell", "Cell", "UnsafeCell", "OnceCell", "OnceLock", "mpsc"];
+
+/// Method names that mutate shared state through a shared reference.
+const RACY_METHODS: &[&str] = &["lock", "try_lock", "borrow_mut", "try_borrow_mut"];
+
 /// Run every per-file rule, appending findings and recording stream-label
 /// uses into `streams` for the later cross-file pass.
-pub fn check_file(
+pub fn check_file_local(
     ft: &FileTokens<'_>,
     findings: &mut Vec<Finding>,
-    streams: &mut BTreeMap<String, Vec<StreamUse>>,
+    streams: &mut Vec<StreamFact>,
 ) {
     let class = &ft.file.class;
     let src_crate = match class {
         FileClass::Src { crate_name } => Some(crate_name.as_str()),
         _ => None,
     };
+    let build_script = matches!(class, FileClass::BuildScript);
 
     // R7 applies to crate roots only and needs no token scan position.
     if let Some(krate) = src_crate {
@@ -271,11 +286,37 @@ pub fn check_file(
                 };
             if let Some(lit) = lit {
                 if lit.kind == TokenKind::StrLit {
-                    streams.entry(lit.text.clone()).or_default().push(StreamUse {
-                        rel_path: ft.file.rel_path.clone(),
+                    streams.push(StreamFact {
+                        label: lit.text.clone(),
                         line: lit.line,
                         col: lit.col,
                     });
+                }
+            }
+        }
+
+        // R8: shared-mutation primitives inside an ExecPool job closure.
+        // The argument span of `.par_map(` / `.par_map_reduce(` (the method
+        // names are distinctive) and of `pool.run(` / `*_pool.run(` (the
+        // receiver disambiguates the common name `run`) must stay pure.
+        let r8_scope = !in_test
+            && match class {
+                FileClass::Src { crate_name } => crate_name != "exec",
+                _ => false,
+            };
+        if r8_scope && ft.is_punct(i + 1, "(") && i > 0 && ft.is_punct(i - 1, ".") {
+            let ident_is = |t: Option<&Token>, pred: &dyn Fn(&str) -> bool| {
+                t.is_some_and(|t| t.kind == TokenKind::Ident && pred(&t.text))
+            };
+            let name = ft.tok(i).map(|t| t.text.as_str()).unwrap_or("");
+            let is_pool_call = matches!(name, "par_map" | "par_map_reduce")
+                || (name == "run"
+                    && ident_is(ft.tok(i.wrapping_sub(2)), &|r| {
+                        r == "pool" || r.ends_with("_pool")
+                    }));
+            if is_pool_call {
+                if let Some(close) = matching_close(ft.tokens, i + 1, "(", ")") {
+                    check_job_purity(ft, name, i + 2, close, findings);
                 }
             }
         }
@@ -289,7 +330,7 @@ pub fn check_file(
         let r1_scope = !in_test
             && match class {
                 FileClass::Src { crate_name } => crate_name != "rng",
-                FileClass::Example => true,
+                FileClass::Example | FileClass::BuildScript => true,
                 FileClass::Test => false,
             };
         if r1_scope {
@@ -343,7 +384,7 @@ pub fn check_file(
             && match class {
                 FileClass::Src { crate_name } => crate_name != "pstime",
                 FileClass::Example => true,
-                FileClass::Test => false,
+                FileClass::Test | FileClass::BuildScript => false,
             };
         if r3_scope && (ident.ends_with("_ps") || ident.ends_with("_mv")) && ident.len() > 3 {
             let ops = ["+", "-", "*", "/", "%"];
@@ -421,8 +462,10 @@ pub fn check_file(
             }
         }
 
-        // R6: wall-clock time and hash-order iteration hazards.
-        if src_crate.is_some() && !in_test {
+        // R6: wall-clock time and hash-order iteration hazards. Binds in
+        // build scripts too: a timestamp baked into generated code makes
+        // every build produce different artifacts.
+        if (src_crate.is_some() || build_script) && !in_test {
             if ident == "std"
                 && ft.is_punct(i + 1, ":")
                 && ft.is_punct(i + 2, ":")
@@ -459,6 +502,63 @@ pub fn check_file(
                 ));
             }
         }
+    }
+}
+
+/// Scan the argument span `[start, end)` of an `ExecPool` job call for
+/// shared-mutation primitives and report each one.
+fn check_job_purity(
+    ft: &FileTokens<'_>,
+    call: &str,
+    start: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let mut k = start;
+    while k < end {
+        let Some(t) = ft.tok(k) else { break };
+        if t.kind == TokenKind::Ident {
+            let name = t.text.as_str();
+            if RACY_TYPES.contains(&name) || name.starts_with("Atomic") {
+                findings.push(ft.finding(
+                    "exec-job-racy",
+                    Severity::Deny,
+                    k,
+                    format!(
+                        "`{name}` inside a `{call}` job — pool jobs must be pure functions of \
+                         their index; shared-mutation primitives make results depend on thread \
+                         interleaving"
+                    ),
+                ));
+            } else if name == "static" && ft.is_ident(k + 1, "mut") {
+                findings.push(ft.finding(
+                    "exec-job-racy",
+                    Severity::Deny,
+                    k,
+                    format!(
+                        "`static mut` inside a `{call}` job — pool jobs must not touch global \
+                         mutable state"
+                    ),
+                ));
+            } else if k > start
+                && ft.is_punct(k - 1, ".")
+                && ft.is_punct(k + 1, "(")
+                && (RACY_METHODS.contains(&name)
+                    || name.starts_with("fetch_")
+                    || name.starts_with("compare_exchange"))
+            {
+                findings.push(ft.finding(
+                    "exec-job-racy",
+                    Severity::Deny,
+                    k,
+                    format!(
+                        "`.{name}()` inside a `{call}` job — mutating shared state from a pool \
+                         job breaks bit-identical-at-any-thread-count results"
+                    ),
+                ));
+            }
+        }
+        k += 1;
     }
 }
 
@@ -503,7 +603,9 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
             && punct_at(tokens, i + 2, "[")
             && ident_at(tokens, i + 3, "forbid")
             && punct_at(tokens, i + 4, "(")
-            && tokens[i + 4..]
+            && tokens
+                .get(i + 4..)
+                .unwrap_or(&[])
                 .iter()
                 .take_while(|t| !(t.kind == TokenKind::Punct && t.text == "]"))
                 .any(|t| t.kind == TokenKind::Ident && t.text == "unsafe_code")
@@ -528,8 +630,8 @@ mod tests {
         let lexed = lex(rel_path, src).expect("lex");
         let ft = FileTokens::new(&file, &lexed);
         let mut findings = Vec::new();
-        let mut streams = BTreeMap::new();
-        check_file(&ft, &mut findings, &mut streams);
+        let mut streams = Vec::new();
+        check_file_local(&ft, &mut findings, &mut streams);
         findings
     }
 
@@ -552,5 +654,48 @@ mod tests {
     fn unwrap_or_variants_do_not_trip_r4() {
         let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap_or(0).max(v.unwrap_or_default()) }\n";
         assert!(run_on("crates/signal/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn racy_job_closures_are_flagged() {
+        let src = "pub fn f(pool: &ExecPool, hits: &std::sync::Mutex<Vec<u64>>) -> Vec<u64> {\n\
+                       pool.run(8, |k| { hits.lock().ok(); k as u64 })\n\
+                   }\n";
+        let findings = run_on("crates/signal/src/x.rs", src);
+        let racy: Vec<_> = findings.iter().filter(|f| f.rule_id == "exec-job-racy").collect();
+        assert_eq!(racy.len(), 1, "{findings:?}");
+        assert!(racy[0].message.contains("lock"));
+    }
+
+    #[test]
+    fn par_map_with_atomics_is_flagged_regardless_of_receiver() {
+        let src = "pub fn f(p: &ExecPool, n: &AtomicU64) -> Vec<u64> {\n\
+                       p.par_map(4, |k| n.fetch_add(k, Ordering::Relaxed))\n\
+                   }\n";
+        let findings = run_on("crates/signal/src/x.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.rule_id == "exec-job-racy").count(), 1);
+    }
+
+    #[test]
+    fn pure_jobs_and_non_pool_run_calls_are_clean() {
+        let src = "pub fn f(pool: &ExecPool, xs: &[u64]) -> Vec<u64> {\n\
+                       pool.run(xs.len(), |k| xs.get(k).copied().unwrap_or(0) * 2)\n\
+                   }\n\
+                   pub fn g(sim: &Simulator) { sim.run(7); }\n";
+        let findings = run_on("crates/signal/src/x.rs", src);
+        assert!(findings.iter().all(|f| f.rule_id != "exec-job-racy"), "{findings:?}");
+    }
+
+    #[test]
+    fn build_scripts_get_hermeticity_rules_only() {
+        let src = "fn main() {\n\
+                       let t = std::time::SystemTime::now();\n\
+                       let delay_ps = 10.0; let x = delay_ps * 2.0;\n\
+                       let n = 3usize; let m = n as u64;\n\
+                   }\n";
+        let findings = run_on("crates/pecl/build.rs", src);
+        assert!(findings.iter().any(|f| f.rule_id == "no-wall-clock"));
+        assert!(findings.iter().all(|f| f.rule_id != "no-raw-time-volt"), "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule_id != "no-lossy-cast"), "{findings:?}");
     }
 }

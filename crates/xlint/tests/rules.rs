@@ -1,5 +1,6 @@
-//! One integration test per rule R1–R7 against the seeded fixture
-//! workspace in `tests/xlint_fixtures/`, plus binary exit-code checks.
+//! One integration test per rule R1–R8 and the semantic passes against
+//! the seeded fixture workspace in `tests/xlint_fixtures/`, plus binary
+//! exit-code, SARIF-shape, and cache cold/warm byte-identity checks.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -128,18 +129,93 @@ fn reasoned_allow_suppresses_and_reasonless_allow_is_deny() {
     assert!(bad.iter().all(|f| f.severity == Severity::Deny));
 }
 
-/// Acceptance check: a tree seeded with an ad-hoc seed, a duplicate
-/// StreamId, and raw `_ps` f64 arithmetic yields three distinct rule-id
-/// diagnostics, and the binary exits non-zero on it.
 #[test]
-fn seeded_violations_fail_the_binary_with_three_distinct_rules() {
+fn r8_racy_pool_job_detected_and_reasoned_allow_suppresses() {
+    let a = violations();
+    let hits = with_rule(&a, "exec-job-racy");
+    let racy: Vec<_> = hits.iter().filter(|f| f.rel_path.ends_with("racy/src/lib.rs")).collect();
+    assert!(
+        racy.iter().any(|f| f.severity == Severity::Deny && f.message.contains("lock")),
+        "the Mutex-mutating job must fire as deny, got {hits:?}"
+    );
+    // The reasoned-allow counter job stays silent: exactly the one finding.
+    assert_eq!(racy.len(), 1, "counted_copy's allow must suppress its finding: {racy:?}");
+}
+
+#[test]
+fn panic_reachable_deep_chain_flagged_at_entry_with_chain() {
+    let a = violations();
+    let hits = with_rule(&a, "panic-reachable");
+    let entry = hits
+        .iter()
+        .find(|f| f.rel_path.ends_with("deep/src/lib.rs") && f.message.contains("header_word"))
+        .expect("the cross-file chain must be flagged at its pub entry point");
+    assert_eq!(entry.severity, Severity::Deny);
+    assert!(
+        entry.message.contains("nth_word") && entry.message.contains("sink.rs"),
+        "the diagnostic must show the offending call chain and root: {}",
+        entry.message
+    );
+    assert!(
+        !hits.iter().any(|f| f.message.contains("checked_word")),
+        "a reasoned allow at the root site must clear the whole chain, got {hits:?}"
+    );
+}
+
+#[test]
+fn error_bridge_incomplete_match_flagged_and_wholesale_or_allowed_pass() {
+    let a = violations();
+    let hits = with_rule(&a, "error-bridge-exhaustive");
+    let b = hits
+        .iter()
+        .find(|f| f.rel_path.ends_with("bridge/src/lib.rs"))
+        .expect("the one-variant match bridge must be flagged");
+    assert_eq!(b.severity, Severity::Deny);
+    assert!(
+        b.message.contains("WorkerPanicked") && b.message.contains("MissingResult"),
+        "the diagnostic must name the missing variants: {}",
+        b.message
+    );
+    assert!(
+        !hits.iter().any(|f| f.rel_path.ends_with("racy/src/lib.rs")),
+        "a wholesale wrap is a complete bridge, got {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.rel_path.ends_with("relay/src/lib.rs")),
+        "the reasoned allow at the invoke site must suppress, got {hits:?}"
+    );
+}
+
+#[test]
+fn build_scripts_are_bound_by_hermeticity_rules() {
+    let a = violations();
+    let hits = with_rule(&a, "no-wall-clock");
+    assert!(
+        hits.iter().any(|f| f.rel_path == "build.rs"),
+        "the SystemTime read in build.rs must fire, got {hits:?}"
+    );
+}
+
+/// Acceptance check: a tree seeded with an ad-hoc seed, a duplicate
+/// StreamId, raw `_ps` f64 arithmetic, and the semantic-rule crates
+/// yields the corresponding rule-id diagnostics, and the binary exits
+/// non-zero on it.
+#[test]
+fn seeded_violations_fail_the_binary_with_distinct_rules() {
     let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
-        .args(["--root", fixture("violations").to_str().expect("utf8 path")])
+        .args(["--root", fixture("violations").to_str().expect("utf8 path"), "--no-cache"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1), "seeded violations must exit 1");
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
-    for rule in ["no-adhoc-rng", "stream-id-unique", "no-raw-time-volt"] {
+    for rule in [
+        "no-adhoc-rng",
+        "stream-id-unique",
+        "no-raw-time-volt",
+        "exec-job-racy",
+        "panic-reachable",
+        "error-bridge-exhaustive",
+    ] {
         assert!(stdout.contains(rule), "diagnostics must mention {rule}:\n{stdout}");
     }
 }
@@ -147,8 +223,74 @@ fn seeded_violations_fail_the_binary_with_three_distinct_rules() {
 #[test]
 fn clean_tree_passes_the_binary() {
     let out = Command::new(env!("CARGO_BIN_EXE_xlint"))
-        .args(["--root", fixture("clean").to_str().expect("utf8 path")])
+        .args(["--root", fixture("clean").to_str().expect("utf8 path"), "--no-cache"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(0), "clean fixture must exit 0: {out:?}");
+}
+
+#[test]
+fn sarif_output_is_schema_shaped_and_byte_stable() {
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_xlint"))
+            .args([
+                "--root",
+                fixture("violations").to_str().expect("utf8 path"),
+                "--no-cache",
+                "--format",
+                "sarif",
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    let (first, second) = (run(), run());
+    assert_eq!(first.stdout, second.stdout, "SARIF output must be byte-stable");
+    let doc = xlint::json::parse(&String::from_utf8(first.stdout).expect("utf8"))
+        .expect("SARIF parses as JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let run0 = doc.get("runs").and_then(|r| r.as_arr()).and_then(<[_]>::first).expect("one run");
+    let driver = run0.get("tool").and_then(|t| t.get("driver")).expect("driver");
+    assert_eq!(driver.get("name").and_then(|n| n.as_str()), Some("gigatest-xlint"));
+    let results = run0.get("results").and_then(|r| r.as_arr()).expect("results");
+    assert!(!results.is_empty(), "the violations tree must produce results");
+    for rule in ["exec-job-racy", "panic-reachable", "error-bridge-exhaustive"] {
+        assert!(
+            results.iter().any(|r| r.get("ruleId").and_then(|v| v.as_str()) == Some(rule)),
+            "SARIF results must include {rule}"
+        );
+    }
+}
+
+/// Cold run populates the cache; the warm run reuses it — and the findings
+/// documents must be byte-identical.
+#[test]
+fn warm_cache_run_is_byte_identical_to_cold() {
+    let cache = std::env::temp_dir().join(format!("xlint-warm-cache-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_xlint"))
+            .args([
+                "--root",
+                fixture("violations").to_str().expect("utf8 path"),
+                "--cache",
+                cache.to_str().expect("utf8 path"),
+                "--format",
+                "json",
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    let cold = run();
+    let warm = run();
+    let _ = std::fs::remove_file(&cache);
+    assert_eq!(cold.status.code(), Some(1));
+    assert_eq!(warm.status.code(), Some(1));
+    assert_eq!(cold.stdout, warm.stdout, "warm-cache findings must be byte-identical");
+    let cold_summary = String::from_utf8(cold.stderr).expect("utf8");
+    let warm_summary = String::from_utf8(warm.stderr).expect("utf8");
+    assert!(cold_summary.contains("(0 from cache)"), "cold run starts empty: {cold_summary}");
+    assert!(
+        !warm_summary.contains("(0 from cache)"),
+        "warm run must reuse cached facts: {warm_summary}"
+    );
 }

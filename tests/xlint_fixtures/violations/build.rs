@@ -1,0 +1,6 @@
+//! Fixture: hermeticity rules bind inside build scripts too (R6 here).
+
+fn main() {
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+}

@@ -1,0 +1,20 @@
+//! Fixture: a cross-file call chain whose root indexes a slice parameter,
+//! so the pub entry points here are flagged by `panic-reachable` — except
+//! the one whose root site carries a reasoned allow.
+
+#![forbid(unsafe_code)]
+
+mod sink;
+
+use sink::{nth_checked, nth_word};
+
+/// panic-reachable: reaches `words[n]` in sink.rs through `nth_word`.
+pub fn header_word(words: &[u64], n: usize) -> u64 {
+    nth_word(words, n)
+}
+
+/// Clean: the root site in sink.rs carries a reasoned allow, which clears
+/// this entire chain.
+pub fn checked_word(words: &[u64], n: usize) -> u64 {
+    nth_checked(words, n)
+}

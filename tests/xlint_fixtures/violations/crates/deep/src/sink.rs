@@ -1,0 +1,13 @@
+//! Fixture: the panic roots for the deep-chain entry points in lib.rs.
+
+pub(crate) fn nth_word(words: &[u64], n: usize) -> u64 {
+    words[n]
+}
+
+pub(crate) fn nth_checked(words: &[u64], n: usize) -> u64 {
+    if n < words.len() {
+        words[n] // xlint::allow(panic-reachable, guarded by the explicit length check on the line above)
+    } else {
+        0
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the tree's `exec` crate. `error-bridge-exhaustive` reads its
+//! authoritative variant list from this `ExecError`, so the rule tracks
+//! the enum as it evolves.
+
+#![forbid(unsafe_code)]
+
+/// Why a pool run failed.
+pub enum ExecError {
+    /// A worker thread could not be spawned.
+    SpawnFailed,
+    /// A worker panicked while running a job.
+    WorkerPanicked,
+    /// A job result never arrived.
+    MissingResult,
+}
