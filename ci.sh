@@ -37,3 +37,12 @@ EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-bench --bin bench_ex
 EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-bench --bin bench_exec -- --canary > "$canary_dir/t4.txt"
 diff "$canary_dir/t1.txt" "$canary_dir/t4.txt"
 echo "canary: sweep outputs identical at EXEC_THREADS=1 and 4"
+# Service-layer invariance: the atd loopback integration suite (golden
+# THP/1 wire vectors plus the in-memory protocol walk) ran under both
+# thread counts above; here the load generator's deterministic canary —
+# result digests, cache/batch counters — must also be byte-identical
+# whether the daemon's pool runs 1 worker or 4.
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --canary > "$canary_dir/atd1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --canary > "$canary_dir/atd4.txt"
+diff "$canary_dir/atd1.txt" "$canary_dir/atd4.txt"
+echo "canary: atd service outputs identical at EXEC_THREADS=1 and 4"

@@ -1,0 +1,361 @@
+//! Closed-loop load generator for the ATE daemon.
+//!
+//! ```text
+//! cargo run --release -p gigatest-atd --bin atd-load                  # timed, TCP
+//! cargo run --release -p gigatest-atd --bin atd-load -- --requests 2000
+//! cargo run --release -p gigatest-atd --bin atd-load -- --canary     # deterministic
+//! ```
+//!
+//! The default mode boots an in-process `atd` daemon on an ephemeral TCP
+//! port, drives it with a mixed request stream (submits, batches, pings,
+//! stats polls) over real sockets, and reports throughput, latency, and
+//! cache hit rate to `BENCH_atd.json`. Every repeated spec's result is
+//! checked byte-for-byte against its first occurrence — the load test
+//! doubles as a cache-identity audit — and the run fails on any protocol
+//! error or byte mismatch.
+//!
+//! `--canary` skips sockets and clocks entirely: it drives the loopback
+//! transport with a fixed mix and prints only deterministic bytes (result
+//! digests and service counters). CI runs it under `EXEC_THREADS=1` and
+//! `=4` and diffs the output, extending the workspace's thread-count
+//! invariance proof through the wire protocol, scheduler, and cache.
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::time::Instant; // xlint::allow(no-wall-clock, load-generator harness: wall time is the measurand here and never feeds back into results)
+
+use atd::{
+    AtdError, BatchSubmitted, Client, JobResult, JobSpec, Loopback, Provenance, Service, Submitted,
+    TcpClient, Transport,
+};
+use pstime::{DataRate, Duration};
+
+/// The fixed workload table: small variants of all four job kinds, sized
+/// so a full mixed run stays in seconds while still exercising every
+/// wire encoding and the batching/caching machinery.
+fn spec_table() -> Vec<JobSpec> {
+    let rate = DataRate::from_gbps(2.5);
+    let mut specs = Vec::new();
+    // Shmoo: a narrow 3-row band around the PECL midpoint.
+    for (stim_seed, seed) in [(17, 5), (17, 6), (18, 5), (18, 6)] {
+        specs.push(JobSpec::Shmoo {
+            rate_bps: rate.as_bps(),
+            bits: 256,
+            stim_seed,
+            phase_step_fs: Duration::from_ps(10).as_fs(),
+            v_start_mv: -1400,
+            v_end_mv: -1200,
+            v_step_mv: 100,
+            seed,
+        });
+    }
+    // Wafer: four dies, two sites, modest defect rates.
+    for seed in [1, 2, 3, 4] {
+        specs.push(JobSpec::Wafer {
+            columns: 2,
+            dies: 4,
+            sites: 2,
+            hard_defect_rate: 0.25,
+            marginal_rate: 0.0,
+            rate_bps: rate.as_bps(),
+            test_bits: 256,
+            seed,
+        });
+    }
+    // Eye scans over two stimuli.
+    for (stim_seed, seed) in [(21, 9), (21, 10), (22, 9), (22, 10)] {
+        specs.push(JobSpec::eye(rate, 256, stim_seed, seed));
+    }
+    // Bathtub sweeps across two jitter budgets.
+    for (rj_ps, points) in [(3, 2001), (3, 1001), (5, 2001), (5, 1001)] {
+        specs.push(JobSpec::bathtub(
+            Duration::from_ps(rj_ps),
+            Duration::from_ps(20),
+            rate,
+            0.5,
+            points,
+        ));
+    }
+    specs
+}
+
+/// Running tallies across the request stream.
+#[derive(Debug, Default)]
+struct Tally {
+    requests: u64,
+    jobs: u64,
+    computed: u64,
+    cached: u64,
+    batched: u64,
+    busy: u64,
+    protocol_errors: u64,
+    mismatches: u64,
+}
+
+impl Tally {
+    fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            to_f64(self.cached + self.batched) / to_f64(self.jobs)
+        }
+    }
+}
+
+fn to_f64(n: u64) -> f64 {
+    u32::try_from(n).map(f64::from).unwrap_or(f64::MAX)
+}
+
+/// Byte-identity ledger: first-seen result bytes per spec key.
+#[derive(Debug, Default)]
+struct Ledger {
+    first_seen: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl Ledger {
+    /// Records `result` for `spec`; returns false on a byte mismatch with
+    /// the first occurrence.
+    fn check(&mut self, spec: &JobSpec, result: &JobResult) -> bool {
+        let key = spec.key_bytes();
+        let bytes = result.encoded().unwrap_or_default();
+        match self.first_seen.get(&key) {
+            Some(first) => *first == bytes,
+            None => {
+                self.first_seen.insert(key, bytes);
+                true
+            }
+        }
+    }
+}
+
+fn note_submitted(tally: &mut Tally, provenance: Provenance) {
+    tally.jobs += 1;
+    match provenance {
+        Provenance::Computed => tally.computed += 1,
+        Provenance::Cache => tally.cached += 1,
+        Provenance::Batched => tally.batched += 1,
+    }
+}
+
+/// Drives one request of the mixed stream against `client`.
+fn drive_one<T: Transport>(
+    client: &mut Client<T>,
+    specs: &[JobSpec],
+    i: u64,
+    tally: &mut Tally,
+    ledger: &mut Ledger,
+) -> Result<(), AtdError> {
+    tally.requests += 1;
+    let session = u32::try_from(i % 4).unwrap_or(0);
+    if i % 97 == 13 {
+        let token = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if client.ping(token)? != token {
+            tally.protocol_errors += 1;
+        }
+        return Ok(());
+    }
+    if i % 131 == 7 {
+        client.stats()?;
+        return Ok(());
+    }
+    let slot = usize::try_from(i).unwrap_or(0) % specs.len().max(1);
+    if i % 50 == 49 {
+        // A batch of three consecutive table entries (wrapping).
+        let mut batch = Vec::new();
+        for k in 0..3 {
+            if let Some(spec) = specs.get((slot + k) % specs.len().max(1)) {
+                batch.push(*spec);
+            }
+        }
+        match client.submit_batch(session, batch.clone())? {
+            BatchSubmitted::Done(outcomes) => {
+                for (spec, (_, provenance, outcome)) in batch.iter().zip(&outcomes) {
+                    match outcome {
+                        Ok(result) => {
+                            note_submitted(tally, *provenance);
+                            if !ledger.check(spec, result) {
+                                tally.mismatches += 1;
+                            }
+                        }
+                        Err(_) => tally.protocol_errors += 1,
+                    }
+                }
+            }
+            BatchSubmitted::Busy { .. } => tally.busy += 1,
+        }
+        return Ok(());
+    }
+    let Some(spec) = specs.get(slot) else {
+        return Ok(());
+    };
+    match client.submit(session, *spec)? {
+        Submitted::Done { provenance, result, .. } => {
+            note_submitted(tally, provenance);
+            if !ledger.check(spec, &result) {
+                tally.mismatches += 1;
+            }
+        }
+        Submitted::Busy { .. } => tally.busy += 1,
+    }
+    Ok(())
+}
+
+/// Deterministic loopback run: prints per-spec result digests and the
+/// final counters — nothing wall-clock-dependent.
+fn canary(requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let mut client = Client::new(Loopback::new(Service::from_env()));
+    let mut tally = Tally::default();
+    let mut ledger = Ledger::default();
+    for i in 0..requests {
+        drive_one(&mut client, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("request {i} failed: {e}"))?;
+    }
+    println!("== atd canary ==");
+    for spec in &specs {
+        let key = spec.key_bytes();
+        let digest =
+            ledger.first_seen.get(&key).map(|bytes| atd::cache::fnv1a64(bytes)).unwrap_or_default();
+        println!("{:8} {:016x} {:016x}", spec.kind(), atd::cache::fnv1a64(&key), digest);
+    }
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    println!(
+        "jobs {} computed {} cached {} batched {} busy {} mismatches {}",
+        tally.jobs, tally.computed, tally.cached, tally.batched, tally.busy, tally.mismatches
+    );
+    println!(
+        "service: submitted {} completed {} cache_hits {} batched {} shed {} failed {}",
+        stats.submitted, stats.completed, stats.cache_hits, stats.batched, stats.shed, stats.failed
+    );
+    if tally.mismatches > 0 || tally.protocol_errors > 0 {
+        return Err(format!(
+            "canary run saw {} mismatches, {} protocol errors",
+            tally.mismatches, tally.protocol_errors
+        ));
+    }
+    Ok(())
+}
+
+/// Timed TCP run against an in-process daemon; writes `BENCH_atd.json`.
+fn bench(requests: u64) -> Result<(), String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind daemon: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    let daemon = std::thread::spawn(move || atd::serve(&listener, Service::from_env()));
+    eprintln!("atd-load: daemon on {addr}, {requests} requests");
+
+    let specs = spec_table();
+    let mut client = Client::new(
+        TcpClient::connect(addr).map_err(|e| format!("cannot connect to daemon: {e}"))?,
+    );
+    let mut tally = Tally::default();
+    let mut ledger = Ledger::default();
+    let mut latencies_s = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
+
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        drive_one(&mut client, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("request {i} failed: {e}"))?;
+        latencies_s.push(t.elapsed().as_secs_f64());
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    client.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    daemon
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?
+        .map_err(|e| format!("daemon failed: {e}"))?;
+
+    latencies_s.sort_by(f64::total_cmp);
+    let quantile = |q_permille: u64| -> f64 {
+        let Some(last) = latencies_s.len().checked_sub(1) else {
+            return 0.0;
+        };
+        let idx = (u64::try_from(last).unwrap_or(0) * q_permille + 500) / 1000;
+        let idx = usize::try_from(idx).unwrap_or(0).min(last);
+        latencies_s.get(idx).copied().unwrap_or(0.0)
+    };
+    let mean_s = if latencies_s.is_empty() {
+        0.0
+    } else {
+        latencies_s.iter().sum::<f64>() / to_f64(u64::try_from(latencies_s.len()).unwrap_or(1))
+    };
+    let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"requests\": {},\n", tally.requests));
+    json.push_str(&format!("  \"jobs\": {},\n", tally.jobs));
+    json.push_str(&format!("  \"elapsed_s\": {elapsed_s:.6},\n"));
+    json.push_str(&format!("  \"requests_per_s\": {rps:.1},\n"));
+    json.push_str(&format!("  \"latency_mean_s\": {mean_s:.6},\n"));
+    json.push_str(&format!("  \"latency_p50_s\": {:.6},\n", quantile(500)));
+    json.push_str(&format!("  \"latency_p99_s\": {:.6},\n", quantile(990)));
+    json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", tally.hit_rate()));
+    json.push_str(&format!(
+        "  \"provenance\": {{ \"computed\": {}, \"cached\": {}, \"batched\": {} }},\n",
+        tally.computed, tally.cached, tally.batched
+    ));
+    json.push_str(&format!("  \"busy\": {},\n", tally.busy));
+    json.push_str(&format!("  \"protocol_errors\": {},\n", tally.protocol_errors));
+    json.push_str(&format!("  \"result_mismatches\": {},\n", tally.mismatches));
+    json.push_str(&format!(
+        "  \"service\": {{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {} }}\n",
+        stats.submitted, stats.completed, stats.cache_hits, stats.batched, stats.shed, stats.failed
+    ));
+    json.push_str("}\n");
+
+    match std::fs::write("BENCH_atd.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_atd.json"),
+        Err(e) => return Err(format!("failed to write BENCH_atd.json: {e}")),
+    }
+    print!("{json}");
+
+    if tally.protocol_errors > 0 || tally.mismatches > 0 {
+        return Err(format!(
+            "load run saw {} protocol errors, {} result mismatches",
+            tally.protocol_errors, tally.mismatches
+        ));
+    }
+    Ok(())
+}
+
+fn parse_args() -> Result<(bool, u64), String> {
+    let mut canary_mode = false;
+    let mut requests: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--canary" => canary_mode = true,
+            "--requests" => {
+                let value = args.next().ok_or("--requests requires a value")?;
+                requests = Some(value.parse().map_err(|_| format!("bad request count {value:?}"))?);
+            }
+            "--help" | "-h" => return Err("usage: atd-load [--canary] [--requests N]".to_string()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    // Canary default is small (CI diffs it twice); the timed default is
+    // the full 1000-request mixed stream.
+    let requests = requests.unwrap_or(if canary_mode { 200 } else { 1000 });
+    Ok((canary_mode, requests))
+}
+
+fn main() {
+    let result =
+        parse_args().and_then(
+            |(canary_mode, requests)| {
+                if canary_mode {
+                    canary(requests)
+                } else {
+                    bench(requests)
+                }
+            },
+        );
+    if let Err(message) = result {
+        eprintln!("atd-load: {message}");
+        std::process::exit(2);
+    }
+}

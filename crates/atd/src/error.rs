@@ -1,0 +1,123 @@
+//! Error type for the ATE daemon service layer.
+
+use core::fmt;
+
+use crate::wire::FrameError;
+
+/// Errors raised by the atd service stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AtdError {
+    /// A frame or payload failed to decode.
+    Frame(FrameError),
+    /// Error from the parallel execution engine.
+    Exec(exec::ExecError),
+    /// Error from the mini-tester workloads.
+    MiniTester(minitester::MiniTesterError),
+    /// Error from signal analysis workloads.
+    Signal(signal::SignalError),
+    /// The peer reported a failure executing our request.
+    Remote {
+        /// The peer's message, verbatim.
+        message: String,
+    },
+    /// The peer answered with a response type the request cannot accept.
+    UnexpectedResponse {
+        /// The message-type code received.
+        code: u8,
+        /// What the request expected.
+        expected: &'static str,
+    },
+    /// A socket operation failed.
+    Io {
+        /// What was being attempted, e.g. `"read frame header"`.
+        op: &'static str,
+        /// The OS error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for AtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtdError::Frame(e) => write!(f, "wire protocol error: {e}"),
+            AtdError::Exec(e) => write!(f, "execution error: {e}"),
+            AtdError::MiniTester(e) => write!(f, "mini-tester error: {e}"),
+            AtdError::Signal(e) => write!(f, "signal error: {e}"),
+            AtdError::Remote { message } => write!(f, "remote failure: {message}"),
+            AtdError::UnexpectedResponse { code, expected } => {
+                write!(f, "unexpected response type {code:#04x} (expected {expected})")
+            }
+            AtdError::Io { op, message } => write!(f, "i/o failure during {op}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AtdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtdError::Frame(e) => Some(e),
+            AtdError::Exec(e) => Some(e),
+            AtdError::MiniTester(e) => Some(e),
+            AtdError::Signal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for AtdError {
+    fn from(e: FrameError) -> Self {
+        AtdError::Frame(e)
+    }
+}
+
+impl From<exec::ExecError> for AtdError {
+    fn from(e: exec::ExecError) -> Self {
+        AtdError::Exec(e)
+    }
+}
+
+impl From<minitester::MiniTesterError> for AtdError {
+    fn from(e: minitester::MiniTesterError) -> Self {
+        AtdError::MiniTester(e)
+    }
+}
+
+impl From<signal::SignalError> for AtdError {
+    fn from(e: signal::SignalError) -> Self {
+        AtdError::Signal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = AtdError::from(FrameError::BadMagic { found: [0, 1, 2, 3] });
+        assert!(e.to_string().contains("wire protocol"));
+        assert!(e.source().is_some());
+        let e = AtdError::from(exec::ExecError::MissingResult { index: 2 });
+        assert!(e.to_string().contains("execution"));
+        assert!(e.source().is_some());
+        let e = AtdError::from(minitester::MiniTesterError::EyeClosed);
+        assert!(e.to_string().contains("mini-tester"));
+        let e = AtdError::from(signal::SignalError::EmptyWaveform { context: "t" });
+        assert!(e.to_string().contains("signal"));
+        let e = AtdError::Remote { message: "queue on fire".to_string() };
+        assert!(e.to_string().contains("queue on fire"));
+        assert!(e.source().is_none());
+        let e = AtdError::UnexpectedResponse { code: 0x7f, expected: "Pong" };
+        assert!(e.to_string().contains("0x7f") && e.to_string().contains("Pong"));
+        let e = AtdError::Io { op: "connect", message: "refused".to_string() };
+        assert!(e.to_string().contains("connect") && e.to_string().contains("refused"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<AtdError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! # gigatest-atd — the remote test-head service
+//!
+//! The paper's mini-tester sits on a probe card with nothing but DC
+//! power, one RF clock, and a thin serial link to the outside world
+//! (§4) — which makes the *control plane* a protocol problem: the host
+//! talks to the test head through a narrow, well-defined wire format and
+//! the test head does the heavy lifting locally. This crate reproduces
+//! that arrangement for the simulated instrument stack:
+//!
+//! * [`wire`] — "THP/1", a hand-rolled length-prefixed binary framing
+//!   with typed decode errors. Total: arbitrary bytes from the network
+//!   become [`wire::FrameError`]s, never panics.
+//! * [`proto`] — typed requests/responses and the job vocabulary
+//!   ([`JobSpec`] / [`JobResult`]) covering the existing workloads:
+//!   shmoo plots, wafer runs, eye scans, and bathtub sweeps. Encodings
+//!   are canonical (exact integers, IEEE-754 bits), so a spec's bytes
+//!   are its identity.
+//! * [`scheduler`] + [`cache`] — session-fair batching over
+//!   [`exec::ExecPool`] with bounded admission (`Busy` sheds), identical
+//!   submissions coalesced per drain, and an FNV-1a content-addressed LRU
+//!   result cache. Because every workload is bit-identical at any thread
+//!   count, a cache hit is byte-for-byte the same as a recomputation.
+//! * [`service`] / [`transport`] / [`server`] — the deterministic core is
+//!   transport-agnostic: the in-memory [`Loopback`] drives the identical
+//!   codec + scheduling path as the `atd` TCP daemon, so the whole
+//!   service is testable without a socket.
+//!
+//! Configuration: `ATD_QUEUE_DEPTH` and `ATD_CACHE_ENTRIES` override the
+//! admission-queue and cache bounds, with the same lenient
+//! parse-or-default behaviour as `EXEC_THREADS`.
+//!
+//! ## Example: loopback session
+//!
+//! ```
+//! use atd::{Client, JobSpec, Loopback, Provenance, Service, Submitted};
+//! use pstime::{DataRate, Duration};
+//!
+//! let mut client = Client::new(Loopback::new(Service::from_env()));
+//! let spec = JobSpec::bathtub(
+//!     Duration::from_ps_f64(3.2),
+//!     Duration::from_ps(20),
+//!     DataRate::from_gbps(2.5),
+//!     0.5,
+//!     101,
+//! );
+//! let first = client.submit(1, spec)?;
+//! let second = client.submit(2, spec)?;
+//! assert!(matches!(first, Submitted::Done { provenance: Provenance::Computed, .. }));
+//! // The replay is served from the cache, byte-identical.
+//! assert!(matches!(second, Submitted::Done { provenance: Provenance::Cache, .. }));
+//! # Ok::<(), atd::AtdError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod error;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+pub mod transport;
+pub mod wire;
+pub mod workload;
+
+pub use error::AtdError;
+pub use proto::{JobResult, JobSpec, Provenance, Request, Response, ServiceStats};
+pub use scheduler::{Admission, Completion, Scheduler};
+pub use server::serve;
+pub use service::Service;
+pub use transport::{
+    read_frame, write_frame, BatchSubmitted, Client, Loopback, Submitted, TcpClient, Transport,
+};
+
+/// Convenient result alias for service operations.
+pub type Result<T> = core::result::Result<T, AtdError>;

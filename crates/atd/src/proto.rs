@@ -1,0 +1,1167 @@
+//! THP/1 message semantics: typed requests, responses, job specifications
+//! and results, with canonical byte encodings.
+//!
+//! Every value has exactly one encoding (fixed field order, big-endian,
+//! f64 as IEEE-754 bits), which gives the service layer two properties at
+//! once: golden wire vectors are stable across releases, and the
+//! content-addressed result cache can key on the spec's encoded bytes.
+
+use pstime::{DataRate, Duration};
+
+use crate::wire::{self, FrameError, Reader, Writer};
+
+/// Message-type codes. Requests occupy `0x01..=0x7F`, responses have the
+/// high bit set.
+pub mod msg {
+    /// Liveness probe carrying an echo token.
+    pub const PING: u8 = 0x01;
+    /// Ask the service for its counters.
+    pub const GET_STATS: u8 = 0x02;
+    /// Submit one job.
+    pub const SUBMIT: u8 = 0x03;
+    /// Submit a batch of jobs under one session.
+    pub const SUBMIT_BATCH: u8 = 0x04;
+    /// Ask the daemon to stop serving.
+    pub const SHUTDOWN: u8 = 0x05;
+    /// Reply to [`PING`].
+    pub const PONG: u8 = 0x81;
+    /// Reply to [`GET_STATS`].
+    pub const STATS_REPORT: u8 = 0x82;
+    /// Successful completion of a [`SUBMIT`].
+    pub const JOB_DONE: u8 = 0x83;
+    /// Admission control shed the request.
+    pub const BUSY: u8 = 0x84;
+    /// The job was accepted but its execution failed.
+    pub const FAILED: u8 = 0x85;
+    /// Successful completion of a [`SUBMIT_BATCH`].
+    pub const BATCH_DONE: u8 = 0x86;
+    /// Reply to [`SHUTDOWN`].
+    pub const GOODBYE: u8 = 0x87;
+}
+
+/// How a result was produced, reported with every completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Executed on the worker pool for this request.
+    Computed,
+    /// Served byte-identical from the result cache.
+    Cache,
+    /// Coalesced with an identical spec earlier in the same drain cycle.
+    Batched,
+}
+
+impl Provenance {
+    fn code(self) -> u8 {
+        match self {
+            Provenance::Computed => 0,
+            Provenance::Cache => 1,
+            Provenance::Batched => 2,
+        }
+    }
+
+    fn decode(code: u8) -> Result<Self, FrameError> {
+        match code {
+            0 => Ok(Provenance::Computed),
+            1 => Ok(Provenance::Cache),
+            2 => Ok(Provenance::Batched),
+            _ => Err(FrameError::BadPayload { context: "provenance code" }),
+        }
+    }
+}
+
+/// A job the test head can run, described entirely by exact integers and
+/// IEEE-754 bit patterns: the encoded bytes are the cache key, so two
+/// specs are interchangeable exactly when their encodings match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobSpec {
+    /// A timing × voltage shmoo plot over a PRBS stimulus.
+    Shmoo {
+        /// Data rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS pattern length in bits.
+        bits: u32,
+        /// Seed for the stimulus waveform's jitter draws.
+        stim_seed: u64,
+        /// Strobe-phase step in femtoseconds.
+        phase_step_fs: i64,
+        /// Threshold sweep start, millivolts.
+        v_start_mv: i32,
+        /// Threshold sweep end (inclusive), millivolts.
+        v_end_mv: i32,
+        /// Threshold step, millivolts.
+        v_step_mv: i32,
+        /// Master seed for the sweep's capture substreams.
+        seed: u64,
+    },
+    /// A multi-site wafer run with seeded defect injection.
+    Wafer {
+        /// Dies per wafer-map row.
+        columns: u32,
+        /// Total dies.
+        dies: u32,
+        /// Parallel tester sites (nonzero).
+        sites: u32,
+        /// Fraction of dies with a hard defect, in `[0, 1]`.
+        hard_defect_rate: f64,
+        /// Fraction of dies with a marginal channel, in `[0, 1]`.
+        marginal_rate: f64,
+        /// Test rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS bits per die test.
+        test_bits: u32,
+        /// Run seed.
+        seed: u64,
+    },
+    /// An equivalent-time eye scan over a PRBS stimulus.
+    Eye {
+        /// Data rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS pattern length in bits.
+        bits: u32,
+        /// Seed for the stimulus waveform's jitter draws.
+        stim_seed: u64,
+        /// Master seed for the per-phase capture substreams.
+        seed: u64,
+    },
+    /// A modeled dual-Dirac bathtub sweep.
+    Bathtub {
+        /// RJ rms in femtoseconds (nonnegative).
+        rj_rms_fs: i64,
+        /// DJ peak-to-peak in femtoseconds (nonnegative).
+        dj_pp_fs: i64,
+        /// Data rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// Transition density, in `(0, 1]`.
+        transition_density: f64,
+        /// Number of sweep points (at least 2).
+        points: u32,
+    },
+}
+
+const SPEC_SHMOO: u8 = 1;
+const SPEC_WAFER: u8 = 2;
+const SPEC_EYE: u8 = 3;
+const SPEC_BATHTUB: u8 = 4;
+
+impl JobSpec {
+    /// A shmoo spec from the native configuration types.
+    pub fn shmoo(
+        rate: DataRate,
+        bits: u32,
+        stim_seed: u64,
+        config: &minitester::ShmooConfig,
+        seed: u64,
+    ) -> Self {
+        JobSpec::Shmoo {
+            rate_bps: rate.as_bps(),
+            bits,
+            stim_seed,
+            phase_step_fs: config.phase_step.as_fs(),
+            v_start_mv: config.v_start.as_mv(),
+            v_end_mv: config.v_end.as_mv(),
+            v_step_mv: config.v_step.as_mv(),
+            seed,
+        }
+    }
+
+    /// A wafer-run spec from the native configuration, with counts clamped
+    /// into u32 range (a wafer beyond 4 G dies is not a real request).
+    pub fn wafer(config: &minitester::WaferRunConfig) -> Self {
+        JobSpec::Wafer {
+            columns: u32::try_from(config.columns).unwrap_or(u32::MAX),
+            dies: u32::try_from(config.dies).unwrap_or(u32::MAX),
+            sites: u32::try_from(config.sites).unwrap_or(u32::MAX),
+            hard_defect_rate: config.hard_defect_rate,
+            marginal_rate: config.marginal_rate,
+            rate_bps: config.rate.as_bps(),
+            test_bits: u32::try_from(config.test_bits).unwrap_or(u32::MAX),
+            seed: config.seed,
+        }
+    }
+
+    /// An eye-scan spec.
+    pub fn eye(rate: DataRate, bits: u32, stim_seed: u64, seed: u64) -> Self {
+        JobSpec::Eye { rate_bps: rate.as_bps(), bits, stim_seed, seed }
+    }
+
+    /// A bathtub-sweep spec from the native curve parameters.
+    pub fn bathtub(
+        rj_rms: Duration,
+        dj_pp: Duration,
+        rate: DataRate,
+        transition_density: f64,
+        points: u32,
+    ) -> Self {
+        JobSpec::Bathtub {
+            rj_rms_fs: rj_rms.as_fs(),
+            dj_pp_fs: dj_pp.as_fs(),
+            rate_bps: rate.as_bps(),
+            transition_density,
+            points,
+        }
+    }
+
+    /// Checks every field against its domain — the gate both decoding and
+    /// execution pass through, so a malformed spec becomes a typed error
+    /// rather than a panic deep inside a workload constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FrameError> {
+        let bad = |context| Err(FrameError::BadPayload { context });
+        match *self {
+            JobSpec::Shmoo { rate_bps, .. } | JobSpec::Eye { rate_bps, .. } => {
+                if rate_bps == 0 {
+                    return bad("data rate must be nonzero");
+                }
+            }
+            JobSpec::Wafer { sites, hard_defect_rate, marginal_rate, rate_bps, .. } => {
+                if rate_bps == 0 {
+                    return bad("data rate must be nonzero");
+                }
+                if sites == 0 {
+                    return bad("wafer run needs at least one site");
+                }
+                for rate in [hard_defect_rate, marginal_rate] {
+                    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                        return bad("defect rates must be finite fractions in [0, 1]");
+                    }
+                }
+            }
+            JobSpec::Bathtub { rj_rms_fs, dj_pp_fs, rate_bps, transition_density, .. } => {
+                if rate_bps == 0 {
+                    return bad("data rate must be nonzero");
+                }
+                if rj_rms_fs < 0 || dj_pp_fs < 0 {
+                    return bad("jitter terms must be nonnegative");
+                }
+                if !(transition_density.is_finite()
+                    && transition_density > 0.0
+                    && transition_density <= 1.0)
+                {
+                    return bad("transition density must be in (0, 1]");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A short human label for logs and load reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Shmoo { .. } => "shmoo",
+            JobSpec::Wafer { .. } => "wafer",
+            JobSpec::Eye { .. } => "eye",
+            JobSpec::Bathtub { .. } => "bathtub",
+        }
+    }
+
+    /// Canonical encoding — the bytes the result cache keys on.
+    pub fn encode(&self, w: &mut Writer) {
+        match *self {
+            JobSpec::Shmoo {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+            } => {
+                w.u8(SPEC_SHMOO);
+                w.u64(rate_bps);
+                w.u32(bits);
+                w.u64(stim_seed);
+                w.i64(phase_step_fs);
+                w.i32(v_start_mv);
+                w.i32(v_end_mv);
+                w.i32(v_step_mv);
+                w.u64(seed);
+            }
+            JobSpec::Wafer {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+            } => {
+                w.u8(SPEC_WAFER);
+                w.u32(columns);
+                w.u32(dies);
+                w.u32(sites);
+                w.f64(hard_defect_rate);
+                w.f64(marginal_rate);
+                w.u64(rate_bps);
+                w.u32(test_bits);
+                w.u64(seed);
+            }
+            JobSpec::Eye { rate_bps, bits, stim_seed, seed } => {
+                w.u8(SPEC_EYE);
+                w.u64(rate_bps);
+                w.u32(bits);
+                w.u64(stim_seed);
+                w.u64(seed);
+            }
+            JobSpec::Bathtub { rj_rms_fs, dj_pp_fs, rate_bps, transition_density, points } => {
+                w.u8(SPEC_BATHTUB);
+                w.i64(rj_rms_fs);
+                w.i64(dj_pp_fs);
+                w.u64(rate_bps);
+                w.f64(transition_density);
+                w.u32(points);
+            }
+        }
+    }
+
+    /// The spec's canonical bytes on their own — the cache-key material.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decodes and validates one spec.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on truncation, an unknown spec tag, or an
+    /// out-of-domain field.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let spec = match r.u8()? {
+            SPEC_SHMOO => JobSpec::Shmoo {
+                rate_bps: r.u64()?,
+                bits: r.u32()?,
+                stim_seed: r.u64()?,
+                phase_step_fs: r.i64()?,
+                v_start_mv: r.i32()?,
+                v_end_mv: r.i32()?,
+                v_step_mv: r.i32()?,
+                seed: r.u64()?,
+            },
+            SPEC_WAFER => JobSpec::Wafer {
+                columns: r.u32()?,
+                dies: r.u32()?,
+                sites: r.u32()?,
+                hard_defect_rate: r.f64()?,
+                marginal_rate: r.f64()?,
+                rate_bps: r.u64()?,
+                test_bits: r.u32()?,
+                seed: r.u64()?,
+            },
+            SPEC_EYE => JobSpec::Eye {
+                rate_bps: r.u64()?,
+                bits: r.u32()?,
+                stim_seed: r.u64()?,
+                seed: r.u64()?,
+            },
+            SPEC_BATHTUB => JobSpec::Bathtub {
+                rj_rms_fs: r.i64()?,
+                dj_pp_fs: r.i64()?,
+                rate_bps: r.u64()?,
+                transition_density: r.f64()?,
+                points: r.u32()?,
+            },
+            _ => return Err(FrameError::BadPayload { context: "job spec tag" }),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// One die's record inside a wafer result (wire mirror of
+/// [`minitester::DieRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireDieRecord {
+    /// Die index on the wafer map.
+    pub die: u32,
+    /// Bin code: 0 good, 1 BIST fail, 2 margin fail.
+    pub bin: u8,
+    /// BIST error count.
+    pub bist_errors: u32,
+    /// Loopback eye opening in UI, when the margin test ran.
+    pub eye_ui: Option<f64>,
+}
+
+/// A completed job's payload: the full structured outcome plus the
+/// workload's rendered text, so clients can assert byte identity against a
+/// local run without re-deriving the rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// Outcome of a [`JobSpec::Shmoo`].
+    Shmoo {
+        /// Threshold rows, millivolts, ascending.
+        thresholds_mv: Vec<i32>,
+        /// Strobe-phase columns, femtoseconds.
+        phases_fs: Vec<i64>,
+        /// Row-major pass map.
+        pass: Vec<bool>,
+        /// The plot's `Display` rendering.
+        rendered: String,
+    },
+    /// Outcome of a [`JobSpec::Wafer`].
+    Wafer {
+        /// Per-die records in die order.
+        records: Vec<WireDieRecord>,
+        /// Touchdowns the probe array needed.
+        touchdowns: u32,
+        /// Hard defects the simulation injected.
+        injected_hard: u32,
+        /// Marginal channels the simulation injected.
+        injected_marginal: u32,
+        /// The wafer map's `Display` rendering.
+        rendered: String,
+    },
+    /// Outcome of a [`JobSpec::Eye`].
+    Eye {
+        /// `(phase fs, compared, errors)` per strobe point.
+        points: Vec<(i64, u32, u32)>,
+        /// The strobe step in femtoseconds.
+        step_fs: i64,
+        /// The scan's `Display` rendering.
+        rendered: String,
+    },
+    /// Outcome of a [`JobSpec::Bathtub`].
+    Bathtub {
+        /// `(phase UI, BER)` pairs.
+        pairs: Vec<(f64, f64)>,
+        /// A short textual summary.
+        rendered: String,
+    },
+}
+
+const RESULT_SHMOO: u8 = 1;
+const RESULT_WAFER: u8 = 2;
+const RESULT_EYE: u8 = 3;
+const RESULT_BATHTUB: u8 = 4;
+
+fn to_u32(n: usize, context: &'static str) -> Result<u32, FrameError> {
+    u32::try_from(n).map_err(|_| FrameError::BadPayload { context })
+}
+
+impl JobResult {
+    /// Builds the wire result from a native shmoo plot.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] if a dimension exceeds u32 (not reachable
+    /// from any accepted spec).
+    pub fn from_shmoo(plot: &minitester::ShmooPlot) -> Result<Self, FrameError> {
+        let thresholds_mv: Vec<i32> = plot.thresholds().iter().map(|v| v.as_mv()).collect();
+        let phases_fs: Vec<i64> = plot.phases().iter().map(|p| p.as_fs()).collect();
+        let mut pass = Vec::with_capacity(thresholds_mv.len() * phases_fs.len());
+        for row in 0..plot.thresholds().len() {
+            for col in 0..plot.phases().len() {
+                pass.push(plot.passed(row, col));
+            }
+        }
+        Ok(JobResult::Shmoo { thresholds_mv, phases_fs, pass, rendered: plot.to_string() })
+    }
+
+    /// Builds the wire result from a native wafer report.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] if a count exceeds u32.
+    pub fn from_wafer(report: &minitester::WaferReport) -> Result<Self, FrameError> {
+        let mut records = Vec::with_capacity(report.records().len());
+        for rec in report.records() {
+            let bin = match rec.bin {
+                minitester::Bin::Good => 0,
+                minitester::Bin::FailBist => 1,
+                minitester::Bin::FailMargin => 2,
+            };
+            records.push(WireDieRecord {
+                die: to_u32(rec.die, "die index")?,
+                bin,
+                bist_errors: to_u32(rec.bist_errors, "bist error count")?,
+                eye_ui: rec.eye_ui,
+            });
+        }
+        let (hard, marginal) = report.injected_defects();
+        Ok(JobResult::Wafer {
+            records,
+            touchdowns: to_u32(report.touchdowns(), "touchdown count")?,
+            injected_hard: to_u32(hard, "injected hard count")?,
+            injected_marginal: to_u32(marginal, "injected marginal count")?,
+            rendered: report.to_string(),
+        })
+    }
+
+    /// Builds the wire result from a native eye scan.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] if a count exceeds u32.
+    pub fn from_eye(scan: &minitester::EyeScan) -> Result<Self, FrameError> {
+        let mut points = Vec::with_capacity(scan.points().len());
+        for p in scan.points() {
+            points.push((
+                p.phase.as_fs(),
+                to_u32(p.compared, "compared count")?,
+                to_u32(p.errors, "error count")?,
+            ));
+        }
+        Ok(JobResult::Eye { points, step_fs: scan.step().as_fs(), rendered: scan.to_string() })
+    }
+
+    /// Builds the wire result from a native bathtub sweep.
+    pub fn from_bathtub(pairs: Vec<(f64, f64)>) -> Self {
+        let rendered = format!("bathtub sweep: {} points", pairs.len());
+        JobResult::Bathtub { pairs, rendered }
+    }
+
+    /// The workload's rendered text (shmoo map, wafer map, eye tub, or
+    /// sweep summary).
+    pub fn rendered(&self) -> &str {
+        match self {
+            JobResult::Shmoo { rendered, .. }
+            | JobResult::Wafer { rendered, .. }
+            | JobResult::Eye { rendered, .. }
+            | JobResult::Bathtub { rendered, .. } => rendered,
+        }
+    }
+
+    /// Canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if a sequence length exceeds u32.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), FrameError> {
+        match self {
+            JobResult::Shmoo { thresholds_mv, phases_fs, pass, rendered } => {
+                w.u8(RESULT_SHMOO);
+                w.count(thresholds_mv.len())?;
+                for v in thresholds_mv {
+                    w.i32(*v);
+                }
+                w.count(phases_fs.len())?;
+                for p in phases_fs {
+                    w.i64(*p);
+                }
+                w.count(pass.len())?;
+                for b in pass {
+                    w.bool(*b);
+                }
+                w.str(rendered)?;
+            }
+            JobResult::Wafer {
+                records,
+                touchdowns,
+                injected_hard,
+                injected_marginal,
+                rendered,
+            } => {
+                w.u8(RESULT_WAFER);
+                w.count(records.len())?;
+                for rec in records {
+                    w.u32(rec.die);
+                    w.u8(rec.bin);
+                    w.u32(rec.bist_errors);
+                    match rec.eye_ui {
+                        Some(ui) => {
+                            w.bool(true);
+                            w.f64(ui);
+                        }
+                        None => w.bool(false),
+                    }
+                }
+                w.u32(*touchdowns);
+                w.u32(*injected_hard);
+                w.u32(*injected_marginal);
+                w.str(rendered)?;
+            }
+            JobResult::Eye { points, step_fs, rendered } => {
+                w.u8(RESULT_EYE);
+                w.count(points.len())?;
+                for (phase, compared, errors) in points {
+                    w.i64(*phase);
+                    w.u32(*compared);
+                    w.u32(*errors);
+                }
+                w.i64(*step_fs);
+                w.str(rendered)?;
+            }
+            JobResult::Bathtub { pairs, rendered } => {
+                w.u8(RESULT_BATHTUB);
+                w.count(pairs.len())?;
+                for (phase, ber) in pairs {
+                    w.f64(*phase);
+                    w.f64(*ber);
+                }
+                w.str(rendered)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The result's canonical bytes — what cache-identity assertions
+    /// compare.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if a sequence length exceeds u32.
+    pub fn encoded(&self) -> Result<Vec<u8>, FrameError> {
+        let mut w = Writer::new();
+        self.encode(&mut w)?;
+        Ok(w.finish())
+    }
+
+    /// Decodes one result.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on truncation or an unknown result tag.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        match r.u8()? {
+            RESULT_SHMOO => {
+                let n = r.count(4)?;
+                let mut thresholds_mv = Vec::with_capacity(n);
+                for _ in 0..n {
+                    thresholds_mv.push(r.i32()?);
+                }
+                let n = r.count(8)?;
+                let mut phases_fs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    phases_fs.push(r.i64()?);
+                }
+                let n = r.count(1)?;
+                let mut pass = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pass.push(r.bool()?);
+                }
+                Ok(JobResult::Shmoo { thresholds_mv, phases_fs, pass, rendered: r.str()? })
+            }
+            RESULT_WAFER => {
+                let n = r.count(10)?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let die = r.u32()?;
+                    let bin = r.u8()?;
+                    if bin > 2 {
+                        return Err(FrameError::BadPayload { context: "bin code" });
+                    }
+                    let bist_errors = r.u32()?;
+                    let eye_ui = if r.bool()? { Some(r.f64()?) } else { None };
+                    records.push(WireDieRecord { die, bin, bist_errors, eye_ui });
+                }
+                Ok(JobResult::Wafer {
+                    records,
+                    touchdowns: r.u32()?,
+                    injected_hard: r.u32()?,
+                    injected_marginal: r.u32()?,
+                    rendered: r.str()?,
+                })
+            }
+            RESULT_EYE => {
+                let n = r.count(16)?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    points.push((r.i64()?, r.u32()?, r.u32()?));
+                }
+                Ok(JobResult::Eye { points, step_fs: r.i64()?, rendered: r.str()? })
+            }
+            RESULT_BATHTUB => {
+                let n = r.count(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((r.f64()?, r.f64()?));
+                }
+                Ok(JobResult::Bathtub { pairs, rendered: r.str()? })
+            }
+            _ => Err(FrameError::BadPayload { context: "job result tag" }),
+        }
+    }
+}
+
+/// The service's cumulative counters, reported by
+/// [`Response::StatsReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs coalesced with an identical spec in the same drain.
+    pub batched: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Jobs whose execution failed.
+    pub failed: u64,
+    /// Configured queue capacity.
+    pub queue_capacity: u32,
+    /// Configured cache capacity in entries.
+    pub cache_capacity: u32,
+}
+
+impl ServiceStats {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.submitted);
+        w.u64(self.completed);
+        w.u64(self.cache_hits);
+        w.u64(self.batched);
+        w.u64(self.shed);
+        w.u64(self.failed);
+        w.u32(self.queue_capacity);
+        w.u32(self.cache_capacity);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(ServiceStats {
+            submitted: r.u64()?,
+            completed: r.u64()?,
+            cache_hits: r.u64()?,
+            batched: r.u64()?,
+            shed: r.u64()?,
+            failed: r.u64()?,
+            queue_capacity: r.u32()?,
+            cache_capacity: r.u32()?,
+        })
+    }
+}
+
+/// A client-to-service message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the token comes back in the [`Response::Pong`].
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Ask for the service counters.
+    GetStats,
+    /// Submit one job under a session.
+    Submit {
+        /// Session the job belongs to (fairness unit).
+        session: u32,
+        /// The job.
+        spec: JobSpec,
+    },
+    /// Submit several jobs under one session; answered with one
+    /// [`Response::BatchDone`] in submission order.
+    SubmitBatch {
+        /// Session the jobs belong to.
+        session: u32,
+        /// The jobs, in order.
+        specs: Vec<JobSpec>,
+    },
+    /// Ask the daemon to stop serving after replying.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one THP/1 frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
+    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+        let mut w = Writer::new();
+        let ty = match self {
+            Request::Ping { token } => {
+                w.u64(*token);
+                msg::PING
+            }
+            Request::GetStats => msg::GET_STATS,
+            Request::Submit { session, spec } => {
+                w.u32(*session);
+                spec.encode(&mut w);
+                msg::SUBMIT
+            }
+            Request::SubmitBatch { session, specs } => {
+                w.u32(*session);
+                w.count(specs.len())?;
+                for spec in specs {
+                    spec.encode(&mut w);
+                }
+                msg::SUBMIT_BATCH
+            }
+            Request::Shutdown => msg::SHUTDOWN,
+        };
+        wire::encode_frame(ty, &w.finish())
+    }
+
+    /// Decodes one full frame into a request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; response-type codes arriving here are
+    /// [`FrameError::UnknownType`].
+    pub fn from_frame(frame: &[u8]) -> Result<Self, FrameError> {
+        let (ty, payload) = wire::decode_frame(frame)?;
+        Request::from_parts(ty, payload)
+    }
+
+    /// Decodes a request from an already-split `(type, payload)` pair —
+    /// the entry point for streaming transports.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`].
+    pub fn from_parts(ty: u8, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(payload);
+        let req = match ty {
+            msg::PING => Request::Ping { token: r.u64()? },
+            msg::GET_STATS => Request::GetStats,
+            msg::SUBMIT => Request::Submit { session: r.u32()?, spec: JobSpec::decode(&mut r)? },
+            msg::SUBMIT_BATCH => {
+                let session = r.u32()?;
+                let n = r.count(1)?;
+                let mut specs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    specs.push(JobSpec::decode(&mut r)?);
+                }
+                Request::SubmitBatch { session, specs }
+            }
+            msg::SHUTDOWN => Request::Shutdown,
+            code => return Err(FrameError::UnknownType { code }),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A service-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Echo of a [`Request::Ping`].
+    Pong {
+        /// The probe's token, returned verbatim.
+        token: u64,
+    },
+    /// The service counters.
+    StatsReport(ServiceStats),
+    /// A submitted job completed.
+    JobDone {
+        /// The job's admission ticket.
+        ticket: u64,
+        /// How the result was produced.
+        provenance: Provenance,
+        /// The outcome.
+        result: JobResult,
+    },
+    /// Admission control shed the submission; nothing was enqueued.
+    Busy {
+        /// Jobs currently queued.
+        queue_depth: u32,
+        /// The queue's capacity.
+        queue_capacity: u32,
+    },
+    /// The job was accepted but failed during execution.
+    Failed {
+        /// The job's admission ticket.
+        ticket: u64,
+        /// The failure, rendered.
+        message: String,
+    },
+    /// A batch completed; one entry per spec, in submission order.
+    BatchDone {
+        /// `(ticket, provenance, outcome)` per job; `Err` carries the
+        /// failure text.
+        outcomes: Vec<(u64, Provenance, Result<JobResult, String>)>,
+    },
+    /// The daemon acknowledges shutdown.
+    Goodbye,
+}
+
+impl Response {
+    /// Encodes the response as one THP/1 frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
+    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+        let mut w = Writer::new();
+        let ty = match self {
+            Response::Pong { token } => {
+                w.u64(*token);
+                msg::PONG
+            }
+            Response::StatsReport(stats) => {
+                stats.encode(&mut w);
+                msg::STATS_REPORT
+            }
+            Response::JobDone { ticket, provenance, result } => {
+                w.u64(*ticket);
+                w.u8(provenance.code());
+                result.encode(&mut w)?;
+                msg::JOB_DONE
+            }
+            Response::Busy { queue_depth, queue_capacity } => {
+                w.u32(*queue_depth);
+                w.u32(*queue_capacity);
+                msg::BUSY
+            }
+            Response::Failed { ticket, message } => {
+                w.u64(*ticket);
+                w.str(message)?;
+                msg::FAILED
+            }
+            Response::BatchDone { outcomes } => {
+                w.count(outcomes.len())?;
+                for (ticket, provenance, outcome) in outcomes {
+                    w.u64(*ticket);
+                    w.u8(provenance.code());
+                    match outcome {
+                        Ok(result) => {
+                            w.bool(true);
+                            result.encode(&mut w)?;
+                        }
+                        Err(message) => {
+                            w.bool(false);
+                            w.str(message)?;
+                        }
+                    }
+                }
+                msg::BATCH_DONE
+            }
+            Response::Goodbye => msg::GOODBYE,
+        };
+        wire::encode_frame(ty, &w.finish())
+    }
+
+    /// Decodes one full frame into a response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; request-type codes arriving here are
+    /// [`FrameError::UnknownType`].
+    pub fn from_frame(frame: &[u8]) -> Result<Self, FrameError> {
+        let (ty, payload) = wire::decode_frame(frame)?;
+        Response::from_parts(ty, payload)
+    }
+
+    /// Decodes a response from an already-split `(type, payload)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`].
+    pub fn from_parts(ty: u8, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(payload);
+        let resp = match ty {
+            msg::PONG => Response::Pong { token: r.u64()? },
+            msg::STATS_REPORT => Response::StatsReport(ServiceStats::decode(&mut r)?),
+            msg::JOB_DONE => Response::JobDone {
+                ticket: r.u64()?,
+                provenance: Provenance::decode(r.u8()?)?,
+                result: JobResult::decode(&mut r)?,
+            },
+            msg::BUSY => Response::Busy { queue_depth: r.u32()?, queue_capacity: r.u32()? },
+            msg::FAILED => Response::Failed { ticket: r.u64()?, message: r.str()? },
+            msg::BATCH_DONE => {
+                let n = r.count(10)?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ticket = r.u64()?;
+                    let provenance = Provenance::decode(r.u8()?)?;
+                    let outcome =
+                        if r.bool()? { Ok(JobResult::decode(&mut r)?) } else { Err(r.str()?) };
+                    outcomes.push((ticket, provenance, outcome));
+                }
+                Response::BatchDone { outcomes }
+            }
+            msg::GOODBYE => Response::Goodbye,
+            code => return Err(FrameError::UnknownType { code }),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec::shmoo(DataRate::from_gbps(2.5), 256, 17, &minitester::ShmooConfig::pecl(), 5),
+            JobSpec::wafer(&minitester::WaferRunConfig::default()),
+            JobSpec::eye(DataRate::from_gbps(2.5), 512, 21, 9),
+            JobSpec::bathtub(
+                Duration::from_ps_f64(3.2),
+                Duration::from_ps(20),
+                DataRate::from_gbps(2.5),
+                0.5,
+                101,
+            ),
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in sample_specs() {
+            let bytes = spec.key_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = JobSpec::decode(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, spec);
+            assert!(!spec.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let cases = [
+            JobSpec::Shmoo {
+                rate_bps: 0,
+                bits: 1,
+                stim_seed: 0,
+                phase_step_fs: 1,
+                v_start_mv: 0,
+                v_end_mv: 0,
+                v_step_mv: 1,
+                seed: 0,
+            },
+            JobSpec::Wafer {
+                columns: 1,
+                dies: 1,
+                sites: 0,
+                hard_defect_rate: 0.0,
+                marginal_rate: 0.0,
+                rate_bps: 1,
+                test_bits: 1,
+                seed: 0,
+            },
+            JobSpec::Wafer {
+                columns: 1,
+                dies: 1,
+                sites: 1,
+                hard_defect_rate: f64::NAN,
+                marginal_rate: 0.0,
+                rate_bps: 1,
+                test_bits: 1,
+                seed: 0,
+            },
+            JobSpec::Eye { rate_bps: 0, bits: 1, stim_seed: 0, seed: 0 },
+            JobSpec::Bathtub {
+                rj_rms_fs: -1,
+                dj_pp_fs: 0,
+                rate_bps: 1,
+                transition_density: 0.5,
+                points: 2,
+            },
+            JobSpec::Bathtub {
+                rj_rms_fs: 0,
+                dj_pp_fs: 0,
+                rate_bps: 1,
+                transition_density: 0.0,
+                points: 2,
+            },
+        ];
+        for spec in cases {
+            assert!(spec.validate().is_err(), "{spec:?}");
+            // The same rejection fires on the decode path.
+            let bytes = spec.key_bytes();
+            let mut r = Reader::new(&bytes);
+            assert!(JobSpec::decode(&mut r).is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping { token: 0xFEED_FACE },
+            Request::GetStats,
+            Request::Submit { session: 3, spec: sample_specs().remove(0) },
+            Request::SubmitBatch { session: 9, specs: sample_specs() },
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let frame = req.to_frame().unwrap();
+            assert_eq!(Request::from_frame(&frame).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let result = JobResult::Eye {
+            points: vec![(0, 256, 10), (10_000_000, 256, 0)],
+            step_fs: 10_000_000,
+            rendered: "[#.] step 10 ps".to_string(),
+        };
+        let responses = vec![
+            Response::Pong { token: 7 },
+            Response::StatsReport(ServiceStats {
+                submitted: 10,
+                completed: 8,
+                cache_hits: 4,
+                batched: 1,
+                shed: 1,
+                failed: 1,
+                queue_capacity: 256,
+                cache_capacity: 64,
+            }),
+            Response::JobDone { ticket: 41, provenance: Provenance::Cache, result: result.clone() },
+            Response::Busy { queue_depth: 256, queue_capacity: 256 },
+            Response::Failed { ticket: 42, message: "eye completely closed".to_string() },
+            Response::BatchDone {
+                outcomes: vec![
+                    (43, Provenance::Computed, Ok(result)),
+                    (44, Provenance::Batched, Err("bad test plan".to_string())),
+                ],
+            },
+            Response::Goodbye,
+        ];
+        for resp in responses {
+            let frame = resp.to_frame().unwrap();
+            assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn request_decoder_rejects_response_codes_and_vice_versa() {
+        let frame = Response::Goodbye.to_frame().unwrap();
+        assert!(matches!(Request::from_frame(&frame), Err(FrameError::UnknownType { .. })));
+        let frame = Request::GetStats.to_frame().unwrap();
+        assert!(matches!(Response::from_frame(&frame), Err(FrameError::UnknownType { .. })));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut w = Writer::new();
+        w.u64(1);
+        w.u8(0xCC); // one byte too many for a Ping
+        let frame = wire::encode_frame(msg::PING, &w.finish()).unwrap();
+        assert!(matches!(Request::from_frame(&frame), Err(FrameError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn all_results_round_trip() {
+        let results = vec![
+            JobResult::Shmoo {
+                thresholds_mv: vec![-1650, -1600],
+                phases_fs: vec![0, 10_000_000],
+                pass: vec![true, false, false, true],
+                rendered: "shmoo".to_string(),
+            },
+            JobResult::Wafer {
+                records: vec![
+                    WireDieRecord { die: 0, bin: 0, bist_errors: 0, eye_ui: Some(0.875) },
+                    WireDieRecord { die: 1, bin: 1, bist_errors: 120, eye_ui: None },
+                ],
+                touchdowns: 2,
+                injected_hard: 1,
+                injected_marginal: 0,
+                rendered: ". X\nyield 50.0%".to_string(),
+            },
+            JobResult::Bathtub {
+                pairs: vec![(0.0, 0.25), (0.5, 1e-15), (1.0, 0.25)],
+                rendered: "bathtub sweep: 3 points".to_string(),
+            },
+        ];
+        for result in results {
+            let bytes = result.encoded().unwrap();
+            let mut r = Reader::new(&bytes);
+            let back = JobResult::decode(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, result);
+            assert!(!result.rendered().is_empty());
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Session-aware job scheduling: bounded admission, per-session fairness,
+//! identical-spec coalescing, and the content-addressed result cache.
+//!
+//! The scheduler is a deterministic state machine: given the same sequence
+//! of [`Scheduler::submit`] / [`Scheduler::drain`] calls it produces the
+//! same completions, the same provenance labels, and the same cache state,
+//! at any worker-pool width. Nothing here reads a clock — recency is a
+//! logical tick counter and fairness is round-robin over sessions in
+//! first-seen order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use exec::ExecPool;
+
+use crate::cache::ResultCache;
+use crate::error::AtdError;
+use crate::proto::{JobSpec, Provenance, ServiceStats};
+use crate::workload;
+
+/// Environment override for the admission queue depth.
+pub const ATD_QUEUE_DEPTH_ENV: &str = "ATD_QUEUE_DEPTH";
+
+/// Environment override for the result-cache entry bound.
+pub const ATD_CACHE_ENTRIES_ENV: &str = "ATD_CACHE_ENTRIES";
+
+/// Default admission queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default result-cache entry bound.
+pub const DEFAULT_CACHE_ENTRIES: usize = 64;
+
+/// A job admitted to the queue but not yet executed.
+#[derive(Debug, Clone)]
+struct Pending {
+    session: u32,
+    ticket: u64,
+    spec: JobSpec,
+}
+
+/// The verdict of an admission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Every spec was enqueued; one ticket per spec, in submission order.
+    Accepted(Vec<u64>),
+    /// The submission would overflow the queue; nothing was enqueued
+    /// (all-or-nothing, so a batch is never half-admitted).
+    Shed {
+        /// Jobs currently queued.
+        queue_depth: usize,
+    },
+}
+
+/// One finished job from a drain cycle.
+#[derive(Debug)]
+pub struct Completion {
+    /// The session that submitted the job.
+    pub session: u32,
+    /// The job's admission ticket.
+    pub ticket: u64,
+    /// How the result was produced.
+    pub provenance: Provenance,
+    /// The result, or the execution error.
+    pub outcome: Result<crate::proto::JobResult, AtdError>,
+}
+
+/// The batching scheduler with its embedded result cache.
+#[derive(Debug)]
+pub struct Scheduler {
+    queue: VecDeque<Pending>,
+    queue_capacity: usize,
+    cache: ResultCache,
+    next_ticket: u64,
+    stats: ServiceStats,
+}
+
+impl Scheduler {
+    /// A scheduler with explicit bounds. A zero cache capacity disables
+    /// caching; the queue capacity is clamped to at least 1.
+    pub fn new(queue_capacity: usize, cache_entries: usize) -> Self {
+        let queue_capacity = queue_capacity.max(1);
+        let cache = ResultCache::new(cache_entries);
+        let stats = ServiceStats {
+            queue_capacity: u32::try_from(queue_capacity).unwrap_or(u32::MAX),
+            cache_capacity: u32::try_from(cache_entries).unwrap_or(u32::MAX),
+            ..ServiceStats::default()
+        };
+        Scheduler { queue: VecDeque::new(), queue_capacity, cache, next_ticket: 1, stats }
+    }
+
+    /// A scheduler configured from `ATD_QUEUE_DEPTH` / `ATD_CACHE_ENTRIES`,
+    /// falling back to the defaults on unset or unparsable values — the
+    /// same lenient override idiom as `EXEC_THREADS`.
+    pub fn from_env() -> Self {
+        Scheduler::new(
+            exec::env::positive_usize_or(ATD_QUEUE_DEPTH_ENV, DEFAULT_QUEUE_DEPTH),
+            exec::env::positive_usize_or(ATD_CACHE_ENTRIES_ENV, DEFAULT_CACHE_ENTRIES),
+        )
+    }
+
+    /// The admission queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Entries currently resident in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Admits `specs` for `session`, all-or-nothing against the queue
+    /// bound.
+    pub fn submit(&mut self, session: u32, specs: &[JobSpec]) -> Admission {
+        if specs.is_empty() {
+            return Admission::Accepted(Vec::new());
+        }
+        if self.queue.len() + specs.len() > self.queue_capacity {
+            self.stats.shed += u64::try_from(specs.len()).unwrap_or(u64::MAX);
+            return Admission::Shed { queue_depth: self.queue.len() };
+        }
+        let mut tickets = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            self.queue.push_back(Pending { session, ticket, spec: *spec });
+            tickets.push(ticket);
+        }
+        self.stats.submitted += u64::try_from(specs.len()).unwrap_or(u64::MAX);
+        Admission::Accepted(tickets)
+    }
+
+    /// Executes everything queued and returns the completions in service
+    /// order: round-robin across sessions (first-seen order), FIFO within
+    /// a session, so no session's backlog can starve another's.
+    ///
+    /// Within one drain, identical specs run once: the first occurrence is
+    /// `Computed` (or `Cache` if a previous drain stored it) and the rest
+    /// are `Batched` copies of the same bytes. Successful results enter
+    /// the cache; errors are never cached, so a failed spec is retried on
+    /// its next submission.
+    pub fn drain(&mut self, pool: &ExecPool) -> Vec<Completion> {
+        // Partition the queue per session, preserving first-seen session
+        // order and FIFO order inside each session.
+        let mut sessions: Vec<(u32, VecDeque<Pending>)> = Vec::new();
+        while let Some(pending) = self.queue.pop_front() {
+            match sessions.iter_mut().find(|(s, _)| *s == pending.session) {
+                Some((_, q)) => q.push_back(pending),
+                None => {
+                    let mut q = VecDeque::new();
+                    let session = pending.session;
+                    q.push_back(pending);
+                    sessions.push((session, q));
+                }
+            }
+        }
+
+        // Round-robin: one job per session per lap.
+        let mut order = Vec::new();
+        loop {
+            let mut took_any = false;
+            for (_, q) in &mut sessions {
+                if let Some(pending) = q.pop_front() {
+                    order.push(pending);
+                    took_any = true;
+                }
+            }
+            if !took_any {
+                break;
+            }
+        }
+
+        // Execute in service order, batching and caching as we go. The
+        // per-drain `computed` map keys on full spec bytes (not the FNV
+        // hash), so coalescing can never merge colliding specs.
+        let mut computed: BTreeMap<Vec<u8>, crate::proto::JobResult> = BTreeMap::new();
+        let mut completions = Vec::with_capacity(order.len());
+        for pending in order {
+            let key = pending.spec.key_bytes();
+            // Coalescing outranks the cache: a spec computed earlier in
+            // THIS drain is `Batched`; the cache answers only for specs
+            // this drain has not touched.
+            let (provenance, outcome) = if let Some(result) = computed.get(&key) {
+                self.stats.batched += 1;
+                (Provenance::Batched, Ok(result.clone()))
+            } else if let Some(result) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                (Provenance::Cache, Ok(result.clone()))
+            } else {
+                match workload::execute(&pending.spec, pool) {
+                    Ok(result) => {
+                        self.cache.insert(&key, result.clone());
+                        computed.insert(key, result.clone());
+                        (Provenance::Computed, Ok(result))
+                    }
+                    Err(e) => {
+                        self.stats.failed += 1;
+                        (Provenance::Computed, Err(e))
+                    }
+                }
+            };
+            if outcome.is_ok() {
+                self.stats.completed += 1;
+            }
+            completions.push(Completion {
+                session: pending.session,
+                ticket: pending.ticket,
+                provenance,
+                outcome,
+            });
+        }
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstime::{DataRate, Duration};
+
+    fn bathtub(points: u32) -> JobSpec {
+        JobSpec::bathtub(
+            Duration::from_ps_f64(3.2),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+            points,
+        )
+    }
+
+    fn bad_spec() -> JobSpec {
+        // points < 2: admitted, fails at execution with a typed error.
+        bathtub(1)
+    }
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let mut sched = Scheduler::new(3, 4);
+        assert_eq!(sched.queue_capacity(), 3);
+        let specs = [bathtub(11), bathtub(12)];
+        assert!(matches!(sched.submit(1, &specs), Admission::Accepted(t) if t == vec![1, 2]));
+        assert_eq!(sched.queue_depth(), 2);
+        // Two more would overflow: shed, queue untouched.
+        assert_eq!(sched.submit(2, &specs), Admission::Shed { queue_depth: 2 });
+        assert_eq!(sched.queue_depth(), 2);
+        assert_eq!(sched.stats().shed, 2);
+        // One more fits exactly.
+        assert!(matches!(sched.submit(2, &[bathtub(13)]), Admission::Accepted(_)));
+        assert_eq!(sched.queue_depth(), 3);
+        assert!(matches!(sched.submit(3, &[]), Admission::Accepted(t) if t.is_empty()));
+    }
+
+    #[test]
+    fn drain_round_robins_across_sessions() {
+        let mut sched = Scheduler::new(16, 16);
+        // Session 7 floods first; session 9 submits two.
+        sched.submit(7, &[bathtub(11), bathtub(12), bathtub(13)]);
+        sched.submit(9, &[bathtub(14), bathtub(15)]);
+        let pool = ExecPool::serial();
+        let done = sched.drain(&pool);
+        let order: Vec<(u32, u64)> = done.iter().map(|c| (c.session, c.ticket)).collect();
+        // Fair interleave: 7, 9, 7, 9, 7 — session 9 is not starved.
+        assert_eq!(order, vec![(7, 1), (9, 4), (7, 2), (9, 5), (7, 3)]);
+        assert!(done.iter().all(|c| c.outcome.is_ok()));
+        assert_eq!(sched.queue_depth(), 0);
+    }
+
+    #[test]
+    fn identical_specs_coalesce_within_a_drain() {
+        let mut sched = Scheduler::new(16, 16);
+        sched.submit(1, &[bathtub(21), bathtub(21), bathtub(21)]);
+        let pool = ExecPool::serial();
+        let done = sched.drain(&pool);
+        let provenances: Vec<Provenance> = done.iter().map(|c| c.provenance).collect();
+        assert_eq!(
+            provenances,
+            vec![Provenance::Computed, Provenance::Batched, Provenance::Batched]
+        );
+        // All three answers are byte-identical.
+        let bytes: Vec<Vec<u8>> = done
+            .iter()
+            .map(|c| c.outcome.as_ref().ok().map(|r| r.encoded().ok()))
+            .map(|b| b.flatten().unwrap_or_default())
+            .collect();
+        assert!(!bytes[0].is_empty());
+        assert_eq!(bytes[0], bytes[1]);
+        assert_eq!(bytes[0], bytes[2]);
+        assert_eq!(sched.stats().batched, 2);
+    }
+
+    #[test]
+    fn cache_serves_across_drains_and_skips_errors() {
+        let mut sched = Scheduler::new(16, 16);
+        let pool = ExecPool::serial();
+        sched.submit(1, &[bathtub(31), bad_spec()]);
+        let first = sched.drain(&pool);
+        assert!(first.iter().any(|c| c.outcome.is_err()));
+        assert_eq!(sched.cache_len(), 1, "errors are not cached");
+        // Resubmit: the good spec is a cache hit, the bad one fails again.
+        sched.submit(1, &[bathtub(31), bad_spec()]);
+        let second = sched.drain(&pool);
+        let hit = second.iter().find(|c| c.outcome.is_ok());
+        assert_eq!(hit.map(|c| c.provenance), Some(Provenance::Cache));
+        let stats = sched.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.submitted, 4);
+    }
+
+    #[test]
+    fn cache_hit_is_byte_identical_at_any_thread_count() {
+        let serial = ExecPool::serial();
+        let wide = ExecPool::new(4);
+        let mut sched = Scheduler::new(16, 16);
+        sched.submit(1, &[bathtub(41)]);
+        let computed = sched.drain(&wide);
+        sched.submit(2, &[bathtub(41)]);
+        let cached = sched.drain(&serial);
+        let a = computed
+            .first()
+            .and_then(|c| c.outcome.as_ref().ok())
+            .and_then(|r| r.encoded().ok())
+            .unwrap_or_default();
+        let b = cached
+            .first()
+            .and_then(|c| c.outcome.as_ref().ok())
+            .and_then(|r| r.encoded().ok())
+            .unwrap_or_default();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(cached.first().map(|c| c.provenance), Some(Provenance::Cache));
+    }
+
+    #[test]
+    fn env_defaults_apply() {
+        // from_env with no overrides set in the test environment: the
+        // defaults (or whatever the ambient overrides say) must be
+        // positive and the scheduler usable.
+        let sched = Scheduler::from_env();
+        assert!(sched.queue_capacity() >= 1);
+        let stats = sched.stats();
+        assert!(stats.queue_capacity >= 1);
+    }
+}

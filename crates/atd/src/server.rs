@@ -1,0 +1,131 @@
+//! The TCP front end: a thin framed loop around [`Service::handle`].
+//!
+//! Connections are served one at a time, requests within a connection in
+//! arrival order — the service core is a deterministic state machine and
+//! the server preserves that by never interleaving. A malformed frame
+//! gets a typed `Failed` reply and closes the connection (framing can't
+//! be trusted after a bad header); it never takes the daemon down.
+
+use std::net::{TcpListener, TcpStream};
+
+use crate::error::AtdError;
+use crate::proto::{Request, Response};
+use crate::service::Service;
+use crate::transport::{read_frame, write_frame};
+
+fn serve_connection(stream: &mut TcpStream, service: &mut Service) -> Result<(), AtdError> {
+    while let Some((ty, payload)) = read_frame(stream)? {
+        let response = match Request::from_parts(ty, &payload) {
+            Ok(request) => service.handle(request),
+            Err(e) => {
+                // Report the decode failure, then drop the connection:
+                // after a malformed frame the stream offset is unreliable.
+                let reply = Response::Failed { ticket: 0, message: e.to_string() };
+                write_frame(stream, &reply.to_frame()?)?;
+                return Ok(());
+            }
+        };
+        write_frame(stream, &response.to_frame()?)?;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves THP/1 on `listener` until a client requests shutdown, then
+/// returns the service (so callers can inspect its final counters).
+///
+/// Per-connection failures (a peer disconnecting mid-frame, a write to a
+/// closed socket) end that connection and the daemon keeps serving;
+/// accept failures are fatal.
+///
+/// # Errors
+///
+/// [`AtdError::Io`] if accepting a connection fails.
+pub fn serve(listener: &TcpListener, mut service: Service) -> Result<Service, AtdError> {
+    while !service.shutdown_requested() {
+        let (mut stream, _) =
+            listener.accept().map_err(|e| AtdError::Io { op: "accept", message: e.to_string() })?;
+        // A connection dying mid-exchange is the peer's problem, not the
+        // daemon's: log-free best effort, keep listening.
+        let _ = serve_connection(&mut stream, &mut service);
+    }
+    Ok(service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{JobSpec, Provenance};
+    use crate::scheduler::Scheduler;
+    use crate::transport::{Client, Submitted, TcpClient};
+    use exec::ExecPool;
+    use pstime::{DataRate, Duration};
+
+    fn bathtub(points: u32) -> JobSpec {
+        JobSpec::bathtub(
+            Duration::from_ps_f64(3.2),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+            points,
+        )
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || {
+            let service = Service::new(ExecPool::serial(), Scheduler::new(8, 8));
+            serve(&listener, service)
+        });
+
+        let mut client = Client::new(TcpClient::connect(addr).unwrap());
+        assert_eq!(client.ping(7).unwrap(), 7);
+        let done = client.submit(1, bathtub(91)).unwrap();
+        assert!(matches!(done, Submitted::Done { provenance: Provenance::Computed, .. }));
+
+        // A second connection sees the same service state (cache hit).
+        drop(client);
+        let mut client = Client::new(TcpClient::connect(addr).unwrap());
+        let again = client.submit(2, bathtub(91)).unwrap();
+        assert!(matches!(again, Submitted::Done { provenance: Provenance::Cache, .. }));
+        client.shutdown().unwrap();
+
+        let service = daemon.join().unwrap().unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+        assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn malformed_frame_gets_failed_reply_not_a_crash() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || {
+            let service = Service::new(ExecPool::serial(), Scheduler::new(8, 8));
+            serve(&listener, service)
+        });
+
+        // Hand-build a frame with a response-only type code: decodes as a
+        // header but not as a request.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bogus = crate::wire::encode_frame(crate::proto::msg::GOODBYE, &[]).unwrap();
+        write_frame(&mut stream, &bogus).unwrap();
+        let (ty, payload) = read_frame(&mut stream).unwrap().unwrap();
+        match Response::from_parts(ty, &payload).unwrap() {
+            Response::Failed { ticket, message } => {
+                assert_eq!(ticket, 0);
+                assert!(message.contains("unknown message type"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // The daemon is still alive: a fresh connection works.
+        let mut client = Client::new(TcpClient::connect(addr).unwrap());
+        assert_eq!(client.ping(3).unwrap(), 3);
+        client.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! The transport-agnostic service core: one [`Service::handle`] call per
+//! request, independent of whether frames arrive over TCP, the in-memory
+//! loopback, or a test harness.
+//!
+//! Keeping the core free of sockets is what makes the daemon testable:
+//! the loopback transport drives the identical code path the TCP server
+//! does, so protocol and scheduling behaviour can be verified without
+//! touching the network.
+
+use exec::ExecPool;
+
+use crate::proto::{Request, Response, ServiceStats};
+use crate::scheduler::{Admission, Scheduler};
+
+/// The ATE daemon's request processor.
+#[derive(Debug)]
+pub struct Service {
+    pool: ExecPool,
+    scheduler: Scheduler,
+    shutdown: bool,
+}
+
+impl Service {
+    /// A service over an explicit pool and scheduler.
+    pub fn new(pool: ExecPool, scheduler: Scheduler) -> Self {
+        Service { pool, scheduler, shutdown: false }
+    }
+
+    /// A service configured from the environment: `EXEC_THREADS` for the
+    /// pool, `ATD_QUEUE_DEPTH` / `ATD_CACHE_ENTRIES` for the scheduler.
+    pub fn from_env() -> Self {
+        Service::new(ExecPool::from_env(), Scheduler::from_env())
+    }
+
+    /// Whether a [`Request::Shutdown`] has been processed; transports stop
+    /// serving once this turns true.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// The service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.scheduler.stats()
+    }
+
+    /// Processes one request to completion. Every request gets exactly one
+    /// response; job submissions are answered only after the drain cycle
+    /// finishes, so a reply in hand means the work (or its cache hit) is
+    /// done.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Ping { token } => Response::Pong { token },
+            Request::GetStats => Response::StatsReport(self.stats()),
+            Request::Shutdown => {
+                self.shutdown = true;
+                Response::Goodbye
+            }
+            Request::Submit { session, spec } => {
+                match self.scheduler.submit(session, &[spec]) {
+                    Admission::Shed { queue_depth } => self.busy(queue_depth),
+                    Admission::Accepted(tickets) => {
+                        let ticket = tickets.first().copied().unwrap_or(0);
+                        let completions = self.scheduler.drain(&self.pool);
+                        let done = completions.into_iter().find(|c| c.ticket == ticket);
+                        match done {
+                            Some(c) => match c.outcome {
+                                Ok(result) => Response::JobDone {
+                                    ticket: c.ticket,
+                                    provenance: c.provenance,
+                                    result,
+                                },
+                                Err(e) => {
+                                    Response::Failed { ticket: c.ticket, message: e.to_string() }
+                                }
+                            },
+                            // Unreachable by construction (every admitted
+                            // ticket completes in the same drain), but the
+                            // protocol stays total rather than panicking.
+                            None => Response::Failed {
+                                ticket,
+                                message: "job vanished from the drain cycle".to_string(),
+                            },
+                        }
+                    }
+                }
+            }
+            Request::SubmitBatch { session, specs } => {
+                match self.scheduler.submit(session, &specs) {
+                    Admission::Shed { queue_depth } => self.busy(queue_depth),
+                    Admission::Accepted(_) => {
+                        let mut completions = self.scheduler.drain(&self.pool);
+                        // Reply in submission order regardless of the
+                        // fairness interleave the drain executed in.
+                        completions.sort_by_key(|c| c.ticket);
+                        let outcomes = completions
+                            .into_iter()
+                            .map(|c| (c.ticket, c.provenance, c.outcome.map_err(|e| e.to_string())))
+                            .collect();
+                        Response::BatchDone { outcomes }
+                    }
+                }
+            }
+        }
+    }
+
+    fn busy(&self, queue_depth: usize) -> Response {
+        Response::Busy {
+            queue_depth: u32::try_from(queue_depth).unwrap_or(u32::MAX),
+            queue_capacity: u32::try_from(self.scheduler.queue_capacity()).unwrap_or(u32::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{JobSpec, Provenance};
+    use pstime::{DataRate, Duration};
+
+    fn bathtub(points: u32) -> JobSpec {
+        JobSpec::bathtub(
+            Duration::from_ps_f64(3.2),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+            points,
+        )
+    }
+
+    fn small_service() -> Service {
+        Service::new(ExecPool::serial(), Scheduler::new(4, 8))
+    }
+
+    #[test]
+    fn ping_stats_shutdown() {
+        let mut svc = small_service();
+        assert_eq!(svc.handle(Request::Ping { token: 99 }), Response::Pong { token: 99 });
+        assert!(!svc.shutdown_requested());
+        match svc.handle(Request::GetStats) {
+            Response::StatsReport(stats) => assert_eq!(stats.submitted, 0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(svc.handle(Request::Shutdown), Response::Goodbye);
+        assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn submit_executes_then_hits_cache() {
+        let mut svc = small_service();
+        let spec = bathtub(51);
+        let first = svc.handle(Request::Submit { session: 1, spec });
+        let second = svc.handle(Request::Submit { session: 2, spec });
+        match (&first, &second) {
+            (
+                Response::JobDone { provenance: p1, result: r1, .. },
+                Response::JobDone { provenance: p2, result: r2, .. },
+            ) => {
+                assert_eq!(*p1, Provenance::Computed);
+                assert_eq!(*p2, Provenance::Cache);
+                assert_eq!(r1.encoded().unwrap(), r2.encoded().unwrap());
+            }
+            other => panic!("unexpected responses {other:?}"),
+        }
+        assert_eq!(svc.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn oversized_batch_is_shed_with_busy() {
+        let mut svc = small_service(); // queue capacity 4
+        let specs = vec![bathtub(61); 5];
+        match svc.handle(Request::SubmitBatch { session: 1, specs }) {
+            Response::Busy { queue_depth, queue_capacity } => {
+                assert_eq!(queue_depth, 0);
+                assert_eq!(queue_capacity, 4);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(svc.stats().shed, 5);
+    }
+
+    #[test]
+    fn batch_replies_in_submission_order() {
+        let mut svc = small_service();
+        let specs = vec![bathtub(71), bathtub(72), bathtub(71)];
+        match svc.handle(Request::SubmitBatch { session: 1, specs }) {
+            Response::BatchDone { outcomes } => {
+                assert_eq!(outcomes.len(), 3);
+                let tickets: Vec<u64> = outcomes.iter().map(|(t, _, _)| *t).collect();
+                assert_eq!(tickets, vec![1, 2, 3]);
+                assert_eq!(outcomes[0].1, Provenance::Computed);
+                assert_eq!(outcomes[2].1, Provenance::Batched);
+                assert!(outcomes.iter().all(|(_, _, o)| o.is_ok()));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_spec_reports_failed_with_ticket() {
+        let mut svc = small_service();
+        match svc.handle(Request::Submit { session: 1, spec: bathtub(1) }) {
+            Response::Failed { ticket, message } => {
+                assert_eq!(ticket, 1);
+                assert!(message.contains("points"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(svc.stats().failed, 1);
+    }
+}

@@ -1,0 +1,552 @@
+//! THP/1 — the test-head protocol's length-prefixed binary framing.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "THP1"
+//! 4       1     version (currently 1)
+//! 5       1     message type code
+//! 6       2     reserved, must be zero (big-endian u16)
+//! 8       4     payload length in bytes (big-endian u32)
+//! 12      n     payload
+//! ```
+//!
+//! All multi-byte integers on the wire are big-endian. Decoding is total:
+//! malformed input of any shape maps to a typed [`FrameError`], never a
+//! panic — the daemon must survive arbitrary bytes from the network.
+//!
+//! This module owns the frame envelope and the primitive field codecs
+//! ([`Writer`]/[`Reader`]); message semantics live in [`crate::proto`].
+
+use core::fmt;
+
+/// The four magic bytes opening every THP/1 frame.
+pub const MAGIC: [u8; 4] = *b"THP1";
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Hard ceiling on payload size: a frame larger than this is rejected at
+/// the header, before any allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Typed decode failures. Every way a frame can be malformed has its own
+/// variant, so transports and tests can tell them apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// Fewer bytes than the grammar requires at this position.
+    Truncated {
+        /// Bytes the current field needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first four bytes are not `THP1`.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The version byte names a protocol revision this build cannot speak.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The reserved header field was not zero.
+    ReservedNonZero {
+        /// The value found.
+        found: u16,
+    },
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// The message-type code is not part of THP/1.
+    UnknownType {
+        /// The code found.
+        code: u8,
+    },
+    /// Bytes remained after the grammar was fully consumed.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A payload field held a value outside its domain.
+    BadPayload {
+        /// Which field was malformed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            FrameError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            FrameError::UnsupportedVersion { found } => {
+                write!(f, "unsupported THP version {found} (this build speaks {VERSION})")
+            }
+            FrameError::ReservedNonZero { found } => {
+                write!(f, "reserved header field must be zero, found {found:#06x}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "declared payload of {len} bytes exceeds the {max}-byte ceiling")
+            }
+            FrameError::UnknownType { code } => write!(f, "unknown message type {code:#04x}"),
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the message body")
+            }
+            FrameError::BadPayload { context } => write!(f, "malformed payload: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame: header plus payload.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] if `payload` exceeds [`MAX_PAYLOAD`].
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l <= MAX_PAYLOAD)
+        .ok_or(FrameError::Oversized { len: u32::MAX, max: MAX_PAYLOAD })?;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validates a 12-byte header and returns `(msg_type, payload_len)`.
+///
+/// Transports that stream (TCP) call this on the fixed-size header before
+/// reading the payload; [`decode_frame`] calls it on in-memory frames.
+///
+/// # Errors
+///
+/// Any header-level [`FrameError`].
+pub fn decode_header(header: &[u8]) -> Result<(u8, usize), FrameError> {
+    if header.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { needed: HEADER_LEN, have: header.len() });
+    }
+    let magic = read4(header, 0)?;
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = *header.get(4).ok_or(FrameError::Truncated { needed: 5, have: header.len() })?;
+    if version != VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let msg_type = *header.get(5).ok_or(FrameError::Truncated { needed: 6, have: header.len() })?;
+    let reserved = u16::from_be_bytes(read2(header, 6)?);
+    if reserved != 0 {
+        return Err(FrameError::ReservedNonZero { found: reserved });
+    }
+    let len = u32::from_be_bytes(read4(header, 8)?);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len, max: MAX_PAYLOAD });
+    }
+    let len = usize::try_from(len).map_err(|_| FrameError::BadPayload {
+        context: "frame length exceeds the address space",
+    })?;
+    Ok((msg_type, len))
+}
+
+/// Decodes exactly one in-memory frame into `(msg_type, payload)`.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; trailing bytes after the declared payload are
+/// rejected with [`FrameError::TrailingBytes`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8]), FrameError> {
+    let (msg_type, len) = decode_header(bytes)?;
+    let body = bytes.get(HEADER_LEN..).unwrap_or(&[]);
+    if body.len() < len {
+        return Err(FrameError::Truncated { needed: len, have: body.len() });
+    }
+    if body.len() > len {
+        return Err(FrameError::TrailingBytes { extra: body.len() - len });
+    }
+    Ok((msg_type, body))
+}
+
+fn read2(bytes: &[u8], at: usize) -> Result<[u8; 2], FrameError> {
+    let slice =
+        bytes.get(at..at + 2).ok_or(FrameError::Truncated { needed: at + 2, have: bytes.len() })?;
+    <[u8; 2]>::try_from(slice).map_err(|_| FrameError::BadPayload { context: "2-byte field" })
+}
+
+fn read4(bytes: &[u8], at: usize) -> Result<[u8; 4], FrameError> {
+    let slice =
+        bytes.get(at..at + 4).ok_or(FrameError::Truncated { needed: at + 4, have: bytes.len() })?;
+    <[u8; 4]>::try_from(slice).map_err(|_| FrameError::BadPayload { context: "4-byte field" })
+}
+
+/// Canonical payload writer: every field type has exactly one encoding,
+/// so a message's byte image is a pure function of its value — the
+/// property both the golden-vector tests and the content-addressed cache
+/// key depend on.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i32 (two's complement).
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i64 (two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an f64 as its IEEE-754 bit pattern (big-endian) — exact,
+    /// so byte identity equals value identity.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed (u32) count for a following sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the count does not fit in u32.
+    pub fn count(&mut self, n: usize) -> Result<(), FrameError> {
+        let n = u32::try_from(n)
+            .map_err(|_| FrameError::Oversized { len: u32::MAX, max: MAX_PAYLOAD })?;
+        self.u32(n);
+        Ok(())
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the byte length does not fit in u32.
+    pub fn str(&mut self, s: &str) -> Result<(), FrameError> {
+        self.count(s.len())?;
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Payload reader mirroring [`Writer`], with typed errors for every
+/// short read or out-of-domain value.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the front of `payload`.
+    pub fn new(payload: &'a [u8]) -> Self {
+        Reader { rest: payload }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Fails unless every byte was consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TrailingBytes`] when bytes remain.
+    pub fn expect_end(&self) -> Result<(), FrameError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes { extra: self.rest.len() })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let (head, tail) = self
+            .rest
+            .split_at_checked(n)
+            .ok_or(FrameError::Truncated { needed: n, have: self.rest.len() })?;
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    /// Reads a big-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn u16(&mut self) -> Result<u16, FrameError> {
+        let raw = <[u8; 2]>::try_from(self.take(2)?)
+            .map_err(|_| FrameError::BadPayload { context: "u16 field" })?;
+        Ok(u16::from_be_bytes(raw))
+    }
+
+    /// Reads a big-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn u32(&mut self) -> Result<u32, FrameError> {
+        let raw = <[u8; 4]>::try_from(self.take(4)?)
+            .map_err(|_| FrameError::BadPayload { context: "u32 field" })?;
+        Ok(u32::from_be_bytes(raw))
+    }
+
+    /// Reads a big-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
+        let raw = <[u8; 8]>::try_from(self.take(8)?)
+            .map_err(|_| FrameError::BadPayload { context: "u64 field" })?;
+        Ok(u64::from_be_bytes(raw))
+    }
+
+    /// Reads a big-endian i32.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn i32(&mut self) -> Result<i32, FrameError> {
+        let raw = <[u8; 4]>::try_from(self.take(4)?)
+            .map_err(|_| FrameError::BadPayload { context: "i32 field" })?;
+        Ok(i32::from_be_bytes(raw))
+    }
+
+    /// Reads a big-endian i64.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn i64(&mut self) -> Result<i64, FrameError> {
+        let raw = <[u8; 8]>::try_from(self.take(8)?)
+            .map_err(|_| FrameError::BadPayload { context: "i64 field" })?;
+        Ok(i64::from_be_bytes(raw))
+    }
+
+    /// Reads an f64 from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] on a short payload.
+    pub fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte; values other than 0/1 are malformed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] on a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::BadPayload { context: "bool byte must be 0 or 1" }),
+        }
+    }
+
+    /// Reads a u32 sequence count, bounded by what the remaining payload
+    /// could possibly hold (`min_item_bytes` per element) so a hostile
+    /// count cannot force a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] when the declared count cannot fit.
+    pub fn count(&mut self, min_item_bytes: usize) -> Result<usize, FrameError> {
+        let n = usize::try_from(self.u32()?)
+            .map_err(|_| FrameError::BadPayload { context: "count exceeds the address space" })?;
+        let floor = n.saturating_mul(min_item_bytes.max(1));
+        if floor > self.rest.len() {
+            return Err(FrameError::Truncated { needed: floor, have: self.rest.len() });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] / [`FrameError::BadPayload`] on short or
+    /// non-UTF-8 bytes.
+    pub fn str(&mut self) -> Result<String, FrameError> {
+        let n = self.count(1)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| FrameError::BadPayload { context: "string field is not UTF-8" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(0x03, b"hello").unwrap();
+        assert_eq!(frame.len(), HEADER_LEN + 5);
+        let (ty, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(ty, 0x03);
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let good = encode_frame(0x01, b"abcd1234").unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadMagic { .. })));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(decode_frame(&bad), Err(FrameError::UnsupportedVersion { found: 9 }));
+
+        let mut bad = good.clone();
+        bad[6] = 0xAB;
+        assert_eq!(decode_frame(&bad), Err(FrameError::ReservedNonZero { found: 0xAB00 }));
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert!(matches!(decode_frame(&bad), Err(FrameError::Oversized { .. })));
+
+        assert!(matches!(decode_frame(&good[..7]), Err(FrameError::Truncated { .. })));
+        assert!(matches!(decode_frame(&good[..HEADER_LEN + 3]), Err(FrameError::Truncated { .. })));
+
+        let mut long = good.clone();
+        long.push(0xFF);
+        assert_eq!(decode_frame(&long), Err(FrameError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn writer_reader_mirror_each_other() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i32(-44);
+        w.i64(i64::MIN + 3);
+        w.f64(-0.125);
+        w.bool(true);
+        w.str("thp/1 ☂").unwrap();
+        let bytes = w.finish();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i32().unwrap(), -44);
+        assert_eq!(r.i64().unwrap(), i64::MIN + 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.125f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "thp/1 ☂");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_bad_values() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.bool(), Err(FrameError::BadPayload { .. })));
+
+        // A count promising more elements than bytes remain.
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.count(8), Err(FrameError::Truncated { .. })));
+
+        // Non-UTF8 string bytes.
+        let mut w = Writer::new();
+        w.u32(2);
+        w.u8(0xFF);
+        w.u8(0xFE);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str(), Err(FrameError::BadPayload { .. })));
+
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u64(), Err(FrameError::Truncated { .. })));
+        let r = Reader::new(&[1]);
+        assert_eq!(r.expect_end(), Err(FrameError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        for (err, needle) in [
+            (FrameError::Truncated { needed: 4, have: 1 }, "truncated"),
+            (FrameError::BadMagic { found: [0; 4] }, "magic"),
+            (FrameError::UnsupportedVersion { found: 3 }, "version 3"),
+            (FrameError::ReservedNonZero { found: 7 }, "reserved"),
+            (FrameError::Oversized { len: 9, max: 1 }, "ceiling"),
+            (FrameError::UnknownType { code: 0x66 }, "0x66"),
+            (FrameError::TrailingBytes { extra: 2 }, "trailing"),
+            (FrameError::BadPayload { context: "x" }, "malformed"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

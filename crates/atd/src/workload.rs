@@ -1,0 +1,174 @@
+//! Executes decoded job specs against the native workload crates.
+//!
+//! This is the bridge between the wire vocabulary ([`JobSpec`] /
+//! [`JobResult`]) and the pool-parameterized entry points
+//! ([`exec::PoolJob`]) the workloads expose: every spec reconstructs the
+//! exact argument set a local caller would build, runs it on the supplied
+//! pool, and converts the outcome back to wire form. Specs are validated
+//! before any native constructor runs, so out-of-domain fields surface as
+//! typed errors.
+
+use exec::{ExecPool, PoolJob};
+use pstime::{DataRate, Duration, Millivolts};
+
+use crate::error::AtdError;
+use crate::proto::{JobResult, JobSpec};
+
+fn to_usize(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Runs one job spec on `pool`, returning its wire-form result.
+///
+/// Identical specs produce byte-identical results at any pool width: the
+/// workloads derive all randomness from spec-carried seeds through
+/// index-addressed substreams.
+///
+/// # Errors
+///
+/// [`AtdError::Frame`] for an out-of-domain spec; workload and execution
+/// errors otherwise.
+pub fn execute(spec: &JobSpec, pool: &ExecPool) -> Result<JobResult, AtdError> {
+    spec.validate()?;
+    match *spec {
+        JobSpec::Shmoo {
+            rate_bps,
+            bits,
+            stim_seed,
+            phase_step_fs,
+            v_start_mv,
+            v_end_mv,
+            v_step_mv,
+            seed,
+        } => {
+            let rate = DataRate::from_bps(rate_bps);
+            let n_bits = to_usize(bits);
+            let mut path = minitester::MiniTesterDatapath::new()?;
+            let expected = path.expected_prbs(rate, n_bits)?;
+            let mut stim_path = minitester::MiniTesterDatapath::new()?;
+            let wave = stim_path.prbs_stimulus(rate, n_bits, stim_seed)?;
+            let config = minitester::ShmooConfig {
+                phase_step: Duration::from_fs(phase_step_fs),
+                v_start: Millivolts::new(v_start_mv),
+                v_end: Millivolts::new(v_end_mv),
+                v_step: Millivolts::new(v_step_mv),
+            };
+            let plot =
+                minitester::ShmooJob { wave: &wave, rate, expected: &expected, config, seed }
+                    .run_on(pool)?;
+            Ok(JobResult::from_shmoo(&plot)?)
+        }
+        JobSpec::Wafer {
+            columns,
+            dies,
+            sites,
+            hard_defect_rate,
+            marginal_rate,
+            rate_bps,
+            test_bits,
+            seed,
+        } => {
+            let config = minitester::WaferRunConfig {
+                columns: to_usize(columns),
+                dies: to_usize(dies),
+                sites: to_usize(sites),
+                hard_defect_rate,
+                marginal_rate,
+                rate: DataRate::from_bps(rate_bps),
+                test_bits: to_usize(test_bits),
+                seed,
+            };
+            let report = config.run_on(pool)?;
+            Ok(JobResult::from_wafer(&report)?)
+        }
+        JobSpec::Eye { rate_bps, bits, stim_seed, seed } => {
+            let rate = DataRate::from_bps(rate_bps);
+            let n_bits = to_usize(bits);
+            let mut path = minitester::MiniTesterDatapath::new()?;
+            let expected = path.expected_prbs(rate, n_bits)?;
+            let mut stim_path = minitester::MiniTesterDatapath::new()?;
+            let wave = stim_path.prbs_stimulus(rate, n_bits, stim_seed)?;
+            let capture = minitester::EtCapture::new();
+            let scan = minitester::EyeScanJob {
+                capture: &capture,
+                wave: &wave,
+                rate,
+                expected: &expected,
+                seed,
+            }
+            .run_on(pool)?;
+            Ok(JobResult::from_eye(&scan)?)
+        }
+        JobSpec::Bathtub { rj_rms_fs, dj_pp_fs, rate_bps, transition_density, points } => {
+            let curve = signal::BathtubCurve::new(
+                Duration::from_fs(rj_rms_fs),
+                Duration::from_fs(dj_pp_fs),
+                DataRate::from_bps(rate_bps),
+                transition_density,
+            );
+            let pairs =
+                signal::BathtubSweep { curve: &curve, points: to_usize(points) }.run_on(pool)?;
+            Ok(JobResult::from_bathtub(pairs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shmoo_spec_matches_direct_run() {
+        let pool = ExecPool::new(2);
+        let rate = DataRate::from_gbps(2.5);
+        let config = minitester::ShmooConfig::pecl();
+        let spec = JobSpec::shmoo(rate, 256, 17, &config, 5);
+        let remote = execute(&spec, &pool).unwrap();
+
+        let mut path = minitester::MiniTesterDatapath::new().unwrap();
+        let expected = path.expected_prbs(rate, 256).unwrap();
+        let mut stim = minitester::MiniTesterDatapath::new().unwrap();
+        let wave = stim.prbs_stimulus(rate, 256, 17).unwrap();
+        let plot = minitester::ShmooPlot::run_with_pool(&wave, rate, &expected, &config, 5, &pool)
+            .unwrap();
+        assert_eq!(remote, JobResult::from_shmoo(&plot).unwrap());
+        assert_eq!(remote.rendered(), plot.to_string());
+    }
+
+    #[test]
+    fn bathtub_spec_matches_direct_sweep() {
+        let pool = ExecPool::new(3);
+        let rj = Duration::from_ps_f64(3.2);
+        let dj = Duration::from_ps(20);
+        let rate = DataRate::from_gbps(2.5);
+        let spec = JobSpec::bathtub(rj, dj, rate, 0.5, 101);
+        let remote = execute(&spec, &pool).unwrap();
+        let curve = signal::BathtubCurve::new(rj, dj, rate, 0.5);
+        let pairs = curve.sweep(101).unwrap();
+        assert_eq!(remote, JobResult::from_bathtub(pairs));
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error() {
+        let pool = ExecPool::serial();
+        let spec = JobSpec::Eye { rate_bps: 0, bits: 16, stim_seed: 0, seed: 0 };
+        assert!(matches!(execute(&spec, &pool), Err(AtdError::Frame(_))));
+    }
+
+    #[test]
+    fn failing_workload_propagates_its_error() {
+        // An inverted voltage sweep: rejected by the shmoo validator.
+        let pool = ExecPool::serial();
+        let spec = JobSpec::Shmoo {
+            rate_bps: DataRate::from_gbps(2.5).as_bps(),
+            bits: 64,
+            stim_seed: 1,
+            phase_step_fs: 10_000_000,
+            v_start_mv: -900,
+            v_end_mv: -1700,
+            v_step_mv: 50,
+            seed: 1,
+        };
+        assert!(matches!(execute(&spec, &pool), Err(AtdError::MiniTester(_))));
+    }
+}

@@ -128,11 +128,10 @@ fn canary() -> Result<(), AteError> {
 }
 
 fn bench() -> Result<(), AteError> {
-    let threads = std::env::var(exec::EXEC_THREADS_ENV)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|n| *n > 1)
-        .unwrap_or(4);
+    let threads =
+        exec::env::parse_positive_usize(std::env::var(exec::EXEC_THREADS_ENV).ok().as_deref())
+            .filter(|n| *n > 1)
+            .unwrap_or(4);
     let serial = ExecPool::serial();
     let parallel = ExecPool::new(threads);
     let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);

@@ -1,0 +1,45 @@
+//! Lenient environment-variable configuration parsing.
+//!
+//! Several knobs across the workspace are tuning parameters that must
+//! never change *results* — worker counts (`EXEC_THREADS`), the service
+//! layer's cache and queue limits (`ATD_CACHE_ENTRIES`,
+//! `ATD_QUEUE_DEPTH`). For those, a malformed value should fall back to
+//! the built-in default rather than abort a run, and every consumer
+//! should fall back the same way. This module is that one shared idiom:
+//! trim, parse, reject zero, fall back.
+
+/// Parses a positive integer from an optional raw string; `None` for
+/// absent, unparsable, or zero values. The pure core of the idiom, kept
+/// separate from the environment read so it is trivially testable.
+pub fn parse_positive_usize(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|n| *n > 0)
+}
+
+/// Reads `name` from the environment and leniently parses it as a
+/// positive integer, falling back to `default` when the variable is
+/// absent, unparsable, or zero.
+pub fn positive_usize_or(name: &str, default: usize) -> usize {
+    parse_positive_usize(std::env::var(name).ok().as_deref()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenient_parse_accepts_positive_integers_only() {
+        assert_eq!(parse_positive_usize(Some("4")), Some(4));
+        assert_eq!(parse_positive_usize(Some(" 12 ")), Some(12));
+        assert_eq!(parse_positive_usize(Some("0")), None);
+        assert_eq!(parse_positive_usize(Some("-3")), None);
+        assert_eq!(parse_positive_usize(Some("abc")), None);
+        assert_eq!(parse_positive_usize(Some("")), None);
+        assert_eq!(parse_positive_usize(None), None);
+    }
+
+    #[test]
+    fn env_read_falls_back_when_unset() {
+        // An env var no test sets: the default must come back verbatim.
+        assert_eq!(positive_usize_or("EXEC_ENV_TEST_UNSET_4711", 37), 37);
+    }
+}

@@ -49,10 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 mod error;
+mod job;
 mod pool;
 mod stats;
 
 pub use error::ExecError;
+pub use job::PoolJob;
 pub use pool::{ExecOutcome, ExecPool, EXEC_THREADS_ENV};
 pub use stats::ExecStats;

@@ -241,18 +241,46 @@ impl EtCapture {
         seed: u64,
         pool: &exec::ExecPool,
     ) -> Result<EyeScan> {
-        let ui = rate.unit_interval();
-        let step = self.vernier.step();
+        use exec::PoolJob;
+        EyeScanJob { capture: self, wave, rate, expected, seed }.run_on(pool)
+    }
+}
+
+/// An equivalent-time eye scan described as a value: the canonical
+/// pool-parameterized entry point ([`exec::PoolJob`]) behind
+/// [`EtCapture::eye_scan`] / [`EtCapture::eye_scan_with_pool`], and the
+/// scheduling surface the `atd` service layer drives.
+#[derive(Debug, Clone, Copy)]
+pub struct EyeScanJob<'a> {
+    /// The capture head (sampler threshold + strobe vernier).
+    pub capture: &'a EtCapture,
+    /// The waveform under test.
+    pub wave: &'a AnalogWaveform,
+    /// The data rate under test.
+    pub rate: DataRate,
+    /// The expected pattern at each strobe phase.
+    pub expected: &'a BitStream,
+    /// Master seed for the per-phase capture substreams.
+    pub seed: u64,
+}
+
+impl exec::PoolJob for EyeScanJob<'_> {
+    type Output = EyeScan;
+    type Error = crate::MiniTesterError;
+
+    fn run_on(&self, pool: &exec::ExecPool) -> Result<EyeScan> {
+        let ui = self.rate.unit_interval();
+        let step = self.capture.vernier.step();
         let steps = ((ui.as_fs() + step.as_fs() - 1) / step.as_fs()).max(1);
-        let tree = rng::SeedTree::new(seed).stream("minitester.capture.eye-scan");
+        let tree = rng::SeedTree::new(self.seed).stream("minitester.capture.eye-scan");
         let steps_usize = usize::try_from(steps).unwrap_or(0);
         let outcome = pool.run(steps_usize, |k| {
             let k = k as i64; // xlint::allow(no-lossy-cast, k < steps which fits i64 by construction)
-            self.capture_at(wave, rate, expected, step * k, tree.index(k as u64).seed())
-            // xlint::allow(no-lossy-cast, k is a non-negative step index)
+            let cell = tree.index(k as u64); // xlint::allow(no-lossy-cast, k is a non-negative step index)
+            self.capture.capture_at(self.wave, self.rate, self.expected, step * k, cell.seed())
         })?;
         let points = outcome.results.into_iter().collect::<Result<Vec<_>>>()?;
-        Ok(EyeScan { points, rate, step })
+        Ok(EyeScan { points, rate: self.rate, step })
     }
 }
 

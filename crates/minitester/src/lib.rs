@@ -48,13 +48,13 @@ pub mod shmoo;
 mod tester;
 
 pub use array::{ProbeArray, SiteResult};
-pub use capture::{EtCapture, EyeScan};
+pub use capture::{EtCapture, EyeScan, EyeScanJob};
 pub use channel::WlpChannel;
 pub use datapath::MiniTesterDatapath;
 pub use dut::{BistMode, Defect, WlpDut};
 pub use error::MiniTesterError;
 pub use multisite::{run_wafer, Bin, DieRecord, WaferReport, WaferRunConfig};
-pub use shmoo::{ShmooConfig, ShmooPlot};
+pub use shmoo::{ShmooConfig, ShmooJob, ShmooPlot};
 pub use tester::{MiniTester, TestOutcome, TestPlan};
 
 /// Convenient result alias for mini-tester operations.

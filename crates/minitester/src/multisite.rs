@@ -199,6 +199,23 @@ pub fn run_wafer(config: &WaferRunConfig) -> Result<WaferReport> {
 ///
 /// Propagates tester construction/run and execution errors.
 pub fn run_wafer_with_pool(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<WaferReport> {
+    use exec::PoolJob;
+    config.run_on(pool)
+}
+
+impl exec::PoolJob for WaferRunConfig {
+    type Output = WaferReport;
+    type Error = crate::MiniTesterError;
+
+    /// The canonical pool-parameterized wafer run ([`run_wafer`] and
+    /// [`run_wafer_with_pool`] are thin wrappers): one job per die, each
+    /// deriving defect and test-content seeds from die-indexed substreams.
+    fn run_on(&self, pool: &exec::ExecPool) -> Result<WaferReport> {
+        run_wafer_inner(self, pool)
+    }
+}
+
+fn run_wafer_inner(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<WaferReport> {
     let tree = SeedTree::new(config.seed);
     let defect_tree = tree.derive(WAFER_DEFECT_STREAM);
     let die_tree = tree.derive(WAFER_DIE_STREAM);

@@ -64,6 +64,67 @@ impl ShmooConfig {
     }
 }
 
+/// A shmoo sweep described as a value: the canonical pool-parameterized
+/// entry point ([`exec::PoolJob`]) shared by in-process callers and the
+/// `atd` service layer. [`ShmooPlot::run`] and
+/// [`ShmooPlot::run_with_pool`] are thin wrappers over this.
+#[derive(Debug, Clone, Copy)]
+pub struct ShmooJob<'a> {
+    /// The stimulus waveform presented to the sampler.
+    pub wave: &'a AnalogWaveform,
+    /// The data rate under test.
+    pub rate: DataRate,
+    /// The expected pattern at each capture point.
+    pub expected: &'a BitStream,
+    /// Sweep configuration (axes and steps).
+    pub config: ShmooConfig,
+    /// Master seed for the sweep's capture substreams.
+    pub seed: u64,
+}
+
+impl exec::PoolJob for ShmooJob<'_> {
+    type Output = ShmooPlot;
+    type Error = crate::MiniTesterError;
+
+    fn run_on(&self, pool: &exec::ExecPool) -> Result<ShmooPlot> {
+        self.config.validate()?;
+        let ui = self.rate.unit_interval();
+        let step_fs = self.config.phase_step.as_fs();
+        let n_phases = ((ui.as_fs() + step_fs - 1) / step_fs).max(1) as usize;
+        let phases: Vec<Duration> =
+            (0..n_phases).map(|k| self.config.phase_step * k as i64).collect();
+        let thresholds = self.config.voltage_points();
+
+        let tree = rng::SeedTree::new(self.seed).stream("minitester.shmoo");
+        let cols = phases.len();
+        let cells = thresholds.len() * cols;
+        // One job per grid cell. Each job builds its own capture head (the
+        // equivalent-time sampler is stateless between captures, so a fresh
+        // head at the cell's threshold reproduces the serial sweep exactly)
+        // and seeds from the cell's (row, col) substream.
+        let outcome = pool.run(cells, |cell| {
+            let ti = cell / cols;
+            let pi = cell % cols;
+            let mut capture = EtCapture::new();
+            capture.sampler_mut().set_threshold(thresholds[ti]);
+            capture
+                .capture_at(
+                    self.wave,
+                    self.rate,
+                    self.expected,
+                    phases[pi],
+                    tree.index(ti as u64).index(pi as u64).seed(),
+                )
+                .map(|point| point.errors == 0)
+        })?;
+        let mut pass = Vec::with_capacity(cells);
+        for cell in outcome.results {
+            pass.push(cell?);
+        }
+        Ok(ShmooPlot { thresholds, phases, pass })
+    }
+}
+
 /// A completed shmoo: pass/fail over (threshold row, strobe-phase column).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShmooPlot {
@@ -108,40 +169,8 @@ impl ShmooPlot {
         seed: u64,
         pool: &exec::ExecPool,
     ) -> Result<ShmooPlot> {
-        config.validate()?;
-        let ui = rate.unit_interval();
-        let n_phases = ((ui.as_fs() + config.phase_step.as_fs() - 1) / config.phase_step.as_fs())
-            .max(1) as usize;
-        let phases: Vec<Duration> = (0..n_phases).map(|k| config.phase_step * k as i64).collect();
-        let thresholds = config.voltage_points();
-
-        let tree = rng::SeedTree::new(seed).stream("minitester.shmoo");
-        let cols = phases.len();
-        let cells = thresholds.len() * cols;
-        // One job per grid cell. Each job builds its own capture head (the
-        // equivalent-time sampler is stateless between captures, so a fresh
-        // head at the cell's threshold reproduces the serial sweep exactly)
-        // and seeds from the cell's (row, col) substream.
-        let outcome = pool.run(cells, |cell| {
-            let ti = cell / cols;
-            let pi = cell % cols;
-            let mut capture = EtCapture::new();
-            capture.sampler_mut().set_threshold(thresholds[ti]);
-            capture
-                .capture_at(
-                    wave,
-                    rate,
-                    expected,
-                    phases[pi],
-                    tree.index(ti as u64).index(pi as u64).seed(),
-                )
-                .map(|point| point.errors == 0)
-        })?;
-        let mut pass = Vec::with_capacity(cells);
-        for cell in outcome.results {
-            pass.push(cell?);
-        }
-        Ok(ShmooPlot { thresholds, phases, pass })
+        use exec::PoolJob;
+        ShmooJob { wave, rate, expected, config: *config, seed }.run_on(pool)
     }
 
     /// Threshold rows (ascending).

@@ -179,18 +179,8 @@ impl BathtubCurve {
         points: usize,
         pool: &exec::ExecPool,
     ) -> crate::Result<Vec<(f64, f64)>> {
-        if points < 2 {
-            return Err(crate::SignalError::InvalidParameter {
-                name: "points",
-                constraint: "a sweep needs at least both crossovers (points >= 2)",
-            });
-        }
-        let denom = (points - 1) as f64; // xlint::allow(no-lossy-cast, point counts stay far below 2^53 so the f64 conversion is exact)
-        let outcome = pool.run(points, |k| {
-            let phase = k as f64 / denom; // xlint::allow(no-lossy-cast, k < points which converts exactly)
-            (phase, self.ber_at_ui(phase))
-        })?;
-        Ok(outcome.results)
+        use exec::PoolJob;
+        BathtubSweep { curve: self, points }.run_on(pool)
     }
 
     /// The RJ rms this curve was built from.
@@ -201,6 +191,39 @@ impl BathtubCurve {
     /// The DJ peak-to-peak this curve was built from.
     pub fn dj_pp(&self) -> Duration {
         self.dj_pp
+    }
+}
+
+/// A bathtub sweep described as a value: the canonical pool-parameterized
+/// entry point ([`exec::PoolJob`]) behind [`BathtubCurve::sweep`] /
+/// [`BathtubCurve::sweep_with_pool`], and the scheduling surface the
+/// `atd` service layer drives.
+#[derive(Debug, Clone, Copy)]
+pub struct BathtubSweep<'a> {
+    /// The modeled curve to evaluate.
+    pub curve: &'a BathtubCurve,
+    /// Number of evenly spaced phases across one UI (both crossovers
+    /// inclusive); must be at least 2.
+    pub points: usize,
+}
+
+impl exec::PoolJob for BathtubSweep<'_> {
+    type Output = Vec<(f64, f64)>;
+    type Error = crate::SignalError;
+
+    fn run_on(&self, pool: &exec::ExecPool) -> crate::Result<Vec<(f64, f64)>> {
+        if self.points < 2 {
+            return Err(crate::SignalError::InvalidParameter {
+                name: "points",
+                constraint: "a sweep needs at least both crossovers (points >= 2)",
+            });
+        }
+        let denom = (self.points - 1) as f64; // xlint::allow(no-lossy-cast, point counts stay far below 2^53 so the f64 conversion is exact)
+        let outcome = pool.run(self.points, |k| {
+            let phase = k as f64 / denom; // xlint::allow(no-lossy-cast, k < points which converts exactly)
+            (phase, self.curve.ber_at_ui(phase))
+        })?;
+        Ok(outcome.results)
     }
 }
 

@@ -142,6 +142,37 @@ fn r8_racy_pool_job_detected_and_reasoned_allow_suppresses() {
     assert_eq!(racy.len(), 1, "counted_copy's allow must suppress its finding: {racy:?}");
 }
 
+/// A seeded atd-style scheduler crate: a drain job mutating a shared
+/// cache and a frame decoder indexing raw wire bytes trip exactly the two
+/// rules that guard the service layer, while its wholesale error wrap
+/// keeps the bridge rule silent.
+#[test]
+fn atd_style_scheduler_crate_trips_racy_job_and_reachable_panic() {
+    let a = violations();
+    let racy = with_rule(&a, "exec-job-racy");
+    assert!(
+        racy.iter()
+            .any(|f| f.rel_path.ends_with("atdsched/src/lib.rs") && f.severity == Severity::Deny),
+        "the cache-mutating drain job must fire, got {racy:?}"
+    );
+    let reachable = with_rule(&a, "panic-reachable");
+    let entry = reachable
+        .iter()
+        .find(|f| f.rel_path.ends_with("atdsched/src/lib.rs") && f.message.contains("frame_type"))
+        .expect("the unchecked header read must be flagged at its pub entry point");
+    assert_eq!(entry.severity, Severity::Deny);
+    assert!(
+        entry.message.contains("header_byte"),
+        "the diagnostic must show the indexing root: {}",
+        entry.message
+    );
+    let bridge = with_rule(&a, "error-bridge-exhaustive");
+    assert!(
+        !bridge.iter().any(|f| f.rel_path.ends_with("atdsched/src/lib.rs")),
+        "the wholesale wrap is a complete bridge, got {bridge:?}"
+    );
+}
+
 #[test]
 fn panic_reachable_deep_chain_flagged_at_entry_with_chain() {
     let a = violations();

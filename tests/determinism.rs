@@ -166,3 +166,48 @@ fn application_streams_are_domain_separated() {
     let ratio = f64::from(agree) / f64::from(PAIRS);
     assert!((ratio - 0.5).abs() < 0.05, "channel seeds correlated: agree ratio {ratio}");
 }
+
+/// The service layer preserves the determinism contract end to end: a
+/// shmoo submitted through the THP/1 loopback (encode → decode → schedule
+/// → execute → encode → decode) is byte-identical to the same shmoo run
+/// directly on a pool, and the round trip itself is invariant to the
+/// daemon's worker count.
+#[test]
+fn loopback_submitted_shmoo_matches_direct_run_at_any_thread_count() {
+    use atd::scheduler::Scheduler;
+    use atd::{Client, JobResult, JobSpec, Loopback, Provenance, Service, Submitted};
+    use exec::ExecPool;
+    use minitester::{MiniTesterDatapath, ShmooConfig, ShmooPlot};
+
+    let rate = DataRate::from_gbps(2.5);
+    let config = ShmooConfig::pecl();
+    let spec = JobSpec::shmoo(rate, 256, 17, &config, 5);
+
+    // Direct run, no service in the path.
+    let mut path = MiniTesterDatapath::new().unwrap();
+    let expected = path.expected_prbs(rate, 256).unwrap();
+    let mut stim = MiniTesterDatapath::new().unwrap();
+    let wave = stim.prbs_stimulus(rate, 256, 17).unwrap();
+    let pool = ExecPool::new(2);
+    let plot = ShmooPlot::run_with_pool(&wave, rate, &expected, &config, 5, &pool).unwrap();
+    let direct = JobResult::from_shmoo(&plot).unwrap().encoded().unwrap();
+
+    // The same spec through the wire protocol, on daemons of width 1 and 4.
+    let mut submitted = Vec::new();
+    for threads in [1, 4] {
+        let service = Service::new(ExecPool::new(threads), Scheduler::new(8, 8));
+        let mut client = Client::new(Loopback::new(service));
+        let done = client.submit(1, spec).unwrap();
+        let Submitted::Done { provenance, result, .. } = done else {
+            panic!("expected Done, got {done:?}");
+        };
+        assert_eq!(provenance, Provenance::Computed);
+        submitted.push(result.encoded().unwrap());
+    }
+
+    assert_eq!(submitted[0], direct, "1-thread daemon differs from the direct run");
+    assert_eq!(submitted[1], direct, "4-thread daemon differs from the direct run");
+    let mut reader = atd::wire::Reader::new(&submitted[0]);
+    let decoded = JobResult::decode(&mut reader).unwrap();
+    assert_eq!(plot.to_string(), decoded.rendered(), "rendered plot must survive the wire");
+}

@@ -1,0 +1,211 @@
+//! Golden wire vectors for THP/1.
+//!
+//! These byte sequences are frozen: a failure here means the wire format
+//! changed, which breaks every deployed client/daemon pair. Bump
+//! [`atd::wire::VERSION`] instead of editing a vector.
+
+use atd::cache::fnv1a64;
+use atd::proto::msg;
+use atd::wire::{self, FrameError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+use atd::{JobSpec, Request, Response};
+use pstime::{DataRate, Duration};
+
+/// `Ping { token: 0x0123_4567_89AB_CDEF }`, frozen on the wire.
+const PING_FRAME: [u8; 20] = [
+    0x54, 0x48, 0x50, 0x31, // magic "THP1"
+    0x01, // version 1
+    0x01, // PING
+    0x00, 0x00, // reserved
+    0x00, 0x00, 0x00, 0x08, // payload length 8
+    0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, // token, big-endian
+];
+
+/// `Submit { session: 7, spec: bathtub(3 ps, 20 ps, 2.5 Gb/s, 0.5, 101) }`.
+const SUBMIT_BATHTUB_FRAME: [u8; 53] = [
+    0x54, 0x48, 0x50, 0x31, // magic
+    0x01, // version
+    0x03, // SUBMIT
+    0x00, 0x00, // reserved
+    0x00, 0x00, 0x00, 0x29, // payload length 41
+    0x00, 0x00, 0x00, 0x07, // session 7
+    0x04, // spec tag: bathtub
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0B, 0xB8, // rj_rms = 3_000 fs
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4E, 0x20, // dj_pp = 20_000 fs
+    0x00, 0x00, 0x00, 0x00, 0x95, 0x02, 0xF9, 0x00, // rate = 2_500_000_000 bps
+    0x3F, 0xE0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // transition density 0.5
+    0x00, 0x00, 0x00, 0x65, // points 101
+];
+
+fn golden_ping() -> Request {
+    Request::Ping { token: 0x0123_4567_89AB_CDEF }
+}
+
+fn golden_submit() -> Request {
+    Request::Submit {
+        session: 7,
+        spec: JobSpec::bathtub(
+            Duration::from_ps(3),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+            101,
+        ),
+    }
+}
+
+#[test]
+fn ping_frame_matches_golden_bytes() {
+    assert_eq!(golden_ping().to_frame().unwrap(), PING_FRAME);
+    assert_eq!(Request::from_frame(&PING_FRAME).unwrap(), golden_ping());
+}
+
+#[test]
+fn submit_frame_matches_golden_bytes() {
+    assert_eq!(golden_submit().to_frame().unwrap(), SUBMIT_BATHTUB_FRAME);
+    assert_eq!(Request::from_frame(&SUBMIT_BATHTUB_FRAME).unwrap(), golden_submit());
+}
+
+/// The cache key is the spec's canonical bytes; its FNV-1a digest is part
+/// of the deployed contract (canary output prints it).
+#[test]
+fn bathtub_cache_key_is_frozen() {
+    let Request::Submit { spec, .. } = golden_submit() else { unreachable!() };
+    let key = spec.key_bytes();
+    assert_eq!(key, &SUBMIT_BATHTUB_FRAME[16..]);
+    assert_eq!(fnv1a64(&key), 0x6B67_8C1A_D11E_E228);
+}
+
+/// Payload-free control messages are a bare 12-byte header.
+#[test]
+fn control_frames_are_bare_headers() {
+    for (request, code) in [(Request::GetStats, msg::GET_STATS), (Request::Shutdown, msg::SHUTDOWN)]
+    {
+        let frame = request.to_frame().unwrap();
+        assert_eq!(frame.len(), HEADER_LEN);
+        assert_eq!(&frame[..4], &MAGIC);
+        assert_eq!(frame[4], VERSION);
+        assert_eq!(frame[5], code);
+        assert_eq!(&frame[6..], &[0, 0, 0, 0, 0, 0]);
+    }
+    let goodbye = Response::Goodbye.to_frame().unwrap();
+    assert_eq!(goodbye.len(), HEADER_LEN);
+    assert_eq!(goodbye[5], msg::GOODBYE);
+}
+
+/// Every strict prefix of a valid frame is rejected — no partial decode
+/// ever succeeds, and header-level truncation reports exact counts.
+#[test]
+fn every_truncation_is_rejected() {
+    for cut in 0..SUBMIT_BATHTUB_FRAME.len() {
+        let err = wire::decode_frame(&SUBMIT_BATHTUB_FRAME[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {cut} bytes decoded"));
+        if cut < HEADER_LEN {
+            assert_eq!(err, FrameError::Truncated { needed: HEADER_LEN, have: cut });
+        } else {
+            assert_eq!(err, FrameError::Truncated { needed: 41, have: cut - HEADER_LEN });
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut frame = PING_FRAME;
+    frame[3] = b'2'; // "THP2"
+    assert_eq!(wire::decode_frame(&frame), Err(FrameError::BadMagic { found: *b"THP2" }));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut frame = PING_FRAME;
+    frame[4] = 2;
+    assert_eq!(wire::decode_frame(&frame), Err(FrameError::UnsupportedVersion { found: 2 }));
+}
+
+#[test]
+fn reserved_bytes_must_be_zero() {
+    let mut frame = PING_FRAME;
+    frame[7] = 0xFF;
+    assert_eq!(wire::decode_frame(&frame), Err(FrameError::ReservedNonZero { found: 0x00FF }));
+}
+
+/// A header declaring more than [`MAX_PAYLOAD`] bytes is rejected before
+/// any payload allocation — the hostile-length guard.
+#[test]
+fn oversized_declared_length_is_rejected() {
+    let mut frame = PING_FRAME.to_vec();
+    let too_big = MAX_PAYLOAD + 1;
+    frame[8..12].copy_from_slice(&too_big.to_be_bytes());
+    assert_eq!(
+        wire::decode_header(&frame),
+        Err(FrameError::Oversized { len: too_big, max: MAX_PAYLOAD })
+    );
+}
+
+#[test]
+fn unknown_message_type_is_rejected() {
+    let frame = wire::encode_frame(0x7F, &[]).unwrap();
+    assert_eq!(Request::from_frame(&frame), Err(FrameError::UnknownType { code: 0x7F }));
+    assert_eq!(Response::from_frame(&frame), Err(FrameError::UnknownType { code: 0x7F }));
+}
+
+/// Response-only codes are not requests, and vice versa: the two decoders
+/// reject each other's vocabulary.
+#[test]
+fn decoders_reject_the_other_direction() {
+    let pong = wire::encode_frame(msg::PONG, &[0; 8]).unwrap();
+    assert_eq!(Request::from_frame(&pong), Err(FrameError::UnknownType { code: msg::PONG }));
+    let ping = golden_ping().to_frame().unwrap();
+    assert_eq!(Response::from_frame(&ping), Err(FrameError::UnknownType { code: msg::PING }));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    // After the declared payload length.
+    let mut frame = PING_FRAME.to_vec();
+    frame.push(0xAA);
+    assert_eq!(wire::decode_frame(&frame), Err(FrameError::TrailingBytes { extra: 1 }));
+
+    // Inside the payload: length says 9 but the grammar consumes 8.
+    let padded = wire::encode_frame(msg::PING, &[0x01; 9]).unwrap();
+    assert_eq!(Request::from_frame(&padded), Err(FrameError::TrailingBytes { extra: 1 }));
+}
+
+/// An out-of-domain field decodes as `BadPayload`, not a panic and not a
+/// spec: a bathtub with transition density 0 is rejected at the wire.
+#[test]
+fn out_of_domain_spec_is_rejected_at_decode() {
+    let mut frame = SUBMIT_BATHTUB_FRAME;
+    // Zero the transition-density f64 (bytes 41..49 of the frame).
+    for byte in &mut frame[41..49] {
+        *byte = 0;
+    }
+    assert_eq!(
+        Request::from_frame(&frame),
+        Err(FrameError::BadPayload { context: "transition density must be in (0, 1]" })
+    );
+}
+
+/// Encode → decode → encode is the identity on bytes for a representative
+/// message of every type code.
+#[test]
+fn re_encoding_is_byte_stable() {
+    let specs = vec![JobSpec::eye(DataRate::from_gbps(2.5), 128, 3, 9), golden_submit_spec()];
+    let requests = vec![
+        golden_ping(),
+        Request::GetStats,
+        golden_submit(),
+        Request::SubmitBatch { session: 2, specs },
+        Request::Shutdown,
+    ];
+    for request in requests {
+        let frame = request.to_frame().unwrap();
+        let again = Request::from_frame(&frame).unwrap().to_frame().unwrap();
+        assert_eq!(frame, again, "{request:?}");
+    }
+}
+
+fn golden_submit_spec() -> JobSpec {
+    let Request::Submit { spec, .. } = golden_submit() else { unreachable!() };
+    spec
+}
