@@ -39,6 +39,33 @@ pub mod msg {
     pub const GOODBYE: u8 = 0x87;
 }
 
+/// Admission bounds on work magnitude, enforced by [`JobSpec::validate`]
+/// alongside the domain checks.
+///
+/// The wire format can describe jobs (4 G dies, femtosecond phase steps
+/// over megahertz unit intervals, u32::MAX sweep points) that would pin
+/// the daemon for hours or exhaust memory — a denial of service from one
+/// well-formed frame. These ceilings are far above anything the modeled
+/// instrument runs (the paper's workloads use hundreds of dies, hundreds
+/// of cells, and ≤ 4 Ki-bit patterns) but finite, so a hostile-but-valid
+/// spec is shed with a typed `BadPayload` instead of executed.
+pub mod limits {
+    /// Minimum data rate any spec may name, 1 Mb/s. Besides keeping specs
+    /// in the instrument's plausible range, this caps the unit interval at
+    /// 1 µs, which bounds the eye scan at 100 000 strobe steps of the
+    /// 10 ps vernier.
+    pub const MIN_RATE_BPS: u64 = 1_000_000;
+    /// Maximum PRBS stimulus length in bits (shmoo, eye, per-die wafer
+    /// test content).
+    pub const MAX_BITS: u32 = 1 << 16;
+    /// Maximum dies per wafer run, and maximum probe-array sites.
+    pub const MAX_DIES: u32 = 16_384;
+    /// Maximum (threshold × strobe-phase) cells in one shmoo grid.
+    pub const MAX_SHMOO_CELLS: u64 = 1 << 14;
+    /// Maximum points in a bathtub sweep.
+    pub const MAX_SWEEP_POINTS: u32 = 1 << 16;
+}
+
 /// How a result was produced, reported with every completed job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Provenance {
@@ -201,27 +228,81 @@ impl JobSpec {
         }
     }
 
-    /// Checks every field against its domain — the gate both decoding and
-    /// execution pass through, so a malformed spec becomes a typed error
-    /// rather than a panic deep inside a workload constructor.
+    /// Checks every field against its domain and every derived work
+    /// magnitude against [`limits`] — the gate both decoding and execution
+    /// pass through, so a malformed spec becomes a typed error rather than
+    /// a panic deep inside a workload constructor, and a hostile-but-
+    /// well-formed spec is shed instead of pinning the daemon.
     ///
     /// # Errors
     ///
     /// [`FrameError::BadPayload`] naming the offending field.
     pub fn validate(&self) -> Result<(), FrameError> {
         let bad = |context| Err(FrameError::BadPayload { context });
+        let check_rate = |rate_bps: u64| {
+            if rate_bps < limits::MIN_RATE_BPS {
+                bad("data rate below the 1 Mb/s service minimum")
+            } else {
+                Ok(())
+            }
+        };
         match *self {
-            JobSpec::Shmoo { rate_bps, .. } | JobSpec::Eye { rate_bps, .. } => {
-                if rate_bps == 0 {
-                    return bad("data rate must be nonzero");
+            JobSpec::Shmoo {
+                rate_bps,
+                bits,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                ..
+            } => {
+                check_rate(rate_bps)?;
+                if bits > limits::MAX_BITS {
+                    return bad("stimulus length exceeds the bits ceiling");
+                }
+                if phase_step_fs <= 0 {
+                    return bad("phase step must be positive");
+                }
+                if v_step_mv <= 0 || v_end_mv < v_start_mv {
+                    return bad("voltage sweep must be ascending with positive step");
+                }
+                // Grid size in wide arithmetic: an i32 span and an i64
+                // phase count both fit i128 exactly, so a sweep spanning
+                // the whole i32 range (which would overflow the native
+                // `v += v_step` walk) is measured, not executed.
+                let span = i64::from(v_end_mv) - i64::from(v_start_mv);
+                let thresholds = span / i64::from(v_step_mv) + 1;
+                let ui_fs = DataRate::from_bps(rate_bps).unit_interval().as_fs();
+                let phases = (ui_fs / phase_step_fs + i64::from(ui_fs % phase_step_fs != 0)).max(1);
+                let cells = i128::from(thresholds) * i128::from(phases);
+                if cells > i128::from(limits::MAX_SHMOO_CELLS) {
+                    return bad("shmoo grid exceeds the cell ceiling");
                 }
             }
-            JobSpec::Wafer { sites, hard_defect_rate, marginal_rate, rate_bps, .. } => {
-                if rate_bps == 0 {
-                    return bad("data rate must be nonzero");
+            JobSpec::Eye { rate_bps, bits, .. } => {
+                check_rate(rate_bps)?;
+                if bits > limits::MAX_BITS {
+                    return bad("stimulus length exceeds the bits ceiling");
                 }
+            }
+            JobSpec::Wafer {
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                ..
+            } => {
+                check_rate(rate_bps)?;
                 if sites == 0 {
                     return bad("wafer run needs at least one site");
+                }
+                if dies > limits::MAX_DIES || sites > limits::MAX_DIES {
+                    return bad("wafer run exceeds the die ceiling");
+                }
+                if test_bits > limits::MAX_BITS {
+                    return bad("stimulus length exceeds the bits ceiling");
                 }
                 for rate in [hard_defect_rate, marginal_rate] {
                     if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
@@ -229,10 +310,8 @@ impl JobSpec {
                     }
                 }
             }
-            JobSpec::Bathtub { rj_rms_fs, dj_pp_fs, rate_bps, transition_density, .. } => {
-                if rate_bps == 0 {
-                    return bad("data rate must be nonzero");
-                }
+            JobSpec::Bathtub { rj_rms_fs, dj_pp_fs, rate_bps, transition_density, points } => {
+                check_rate(rate_bps)?;
                 if rj_rms_fs < 0 || dj_pp_fs < 0 {
                     return bad("jitter terms must be nonnegative");
                 }
@@ -241,6 +320,9 @@ impl JobSpec {
                     && transition_density <= 1.0)
                 {
                     return bad("transition density must be in (0, 1]");
+                }
+                if points > limits::MAX_SWEEP_POINTS {
+                    return bad("sweep exceeds the point ceiling");
                 }
             }
         }
@@ -1005,6 +1087,12 @@ mod tests {
         }
     }
 
+    const GBPS: u64 = 2_500_000_000;
+
+    fn pecl_shmoo() -> JobSpec {
+        JobSpec::shmoo(DataRate::from_gbps(2.5), 256, 17, &minitester::ShmooConfig::pecl(), 5)
+    }
+
     #[test]
     fn invalid_specs_rejected() {
         let cases = [
@@ -1024,7 +1112,7 @@ mod tests {
                 sites: 0,
                 hard_defect_rate: 0.0,
                 marginal_rate: 0.0,
-                rate_bps: 1,
+                rate_bps: GBPS,
                 test_bits: 1,
                 seed: 0,
             },
@@ -1034,7 +1122,7 @@ mod tests {
                 sites: 1,
                 hard_defect_rate: f64::NAN,
                 marginal_rate: 0.0,
-                rate_bps: 1,
+                rate_bps: GBPS,
                 test_bits: 1,
                 seed: 0,
             },
@@ -1042,14 +1130,14 @@ mod tests {
             JobSpec::Bathtub {
                 rj_rms_fs: -1,
                 dj_pp_fs: 0,
-                rate_bps: 1,
+                rate_bps: GBPS,
                 transition_density: 0.5,
                 points: 2,
             },
             JobSpec::Bathtub {
                 rj_rms_fs: 0,
                 dj_pp_fs: 0,
-                rate_bps: 1,
+                rate_bps: GBPS,
                 transition_density: 0.0,
                 points: 2,
             },
@@ -1060,6 +1148,155 @@ mod tests {
             let bytes = spec.key_bytes();
             let mut r = Reader::new(&bytes);
             assert!(JobSpec::decode(&mut r).is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_magnitude_specs_rejected() {
+        // Every case is well-formed on the wire but describes work that
+        // would pin the daemon (or overflow a workload constructor);
+        // validation must shed each one as a typed BadPayload.
+        let cases = [
+            // The reviewer repro: a voltage sweep spanning the whole i32
+            // range used to pass validation and overflow (or OOM) inside
+            // ShmooConfig::voltage_points.
+            JobSpec::Shmoo {
+                rate_bps: GBPS,
+                bits: 256,
+                stim_seed: 0,
+                phase_step_fs: 400_000,
+                v_start_mv: i32::MIN + 1,
+                v_end_mv: i32::MAX - 1,
+                v_step_mv: 1,
+                seed: 0,
+            },
+            // Femtosecond strobe steps over a full UI: ~4e8 grid columns.
+            JobSpec::Shmoo {
+                rate_bps: GBPS,
+                bits: 256,
+                stim_seed: 0,
+                phase_step_fs: 1,
+                v_start_mv: -1650,
+                v_end_mv: -950,
+                v_step_mv: 50,
+                seed: 0,
+            },
+            // Inverted and zero-step sweeps, previously only caught deep in
+            // the workload.
+            JobSpec::Shmoo {
+                rate_bps: GBPS,
+                bits: 256,
+                stim_seed: 0,
+                phase_step_fs: 400_000,
+                v_start_mv: -950,
+                v_end_mv: -1650,
+                v_step_mv: 50,
+                seed: 0,
+            },
+            JobSpec::Shmoo {
+                rate_bps: GBPS,
+                bits: 256,
+                stim_seed: 0,
+                phase_step_fs: 0,
+                v_start_mv: -1650,
+                v_end_mv: -950,
+                v_step_mv: 50,
+                seed: 0,
+            },
+            // Multi-gigabit pattern memory.
+            JobSpec::Shmoo {
+                rate_bps: GBPS,
+                bits: u32::MAX,
+                stim_seed: 0,
+                phase_step_fs: 400_000,
+                v_start_mv: -1650,
+                v_end_mv: -950,
+                v_step_mv: 50,
+                seed: 0,
+            },
+            // rate_bps = 1 gives a ~1e8-step eye scan.
+            JobSpec::Eye { rate_bps: 1, bits: 256, stim_seed: 0, seed: 0 },
+            JobSpec::Eye { rate_bps: GBPS, bits: u32::MAX, stim_seed: 0, seed: 0 },
+            // 4 G dies, each booting a full MiniTester.
+            JobSpec::Wafer {
+                columns: 64,
+                dies: u32::MAX,
+                sites: 16,
+                hard_defect_rate: 0.0,
+                marginal_rate: 0.0,
+                rate_bps: GBPS,
+                test_bits: 256,
+                seed: 0,
+            },
+            JobSpec::Wafer {
+                columns: 64,
+                dies: 64,
+                sites: u32::MAX,
+                hard_defect_rate: 0.0,
+                marginal_rate: 0.0,
+                rate_bps: GBPS,
+                test_bits: 256,
+                seed: 0,
+            },
+            JobSpec::Wafer {
+                columns: 64,
+                dies: 64,
+                sites: 16,
+                hard_defect_rate: 0.0,
+                marginal_rate: 0.0,
+                rate_bps: GBPS,
+                test_bits: u32::MAX,
+                seed: 0,
+            },
+            JobSpec::Bathtub {
+                rj_rms_fs: 3_200,
+                dj_pp_fs: 20_000,
+                rate_bps: GBPS,
+                transition_density: 0.5,
+                points: u32::MAX,
+            },
+        ];
+        for spec in cases {
+            assert!(matches!(spec.validate(), Err(FrameError::BadPayload { .. })), "{spec:?}");
+            // The same rejection fires on the decode path, so a hostile
+            // frame never reaches the scheduler.
+            let bytes = spec.key_bytes();
+            let mut r = Reader::new(&bytes);
+            assert!(JobSpec::decode(&mut r).is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn magnitude_caps_are_inclusive() {
+        // Specs sitting exactly on the ceilings are still valid work.
+        let at_cap = [
+            pecl_shmoo(),
+            JobSpec::Eye {
+                rate_bps: limits::MIN_RATE_BPS,
+                bits: limits::MAX_BITS,
+                stim_seed: 0,
+                seed: 0,
+            },
+            JobSpec::Wafer {
+                columns: 128,
+                dies: limits::MAX_DIES,
+                sites: limits::MAX_DIES,
+                hard_defect_rate: 0.02,
+                marginal_rate: 0.05,
+                rate_bps: limits::MIN_RATE_BPS,
+                test_bits: limits::MAX_BITS,
+                seed: 0,
+            },
+            JobSpec::Bathtub {
+                rj_rms_fs: 3_200,
+                dj_pp_fs: 20_000,
+                rate_bps: limits::MIN_RATE_BPS,
+                transition_density: 1.0,
+                points: limits::MAX_SWEEP_POINTS,
+            },
+        ];
+        for spec in at_cap {
+            assert!(spec.validate().is_ok(), "{spec:?}");
         }
     }
 

@@ -193,7 +193,11 @@ impl Scheduler {
                 (Provenance::Batched, Ok(result.clone()))
             } else if let Some(result) = self.cache.get(&key) {
                 self.stats.cache_hits += 1;
-                (Provenance::Cache, Ok(result.clone()))
+                let result = result.clone();
+                // A cache hit also counts as this drain's first occurrence:
+                // later duplicates coalesce to Batched, as documented.
+                computed.insert(key, result.clone());
+                (Provenance::Cache, Ok(result))
             } else {
                 match workload::execute(&pending.spec, pool) {
                     Ok(result) => {
@@ -294,6 +298,23 @@ mod tests {
         assert_eq!(bytes[0], bytes[1]);
         assert_eq!(bytes[0], bytes[2]);
         assert_eq!(sched.stats().batched, 2);
+    }
+
+    #[test]
+    fn duplicates_of_a_cache_hit_coalesce_to_batched() {
+        // Documented drain semantics: only the first occurrence in a drain
+        // is Cache; repeats coalesce to Batched (and are counted as such).
+        let mut sched = Scheduler::new(16, 16);
+        let pool = ExecPool::serial();
+        sched.submit(1, &[bathtub(51)]);
+        sched.drain(&pool);
+        sched.submit(1, &[bathtub(51), bathtub(51), bathtub(51)]);
+        let done = sched.drain(&pool);
+        let provenances: Vec<Provenance> = done.iter().map(|c| c.provenance).collect();
+        assert_eq!(provenances, vec![Provenance::Cache, Provenance::Batched, Provenance::Batched]);
+        let stats = sched.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.batched, 2);
     }
 
     #[test]

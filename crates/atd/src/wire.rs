@@ -61,12 +61,17 @@ pub enum FrameError {
         /// The value found.
         found: u16,
     },
-    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    /// A length exceeded its ceiling: a declared payload beyond
+    /// [`MAX_PAYLOAD`], a payload being encoded that cannot fit a frame,
+    /// or a sequence count beyond u32. `len` is the actual offending
+    /// length and `max` the ceiling it broke, so diagnostics and golden
+    /// tests see real magnitudes.
     Oversized {
-        /// Declared payload length.
-        len: u32,
+        /// The offending length (saturated into u64 if it exceeds even
+        /// that).
+        len: u64,
         /// The ceiling it exceeded.
-        max: u32,
+        max: u64,
     },
     /// The message-type code is not part of THP/1.
     UnknownType {
@@ -118,10 +123,12 @@ impl std::error::Error for FrameError {}
 ///
 /// [`FrameError::Oversized`] if `payload` exceeds [`MAX_PAYLOAD`].
 pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
-    let len = u32::try_from(payload.len())
-        .ok()
-        .filter(|l| *l <= MAX_PAYLOAD)
-        .ok_or(FrameError::Oversized { len: u32::MAX, max: MAX_PAYLOAD })?;
+    let len = u32::try_from(payload.len()).ok().filter(|l| *l <= MAX_PAYLOAD).ok_or(
+        FrameError::Oversized {
+            len: u64::try_from(payload.len()).unwrap_or(u64::MAX),
+            max: u64::from(MAX_PAYLOAD),
+        },
+    )?;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -159,7 +166,7 @@ pub fn decode_header(header: &[u8]) -> Result<(u8, usize), FrameError> {
     }
     let len = u32::from_be_bytes(read4(header, 8)?);
     if len > MAX_PAYLOAD {
-        return Err(FrameError::Oversized { len, max: MAX_PAYLOAD });
+        return Err(FrameError::Oversized { len: u64::from(len), max: u64::from(MAX_PAYLOAD) });
     }
     let len = usize::try_from(len).map_err(|_| FrameError::BadPayload {
         context: "frame length exceeds the address space",
@@ -264,8 +271,10 @@ impl Writer {
     ///
     /// [`FrameError::Oversized`] if the count does not fit in u32.
     pub fn count(&mut self, n: usize) -> Result<(), FrameError> {
-        let n = u32::try_from(n)
-            .map_err(|_| FrameError::Oversized { len: u32::MAX, max: MAX_PAYLOAD })?;
+        let n = u32::try_from(n).map_err(|_| FrameError::Oversized {
+            len: u64::try_from(n).unwrap_or(u64::MAX),
+            max: u64::from(u32::MAX),
+        })?;
         self.u32(n);
         Ok(())
     }
@@ -478,6 +487,35 @@ mod tests {
         let mut long = good.clone();
         long.push(0xFF);
         assert_eq!(decode_frame(&long), Err(FrameError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn oversized_errors_carry_the_actual_length() {
+        // A payload one byte past the ceiling: the error names its real
+        // size, not a sentinel.
+        let payload = vec![0u8; usize::try_from(MAX_PAYLOAD).unwrap() + 1];
+        assert_eq!(
+            encode_frame(0x01, &payload),
+            Err(FrameError::Oversized {
+                len: u64::from(MAX_PAYLOAD) + 1,
+                max: u64::from(MAX_PAYLOAD),
+            })
+        );
+
+        // A sequence count past u32: the ceiling reported is the count
+        // ceiling (u32::MAX), not the payload ceiling.
+        #[cfg(target_pointer_width = "64")]
+        {
+            let n = usize::try_from(u64::from(u32::MAX) + 7).unwrap();
+            let mut w = Writer::new();
+            assert_eq!(
+                w.count(n),
+                Err(FrameError::Oversized {
+                    len: u64::from(u32::MAX) + 7,
+                    max: u64::from(u32::MAX),
+                })
+            );
+        }
     }
 
     #[test]

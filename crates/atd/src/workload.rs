@@ -157,7 +157,24 @@ mod tests {
 
     #[test]
     fn failing_workload_propagates_its_error() {
-        // An inverted voltage sweep: rejected by the shmoo validator.
+        // A one-point bathtub passes spec validation (only a ceiling is
+        // enforced there) but the sweep itself needs both crossovers: the
+        // signal-layer error must come back typed.
+        let pool = ExecPool::serial();
+        let spec = JobSpec::Bathtub {
+            rj_rms_fs: 3_200,
+            dj_pp_fs: 20_000,
+            rate_bps: DataRate::from_gbps(2.5).as_bps(),
+            transition_density: 0.5,
+            points: 1,
+        };
+        assert!(matches!(execute(&spec, &pool), Err(AtdError::Signal(_))));
+    }
+
+    #[test]
+    fn hostile_spec_is_shed_before_any_workload_runs() {
+        // An inverted voltage sweep is now rejected by JobSpec::validate
+        // (a Frame error), never reaching the shmoo constructor.
         let pool = ExecPool::serial();
         let spec = JobSpec::Shmoo {
             rate_bps: DataRate::from_gbps(2.5).as_bps(),
@@ -169,6 +186,6 @@ mod tests {
             v_step_mv: 50,
             seed: 1,
         };
-        assert!(matches!(execute(&spec, &pool), Err(AtdError::MiniTester(_))));
+        assert!(matches!(execute(&spec, &pool), Err(AtdError::Frame(_))));
     }
 }

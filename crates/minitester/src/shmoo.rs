@@ -58,7 +58,13 @@ impl ShmooConfig {
         let mut points = Vec::new();
         while v <= self.v_end {
             points.push(v);
-            v += self.v_step;
+            // A sweep ending near i32::MAX would overflow `v + v_step`
+            // (panic under overflow-checks, an endless wrap-around loop in
+            // release); past the representable range the sweep is over.
+            match v.as_mv().checked_add(self.v_step.as_mv()) {
+                Some(next) => v = Millivolts::new(next),
+                None => break,
+            }
         }
         points
     }
@@ -90,7 +96,10 @@ impl exec::PoolJob for ShmooJob<'_> {
         self.config.validate()?;
         let ui = self.rate.unit_interval();
         let step_fs = self.config.phase_step.as_fs();
-        let n_phases = ((ui.as_fs() + step_fs - 1) / step_fs).max(1) as usize;
+        // Ceiling division without the `ui + step - 1` intermediate, which
+        // overflows i64 for a step near i64::MAX.
+        let n_phases =
+            (ui.as_fs() / step_fs + i64::from(ui.as_fs() % step_fs != 0)).max(1) as usize;
         let phases: Vec<Duration> =
             (0..n_phases).map(|k| self.config.phase_step * k as i64).collect();
         let thresholds = self.config.voltage_points();
@@ -311,6 +320,32 @@ mod tests {
         let plot = ShmooPlot::run(&wave, rate, &expected, &config, 4).unwrap();
         assert_eq!(plot.pass_ratio(), 0.0);
         assert!(plot.best_operating_point().is_none());
+    }
+
+    #[test]
+    fn voltage_sweep_near_i32_max_terminates() {
+        // Overflow in the `v += v_step` walk used to panic (debug) or loop
+        // forever (release); the sweep now ends at the representable edge.
+        let config = ShmooConfig {
+            v_start: Millivolts::new(i32::MAX - 10),
+            v_end: Millivolts::new(i32::MAX),
+            v_step: Millivolts::new(3),
+            ..ShmooConfig::pecl()
+        };
+        let points = config.voltage_points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points.first().map(|v| v.as_mv()), Some(i32::MAX - 10));
+        assert_eq!(points.last().map(|v| v.as_mv()), Some(i32::MAX - 1));
+    }
+
+    #[test]
+    fn huge_phase_step_collapses_to_one_column() {
+        // A step near i64::MAX used to overflow the ceiling division's
+        // `ui + step - 1` intermediate; it must mean "one strobe column".
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let config = ShmooConfig { phase_step: Duration::from_fs(i64::MAX), ..ShmooConfig::pecl() };
+        let plot = ShmooPlot::run(&wave, rate, &expected, &config, 1).unwrap();
+        assert_eq!(plot.phases().len(), 1);
     }
 
     #[test]

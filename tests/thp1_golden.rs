@@ -138,7 +138,7 @@ fn oversized_declared_length_is_rejected() {
     frame[8..12].copy_from_slice(&too_big.to_be_bytes());
     assert_eq!(
         wire::decode_header(&frame),
-        Err(FrameError::Oversized { len: too_big, max: MAX_PAYLOAD })
+        Err(FrameError::Oversized { len: u64::from(too_big), max: u64::from(MAX_PAYLOAD) })
     );
 }
 
