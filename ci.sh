@@ -46,3 +46,10 @@ EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd --bin atd-load -
 EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --canary > "$canary_dir/atd4.txt"
 diff "$canary_dir/atd1.txt" "$canary_dir/atd4.txt"
 echo "canary: atd service outputs identical at EXEC_THREADS=1 and 4"
+# THP/2 invariance: the same mix through pipelined sessions — chunked
+# streaming, out-of-order completion, reassembly — must reproduce the
+# exact digests of the serial canary's daemon regardless of pool width.
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_4.txt"
+diff "$canary_dir/thp2_1.txt" "$canary_dir/thp2_4.txt"
+echo "canary: atd pipelined outputs identical at EXEC_THREADS=1 and 4"

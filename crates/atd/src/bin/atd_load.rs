@@ -1,9 +1,11 @@
 //! Closed-loop load generator for the ATE daemon.
 //!
 //! ```text
-//! cargo run --release -p gigatest-atd --bin atd-load                  # timed, TCP
+//! cargo run --release -p gigatest-atd --bin atd-load                  # timed, TCP, THP/1
 //! cargo run --release -p gigatest-atd --bin atd-load -- --requests 2000
 //! cargo run --release -p gigatest-atd --bin atd-load -- --canary     # deterministic
+//! cargo run --release -p gigatest-atd --bin atd-load -- --pipeline 2 --depth 64
+//! cargo run --release -p gigatest-atd --bin atd-load -- --pipeline --canary
 //! ```
 //!
 //! The default mode boots an in-process `atd` daemon on an ephemeral TCP
@@ -14,19 +16,27 @@
 //! doubles as a cache-identity audit — and the run fails on any protocol
 //! error or byte mismatch.
 //!
-//! `--canary` skips sockets and clocks entirely: it drives the loopback
-//! transport with a fixed mix and prints only deterministic bytes (result
-//! digests and service counters). CI runs it under `EXEC_THREADS=1` and
-//! `=4` and diffs the output, extending the workspace's thread-count
-//! invariance proof through the wire protocol, scheduler, and cache.
+//! `--pipeline N` switches to THP/2: N concurrent sessions, each its own
+//! connection keeping a depth-K window (`--depth K`) of correlated
+//! submissions in flight, with every result arriving as a verified chunk
+//! stream. The per-submission latency (submit to terminal event) feeds
+//! the same p50/p99 report.
+//!
+//! `--canary` skips clocks: it drives a fixed mix and prints only
+//! deterministic bytes (result digests and order-independent counters).
+//! CI runs it under `EXEC_THREADS=1` and `=4` and diffs the output —
+//! with and without `--pipeline` — extending the workspace's
+//! thread-count invariance proof through the wire protocol, scheduler,
+//! chunker, and cache.
 
 use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::time::Instant; // xlint::allow(no-wall-clock, load-generator harness: wall time is the measurand here and never feeds back into results)
 
+use atd::stream::Event;
 use atd::{
-    AtdError, BatchSubmitted, Client, JobResult, JobSpec, Loopback, Provenance, Service, Submitted,
-    TcpClient, Transport,
+    AtdError, BatchSubmitted, Client, JobResult, JobSpec, Loopback, PipelinedClient, Provenance,
+    Service, Submitted, TcpClient, Transport,
 };
 use pstime::{DataRate, Duration};
 
@@ -224,8 +234,15 @@ fn canary(requests: u64) -> Result<(), String> {
         tally.jobs, tally.computed, tally.cached, tally.batched, tally.busy, tally.mismatches
     );
     println!(
-        "service: submitted {} completed {} cache_hits {} batched {} shed {} failed {}",
-        stats.submitted, stats.completed, stats.cache_hits, stats.batched, stats.shed, stats.failed
+        "service: submitted {} completed {} cache_hits {} batched {} shed {} failed {} frames_rejected {} connections_failed {}",
+        stats.submitted,
+        stats.completed,
+        stats.cache_hits,
+        stats.batched,
+        stats.shed,
+        stats.failed,
+        stats.frames_rejected,
+        stats.connections_failed
     );
     if tally.mismatches > 0 || tally.protocol_errors > 0 {
         return Err(format!(
@@ -234,6 +251,328 @@ fn canary(requests: u64) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Byte-identity ledger for the streaming path: first-seen FNV-1a digest
+/// of the result bytes per spec key. The digest is accumulated from the
+/// chunk frames as they land (the same bytes the summary verifies), so
+/// repeat identity costs one hash pass instead of a re-encode and
+/// byte-compare per result.
+#[derive(Debug, Default)]
+struct DigestLedger {
+    first_seen: BTreeMap<Vec<u8>, u64>,
+}
+
+impl DigestLedger {
+    /// Records `digest` for `spec`; returns false on a mismatch with the
+    /// first occurrence.
+    fn check(&mut self, spec: &JobSpec, digest: u64) -> bool {
+        let key = spec.key_bytes();
+        match self.first_seen.get(&key) {
+            Some(first) => *first == digest,
+            None => {
+                self.first_seen.insert(key, digest);
+                true
+            }
+        }
+    }
+}
+
+/// One pipelined session's results.
+#[derive(Debug, Default)]
+struct PipeReport {
+    tally: Tally,
+    ledger: DigestLedger,
+    latencies_s: Vec<f64>,
+    chunk_frames: u64,
+}
+
+/// Drives `requests` submissions through one THP/2 connection, keeping a
+/// depth-`depth` window in flight. Submission `i` carries session id
+/// `session_base + (i % session_stride)` and spec `i % table-size` — a
+/// deterministic sliding window over the spec table. Latencies are
+/// recorded per correlation (submit to terminal event) when asked.
+fn run_pipeline(
+    addr: std::net::SocketAddr,
+    specs: &[JobSpec],
+    session_base: u32,
+    session_stride: u32,
+    depth: usize,
+    requests: u64,
+    record_latency: bool,
+) -> Result<PipeReport, String> {
+    let mut client =
+        PipelinedClient::connect(addr).map_err(|e| format!("cannot connect pipeline: {e}"))?;
+    let mut report = PipeReport::default();
+    let mut pending: BTreeMap<u64, (usize, Instant)> = BTreeMap::new();
+    let mut submitted: u64 = 0;
+    // Refill one-for-one: top the window back to `depth` before every
+    // event read. Kernel socket buffering already batches the submissions
+    // into few syscalls, and measured throughput beats a half-depth
+    // hysteresis refill — a drained window leaves the daemon idle for a
+    // full client-daemon handoff on this 1-CPU box.
+    while submitted < requests || client.in_flight() > 0 {
+        while submitted < requests && client.in_flight() < depth.max(1) {
+            let slot = usize::try_from(submitted).unwrap_or(0) % specs.len().max(1);
+            let Some(spec) = specs.get(slot) else {
+                return Err("empty spec table".to_string());
+            };
+            let lane = u32::try_from(submitted % u64::from(session_stride.max(1))).unwrap_or(0);
+            let correlation = client
+                .submit_pipelined(session_base.wrapping_add(lane), *spec)
+                .map_err(|e| format!("submission {submitted} failed: {e}"))?;
+            report.tally.requests += 1;
+            pending.insert(correlation, (slot, Instant::now()));
+            submitted += 1;
+        }
+        match client.next_event().map_err(|e| format!("pipeline event failed: {e}"))? {
+            Event::Chunk { .. } => {
+                report.chunk_frames += 1;
+            }
+            Event::Done { correlation, provenance, digest, .. } => {
+                note_submitted(&mut report.tally, provenance);
+                match pending.remove(&correlation) {
+                    Some((slot, t0)) => {
+                        if record_latency {
+                            report.latencies_s.push(t0.elapsed().as_secs_f64());
+                        }
+                        // `digest` is the stream digest the reassembler
+                        // already verified against the chunk bytes; the
+                        // ledger cross-checks it against every other run
+                        // of the same spec.
+                        let ok = specs
+                            .get(slot)
+                            .map(|spec| report.ledger.check(spec, digest))
+                            .unwrap_or(false);
+                        if !ok {
+                            report.tally.mismatches += 1;
+                        }
+                    }
+                    None => report.tally.protocol_errors += 1,
+                }
+            }
+            Event::Busy { correlation, .. } => {
+                pending.remove(&correlation);
+                report.tally.busy += 1;
+            }
+            Event::Failed { correlation, .. } => {
+                pending.remove(&correlation);
+                report.tally.protocol_errors += 1;
+            }
+            Event::Pong { .. } | Event::Stats { .. } | Event::Goodbye { .. } => {
+                report.tally.protocol_errors += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Boots a daemon and returns its listener address plus join handle.
+fn boot_daemon(
+) -> Result<(std::net::SocketAddr, std::thread::JoinHandle<Result<Service, AtdError>>), String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind daemon: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    let daemon = std::thread::spawn(move || atd::serve(&listener, Service::from_env()));
+    Ok((addr, daemon))
+}
+
+/// Fetches final counters and stops the daemon over a THP/2 session.
+fn finish_daemon(
+    addr: std::net::SocketAddr,
+    daemon: std::thread::JoinHandle<Result<Service, AtdError>>,
+) -> Result<atd::ServiceStats, String> {
+    let mut admin =
+        PipelinedClient::connect(addr).map_err(|e| format!("cannot connect admin: {e}"))?;
+    let stats = admin.stats().map_err(|e| format!("stats failed: {e}"))?;
+    admin.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    daemon
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?
+        .map_err(|e| format!("daemon failed: {e}"))?;
+    Ok(stats)
+}
+
+/// Deterministic pipelined run: one THP/2 connection against a real
+/// daemon, printing per-spec digests and order-independent counters.
+/// Cache-vs-batch provenance depends on how submissions group into drain
+/// cycles (a socket-timing artefact), so only `computed` and the merged
+/// reuse count are printed — both invariant.
+fn pipelined_canary(sessions: u32, depth: usize, requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let (addr, daemon) = boot_daemon()?;
+    let report = run_pipeline(addr, &specs, 0, sessions, depth, requests, false)?;
+    let stats = finish_daemon(addr, daemon)?;
+
+    println!("== atd pipelined canary ==");
+    for spec in &specs {
+        let key = spec.key_bytes();
+        let digest = report.ledger.first_seen.get(&key).copied().unwrap_or_default();
+        println!("{:8} {:016x} {:016x}", spec.kind(), atd::cache::fnv1a64(&key), digest);
+    }
+    println!(
+        "jobs {} computed {} reused {} busy {} mismatches {} chunk_frames {}",
+        report.tally.jobs,
+        report.tally.computed,
+        report.tally.cached + report.tally.batched,
+        report.tally.busy,
+        report.tally.mismatches,
+        report.chunk_frames
+    );
+    println!(
+        "service: submitted {} completed {} shed {} failed {} frames_rejected {} connections_failed {}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed,
+        stats.frames_rejected,
+        stats.connections_failed
+    );
+    if report.tally.mismatches > 0 || report.tally.protocol_errors > 0 {
+        return Err(format!(
+            "pipelined canary saw {} mismatches, {} protocol errors",
+            report.tally.mismatches, report.tally.protocol_errors
+        ));
+    }
+    Ok(())
+}
+
+/// Timed pipelined run: `sessions` worker threads, each its own THP/2
+/// connection and depth-K window; writes `BENCH_atd.json`.
+fn pipelined_bench(sessions: u32, depth: usize, requests: u64) -> Result<(), String> {
+    let (addr, daemon) = boot_daemon()?;
+    eprintln!(
+        "atd-load: daemon on {addr}, {requests} pipelined submissions across {sessions} sessions (depth {depth})"
+    );
+    let specs = spec_table();
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..sessions.max(1) {
+        let specs = specs.clone();
+        let share = requests / u64::from(sessions.max(1))
+            + u64::from(u64::from(worker) < requests % u64::from(sessions.max(1)));
+        handles.push(std::thread::spawn(move || {
+            run_pipeline(addr, &specs, worker, 1, depth, share, true)
+        }));
+    }
+    let mut reports = Vec::new();
+    for handle in handles {
+        reports.push(handle.join().map_err(|_| "worker thread panicked".to_string())??);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let stats = finish_daemon(addr, daemon)?;
+
+    // Merge the per-session reports and cross-check the ledgers: every
+    // session must have seen byte-identical results per spec.
+    let mut tally = Tally::default();
+    let mut latencies_s = Vec::new();
+    let mut chunk_frames: u64 = 0;
+    let mut merged = DigestLedger::default();
+    for report in reports {
+        tally.requests += report.tally.requests;
+        tally.jobs += report.tally.jobs;
+        tally.computed += report.tally.computed;
+        tally.cached += report.tally.cached;
+        tally.batched += report.tally.batched;
+        tally.busy += report.tally.busy;
+        tally.protocol_errors += report.tally.protocol_errors;
+        tally.mismatches += report.tally.mismatches;
+        chunk_frames += report.chunk_frames;
+        latencies_s.extend(report.latencies_s);
+        for (key, digest) in report.ledger.first_seen {
+            match merged.first_seen.get(&key) {
+                Some(first) if *first != digest => tally.mismatches += 1,
+                Some(_) => {}
+                None => {
+                    merged.first_seen.insert(key, digest);
+                }
+            }
+        }
+    }
+
+    let json =
+        render_json(&tally, &stats, &latencies_s, elapsed_s, Some((sessions, depth, chunk_frames)));
+    match std::fs::write("BENCH_atd.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_atd.json"),
+        Err(e) => return Err(format!("failed to write BENCH_atd.json: {e}")),
+    }
+    print!("{json}");
+
+    if tally.protocol_errors > 0 || tally.mismatches > 0 {
+        return Err(format!(
+            "pipelined run saw {} protocol errors, {} result mismatches",
+            tally.protocol_errors, tally.mismatches
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the benchmark report; shared by both timed modes.
+fn render_json(
+    tally: &Tally,
+    stats: &atd::ServiceStats,
+    latencies_s: &[f64],
+    elapsed_s: f64,
+    pipeline: Option<(u32, usize, u64)>,
+) -> String {
+    let mut sorted = latencies_s.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let quantile = |q_permille: u64| -> f64 {
+        let Some(last) = sorted.len().checked_sub(1) else {
+            return 0.0;
+        };
+        let idx = (u64::try_from(last).unwrap_or(0) * q_permille + 500) / 1000;
+        let idx = usize::try_from(idx).unwrap_or(0).min(last);
+        sorted.get(idx).copied().unwrap_or(0.0)
+    };
+    let mean_s = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / to_f64(u64::try_from(sorted.len()).unwrap_or(1))
+    };
+    let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    match pipeline {
+        Some((sessions, depth, chunk_frames)) => {
+            json.push_str("  \"mode\": \"pipelined\",\n");
+            json.push_str(&format!(
+                "  \"pipeline\": {{ \"sessions\": {sessions}, \"depth\": {depth} }},\n"
+            ));
+            json.push_str(&format!("  \"chunk_frames\": {chunk_frames},\n"));
+        }
+        None => json.push_str("  \"mode\": \"serial\",\n"),
+    }
+    json.push_str(&format!("  \"requests\": {},\n", tally.requests));
+    json.push_str(&format!("  \"jobs\": {},\n", tally.jobs));
+    json.push_str(&format!("  \"elapsed_s\": {elapsed_s:.6},\n"));
+    json.push_str(&format!("  \"requests_per_s\": {rps:.1},\n"));
+    json.push_str(&format!("  \"latency_mean_s\": {mean_s:.6},\n"));
+    json.push_str(&format!("  \"latency_p50_s\": {:.6},\n", quantile(500)));
+    json.push_str(&format!("  \"latency_p99_s\": {:.6},\n", quantile(990)));
+    json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", tally.hit_rate()));
+    json.push_str(&format!(
+        "  \"provenance\": {{ \"computed\": {}, \"cached\": {}, \"batched\": {} }},\n",
+        tally.computed, tally.cached, tally.batched
+    ));
+    json.push_str(&format!("  \"busy\": {},\n", tally.busy));
+    json.push_str(&format!("  \"protocol_errors\": {},\n", tally.protocol_errors));
+    json.push_str(&format!("  \"result_mismatches\": {},\n", tally.mismatches));
+    json.push_str(&format!(
+        "  \"service\": {{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {}, \"frames_rejected\": {}, \"connections_failed\": {} }}\n",
+        stats.submitted,
+        stats.completed,
+        stats.cache_hits,
+        stats.batched,
+        stats.shed,
+        stats.failed,
+        stats.frames_rejected,
+        stats.connections_failed
+    ));
+    json.push_str("}\n");
+    json
 }
 
 /// Timed TCP run against an in-process daemon; writes `BENCH_atd.json`.
@@ -268,45 +607,7 @@ fn bench(requests: u64) -> Result<(), String> {
         .map_err(|_| "daemon thread panicked".to_string())?
         .map_err(|e| format!("daemon failed: {e}"))?;
 
-    latencies_s.sort_by(f64::total_cmp);
-    let quantile = |q_permille: u64| -> f64 {
-        let Some(last) = latencies_s.len().checked_sub(1) else {
-            return 0.0;
-        };
-        let idx = (u64::try_from(last).unwrap_or(0) * q_permille + 500) / 1000;
-        let idx = usize::try_from(idx).unwrap_or(0).min(last);
-        latencies_s.get(idx).copied().unwrap_or(0.0)
-    };
-    let mean_s = if latencies_s.is_empty() {
-        0.0
-    } else {
-        latencies_s.iter().sum::<f64>() / to_f64(u64::try_from(latencies_s.len()).unwrap_or(1))
-    };
-    let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"requests\": {},\n", tally.requests));
-    json.push_str(&format!("  \"jobs\": {},\n", tally.jobs));
-    json.push_str(&format!("  \"elapsed_s\": {elapsed_s:.6},\n"));
-    json.push_str(&format!("  \"requests_per_s\": {rps:.1},\n"));
-    json.push_str(&format!("  \"latency_mean_s\": {mean_s:.6},\n"));
-    json.push_str(&format!("  \"latency_p50_s\": {:.6},\n", quantile(500)));
-    json.push_str(&format!("  \"latency_p99_s\": {:.6},\n", quantile(990)));
-    json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", tally.hit_rate()));
-    json.push_str(&format!(
-        "  \"provenance\": {{ \"computed\": {}, \"cached\": {}, \"batched\": {} }},\n",
-        tally.computed, tally.cached, tally.batched
-    ));
-    json.push_str(&format!("  \"busy\": {},\n", tally.busy));
-    json.push_str(&format!("  \"protocol_errors\": {},\n", tally.protocol_errors));
-    json.push_str(&format!("  \"result_mismatches\": {},\n", tally.mismatches));
-    json.push_str(&format!(
-        "  \"service\": {{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {} }}\n",
-        stats.submitted, stats.completed, stats.cache_hits, stats.batched, stats.shed, stats.failed
-    ));
-    json.push_str("}\n");
-
+    let json = render_json(&tally, &stats, &latencies_s, elapsed_s, None);
     match std::fs::write("BENCH_atd.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_atd.json"),
         Err(e) => return Err(format!("failed to write BENCH_atd.json: {e}")),
@@ -322,38 +623,75 @@ fn bench(requests: u64) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_args() -> Result<(bool, u64), String> {
+/// Parsed command line.
+#[derive(Debug)]
+struct Options {
+    canary_mode: bool,
+    /// `Some(sessions)` when `--pipeline` was given.
+    pipeline: Option<u32>,
+    depth: usize,
+    requests: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
     let mut canary_mode = false;
+    let mut pipeline: Option<u32> = None;
+    // Matches the daemon's default per-session cap: the deepest window
+    // that is never shed, and the measured throughput sweet spot.
+    let mut depth: usize = 64;
     let mut requests: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--canary" => canary_mode = true,
+            "--pipeline" => {
+                // Optional session count: `--pipeline 8` or bare `--pipeline`.
+                let sessions = match args.peek().map(|next| next.parse::<u32>()) {
+                    Some(Ok(n)) => {
+                        args.next();
+                        n.max(1)
+                    }
+                    _ => 2,
+                };
+                pipeline = Some(sessions);
+            }
+            "--depth" => {
+                let value = args.next().ok_or("--depth requires a value")?;
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad pipeline depth {value:?}"))?;
+                depth = parsed.max(1);
+            }
             "--requests" => {
                 let value = args.next().ok_or("--requests requires a value")?;
                 requests = Some(value.parse().map_err(|_| format!("bad request count {value:?}"))?);
             }
-            "--help" | "-h" => return Err("usage: atd-load [--canary] [--requests N]".to_string()),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: atd-load [--canary] [--pipeline [N]] [--depth K] [--requests N]"
+                        .to_string(),
+                )
+            }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    // Canary default is small (CI diffs it twice); the timed default is
-    // the full 1000-request mixed stream.
-    let requests = requests.unwrap_or(if canary_mode { 200 } else { 1000 });
-    Ok((canary_mode, requests))
+    // Canary defaults are small (CI diffs them twice); the timed serial
+    // default is the 1000-request mixed stream, and the pipelined timed
+    // default is larger so the measurement amortises daemon start-up.
+    let requests = requests.unwrap_or(match (canary_mode, pipeline.is_some()) {
+        (true, _) => 200,
+        (false, true) => 20_000,
+        (false, false) => 1000,
+    });
+    Ok(Options { canary_mode, pipeline, depth, requests })
 }
 
 fn main() {
-    let result =
-        parse_args().and_then(
-            |(canary_mode, requests)| {
-                if canary_mode {
-                    canary(requests)
-                } else {
-                    bench(requests)
-                }
-            },
-        );
+    let result = parse_args().and_then(|opts| match (opts.canary_mode, opts.pipeline) {
+        (true, Some(sessions)) => pipelined_canary(sessions, opts.depth, opts.requests),
+        (false, Some(sessions)) => pipelined_bench(sessions, opts.depth, opts.requests),
+        (true, None) => canary(opts.requests),
+        (false, None) => bench(opts.requests),
+    });
     if let Err(message) = result {
         eprintln!("atd-load: {message}");
         std::process::exit(2);

@@ -7,9 +7,12 @@
 //! the test head does the heavy lifting locally. This crate reproduces
 //! that arrangement for the simulated instrument stack:
 //!
-//! * [`wire`] — "THP/1", a hand-rolled length-prefixed binary framing
-//!   with typed decode errors. Total: arbitrary bytes from the network
-//!   become [`wire::FrameError`]s, never panics.
+//! * [`wire`] — "THP/1" and "THP/2", hand-rolled length-prefixed binary
+//!   framings with typed decode errors. Total: arbitrary bytes from the
+//!   network become [`wire::FrameError`]s, never panics. THP/2 adds
+//!   client-chosen correlation ids and a STREAM/FINAL flag so responses
+//!   may arrive out of order and in parts; the revision is negotiated by
+//!   [`wire::sniff`] on a connection's first frame.
 //! * [`proto`] — typed requests/responses and the job vocabulary
 //!   ([`JobSpec`] / [`JobResult`]) covering the existing workloads:
 //!   shmoo plots, wafer runs, eye scans, and bathtub sweeps. Encodings
@@ -23,11 +26,19 @@
 //! * [`service`] / [`transport`] / [`server`] — the deterministic core is
 //!   transport-agnostic: the in-memory [`Loopback`] drives the identical
 //!   codec + scheduling path as the `atd` TCP daemon, so the whole
-//!   service is testable without a socket.
+//!   service is testable without a socket. The daemon itself is a
+//!   nonblocking event loop serving many connections concurrently.
+//! * [`stream`] / [`pipeline`] — THP/2 streaming: results are cut into
+//!   semantic chunks (shmoo rows, wafer stripes, eye columns, bathtub
+//!   segments) whose concatenation is byte-identical to the monolithic
+//!   encoding, and [`PipelinedClient`] keeps a depth-K window of
+//!   correlated submissions in flight per connection.
 //!
 //! Configuration: `ATD_QUEUE_DEPTH` and `ATD_CACHE_ENTRIES` override the
-//! admission-queue and cache bounds, with the same lenient
-//! parse-or-default behaviour as `EXEC_THREADS`.
+//! admission-queue and cache bounds, `ATD_PIPELINE_DEPTH` caps the
+//! per-session pipeline, and `ATD_IDLE_TICKS` sets the slow-loris
+//! eviction budget — all with the same lenient parse-or-default
+//! behaviour as `EXEC_THREADS`.
 //!
 //! ## Example: loopback session
 //!
@@ -56,19 +67,23 @@
 
 pub mod cache;
 mod error;
+pub mod pipeline;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
 pub mod service;
+pub mod stream;
 pub mod transport;
 pub mod wire;
 pub mod workload;
 
 pub use error::AtdError;
-pub use proto::{JobResult, JobSpec, Provenance, Request, Response, ServiceStats};
+pub use pipeline::PipelinedClient;
+pub use proto::{JobResult, JobSpec, Provenance, Request, Response, ServiceStats, FAILURE_ID};
 pub use scheduler::{Admission, Completion, Scheduler};
-pub use server::serve;
+pub use server::{serve, serve_with, ServerConfig};
 pub use service::Service;
+pub use stream::{chunk_result, stream_digest, Event, Reassembler, StreamDigest};
 pub use transport::{
     read_frame, write_frame, BatchSubmitted, Client, Loopback, Submitted, TcpClient, Transport,
 };

@@ -37,7 +37,20 @@ pub mod msg {
     pub const BATCH_DONE: u8 = 0x86;
     /// Reply to [`SHUTDOWN`].
     pub const GOODBYE: u8 = 0x87;
+    /// One slice of a streamed THP/2 result (`CHUNK`-flagged frames).
+    pub const CHUNK: u8 = 0x88;
+    /// Terminal summary of a streamed THP/2 result.
+    pub const SUMMARY: u8 = 0x89;
 }
+
+/// The reserved protocol-level failure correlation id (and ticket).
+///
+/// Admission tickets start at 1 and count up, and THP/2 clients may not
+/// choose this value as a correlation id, so a `Failed` reply carrying it
+/// unambiguously means "the failure happened before any job existed" — a
+/// malformed frame, an unknown type code — and can never collide with a
+/// real job the way the old `ticket: 0` sentinel could.
+pub const FAILURE_ID: u64 = u64::MAX;
 
 /// Admission bounds on work magnitude, enforced by [`JobSpec::validate`]
 /// alongside the domain checks.
@@ -776,6 +789,13 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Jobs whose execution failed.
     pub failed: u64,
+    /// Connections the daemon dropped on an error: an I/O failure, a
+    /// peer vanishing mid-frame or mid-pipeline, or a slow-loris
+    /// eviction.
+    pub connections_failed: u64,
+    /// Frames the daemon rejected as malformed (bad magic, unknown type,
+    /// undecodable payload, truncated-then-closed).
+    pub frames_rejected: u64,
     /// Configured queue capacity.
     pub queue_capacity: u32,
     /// Configured cache capacity in entries.
@@ -790,6 +810,8 @@ impl ServiceStats {
         w.u64(self.batched);
         w.u64(self.shed);
         w.u64(self.failed);
+        w.u64(self.connections_failed);
+        w.u64(self.frames_rejected);
         w.u32(self.queue_capacity);
         w.u32(self.cache_capacity);
     }
@@ -802,6 +824,8 @@ impl ServiceStats {
             batched: r.u64()?,
             shed: r.u64()?,
             failed: r.u64()?,
+            connections_failed: r.u64()?,
+            frames_rejected: r.u64()?,
             queue_capacity: r.u32()?,
             cache_capacity: r.u32()?,
         })
@@ -838,12 +862,7 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encodes the request as one THP/1 frame.
-    ///
-    /// # Errors
-    ///
-    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
-    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+    fn parts(&self) -> Result<(u8, Vec<u8>), FrameError> {
         let mut w = Writer::new();
         let ty = match self {
             Request::Ping { token } => {
@@ -866,7 +885,36 @@ impl Request {
             }
             Request::Shutdown => msg::SHUTDOWN,
         };
-        wire::encode_frame(ty, &w.finish())
+        Ok((ty, w.finish()))
+    }
+
+    /// Encodes the request as one THP/1 frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
+    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+        let (ty, payload) = self.parts()?;
+        wire::encode_frame(ty, &payload)
+    }
+
+    /// Encodes the request as one THP/2 frame under `correlation`. The
+    /// payload grammar is identical to THP/1 — only the envelope differs
+    /// — and every request frame is `FINAL` (requests never stream).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame
+    /// ceiling, [`FrameError::BadPayload`] if `correlation` is the
+    /// reserved [`FAILURE_ID`].
+    pub fn to_frame2(&self, correlation: u64) -> Result<Vec<u8>, FrameError> {
+        if correlation == FAILURE_ID {
+            return Err(FrameError::BadPayload {
+                context: "correlation id collides with the reserved failure id",
+            });
+        }
+        let (ty, payload) = self.parts()?;
+        wire::encode_frame2(ty, wire::flag::FINAL, correlation, &payload)
     }
 
     /// Decodes one full frame into a request.
@@ -950,15 +998,34 @@ pub enum Response {
     },
     /// The daemon acknowledges shutdown.
     Goodbye,
+    /// One slice of a streamed THP/2 result: a contiguous byte range of
+    /// the result's canonical encoding. Concatenating a correlation's
+    /// chunks in `seq` order reproduces the monolithic
+    /// [`JobResult::encoded`] bytes exactly.
+    Chunk {
+        /// Zero-based position of this slice in the stream.
+        seq: u32,
+        /// The slice's bytes.
+        bytes: Vec<u8>,
+    },
+    /// Terminal frame of a streamed THP/2 result; carries everything a
+    /// client needs to verify the reassembly before decoding it.
+    Summary {
+        /// The job's admission ticket.
+        ticket: u64,
+        /// How the result was produced.
+        provenance: Provenance,
+        /// How many chunks the stream held.
+        chunks: u32,
+        /// Total bytes across all chunks.
+        total_bytes: u64,
+        /// [`crate::stream::StreamDigest`] of the concatenated chunk bytes.
+        digest: u64,
+    },
 }
 
 impl Response {
-    /// Encodes the response as one THP/1 frame.
-    ///
-    /// # Errors
-    ///
-    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
-    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+    fn parts(&self) -> Result<(u8, Vec<u8>), FrameError> {
         let mut w = Writer::new();
         let ty = match self {
             Response::Pong { token } => {
@@ -1004,8 +1071,68 @@ impl Response {
                 msg::BATCH_DONE
             }
             Response::Goodbye => msg::GOODBYE,
+            Response::Chunk { seq, bytes } => {
+                w.u32(*seq);
+                w.bytes(bytes);
+                msg::CHUNK
+            }
+            Response::Summary { ticket, provenance, chunks, total_bytes, digest } => {
+                w.u64(*ticket);
+                w.u8(provenance.code());
+                w.u32(*chunks);
+                w.u64(*total_bytes);
+                w.u64(*digest);
+                msg::SUMMARY
+            }
         };
-        wire::encode_frame(ty, &w.finish())
+        Ok((ty, w.finish()))
+    }
+
+    /// Encodes the response as one THP/1 frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame
+    /// ceiling, [`FrameError::UnknownType`] for the THP/2-only streaming
+    /// variants (`Chunk` / `Summary`), which THP/1 cannot carry.
+    pub fn to_frame(&self) -> Result<Vec<u8>, FrameError> {
+        if matches!(self, Response::Chunk { .. } | Response::Summary { .. }) {
+            return Err(FrameError::UnknownType { code: self.code() });
+        }
+        let (ty, payload) = self.parts()?;
+        wire::encode_frame(ty, &payload)
+    }
+
+    /// Encodes the response as one THP/2 frame under `correlation`.
+    /// `Chunk` responses get the `CHUNK` flag; everything else is
+    /// `FINAL`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] if the payload exceeds the frame ceiling.
+    pub fn to_frame2(&self, correlation: u64) -> Result<Vec<u8>, FrameError> {
+        let flags = if matches!(self, Response::Chunk { .. }) {
+            wire::flag::CHUNK
+        } else {
+            wire::flag::FINAL
+        };
+        let (ty, payload) = self.parts()?;
+        wire::encode_frame2(ty, flags, correlation, &payload)
+    }
+
+    /// The message-type code this response travels under.
+    pub fn code(&self) -> u8 {
+        match self {
+            Response::Pong { .. } => msg::PONG,
+            Response::StatsReport(_) => msg::STATS_REPORT,
+            Response::JobDone { .. } => msg::JOB_DONE,
+            Response::Busy { .. } => msg::BUSY,
+            Response::Failed { .. } => msg::FAILED,
+            Response::BatchDone { .. } => msg::BATCH_DONE,
+            Response::Goodbye => msg::GOODBYE,
+            Response::Chunk { .. } => msg::CHUNK,
+            Response::Summary { .. } => msg::SUMMARY,
+        }
     }
 
     /// Decodes one full frame into a response.
@@ -1049,6 +1176,14 @@ impl Response {
                 Response::BatchDone { outcomes }
             }
             msg::GOODBYE => Response::Goodbye,
+            msg::CHUNK => Response::Chunk { seq: r.u32()?, bytes: r.take_rest().to_vec() },
+            msg::SUMMARY => Response::Summary {
+                ticket: r.u64()?,
+                provenance: Provenance::decode(r.u8()?)?,
+                chunks: r.u32()?,
+                total_bytes: r.u64()?,
+                digest: r.u64()?,
+            },
             code => return Err(FrameError::UnknownType { code }),
         };
         r.expect_end()?;
@@ -1331,6 +1466,8 @@ mod tests {
                 batched: 1,
                 shed: 1,
                 failed: 1,
+                connections_failed: 2,
+                frames_rejected: 3,
                 queue_capacity: 256,
                 cache_capacity: 64,
             }),
@@ -1348,6 +1485,54 @@ mod tests {
         for resp in responses {
             let frame = resp.to_frame().unwrap();
             assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn streaming_responses_round_trip_on_thp2_only() {
+        let chunk = Response::Chunk { seq: 3, bytes: vec![0xAB, 0, 0xCD] };
+        let summary = Response::Summary {
+            ticket: 12,
+            provenance: Provenance::Computed,
+            chunks: 4,
+            total_bytes: 4096,
+            digest: 0x1234_5678_9ABC_DEF0,
+        };
+        for resp in [chunk.clone(), summary.clone()] {
+            // THP/1 cannot carry the streaming vocabulary.
+            assert!(matches!(resp.to_frame(), Err(FrameError::UnknownType { .. })));
+            let frame = resp.to_frame2(77).unwrap();
+            let (header, payload) = wire::decode_frame2(&frame).unwrap();
+            assert_eq!(header.correlation, 77);
+            assert_eq!(Response::from_parts(header.msg_type, payload).unwrap(), resp);
+        }
+        // Flag assignment: chunks stream, summaries terminate.
+        let (h, _) = wire::decode_frame2(&chunk.to_frame2(1).unwrap()).unwrap();
+        assert_eq!(h.flags, wire::flag::CHUNK);
+        let (h, _) = wire::decode_frame2(&summary.to_frame2(1).unwrap()).unwrap();
+        assert_eq!(h.flags, wire::flag::FINAL);
+    }
+
+    #[test]
+    fn thp2_request_framing_round_trips_and_reserves_the_failure_id() {
+        let requests = vec![
+            Request::Ping { token: 0xFEED_FACE },
+            Request::GetStats,
+            Request::Submit { session: 3, spec: sample_specs().remove(0) },
+            Request::SubmitBatch { session: 9, specs: sample_specs() },
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let frame = req.to_frame2(41).unwrap();
+            let (header, payload) = wire::decode_frame2(&frame).unwrap();
+            assert_eq!(header.correlation, 41);
+            assert_eq!(header.flags, wire::flag::FINAL);
+            assert_eq!(Request::from_parts(header.msg_type, payload).unwrap(), req);
+            // The payload grammar is byte-identical to THP/1 — only the
+            // envelope differs.
+            let v1 = req.to_frame().unwrap();
+            assert_eq!(&v1[wire::HEADER_LEN..], payload);
+            assert!(matches!(req.to_frame2(FAILURE_ID), Err(FrameError::BadPayload { .. })));
         }
     }
 

@@ -138,6 +138,23 @@ impl Scheduler {
         Admission::Accepted(tickets)
     }
 
+    /// Counts a submission shed upstream of the queue (the server's
+    /// per-session pipeline-depth cap) so every `Busy` reply is visible
+    /// in the same counter.
+    pub fn note_shed(&mut self, jobs: u64) {
+        self.stats.shed += jobs;
+    }
+
+    /// Counts a connection the daemon dropped on an error.
+    pub fn note_connection_failed(&mut self) {
+        self.stats.connections_failed += 1;
+    }
+
+    /// Counts a frame the daemon rejected as malformed.
+    pub fn note_frame_rejected(&mut self) {
+        self.stats.frames_rejected += 1;
+    }
+
     /// Executes everything queued and returns the completions in service
     /// order: round-robin across sessions (first-seen order), FIFO within
     /// a session, so no session's backlog can starve another's.
@@ -148,6 +165,16 @@ impl Scheduler {
     /// the cache; errors are never cached, so a failed spec is retried on
     /// its next submission.
     pub fn drain(&mut self, pool: &ExecPool) -> Vec<Completion> {
+        let mut completions = Vec::with_capacity(self.queue.len());
+        self.drain_each(pool, &mut |c| completions.push(c));
+        completions
+    }
+
+    /// [`Scheduler::drain`], streamed: `sink` receives each completion the
+    /// moment the pool finishes it, in the same service order `drain`
+    /// returns, without buffering whole jobs — the event-driven server
+    /// turns each one into outbox frames as it lands.
+    pub fn drain_each(&mut self, pool: &ExecPool, sink: &mut dyn FnMut(Completion)) {
         // Partition the queue per session, preserving first-seen session
         // order and FIFO order inside each session.
         let mut sessions: Vec<(u32, VecDeque<Pending>)> = Vec::new();
@@ -182,7 +209,6 @@ impl Scheduler {
         // per-drain `computed` map keys on full spec bytes (not the FNV
         // hash), so coalescing can never merge colliding specs.
         let mut computed: BTreeMap<Vec<u8>, crate::proto::JobResult> = BTreeMap::new();
-        let mut completions = Vec::with_capacity(order.len());
         for pending in order {
             let key = pending.spec.key_bytes();
             // Coalescing outranks the cache: a spec computed earlier in
@@ -214,14 +240,13 @@ impl Scheduler {
             if outcome.is_ok() {
                 self.stats.completed += 1;
             }
-            completions.push(Completion {
+            sink(Completion {
                 session: pending.session,
                 ticket: pending.ticket,
                 provenance,
                 outcome,
             });
         }
-        completions
     }
 }
 

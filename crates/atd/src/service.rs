@@ -9,8 +9,8 @@
 
 use exec::ExecPool;
 
-use crate::proto::{Request, Response, ServiceStats};
-use crate::scheduler::{Admission, Scheduler};
+use crate::proto::{JobSpec, Request, Response, ServiceStats};
+use crate::scheduler::{Admission, Completion, Scheduler};
 
 /// The ATE daemon's request processor.
 #[derive(Debug)]
@@ -41,6 +41,51 @@ impl Service {
     /// The service counters.
     pub fn stats(&self) -> ServiceStats {
         self.scheduler.stats()
+    }
+
+    /// Flags the service for shutdown without a request in hand — the
+    /// event-driven server's path (it decodes `Shutdown` frames itself).
+    pub fn request_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// Admits `specs` for `session` without draining — the event-driven
+    /// server's submission path, which batches admissions across every
+    /// ready connection before one [`Service::drain_each`] pass and
+    /// routes the completions itself.
+    pub fn admit(&mut self, session: u32, specs: &[JobSpec]) -> Admission {
+        self.scheduler.submit(session, specs)
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.queue_depth()
+    }
+
+    /// The admission queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.scheduler.queue_capacity()
+    }
+
+    /// Streams every queued completion to `sink` the moment the pool
+    /// finishes it (see [`Scheduler::drain_each`]).
+    pub fn drain_each(&mut self, sink: &mut dyn FnMut(Completion)) {
+        self.scheduler.drain_each(&self.pool, sink);
+    }
+
+    /// Counts a submission shed upstream of the queue.
+    pub fn note_shed(&mut self, jobs: u64) {
+        self.scheduler.note_shed(jobs);
+    }
+
+    /// Counts a connection dropped on an error.
+    pub fn note_connection_failed(&mut self) {
+        self.scheduler.note_connection_failed();
+    }
+
+    /// Counts a malformed frame.
+    pub fn note_frame_rejected(&mut self) {
+        self.scheduler.note_frame_rejected();
     }
 
     /// Processes one request to completion. Every request gets exactly one

@@ -163,18 +163,6 @@ pub struct Client<T: Transport> {
     transport: T,
 }
 
-fn response_code(response: &Response) -> u8 {
-    match response {
-        Response::Pong { .. } => crate::proto::msg::PONG,
-        Response::StatsReport(_) => crate::proto::msg::STATS_REPORT,
-        Response::JobDone { .. } => crate::proto::msg::JOB_DONE,
-        Response::Busy { .. } => crate::proto::msg::BUSY,
-        Response::Failed { .. } => crate::proto::msg::FAILED,
-        Response::BatchDone { .. } => crate::proto::msg::BATCH_DONE,
-        Response::Goodbye => crate::proto::msg::GOODBYE,
-    }
-}
-
 impl<T: Transport> Client<T> {
     /// Wraps a transport.
     pub fn new(transport: T) -> Self {
@@ -263,7 +251,7 @@ impl<T: Transport> Client<T> {
 }
 
 fn unexpected(response: &Response, expected: &'static str) -> AtdError {
-    AtdError::UnexpectedResponse { code: response_code(response), expected }
+    AtdError::UnexpectedResponse { code: response.code(), expected }
 }
 
 #[cfg(test)]

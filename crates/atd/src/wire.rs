@@ -1,16 +1,38 @@
-//! THP/1 — the test-head protocol's length-prefixed binary framing.
+//! THP/1 and THP/2 — the test-head protocol's length-prefixed binary
+//! framing.
 //!
-//! Every message travels as one frame:
+//! A THP/1 message travels as one frame:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "THP1"
-//! 4       1     version (currently 1)
+//! 4       1     version (1)
 //! 5       1     message type code
 //! 6       2     reserved, must be zero (big-endian u16)
 //! 8       4     payload length in bytes (big-endian u32)
 //! 12      n     payload
 //! ```
+//!
+//! THP/2 extends the header with a client-chosen correlation id and a
+//! flags byte so responses can arrive out of order and in parts:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "THP2"
+//! 4       1     version (2)
+//! 5       1     message type code
+//! 6       1     flags (exactly one of FINAL=0x01, CHUNK=0x02)
+//! 7       1     reserved, must be zero
+//! 8       8     correlation id (big-endian u64)
+//! 16      4     payload length in bytes (big-endian u32)
+//! 20      n     payload
+//! ```
+//!
+//! The two grammars never mix on a connection: [`sniff`] reads the magic
+//! of the *first* frame and pins the version for the rest of the stream
+//! (version negotiation). The v1 entry points ([`decode_header`],
+//! [`decode_frame`]) stay strictly THP/1 so the frozen THP/1 golden
+//! vectors remain the deployed contract.
 //!
 //! All multi-byte integers on the wire are big-endian. Decoding is total:
 //! malformed input of any shape maps to a typed [`FrameError`], never a
@@ -24,11 +46,33 @@ use core::fmt;
 /// The four magic bytes opening every THP/1 frame.
 pub const MAGIC: [u8; 4] = *b"THP1";
 
-/// The protocol version this build speaks.
+/// The protocol version this build speaks by default.
 pub const VERSION: u8 = 1;
 
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 12;
+
+/// The four magic bytes opening every THP/2 frame.
+pub const MAGIC2: [u8; 4] = *b"THP2";
+
+/// The pipelined protocol revision.
+pub const VERSION2: u8 = 2;
+
+/// THP/2 frame header size in bytes.
+pub const HEADER2_LEN: usize = 20;
+
+/// THP/2 header flag bits. Every frame carries exactly one of these: a
+/// `CHUNK` frame is one slice of a streamed result, a `FINAL` frame
+/// terminates its correlation id (the summary of a stream, or the whole
+/// response for unary exchanges).
+pub mod flag {
+    /// Terminal frame for its correlation id.
+    pub const FINAL: u8 = 0x01;
+    /// A partial-result slice; more frames follow for this correlation.
+    pub const CHUNK: u8 = 0x02;
+    /// Every bit a THP/2 frame may set.
+    pub const MASK: u8 = FINAL | CHUNK;
+}
 
 /// Hard ceiling on payload size: a frame larger than this is rejected at
 /// the header, before any allocation.
@@ -98,7 +142,10 @@ impl fmt::Display for FrameError {
             }
             FrameError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
             FrameError::UnsupportedVersion { found } => {
-                write!(f, "unsupported THP version {found} (this build speaks {VERSION})")
+                write!(
+                    f,
+                    "unsupported THP version {found} (this build speaks {VERSION}/{VERSION2})"
+                )
             }
             FrameError::ReservedNonZero { found } => {
                 write!(f, "reserved header field must be zero, found {found:#06x}")
@@ -192,6 +239,170 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8]), FrameError> {
     Ok((msg_type, body))
 }
 
+/// A validated THP/2 frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header2 {
+    /// Message type code.
+    pub msg_type: u8,
+    /// Flag byte — exactly one of [`flag::FINAL`] / [`flag::CHUNK`].
+    pub flags: u8,
+    /// The client-chosen correlation id this frame belongs to.
+    pub correlation: u64,
+    /// Declared payload length.
+    pub payload_len: usize,
+}
+
+fn check_flags(flags: u8) -> Result<(), FrameError> {
+    if flags == flag::FINAL || flags == flag::CHUNK {
+        Ok(())
+    } else {
+        Err(FrameError::BadPayload { context: "flags must be exactly FINAL or CHUNK" })
+    }
+}
+
+/// Encodes one THP/2 frame: header plus payload.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] if `payload` exceeds [`MAX_PAYLOAD`];
+/// [`FrameError::BadPayload`] if `flags` is not exactly one of
+/// [`flag::FINAL`] / [`flag::CHUNK`].
+pub fn encode_frame2(
+    msg_type: u8,
+    flags: u8,
+    correlation: u64,
+    payload: &[u8],
+) -> Result<Vec<u8>, FrameError> {
+    let mut out = Vec::with_capacity(HEADER2_LEN + payload.len());
+    encode_frame2_into(&mut out, msg_type, flags, correlation, &[payload])?;
+    Ok(out)
+}
+
+/// Appends one THP/2 frame to `out`, with the payload given as
+/// concatenated `parts` — the streaming path writes frames straight into
+/// a connection's outbox without an intermediate allocation per frame.
+///
+/// On error nothing is appended.
+///
+/// # Errors
+///
+/// Same contract as [`encode_frame2`].
+pub fn encode_frame2_into(
+    out: &mut Vec<u8>,
+    msg_type: u8,
+    flags: u8,
+    correlation: u64,
+    parts: &[&[u8]],
+) -> Result<(), FrameError> {
+    check_flags(flags)?;
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let len =
+        u32::try_from(total).ok().filter(|l| *l <= MAX_PAYLOAD).ok_or(FrameError::Oversized {
+            len: u64::try_from(total).unwrap_or(u64::MAX),
+            max: u64::from(MAX_PAYLOAD),
+        })?;
+    out.reserve(HEADER2_LEN + total);
+    out.extend_from_slice(&MAGIC2);
+    out.push(VERSION2);
+    out.push(msg_type);
+    out.push(flags);
+    out.push(0);
+    out.extend_from_slice(&correlation.to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
+    for part in parts {
+        out.extend_from_slice(part);
+    }
+    Ok(())
+}
+
+/// Validates a 20-byte THP/2 header.
+///
+/// # Errors
+///
+/// Any header-level [`FrameError`]; flag bytes that are not exactly one
+/// of `FINAL`/`CHUNK` are [`FrameError::BadPayload`].
+pub fn decode_header2(header: &[u8]) -> Result<Header2, FrameError> {
+    if header.len() < HEADER2_LEN {
+        return Err(FrameError::Truncated { needed: HEADER2_LEN, have: header.len() });
+    }
+    let magic = read4(header, 0)?;
+    if magic != MAGIC2 {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = *header.get(4).ok_or(FrameError::Truncated { needed: 5, have: header.len() })?;
+    if version != VERSION2 {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let msg_type = *header.get(5).ok_or(FrameError::Truncated { needed: 6, have: header.len() })?;
+    let flags = *header.get(6).ok_or(FrameError::Truncated { needed: 7, have: header.len() })?;
+    check_flags(flags)?;
+    let reserved = *header.get(7).ok_or(FrameError::Truncated { needed: 8, have: header.len() })?;
+    if reserved != 0 {
+        return Err(FrameError::ReservedNonZero { found: u16::from(reserved) });
+    }
+    let correlation = u64::from_be_bytes(read8(header, 8)?);
+    let len = u32::from_be_bytes(read4(header, 16)?);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len: u64::from(len), max: u64::from(MAX_PAYLOAD) });
+    }
+    let payload_len = usize::try_from(len).map_err(|_| FrameError::BadPayload {
+        context: "frame length exceeds the address space",
+    })?;
+    Ok(Header2 { msg_type, flags, correlation, payload_len })
+}
+
+/// Decodes exactly one in-memory THP/2 frame into `(header, payload)`.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; trailing bytes after the declared payload are
+/// rejected with [`FrameError::TrailingBytes`].
+pub fn decode_frame2(bytes: &[u8]) -> Result<(Header2, &[u8]), FrameError> {
+    let header = decode_header2(bytes)?;
+    let body = bytes.get(HEADER2_LEN..).unwrap_or(&[]);
+    if body.len() < header.payload_len {
+        return Err(FrameError::Truncated { needed: header.payload_len, have: body.len() });
+    }
+    if body.len() > header.payload_len {
+        return Err(FrameError::TrailingBytes { extra: body.len() - header.payload_len });
+    }
+    Ok((header, body))
+}
+
+/// Version negotiation: inspects the start of a byte stream and names the
+/// protocol revision it opens with. `Ok(None)` means more bytes are
+/// needed before the decision can be made; `Ok(Some((version,
+/// header_len)))` pins the revision and tells streaming transports how
+/// many header bytes to wait for.
+///
+/// # Errors
+///
+/// [`FrameError::BadMagic`] for unknown magics,
+/// [`FrameError::UnsupportedVersion`] when the magic and version byte
+/// disagree.
+pub fn sniff(buf: &[u8]) -> Result<Option<(u8, usize)>, FrameError> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let magic = read4(buf, 0)?;
+    let version = buf.get(4).copied().unwrap_or(0);
+    match magic {
+        m if m == MAGIC => {
+            if version != VERSION {
+                return Err(FrameError::UnsupportedVersion { found: version });
+            }
+            Ok(Some((VERSION, HEADER_LEN)))
+        }
+        m if m == MAGIC2 => {
+            if version != VERSION2 {
+                return Err(FrameError::UnsupportedVersion { found: version });
+            }
+            Ok(Some((VERSION2, HEADER2_LEN)))
+        }
+        m => Err(FrameError::BadMagic { found: m }),
+    }
+}
+
 fn read2(bytes: &[u8], at: usize) -> Result<[u8; 2], FrameError> {
     let slice =
         bytes.get(at..at + 2).ok_or(FrameError::Truncated { needed: at + 2, have: bytes.len() })?;
@@ -202,6 +413,12 @@ fn read4(bytes: &[u8], at: usize) -> Result<[u8; 4], FrameError> {
     let slice =
         bytes.get(at..at + 4).ok_or(FrameError::Truncated { needed: at + 4, have: bytes.len() })?;
     <[u8; 4]>::try_from(slice).map_err(|_| FrameError::BadPayload { context: "4-byte field" })
+}
+
+fn read8(bytes: &[u8], at: usize) -> Result<[u8; 8], FrameError> {
+    let slice =
+        bytes.get(at..at + 8).ok_or(FrameError::Truncated { needed: at + 8, have: bytes.len() })?;
+    <[u8; 8]>::try_from(slice).map_err(|_| FrameError::BadPayload { context: "8-byte field" })
 }
 
 /// Canonical payload writer: every field type has exactly one encoding,
@@ -265,6 +482,13 @@ impl Writer {
         self.u8(u8::from(v));
     }
 
+    /// Appends raw bytes verbatim, no length prefix — for fields whose
+    /// length is "the rest of the payload" (chunk bodies), mirroring
+    /// [`Reader::take_rest`].
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
     /// Appends a length-prefixed (u32) count for a following sequence.
     ///
     /// # Errors
@@ -320,6 +544,14 @@ impl<'a> Reader<'a> {
         } else {
             Err(FrameError::TrailingBytes { extra: self.rest.len() })
         }
+    }
+
+    /// Consumes and returns every remaining byte — the codec for fields
+    /// whose length is "the rest of the payload" (chunk bodies).
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let rest = self.rest;
+        self.rest = &[];
+        rest
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
@@ -570,6 +802,79 @@ mod tests {
         assert!(matches!(r.u64(), Err(FrameError::Truncated { .. })));
         let r = Reader::new(&[1]);
         assert_eq!(r.expect_end(), Err(FrameError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn frame2_round_trip() {
+        let frame = encode_frame2(0x88, flag::CHUNK, 0xDEAD_BEEF_0000_0007, b"slice").unwrap();
+        assert_eq!(frame.len(), HEADER2_LEN + 5);
+        let (header, payload) = decode_frame2(&frame).unwrap();
+        assert_eq!(
+            header,
+            Header2 {
+                msg_type: 0x88,
+                flags: flag::CHUNK,
+                correlation: 0xDEAD_BEEF_0000_0007,
+                payload_len: 5,
+            }
+        );
+        assert_eq!(payload, b"slice");
+    }
+
+    #[test]
+    fn frame2_rejects_malformed_headers() {
+        let good = encode_frame2(0x01, flag::FINAL, 9, b"abcd1234").unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame2(&bad), Err(FrameError::BadMagic { .. })));
+
+        let mut bad = good.clone();
+        bad[4] = 1; // a THP2 magic with a v1 version byte
+        assert_eq!(decode_frame2(&bad), Err(FrameError::UnsupportedVersion { found: 1 }));
+
+        // Both flag bits, no flag bits, and an unknown bit are all malformed.
+        for flags in [0x00, 0x03, 0x04, 0xFF] {
+            let mut bad = good.clone();
+            bad[6] = flags;
+            assert!(matches!(decode_frame2(&bad), Err(FrameError::BadPayload { .. })), "{flags}");
+            assert!(encode_frame2(0x01, flags, 9, b"").is_err(), "{flags}");
+        }
+
+        let mut bad = good.clone();
+        bad[7] = 0x5A;
+        assert_eq!(decode_frame2(&bad), Err(FrameError::ReservedNonZero { found: 0x5A }));
+
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert!(matches!(decode_frame2(&bad), Err(FrameError::Oversized { .. })));
+
+        let mut long = good.clone();
+        long.push(0xFF);
+        assert_eq!(decode_frame2(&long), Err(FrameError::TrailingBytes { extra: 1 }));
+
+        assert!(matches!(decode_frame2(&good[..9]), Err(FrameError::Truncated { .. })));
+    }
+
+    #[test]
+    fn sniff_negotiates_the_version() {
+        assert_eq!(sniff(b""), Ok(None));
+        assert_eq!(sniff(b"THP1"), Ok(None), "the version byte is part of the decision");
+        assert_eq!(sniff(b"THP1\x01"), Ok(Some((VERSION, HEADER_LEN))));
+        assert_eq!(sniff(b"THP2\x02rest-ignored"), Ok(Some((VERSION2, HEADER2_LEN))));
+        // Magic and version must agree.
+        assert_eq!(sniff(b"THP1\x02"), Err(FrameError::UnsupportedVersion { found: 2 }));
+        assert_eq!(sniff(b"THP2\x01"), Err(FrameError::UnsupportedVersion { found: 1 }));
+        assert_eq!(sniff(b"HTTP/1.1 "), Err(FrameError::BadMagic { found: *b"HTTP" }));
+    }
+
+    #[test]
+    fn take_rest_drains_the_reader() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.take_rest(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+        r.expect_end().unwrap();
     }
 
     #[test]

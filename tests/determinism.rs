@@ -211,3 +211,77 @@ fn loopback_submitted_shmoo_matches_direct_run_at_any_thread_count() {
     let decoded = JobResult::decode(&mut reader).unwrap();
     assert_eq!(plot.to_string(), decoded.rendered(), "rendered plot must survive the wire");
 }
+
+/// THP/2 streaming changes the framing, never the bytes: a shmoo submitted
+/// over a pipelined TCP session arrives as chunks whose concatenation is
+/// byte-identical to the THP/1 loopback result and the direct pool run — on
+/// event-loop daemons backed by 1-thread and 4-thread pools alike.
+#[test]
+fn pipelined_chunk_reassembly_matches_thp1_at_any_thread_count() {
+    use atd::scheduler::Scheduler;
+    use atd::{
+        serve_with, Client, Event, JobResult, JobSpec, Loopback, PipelinedClient, ServerConfig,
+        Service, Submitted,
+    };
+    use exec::ExecPool;
+    use minitester::{MiniTesterDatapath, ShmooConfig, ShmooPlot};
+    use std::net::TcpListener;
+
+    let rate = DataRate::from_gbps(2.5);
+    let config = ShmooConfig::pecl();
+    let spec = JobSpec::shmoo(rate, 256, 17, &config, 5);
+
+    // Direct run, no service in the path.
+    let mut path = MiniTesterDatapath::new().unwrap();
+    let expected = path.expected_prbs(rate, 256).unwrap();
+    let mut stim = MiniTesterDatapath::new().unwrap();
+    let wave = stim.prbs_stimulus(rate, 256, 17).unwrap();
+    let pool = ExecPool::new(2);
+    let plot = ShmooPlot::run_with_pool(&wave, rate, &expected, &config, 5, &pool).unwrap();
+    let direct = JobResult::from_shmoo(&plot).unwrap().encoded().unwrap();
+
+    // THP/1 loopback reference.
+    let service = Service::new(ExecPool::new(1), Scheduler::new(8, 8));
+    let mut v1 = Client::new(Loopback::new(service));
+    let Submitted::Done { result, .. } = v1.submit(1, spec).unwrap() else {
+        panic!("loopback submit must complete");
+    };
+    let v1_bytes = result.encoded().unwrap();
+    assert_eq!(v1_bytes, direct, "THP/1 loopback differs from the direct run");
+
+    for threads in [1usize, 4] {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || {
+            let service = Service::new(ExecPool::new(threads), Scheduler::new(8, 8));
+            serve_with(&listener, service, ServerConfig::default()).unwrap();
+        });
+
+        let mut client = PipelinedClient::connect(addr).unwrap();
+        let corr = client.submit_pipelined(1, spec).unwrap();
+        let mut concat = Vec::new();
+        let (digest, streamed) = loop {
+            match client.next_event().unwrap() {
+                Event::Chunk { correlation, bytes, .. } => {
+                    assert_eq!(correlation, corr);
+                    concat.extend_from_slice(&bytes);
+                }
+                Event::Done { correlation, digest, result, .. } => {
+                    assert_eq!(correlation, corr);
+                    break (digest, result);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        };
+        client.shutdown().unwrap();
+        daemon.join().unwrap();
+
+        assert_eq!(concat, direct, "{threads}-thread daemon chunks differ from the direct run");
+        assert_eq!(streamed.encoded().unwrap(), direct);
+        assert_eq!(
+            digest,
+            atd::stream_digest(&direct),
+            "the verified stream digest must be a pure function of the bytes"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Golden wire vectors for THP/2.
+//!
+//! These byte sequences are frozen: a failure here means the v2 wire
+//! format changed, which breaks every deployed pipelined client/daemon
+//! pair. Bump [`atd::wire::VERSION2`] instead of editing a vector.
+
+use atd::proto::msg;
+use atd::stream::{chunk_result, stream_digest};
+use atd::wire::{
+    self, flag, FrameError, HEADER2_LEN, HEADER_LEN, MAGIC2, MAX_PAYLOAD, VERSION, VERSION2,
+};
+use atd::{JobResult, JobSpec, Provenance, Request, Response};
+use pstime::{DataRate, Duration};
+
+/// `Ping { token: 0x0123_4567_89AB_CDEF }` under correlation 17.
+const PING2_FRAME: [u8; 28] = [
+    0x54, 0x48, 0x50, 0x32, // magic "THP2"
+    0x02, // version 2
+    0x01, // PING
+    0x01, // flags: FINAL
+    0x00, // reserved
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x11, // correlation 17, big-endian
+    0x00, 0x00, 0x00, 0x08, // payload length 8
+    0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, // token, big-endian
+];
+
+/// `Submit { session: 7, spec: bathtub(3 ps, 20 ps, 2.5 Gb/s, 0.5, 101) }`
+/// under correlation 0xDEAD_BEEF. The payload grammar is byte-identical
+/// to THP/1 — only the envelope differs.
+const SUBMIT2_BATHTUB_FRAME: [u8; 61] = [
+    0x54, 0x48, 0x50, 0x32, // magic
+    0x02, // version
+    0x03, // SUBMIT
+    0x01, // flags: FINAL (requests never stream)
+    0x00, // reserved
+    0x00, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, // correlation
+    0x00, 0x00, 0x00, 0x29, // payload length 41
+    0x00, 0x00, 0x00, 0x07, // session 7
+    0x04, // spec tag: bathtub
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0B, 0xB8, // rj_rms = 3_000 fs
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4E, 0x20, // dj_pp = 20_000 fs
+    0x00, 0x00, 0x00, 0x00, 0x95, 0x02, 0xF9, 0x00, // rate = 2_500_000_000 bps
+    0x3F, 0xE0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // transition density 0.5
+    0x00, 0x00, 0x00, 0x65, // points 101
+];
+
+/// `Chunk { seq: 2, bytes: [0xAB, 0x00, 0xCD] }` under correlation 5 —
+/// the only CHUNK-flagged frame in the vocabulary.
+const CHUNK_FRAME: [u8; 27] = [
+    0x54, 0x48, 0x50, 0x32, // magic
+    0x02, // version
+    0x88, // CHUNK
+    0x02, // flags: CHUNK (mid-stream)
+    0x00, // reserved
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, // correlation 5
+    0x00, 0x00, 0x00, 0x07, // payload length 7
+    0x00, 0x00, 0x00, 0x02, // seq 2
+    0xAB, 0x00, 0xCD, // raw slice
+];
+
+/// `Summary { ticket: 9, provenance: Computed, chunks: 3, total_bytes: 7,
+/// digest: 0x1122_3344_5566_7788 }` under correlation 5 — the terminal
+/// FINAL frame closing a chunk stream.
+const SUMMARY_FRAME: [u8; 49] = [
+    0x54, 0x48, 0x50, 0x32, // magic
+    0x02, // version
+    0x89, // SUMMARY
+    0x01, // flags: FINAL (terminal)
+    0x00, // reserved
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, // correlation 5
+    0x00, 0x00, 0x00, 0x1D, // payload length 29
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x09, // ticket 9
+    0x00, // provenance: Computed
+    0x00, 0x00, 0x00, 0x03, // chunks 3
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // total_bytes 7
+    0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, // digest
+];
+
+fn golden_ping() -> Request {
+    Request::Ping { token: 0x0123_4567_89AB_CDEF }
+}
+
+fn golden_submit() -> Request {
+    Request::Submit {
+        session: 7,
+        spec: JobSpec::bathtub(
+            Duration::from_ps(3),
+            Duration::from_ps(20),
+            DataRate::from_gbps(2.5),
+            0.5,
+            101,
+        ),
+    }
+}
+
+fn golden_chunk() -> Response {
+    Response::Chunk { seq: 2, bytes: vec![0xAB, 0x00, 0xCD] }
+}
+
+fn golden_summary() -> Response {
+    Response::Summary {
+        ticket: 9,
+        provenance: Provenance::Computed,
+        chunks: 3,
+        total_bytes: 7,
+        digest: 0x1122_3344_5566_7788,
+    }
+}
+
+fn decode_response2(frame: &[u8]) -> Result<(wire::Header2, Response), FrameError> {
+    let (h, payload) = wire::decode_frame2(frame)?;
+    Ok((h, Response::from_parts(h.msg_type, payload)?))
+}
+
+#[test]
+fn ping_frame_matches_golden_bytes() {
+    assert_eq!(golden_ping().to_frame2(0x11).unwrap(), PING2_FRAME);
+    let (h, payload) = wire::decode_frame2(&PING2_FRAME).unwrap();
+    assert_eq!(h.correlation, 0x11);
+    assert_eq!(h.flags, flag::FINAL);
+    assert_eq!(Request::from_parts(h.msg_type, payload).unwrap(), golden_ping());
+}
+
+#[test]
+fn submit_frame_matches_golden_bytes() {
+    assert_eq!(golden_submit().to_frame2(0xDEAD_BEEF).unwrap(), SUBMIT2_BATHTUB_FRAME);
+    let (h, payload) = wire::decode_frame2(&SUBMIT2_BATHTUB_FRAME).unwrap();
+    assert_eq!(h.correlation, 0xDEAD_BEEF);
+    assert_eq!(Request::from_parts(h.msg_type, payload).unwrap(), golden_submit());
+}
+
+/// The v2 payload grammar is the v1 grammar: same request, same bytes
+/// after the envelope.
+#[test]
+fn payload_grammar_is_shared_with_thp1() {
+    let v1 = golden_submit().to_frame().unwrap();
+    assert_eq!(&v1[HEADER_LEN..], &SUBMIT2_BATHTUB_FRAME[HEADER2_LEN..]);
+}
+
+#[test]
+fn chunk_frame_matches_golden_bytes() {
+    assert_eq!(golden_chunk().to_frame2(5).unwrap(), CHUNK_FRAME);
+    let (h, response) = decode_response2(&CHUNK_FRAME).unwrap();
+    assert_eq!(h.flags, flag::CHUNK);
+    assert_eq!(h.correlation, 5);
+    assert_eq!(response, golden_chunk());
+}
+
+#[test]
+fn summary_frame_matches_golden_bytes() {
+    assert_eq!(golden_summary().to_frame2(5).unwrap(), SUMMARY_FRAME);
+    let (h, response) = decode_response2(&SUMMARY_FRAME).unwrap();
+    assert_eq!(h.flags, flag::FINAL);
+    assert_eq!(response, golden_summary());
+}
+
+/// Every strict prefix of a valid v2 frame is rejected with exact
+/// truncation counts — no partial decode ever succeeds.
+#[test]
+fn every_truncation_is_rejected() {
+    for cut in 0..SUBMIT2_BATHTUB_FRAME.len() {
+        let err = wire::decode_frame2(&SUBMIT2_BATHTUB_FRAME[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {cut} bytes decoded"));
+        if cut < HEADER2_LEN {
+            assert_eq!(err, FrameError::Truncated { needed: HEADER2_LEN, have: cut }, "cut {cut}");
+        } else {
+            assert_eq!(
+                err,
+                FrameError::Truncated { needed: 41, have: cut - HEADER2_LEN },
+                "cut {cut}"
+            );
+        }
+    }
+}
+
+/// The flag byte must be exactly one of FINAL / CHUNK: neither, both, and
+/// unknown bits are all rejected.
+#[test]
+fn flag_violations_are_rejected() {
+    for bad in [0x00u8, 0x03, 0x04, 0x05, 0x80] {
+        let mut frame = PING2_FRAME;
+        frame[6] = bad;
+        assert_eq!(
+            wire::decode_frame2(&frame),
+            Err(FrameError::BadPayload { context: "flags must be exactly FINAL or CHUNK" }),
+            "flags {bad:#04x}"
+        );
+    }
+}
+
+#[test]
+fn reserved_byte_must_be_zero() {
+    let mut frame = PING2_FRAME;
+    frame[7] = 0x5A;
+    assert_eq!(wire::decode_frame2(&frame), Err(FrameError::ReservedNonZero { found: 0x5A }));
+}
+
+/// Magic and version byte must agree: a THP2 magic carrying version 1 (or
+/// anything else) is rejected, as is a THP1 magic carrying version 2.
+#[test]
+fn cross_version_mismatches_are_rejected() {
+    let mut frame = PING2_FRAME;
+    frame[4] = VERSION;
+    assert_eq!(wire::decode_frame2(&frame), Err(FrameError::UnsupportedVersion { found: 1 }));
+
+    let mut v1 = golden_ping().to_frame().unwrap();
+    v1[4] = VERSION2;
+    assert_eq!(wire::decode_frame(&v1), Err(FrameError::UnsupportedVersion { found: 2 }));
+}
+
+/// Version negotiation: the first five bytes of a connection pin its
+/// protocol revision.
+#[test]
+fn sniff_negotiates_both_revisions() {
+    assert_eq!(wire::sniff(&[]).unwrap(), None);
+    assert_eq!(wire::sniff(&PING2_FRAME[..4]).unwrap(), None);
+    assert_eq!(wire::sniff(&PING2_FRAME[..5]).unwrap(), Some((VERSION2, HEADER2_LEN)));
+    let v1 = golden_ping().to_frame().unwrap();
+    assert_eq!(wire::sniff(&v1).unwrap(), Some((VERSION, HEADER_LEN)));
+
+    let mut wrong = PING2_FRAME;
+    wrong[4] = 9;
+    assert_eq!(wire::sniff(&wrong), Err(FrameError::UnsupportedVersion { found: 9 }));
+    assert_eq!(wire::sniff(b"NOPE!"), Err(FrameError::BadMagic { found: *b"NOPE" }),);
+}
+
+#[test]
+fn oversized_declared_length_is_rejected() {
+    let mut frame = PING2_FRAME.to_vec();
+    let too_big = MAX_PAYLOAD + 1;
+    frame[16..20].copy_from_slice(&too_big.to_be_bytes());
+    assert_eq!(
+        wire::decode_header2(&frame),
+        Err(FrameError::Oversized { len: u64::from(too_big), max: u64::from(MAX_PAYLOAD) })
+    );
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut frame = PING2_FRAME.to_vec();
+    frame.push(0xAA);
+    assert_eq!(wire::decode_frame2(&frame), Err(FrameError::TrailingBytes { extra: 1 }));
+}
+
+/// Requests may not claim the reserved failure correlation.
+#[test]
+fn failure_id_is_not_a_valid_request_correlation() {
+    assert_eq!(
+        golden_ping().to_frame2(atd::FAILURE_ID),
+        Err(FrameError::BadPayload {
+            context: "correlation id collides with the reserved failure id"
+        })
+    );
+}
+
+/// The chunk-identity contract, frozen: this golden bathtub's canonical
+/// encoding, its chunk boundaries, and its stream digest. A digest
+/// change here breaks summary verification between deployed revisions.
+#[test]
+fn golden_stream_identity_is_frozen() {
+    let result = JobResult::Bathtub {
+        pairs: vec![(0.25, 1e-9), (0.5, 1e-12), (0.75, 1e-9)],
+        rendered: "bathtub sweep: 3 points".to_string(),
+    };
+    let monolithic = result.encoded().unwrap();
+    let chunks = chunk_result(&result).unwrap();
+    // Preamble (tag + count), one 3-pair segment, footer (rendering).
+    assert_eq!(chunks.len(), 3);
+    let concat: Vec<u8> = chunks.iter().flatten().copied().collect();
+    assert_eq!(concat, monolithic);
+    assert_eq!(stream_digest(&concat), 0x53DB_0FF4_1927_BA00);
+}
+
+/// The digest function itself is frozen with raw vectors: deployed
+/// daemons and clients must agree on these values forever.
+#[test]
+fn stream_digest_vectors_are_frozen() {
+    assert_eq!(stream_digest(b""), 0xFA59_107A_9911_8A2B);
+    assert_eq!(stream_digest(b"a"), 0xCBED_6C9D_AFD3_A03C);
+    assert_eq!(stream_digest(b"gigatest"), 0x3CB9_9E5A_468D_382D);
+    assert_eq!(stream_digest(b"gigatest-atd THP/2"), 0x6B7A_A6BC_70C1_006D);
+}
