@@ -14,10 +14,16 @@ EXEC_THREADS=1 cargo test -q --offline
 EXEC_THREADS=4 cargo test -q --offline
 cargo clippy --offline -- -D warnings
 # First-party static analysis: determinism, unit-safety, panic-freedom,
-# and job-purity contracts (rules R1–R8 plus the call-graph passes; see
-# DESIGN.md "Enforced invariants" and "Semantic analysis layer").
-# Run twice through the incremental cache — cold, then warm — and demand
-# byte-identical findings documents, then emit the SARIF artifact.
+# job-purity, and dataflow contracts (rules R1–R8 plus the call-graph and
+# taint passes; see DESIGN.md "Enforced invariants", "Semantic analysis
+# layer", and "Dataflow analysis layer"). The rule fixtures under
+# tests/xlint_fixtures — one seeded firing and one reasoned suppression
+# per rule, including the three dataflow rules — ran inside the test
+# suites above (crates/xlint/tests). Run the real tree twice through the
+# incremental cache — cold, then warm — and demand byte-identical
+# findings documents (the wire-taint findings and the blocking/codec
+# facts are cached per file, so this diff pins the dataflow layer too),
+# then emit the SARIF artifact.
 rm -f target/xlint-cache.json
 xlint_dir="$(mktemp -d)"
 cargo run -p gigatest-xlint --release --offline -- --format json > "$xlint_dir/cold.json"
@@ -26,6 +32,17 @@ diff "$xlint_dir/cold.json" "$xlint_dir/warm.json"
 echo "xlint: warm-cache findings byte-identical to cold run"
 cargo run -p gigatest-xlint --release --offline -- --format sarif > xlint.sarif
 rm -rf "$xlint_dir"
+# A suppression must carry its justification. The linter rejects a
+# reasonless allow that covers a finding (bad-allow); this catches the
+# rest — an allow with no reason is debt even when nothing fires under
+# it today. Fixtures are exempt: they seed reasonless allows on purpose.
+if grep -rn "xlint::allow([a-z-]*)" --include='*.rs' crates tests \
+    | grep -v "tests/xlint_fixtures" | grep -v "crates/xlint/src" \
+    | grep -v "crates/xlint/tests"; then
+  echo "ci: reasonless xlint::allow — every suppression needs a reason" >&2
+  exit 1
+fi
+echo "xlint: every suppression carries a reason"
 cargo doc --offline --no-deps
 cargo fmt --check
 # Thread-count invariance canary: the deterministic sweep outputs (shmoo

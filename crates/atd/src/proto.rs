@@ -789,6 +789,13 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Jobs whose execution failed.
     pub failed: u64,
+    /// Connections the daemon has accepted.
+    pub connections_opened: u64,
+    /// Connections retired for any reason — clean peer close, shutdown,
+    /// or a failed drop. `connections_opened - connections_closed` is
+    /// the live connection count, so the two balance once every peer is
+    /// gone.
+    pub connections_closed: u64,
     /// Connections the daemon dropped on an error: an I/O failure, a
     /// peer vanishing mid-frame or mid-pipeline, or a slow-loris
     /// eviction.
@@ -810,6 +817,8 @@ impl ServiceStats {
         w.u64(self.batched);
         w.u64(self.shed);
         w.u64(self.failed);
+        w.u64(self.connections_opened);
+        w.u64(self.connections_closed);
         w.u64(self.connections_failed);
         w.u64(self.frames_rejected);
         w.u32(self.queue_capacity);
@@ -824,6 +833,8 @@ impl ServiceStats {
             batched: r.u64()?,
             shed: r.u64()?,
             failed: r.u64()?,
+            connections_opened: r.u64()?,
+            connections_closed: r.u64()?,
             connections_failed: r.u64()?,
             frames_rejected: r.u64()?,
             queue_capacity: r.u32()?,
@@ -1466,6 +1477,8 @@ mod tests {
                 batched: 1,
                 shed: 1,
                 failed: 1,
+                connections_opened: 6,
+                connections_closed: 4,
                 connections_failed: 2,
                 frames_rejected: 3,
                 queue_capacity: 256,

@@ -145,6 +145,18 @@ impl Scheduler {
         self.stats.shed += jobs;
     }
 
+    /// Counts a connection the daemon accepted.
+    pub fn note_connection_opened(&mut self) {
+        self.stats.connections_opened += 1;
+    }
+
+    /// Counts a connection retired for any reason; paired with
+    /// [`Self::note_connection_opened`] so the two balance once every
+    /// peer is gone.
+    pub fn note_connection_closed(&mut self) {
+        self.stats.connections_closed += 1;
+    }
+
     /// Counts a connection the daemon dropped on an error.
     pub fn note_connection_failed(&mut self) {
         self.stats.connections_failed += 1;

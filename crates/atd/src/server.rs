@@ -232,6 +232,7 @@ pub fn serve_with(
             if idle_passes < YIELD_PASSES {
                 std::thread::yield_now();
             } else {
+                // xlint::allow(event-loop-blocking, bounded 200us idle backoff that only runs after YIELD_PASSES empty polls with no readable connection)
                 std::thread::sleep(core::time::Duration::from_micros(200));
             }
         }
@@ -253,6 +254,7 @@ impl EventLoop {
                     }
                     let id = self.next_conn;
                     self.next_conn += 1;
+                    self.service.note_connection_opened();
                     self.conns.push(Conn {
                         id,
                         stream,
@@ -444,9 +446,14 @@ impl EventLoop {
             }
             if conn.failed {
                 service.note_connection_failed();
+                service.note_connection_closed();
                 return false;
             }
-            !(conn.closing && conn.flushed() && conn.in_flight == 0)
+            let done = conn.closing && conn.flushed() && conn.in_flight == 0;
+            if done {
+                service.note_connection_closed();
+            }
+            !done
         });
     }
 }
@@ -496,7 +503,7 @@ fn next_step(unread: &[u8], pinned: Option<u8>) -> Step {
             Err(e) => return Step::Reject(e),
         }
     };
-    let total = header_len + payload_len;
+    let total = header_len.saturating_add(payload_len);
     match unread.get(header_len..total) {
         Some(payload) => {
             Step::Frame { version, correlation, msg_type, payload: payload.to_vec(), total }

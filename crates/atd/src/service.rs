@@ -78,6 +78,16 @@ impl Service {
         self.scheduler.note_shed(jobs);
     }
 
+    /// Counts a connection the daemon accepted.
+    pub fn note_connection_opened(&mut self) {
+        self.scheduler.note_connection_opened();
+    }
+
+    /// Counts a connection retired for any reason.
+    pub fn note_connection_closed(&mut self) {
+        self.scheduler.note_connection_closed();
+    }
+
     /// Counts a connection dropped on an error.
     pub fn note_connection_failed(&mut self) {
         self.scheduler.note_connection_failed();

@@ -262,10 +262,16 @@ impl Reassembler {
     /// # Errors
     ///
     /// [`FrameError::BadPayload`] if `seq` is not the next expected
-    /// position (lost or reordered chunk within a correlation).
+    /// position, distinguishing a replay (`seq` already consumed —
+    /// a duplicate or late reordered chunk) from a gap (`seq` beyond
+    /// the next slot — a lost or early reordered chunk), so transcripts
+    /// name the hostile pattern they rejected.
     pub fn push(&mut self, seq: u32, bytes: &[u8]) -> Result<(), FrameError> {
-        if seq != self.chunks {
-            return Err(FrameError::BadPayload { context: "chunk out of sequence" });
+        if seq < self.chunks {
+            return Err(FrameError::BadPayload { context: "duplicate or replayed chunk seq" });
+        }
+        if seq > self.chunks {
+            return Err(FrameError::BadPayload { context: "chunk seq gap" });
         }
         self.bytes.extend_from_slice(bytes);
         self.chunks = self.chunks.wrapping_add(1);

@@ -84,6 +84,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, AtdError> 
         Err(e) => return Err(io_err("read frame header", &e)),
     }
     let (msg_type, len) = wire::decode_header(&header)?;
+    // xlint::allow(wire-taint, decode_header has already rejected len > MAX_PAYLOAD so this allocation is bounded at 1 MiB)
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| io_err("read frame payload", &e))?;
     Ok(Some((msg_type, payload)))

@@ -93,10 +93,26 @@ impl Duration {
         Duration((s * FS_PER_S as f64).round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
+    /// Creates a duration from a fractional femtosecond count, rounding
+    /// to the nearest exact femtosecond.
+    ///
+    /// Use this where a statistic computed in float femtoseconds (jitter
+    /// spreads, mean crossing phases) re-enters the exact timeline.
+    #[inline]
+    pub fn from_fs_f64(fs: f64) -> Self {
+        Duration(fs.round() as i64) // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
+    }
+
     /// Returns the exact femtosecond count.
     #[inline]
     pub const fn as_fs(self) -> i64 {
         self.0
+    }
+
+    /// Approximate `f64` view of the femtosecond count, for statistics.
+    #[inline]
+    pub fn as_fs_f64(self) -> f64 {
+        self.0 as f64 // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
     }
 
     /// Returns the span in picoseconds, truncating sub-picosecond detail

@@ -97,12 +97,12 @@ impl EyeDiagram {
             }
             let unwrapped = ref_phase + delta;
             phases_fs.push(unwrapped.as_fs());
-            stats.push(unwrapped.as_fs() as f64);
+            stats.push(unwrapped.as_fs_f64());
         }
 
-        let jitter_pp = Duration::from_fs((stats.max() - stats.min()).round() as i64);
-        let jitter_rms = Duration::from_fs(stats.std_dev().round() as i64);
-        let crossover_phase = Duration::from_fs(stats.mean().round() as i64).rem_euclid(ui);
+        let jitter_pp = Duration::from_fs_f64(stats.max() - stats.min());
+        let jitter_rms = Duration::from_fs_f64(stats.std_dev());
+        let crossover_phase = Duration::from_fs_f64(stats.mean()).rem_euclid(ui);
 
         // 3. Horizontal opening: the jitter-free span of the UI.
         let opening_ui =
@@ -111,13 +111,13 @@ impl EyeDiagram {
         // 4. Vertical eye height at the eye center (crossover + UI/2):
         //    worst-case high sample minus worst-case low sample.
         let center_phase = (crossover_phase + half).rem_euclid(ui);
-        let n_bits = (digital.span() / ui) as usize;
+        let n_bits = digital.span() / ui;
         let mut low_max = f64::NEG_INFINITY;
         let mut high_min = f64::INFINITY;
         let mut v_min = f64::INFINITY;
         let mut v_max = f64::NEG_INFINITY;
         for i in 0..n_bits {
-            let t = digital.start() + ui * i as i64 + center_phase;
+            let t = digital.start() + ui * i + center_phase;
             if t >= digital.end() {
                 break;
             }
@@ -186,7 +186,7 @@ impl EyeDiagram {
     /// fold) — the raw population behind the jitter statistics, used by
     /// [`crate::decompose`] for RJ/DJ separation.
     pub fn crossing_phases_ps(&self) -> Vec<f64> {
-        self.phases_fs.iter().map(|fs| *fs as f64 / 1_000.0).collect()
+        self.phases_fs.iter().map(|fs| Duration::from_fs(*fs).as_ps_f64()).collect()
     }
 
     /// Horizontal eye opening as a fraction of the unit interval.
@@ -270,16 +270,19 @@ impl EyeRaster {
         let v_hi = wave.levels().voh().as_f64() + 0.1 * swing;
         let mut counts = vec![0u32; cols * rows];
         // 4 samples per column per UI pass is plenty for a persistence plot.
-        let dt = span / (cols as i64 * 4);
+        let dt = span / i64::try_from(cols * 4).unwrap_or(i64::MAX);
         let dt = if dt.is_zero() { Duration::from_fs(1) } else { dt };
         let mut t = digital.start();
         while t < digital.end() {
             let v = wave.value_at(t);
             let phase = t.phase_in(span);
-            let col = ((phase.as_fs() as u128 * cols as u128) / span.as_fs() as u128) as usize;
-            let col = col.min(cols - 1);
+            let scaled = u128::try_from(phase.as_fs()).unwrap_or(0)
+                * u128::try_from(cols).unwrap_or(u128::MAX)
+                / u128::try_from(span.as_fs()).unwrap_or(u128::MAX);
+            let col = usize::try_from(scaled).unwrap_or(usize::MAX).min(cols - 1);
             let frac = ((v - v_lo) / (v_hi - v_lo)).clamp(0.0, 1.0);
-            let row = ((1.0 - frac) * (rows - 1) as f64).round() as usize;
+            let row =
+                crate::quant::round_idx((1.0 - frac) * crate::quant::count_f64(rows - 1), rows - 1);
             counts[row * cols + col] += 1;
             t += dt;
         }

@@ -50,6 +50,7 @@ mod eye;
 pub mod jitter;
 pub mod mask;
 pub mod measure;
+mod quant;
 pub mod render;
 pub mod spectrum;
 mod stats;

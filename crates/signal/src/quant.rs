@@ -1,0 +1,38 @@
+//! Float→index quantization boundaries.
+//!
+//! The one place in the crate where a float is deliberately rounded to a
+//! grid index; every other conversion in the crate is lossless. Keeping
+//! the saturating cast here means call sites stay cast-free and the
+//! clamping that makes it exact lives next to it.
+
+/// Rounds `x` to the nearest index, clamped into `0..=max`.
+pub(crate) fn round_idx(x: f64, max: usize) -> usize {
+    let clamped = x.round().clamp(0.0, count_f64(max));
+    clamped as usize // xlint::allow(no-lossy-cast, clamped to [0, max] on the line above so the saturating cast is exact)
+}
+
+/// Exact `f64` view of a small count such as a grid dimension or sample
+/// total (saturates at `u32::MAX`, far beyond any raster or record).
+pub(crate) fn count_f64(n: usize) -> f64 {
+    f64::from(u32::try_from(n).unwrap_or(u32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_idx_clamps_and_rounds() {
+        assert_eq!(round_idx(-3.0, 10), 0);
+        assert_eq!(round_idx(4.4, 10), 4);
+        assert_eq!(round_idx(4.6, 10), 5);
+        assert_eq!(round_idx(99.0, 10), 10);
+        assert_eq!(round_idx(f64::NAN, 10), 0);
+    }
+
+    #[test]
+    fn count_f64_is_exact_for_small_counts() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(4095), 4095.0);
+    }
+}

@@ -17,6 +17,18 @@ use crate::stats::LatencyStats;
 use crate::topology::VortexParams;
 use crate::traffic::Pattern;
 
+/// A `u32` topology coordinate as a vector index. Never truncates: every
+/// supported target has at least a 32-bit `usize`.
+fn idx(n: u32) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// Approximate `f64` view of a count, for ratio math. Saturates at
+/// `u32::MAX`, far beyond any tractable simulation.
+fn approx(n: u64) -> f64 {
+    f64::from(u32::try_from(n).unwrap_or(u32::MAX))
+}
+
 /// Per-input-angle accounting.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AngleStats {
@@ -46,13 +58,14 @@ impl TraceReport {
     /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair, `1/n` = one angle hogs
     /// everything.
     pub fn fairness_index(&self) -> f64 {
-        let xs: Vec<f64> = self.angles.iter().map(|a| a.delivered as f64).collect();
+        let xs: Vec<f64> = self.angles.iter().map(|a| approx(a.delivered)).collect();
         let sum: f64 = xs.iter().sum();
         let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
         if sum_sq == 0.0 {
             return 1.0;
         }
-        sum * sum / (xs.len() as f64 * sum_sq)
+        let n = approx(u64::try_from(xs.len()).unwrap_or(u64::MAX));
+        sum * sum / (n * sum_sq)
     }
 
     /// The most loaded cylinder's mean occupancy.
@@ -115,16 +128,16 @@ pub fn run_traced(
     assert!((0.0..=1.0).contains(&offered_load), "offered load must be in [0, 1]");
     let mut dv = DataVortex::new(params);
     let mut rng = SeedTree::new(seed).stream("vortex.trace").rng();
-    let mut angles = vec![AngleStats::default(); params.angles() as usize];
+    let mut angles = vec![AngleStats::default(); idx(params.angles())];
     let mut origin: Vec<u32> = Vec::new(); // packet id -> injection angle
-    let mut mean = vec![0.0f64; params.cylinders() as usize];
-    let mut peak = vec![0usize; params.cylinders() as usize];
+    let mut mean = vec![0.0f64; idx(params.cylinders())];
+    let mut peak = vec![0usize; idx(params.cylinders())];
 
     let account = |delivered: &[crate::fabric::Delivered],
                    angles: &mut Vec<AngleStats>,
                    origin: &Vec<u32>| {
         for d in delivered {
-            let a = origin[d.packet.id() as usize] as usize;
+            let a = idx(origin[usize::try_from(d.packet.id()).unwrap_or(usize::MAX)]);
             angles[a].delivered += 1;
             angles[a].latency.record(d.latency());
         }
@@ -148,16 +161,16 @@ pub fn run_traced(
                     }
                 }
             };
-            let id = origin.len() as u64;
-            if dv.inject(Packet::new(id, dest, (a % 8) as u8), a).is_ok() {
-                angles[a as usize].injected += 1;
+            let id = u64::try_from(origin.len()).unwrap_or(u64::MAX);
+            if dv.inject(Packet::new(id, dest, u8::try_from(a % 8).unwrap_or(0)), a).is_ok() {
+                angles[idx(a)].injected += 1;
             }
             origin.push(a);
         }
         for c in 0..params.cylinders() {
             let occ = dv.cylinder_occupancy(c);
-            mean[c as usize] += occ as f64;
-            peak[c as usize] = peak[c as usize].max(occ);
+            mean[idx(c)] += approx(u64::try_from(occ).unwrap_or(u64::MAX));
+            peak[idx(c)] = peak[idx(c)].max(occ);
         }
         let out = dv.step();
         account(&out, &mut angles, &origin);
@@ -172,7 +185,7 @@ pub fn run_traced(
     }
 
     for m in &mut mean {
-        *m /= measure_slots.max(1) as f64;
+        *m /= approx(measure_slots.max(1));
     }
     TraceReport { mean_occupancy: mean, peak_occupancy: peak, angles, slots: measure_slots }
 }

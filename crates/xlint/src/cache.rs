@@ -19,7 +19,7 @@ use crate::json::{parse, Json};
 
 /// Bumped whenever rules, facts, or serialization change shape, so stale
 /// caches from older binaries self-invalidate.
-pub const CACHE_VERSION: i64 = 1;
+pub const CACHE_VERSION: i64 = 2;
 
 /// Load a cache file into a by-path map. Any problem yields an empty map.
 pub fn load(path: &Path) -> BTreeMap<String, FileFacts> {
@@ -83,7 +83,7 @@ mod tests {
         let loaded = load(&path);
         assert_eq!(loaded.get(rel), Some(&facts));
 
-        std::fs::write(&path, rendered.replace("\"version\":1", "\"version\":999")).expect("write");
+        std::fs::write(&path, rendered.replace("\"version\":2", "\"version\":999")).expect("write");
         assert!(load(&path).is_empty());
 
         std::fs::write(&path, "not json at all").expect("write");

@@ -13,9 +13,10 @@ use std::path::Path;
 
 use crate::cache;
 use crate::classify::{collect_sources, SourceFile};
+use crate::dataflow::check_codec_symmetry;
 use crate::error::XlintError;
 use crate::facts::{build_facts, FileFacts};
-use crate::graph::{check_error_bridges, check_panic_reachable};
+use crate::graph::{check_error_bridges, check_event_loop_blocking, check_panic_reachable};
 use crate::lexer::AllowDirective;
 use crate::rules::{check_stream_uniqueness, Finding, Severity, StreamUse};
 
@@ -107,6 +108,8 @@ fn analyze_facts(facts: Vec<FileFacts>) -> Analysis {
     // Semantic passes over the call graph and the exec bridges.
     check_panic_reachable(&facts, &mut findings);
     check_error_bridges(&facts, &mut findings);
+    check_event_loop_blocking(&facts, &mut findings);
+    check_codec_symmetry(&facts, &mut findings);
 
     let mut analysis = Analysis { files: facts.len(), ..Analysis::default() };
     for finding in findings {

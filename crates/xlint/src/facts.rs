@@ -16,7 +16,9 @@ use crate::classify::{FileClass, SourceFile};
 use crate::error::XlintError;
 use crate::json::Json;
 use crate::lexer::{lex, AllowDirective};
-use crate::parse::{parse_items, Call, CallKind, EnumDef, FnDef, PanicKind, PanicSite, UsePath};
+use crate::parse::{
+    parse_items, BlockSite, Call, CallKind, EnumDef, FnDef, PanicKind, PanicSite, UsePath,
+};
 use crate::rules::{check_file_local, FileTokens, Finding, Severity};
 
 /// Every rule id the linter can emit, used to re-intern cached findings
@@ -33,6 +35,9 @@ pub const RULE_IDS: &[&str] = &[
     "exec-job-racy",
     "panic-reachable",
     "error-bridge-exhaustive",
+    "wire-taint",
+    "event-loop-blocking",
+    "codec-symmetry",
 ];
 
 /// Re-intern a rule id string into the static table.
@@ -68,6 +73,39 @@ pub struct BridgeFact {
     pub col: u32,
 }
 
+/// Which codec-side context a `msg::NAME` reference sits in (R13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgCtx {
+    /// Inside an encode-shaped function (`to_*`, `*encode*`, `parts`).
+    Encode,
+    /// Inside a decode-shaped function (`from_*`, `*decode*`).
+    Decode,
+    /// In a golden-vector test file.
+    Golden,
+    /// Anywhere else (match arms in handlers, docs, non-golden tests).
+    Other,
+}
+
+/// One wire message constant declared in a `mod msg { .. }` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgConst {
+    /// The constant's name (e.g. `SUBMIT`).
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// 1-based column of the declaration.
+    pub col: u32,
+}
+
+/// One deduplicated `msg::NAME` reference with its classified context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgRef {
+    /// The referenced constant's name.
+    pub name: String,
+    /// The context class of the reference site.
+    pub ctx: MsgCtx,
+}
+
 /// Everything the cross-file phase needs from one source file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileFacts {
@@ -98,6 +136,10 @@ pub struct FileFacts {
     /// Deduplicated `*Error` type names the file mentions (bridge-by-
     /// reference detection for crates that reuse another crate's error).
     pub error_mentions: Vec<String>,
+    /// Wire message constants declared in this file (R13 input).
+    pub msg_consts: Vec<MsgConst>,
+    /// Classified `msg::NAME` references in this file (R13 input).
+    pub msg_refs: Vec<MsgRef>,
 }
 
 /// FNV-1a 64-bit hash of a byte string.
@@ -146,15 +188,22 @@ pub fn build_facts(file: &SourceFile, src: &str) -> Result<FileFacts, XlintError
     };
 
     let parsed = parse_items(&lexed.tokens, &ft.in_test);
+    // Dataflow passes run here, in the per-file phase, so their findings
+    // live in the cache and stay byte-identical cold vs warm.
+    crate::dataflow::check_wire_taint(file, &lexed.tokens, &parsed, &mut local_findings);
+    let (msg_consts, msg_refs) = crate::dataflow::msg_facts(file, &lexed.tokens, &parsed);
     // Drop panic sites justified at the source: a reasoned allow for
     // either the syntactic rule (R4) or the reachability rule means the
-    // site is a documented invariant, not a reachable abort.
+    // site is a documented invariant, not a reachable abort. Blocking
+    // sites get the same treatment for the event-loop rule.
     let mut fns = parsed.fns;
     for f in &mut fns {
         f.panics.retain(|p| {
             !allow_covers(&lexed.allows, &token_lines, "panic-reachable", p.line)
                 && !allow_covers(&lexed.allows, &token_lines, "no-panic-in-lib", p.line)
         });
+        f.blocking
+            .retain(|b| !allow_covers(&lexed.allows, &token_lines, "event-loop-blocking", b.line));
     }
 
     let (exec_invoke, bridges, error_mentions) = exec_facts(&ft);
@@ -173,6 +222,8 @@ pub fn build_facts(file: &SourceFile, src: &str) -> Result<FileFacts, XlintError
         exec_invoke,
         bridges,
         error_mentions,
+        msg_consts,
+        msg_refs,
     })
 }
 
@@ -413,6 +464,35 @@ impl FileFacts {
                 "error_mentions",
                 Json::Arr(self.error_mentions.iter().map(|m| Json::str(m)).collect()),
             ),
+            (
+                "msg_consts",
+                Json::Arr(
+                    self.msg_consts
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("name", Json::str(&c.name)),
+                                ("line", u32_json(c.line)),
+                                ("col", u32_json(c.col)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "msg_refs",
+                Json::Arr(
+                    self.msg_refs
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::str(&r.name)),
+                                ("ctx", Json::str(msg_ctx_label(r.ctx))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -503,6 +583,29 @@ impl FileFacts {
             })
             .collect::<Option<Vec<_>>>()?;
         let error_mentions = strings(j.get("error_mentions")?)?;
+        let msg_consts = j
+            .get("msg_consts")?
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Some(MsgConst {
+                    name: c.get("name")?.as_str()?.to_string(),
+                    line: json_u32(c.get("line"))?,
+                    col: json_u32(c.get("col"))?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let msg_refs = j
+            .get("msg_refs")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(MsgRef {
+                    name: r.get("name")?.as_str()?.to_string(),
+                    ctx: msg_ctx_from_label(r.get("ctx")?.as_str()?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(FileFacts {
             rel_path,
             class,
@@ -517,7 +620,28 @@ impl FileFacts {
             exec_invoke,
             bridges,
             error_mentions,
+            msg_consts,
+            msg_refs,
         })
+    }
+}
+
+fn msg_ctx_label(ctx: MsgCtx) -> &'static str {
+    match ctx {
+        MsgCtx::Encode => "enc",
+        MsgCtx::Decode => "dec",
+        MsgCtx::Golden => "gold",
+        MsgCtx::Other => "other",
+    }
+}
+
+fn msg_ctx_from_label(label: &str) -> Option<MsgCtx> {
+    match label {
+        "enc" => Some(MsgCtx::Encode),
+        "dec" => Some(MsgCtx::Decode),
+        "gold" => Some(MsgCtx::Golden),
+        "other" => Some(MsgCtx::Other),
+        _ => None,
     }
 }
 
@@ -598,6 +722,7 @@ fn fn_to_json(f: &FnDef) -> Json {
         ("line", u32_json(f.line)),
         ("col", u32_json(f.col)),
         ("params", Json::Arr(f.params.iter().map(|p| Json::str(p)).collect())),
+        ("ptypes", Json::Arr(f.param_types.iter().map(|p| Json::str(p)).collect())),
         (
             "calls",
             Json::Arr(
@@ -634,6 +759,21 @@ fn fn_to_json(f: &FnDef) -> Json {
                             ("d", Json::str(&p.desc)),
                             ("line", u32_json(p.line)),
                             ("col", u32_json(p.col)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "blocking",
+            Json::Arr(
+                f.blocking
+                    .iter()
+                    .map(|b| {
+                        Json::obj(vec![
+                            ("d", Json::str(&b.desc)),
+                            ("line", u32_json(b.line)),
+                            ("col", u32_json(b.col)),
                         ])
                     })
                     .collect(),
@@ -683,6 +823,18 @@ fn fn_from_json(j: &Json) -> Option<FnDef> {
             })
         })
         .collect::<Option<Vec<_>>>()?;
+    let blocking = j
+        .get("blocking")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            Some(BlockSite {
+                desc: b.get("d")?.as_str()?.to_string(),
+                line: json_u32(b.get("line"))?,
+                col: json_u32(b.get("col"))?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
     Some(FnDef {
         name: j.get("name")?.as_str()?.to_string(),
         qual: match j.get("qual")? {
@@ -694,8 +846,10 @@ fn fn_from_json(j: &Json) -> Option<FnDef> {
         line: json_u32(j.get("line"))?,
         col: json_u32(j.get("col"))?,
         params: strings(j.get("params")?)?,
+        param_types: strings(j.get("ptypes")?)?,
         calls,
         panics,
+        blocking,
     })
 }
 

@@ -172,121 +172,136 @@ impl Node<'_> {
     }
 }
 
-/// Flag every `pub` function in a `Src` crate that can transitively reach
-/// a panic site through workspace-local calls, reporting the offending
-/// call chain at the entry point.
-pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
-    // Collect nodes in deterministic order: facts are path-sorted, fns in
-    // declaration order.
-    let mut nodes: Vec<Node<'_>> = Vec::new();
-    for (file_idx, fact) in facts.iter().enumerate() {
-        let FileClass::Src { crate_name } = &fact.class else { continue };
-        for def in &fact.fns {
-            if def.in_test {
-                continue;
-            }
-            nodes.push(Node { krate: crate_name, file_idx, rel_path: &fact.rel_path, def });
-        }
-    }
+/// The resolved workspace call graph: deterministic node order (facts are
+/// path-sorted, fns in declaration order) and caller → callee edges.
+/// Shared by the panic-reachability (reverse BFS) and event-loop-blocking
+/// (forward BFS) passes so both traverse identical edges.
+struct CallGraph<'a> {
+    nodes: Vec<Node<'a>>,
+    edges: Vec<BTreeSet<usize>>,
+}
 
-    // Resolution maps.
-    let mut free_in_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    let mut free_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut qual_global: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    let mut method_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let workspace_crates: BTreeSet<&str> = nodes.iter().map(|n| n.krate).collect();
-    for (id, node) in nodes.iter().enumerate() {
-        match &node.def.qual {
-            None => {
-                free_in_crate.entry((node.krate, &node.def.name)).or_default().push(id);
-                free_global.entry(&node.def.name).or_default().push(id);
-            }
-            Some(q) => {
-                qual_global.entry((q.as_str(), &node.def.name)).or_default().push(id);
-                method_global.entry(&node.def.name).or_default().push(id);
+impl<'a> CallGraph<'a> {
+    fn build(facts: &'a [FileFacts]) -> Self {
+        let mut nodes: Vec<Node<'a>> = Vec::new();
+        for (file_idx, fact) in facts.iter().enumerate() {
+            let FileClass::Src { crate_name } = &fact.class else { continue };
+            for def in &fact.fns {
+                if def.in_test {
+                    continue;
+                }
+                nodes.push(Node { krate: crate_name, file_idx, rel_path: &fact.rel_path, def });
             }
         }
-    }
 
-    // Edges: caller → callees.
-    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
-    for (id, node) in nodes.iter().enumerate() {
-        let Some(fact) = facts.get(node.file_idx) else { continue };
-        for call in &node.def.calls {
-            let name = call.name.as_str();
-            let targets: Vec<usize> = match call.kind {
-                CallKind::Free => {
-                    if let Some(same) = free_in_crate.get(&(node.krate, name)) {
-                        same.clone()
-                    } else if let Some(imported) = fact.uses.iter().find_map(|u| {
-                        let leaf_matches = u.alias.as_deref() == Some(name)
-                            || (u.alias.is_none() && u.segments.last().is_some_and(|s| s == name));
-                        let first = u.segments.first()?;
-                        if leaf_matches && workspace_crates.contains(first.as_str()) {
-                            free_in_crate.get(&(first.as_str(), name)).cloned()
+        // Resolution maps.
+        let mut free_in_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut qual_global: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut method_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let workspace_crates: BTreeSet<&str> = nodes.iter().map(|n| n.krate).collect();
+        for (id, node) in nodes.iter().enumerate() {
+            match &node.def.qual {
+                None => {
+                    free_in_crate.entry((node.krate, &node.def.name)).or_default().push(id);
+                    free_global.entry(&node.def.name).or_default().push(id);
+                }
+                Some(q) => {
+                    qual_global.entry((q.as_str(), &node.def.name)).or_default().push(id);
+                    method_global.entry(&node.def.name).or_default().push(id);
+                }
+            }
+        }
+
+        // Edges: caller → callees.
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            let Some(fact) = facts.get(node.file_idx) else { continue };
+            for call in &node.def.calls {
+                let name = call.name.as_str();
+                let targets: Vec<usize> = match call.kind {
+                    CallKind::Free => {
+                        if let Some(same) = free_in_crate.get(&(node.krate, name)) {
+                            same.clone()
+                        } else if let Some(imported) = fact.uses.iter().find_map(|u| {
+                            let leaf_matches = u.alias.as_deref() == Some(name)
+                                || (u.alias.is_none()
+                                    && u.segments.last().is_some_and(|s| s == name));
+                            let first = u.segments.first()?;
+                            if leaf_matches && workspace_crates.contains(first.as_str()) {
+                                free_in_crate.get(&(first.as_str(), name)).cloned()
+                            } else {
+                                None
+                            }
+                        }) {
+                            imported
                         } else {
-                            None
+                            // Unique workspace-wide match, else unresolved.
+                            let cands = free_global.get(name).cloned().unwrap_or_default();
+                            let crates: BTreeSet<&str> =
+                                cands.iter().map(|c| nodes[*c].krate).collect();
+                            if crates.len() == 1 {
+                                cands
+                            } else {
+                                Vec::new()
+                            }
                         }
-                    }) {
-                        imported
-                    } else {
-                        // Unique workspace-wide match, else unresolved.
-                        let cands = free_global.get(name).cloned().unwrap_or_default();
-                        let crates: BTreeSet<&str> =
-                            cands.iter().map(|c| nodes[*c].krate).collect();
-                        if crates.len() == 1 {
+                    }
+                    CallKind::Qualified => {
+                        let q = match (call.qual.as_deref(), node.def.qual.as_deref()) {
+                            (Some("Self"), Some(own)) => own,
+                            (Some(q), _) => q,
+                            (None, _) => continue,
+                        };
+                        let cands = qual_global.get(&(q, name)).cloned().unwrap_or_default();
+                        if cands.is_empty() {
+                            // The qualifier may be a crate name: `exec::run(..)`.
+                            free_in_crate.get(&(q, name)).cloned().unwrap_or_default()
+                        } else {
+                            let same: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|c| nodes[*c].krate == node.krate)
+                                .collect();
+                            if same.is_empty() {
+                                cands
+                            } else {
+                                same
+                            }
+                        }
+                    }
+                    CallKind::Method => {
+                        if METHOD_STOPLIST.contains(&name) {
+                            continue;
+                        }
+                        let cands = method_global.get(name).cloned().unwrap_or_default();
+                        let targets: BTreeSet<(&str, &str)> = cands
+                            .iter()
+                            .map(|c| (nodes[*c].krate, nodes[*c].def.qual.as_deref().unwrap_or("")))
+                            .collect();
+                        if targets.len() == 1 {
                             cands
                         } else {
                             Vec::new()
                         }
                     }
-                }
-                CallKind::Qualified => {
-                    let q = match (call.qual.as_deref(), node.def.qual.as_deref()) {
-                        (Some("Self"), Some(own)) => own,
-                        (Some(q), _) => q,
-                        (None, _) => continue,
-                    };
-                    let cands = qual_global.get(&(q, name)).cloned().unwrap_or_default();
-                    if cands.is_empty() {
-                        // The qualifier may be a crate name: `exec::run(..)`.
-                        free_in_crate.get(&(q, name)).cloned().unwrap_or_default()
-                    } else {
-                        let same: Vec<usize> = cands
-                            .iter()
-                            .copied()
-                            .filter(|c| nodes[*c].krate == node.krate)
-                            .collect();
-                        if same.is_empty() {
-                            cands
-                        } else {
-                            same
-                        }
+                };
+                for t in targets {
+                    if t != id {
+                        edges[id].insert(t);
                     }
-                }
-                CallKind::Method => {
-                    if METHOD_STOPLIST.contains(&name) {
-                        continue;
-                    }
-                    let cands = method_global.get(name).cloned().unwrap_or_default();
-                    let targets: BTreeSet<(&str, &str)> = cands
-                        .iter()
-                        .map(|c| (nodes[*c].krate, nodes[*c].def.qual.as_deref().unwrap_or("")))
-                        .collect();
-                    if targets.len() == 1 {
-                        cands
-                    } else {
-                        Vec::new()
-                    }
-                }
-            };
-            for t in targets {
-                if t != id {
-                    edges[id].insert(t);
                 }
             }
         }
+        CallGraph { nodes, edges }
     }
+}
+
+/// Flag every `pub` function in a `Src` crate that can transitively reach
+/// a panic site through workspace-local calls, reporting the offending
+/// call chain at the entry point.
+pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    let CallGraph { nodes, edges } = CallGraph::build(facts);
 
     // Reverse BFS from nodes that own a panic site; `next[u]` is the
     // callee one step closer to the panic, for chain reconstruction.
@@ -349,6 +364,67 @@ pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
                 site.col
             ),
         });
+    }
+}
+
+/// R12 `event-loop-blocking`: functions reachable from the nonblocking
+/// server event loop must not call blocking APIs. Roots are every
+/// non-test function defined in a `*/src/server.rs` file; a forward BFS
+/// over the shared call graph finds each reachable blocking site and
+/// reports it with the root → … → site chain, at the site itself (so an
+/// `xlint::allow(event-loop-blocking, ..)` above the call suppresses it
+/// at build time, exactly like panic sites).
+pub fn check_event_loop_blocking(facts: &[FileFacts], findings: &mut Vec<Finding>) {
+    let CallGraph { nodes, edges } = CallGraph::build(facts);
+
+    let mut prev: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut reached: Vec<bool> = vec![false; nodes.len()];
+    let mut queue = VecDeque::new();
+    for (id, node) in nodes.iter().enumerate() {
+        if node.rel_path.ends_with("/src/server.rs") {
+            reached[id] = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for v in &edges[u] {
+            if !reached[*v] {
+                reached[*v] = true;
+                prev[*v] = Some(u);
+                queue.push_back(*v);
+            }
+        }
+    }
+
+    for (id, node) in nodes.iter().enumerate() {
+        if !reached[id] || node.def.blocking.is_empty() {
+            continue;
+        }
+        // Reconstruct root → … → this node.
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = prev[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let names: Vec<String> = chain.iter().map(|n| nodes[*n].display_name()).collect();
+        for site in &node.def.blocking {
+            findings.push(Finding {
+                rule_id: "event-loop-blocking",
+                severity: Severity::Deny,
+                rel_path: node.rel_path.to_string(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "{} blocks inside the event loop: reachable as {} — the nonblocking \
+                     server must never stall on one connection; use nonblocking I/O or \
+                     justify with xlint::allow(event-loop-blocking, ...)",
+                    site.desc,
+                    names.join(" → ")
+                ),
+            });
+        }
     }
 }
 

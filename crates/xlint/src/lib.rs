@@ -55,6 +55,7 @@
 pub mod baseline;
 pub mod cache;
 pub mod classify;
+pub mod dataflow;
 pub mod engine;
 pub mod error;
 pub mod facts;

@@ -25,6 +25,9 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
         "error-bridge-exhaustive",
         "Crates invoking exec bridge ExecError completely into their error type",
     ),
+    ("wire-taint", "Wire-decoded values pass validate/limits before sizing or exec sinks"),
+    ("event-loop-blocking", "Nothing reachable from the server event loop calls a blocking API"),
+    ("codec-symmetry", "Every wire message type encodes, decodes, and has a golden vector"),
 ];
 
 fn finding_json(f: &Finding) -> Json {

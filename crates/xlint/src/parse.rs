@@ -71,6 +71,22 @@ pub struct PanicSite {
     pub col: u32,
 }
 
+/// A blocking-API call site inside a function body — input to the
+/// `event-loop-blocking` (R12) reachability pass. Only the shapes from
+/// the event-loop contract are recorded: `.read_exact(..)` /
+/// `.write_all(..)` on a stream, `.lock()`, a zero-argument `.join()`
+/// (`JoinHandle::join` — `Vec::join`/`Path::join` take an argument),
+/// `.set_nonblocking(false)`, and `thread::sleep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSite {
+    /// Short description used in the report (`` `thread::sleep` ``).
+    pub desc: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
 /// One parsed function (free fn, inherent/trait method, or default trait
 /// method).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,10 +106,17 @@ pub struct FnDef {
     pub col: u32,
     /// Parameter pattern names, in order (`self` included as written).
     pub params: Vec<String>,
+    /// Declared type of each parameter as its space-joined identifiers
+    /// (`&mut Reader<'_>` records as `"Reader"`, `self` as `""`),
+    /// parallel to [`FnDef::params`]. The dataflow pass uses these to
+    /// seed taint for wire-reader parameters.
+    pub param_types: Vec<String>,
     /// Deduplicated call sites in the body (closures included).
     pub calls: Vec<Call>,
     /// Potential panic sites in the body.
     pub panics: Vec<PanicSite>,
+    /// Blocking-API call sites in the body (R12 input).
+    pub blocking: Vec<BlockSite>,
 }
 
 /// One parsed enum definition.
@@ -119,6 +142,11 @@ pub struct UsePath {
 pub struct ParsedFile {
     /// Every function found at item level (any nesting of mod/impl/trait).
     pub fns: Vec<FnDef>,
+    /// Body token span `[start, end)` of each function, parallel to
+    /// [`ParsedFile::fns`]; `None` for body-less trait declarations.
+    /// Token indices are a lexer-run artifact, so this never enters the
+    /// fact cache — the dataflow pass consumes it at build time only.
+    pub bodies: Vec<Option<(usize, usize)>>,
     /// Every enum definition.
     pub enums: Vec<EnumDef>,
     /// Every use-path, groups expanded.
@@ -370,7 +398,7 @@ impl<'a> Parser<'a> {
             return i;
         }
         let params_end = self.after_matching(i, end, "(", ")");
-        let params = self.param_names(i + 1, params_end.saturating_sub(1));
+        let (params, param_types) = self.param_list(i + 1, params_end.saturating_sub(1));
         // Return type and where clause: scan to the body `{` or a `;`
         // (trait method declaration) at angle/paren depth zero.
         let mut j = params_end;
@@ -400,15 +428,18 @@ impl<'a> Parser<'a> {
                 line,
                 col,
                 params,
+                param_types,
                 calls: Vec::new(),
                 panics: Vec::new(),
+                blocking: Vec::new(),
             });
+            self.out.bodies.push(None);
             return j + 1;
         }
         let past = self.after_matching(j, end, "{", "}");
         let body_start = j + 1;
         let body_end = past.saturating_sub(1);
-        let (calls, panics) = self.body_facts(body_start, body_end, &params);
+        let (calls, panics, blocking) = self.body_facts(body_start, body_end, &params);
         self.out.fns.push(FnDef {
             name,
             qual: qual.map(str::to_string),
@@ -417,18 +448,24 @@ impl<'a> Parser<'a> {
             line,
             col,
             params,
+            param_types,
             calls,
             panics,
+            blocking,
         });
+        self.out.bodies.push(Some((body_start, body_end)));
         past
     }
 
-    /// Collect top-level parameter pattern names from a param-list span.
-    fn param_names(&self, start: usize, end: usize) -> Vec<String> {
+    /// Collect top-level parameter pattern names and their declared types
+    /// (space-joined type identifiers) from a param-list span.
+    fn param_list(&self, start: usize, end: usize) -> (Vec<String>, Vec<String>) {
         let mut names = Vec::new();
+        let mut types: Vec<String> = Vec::new();
         let mut depth = 0i32;
         let mut angle = 0i32;
         let mut expecting = true;
+        let mut in_type = false;
         let mut i = start;
         while i < end {
             if self.is_punct(i, "(") || self.is_punct(i, "[") || self.is_punct(i, "{") {
@@ -441,16 +478,31 @@ impl<'a> Parser<'a> {
                 angle -= 1;
             } else if self.is_punct(i, ",") && depth == 0 && angle == 0 {
                 expecting = true;
+                in_type = false;
+            } else if in_type {
+                if let (Some(seg), Some(ty)) = (self.ident(i), types.last_mut()) {
+                    if seg != "mut" && seg != "dyn" && seg != "impl" {
+                        if !ty.is_empty() {
+                            ty.push(' ');
+                        }
+                        ty.push_str(seg);
+                    }
+                }
             } else if expecting {
                 match self.ident(i) {
                     Some("mut") => {}
                     Some("self") => {
                         names.push("self".to_string());
+                        types.push(String::new());
                         expecting = false;
                     }
                     Some(name) if self.is_punct(i + 1, ":") && !self.is_punct(i + 2, ":") => {
                         names.push(name.to_string());
+                        types.push(String::new());
                         expecting = false;
+                        in_type = true;
+                        i += 2;
+                        continue;
                     }
                     Some(_) => expecting = false,
                     None => {}
@@ -458,19 +510,21 @@ impl<'a> Parser<'a> {
             }
             i += 1;
         }
-        names
+        (names, types)
     }
 
-    /// Extract deduplicated call sites and panic sites from a body span
-    /// (closure bodies included — they execute on behalf of the fn).
+    /// Extract deduplicated call sites, panic sites, and blocking-API
+    /// sites from a body span (closure bodies included — they execute on
+    /// behalf of the fn).
     fn body_facts(
         &self,
         start: usize,
         end: usize,
         params: &[String],
-    ) -> (Vec<Call>, Vec<PanicSite>) {
+    ) -> (Vec<Call>, Vec<PanicSite>, Vec<BlockSite>) {
         let mut calls = BTreeSet::new();
         let mut panics = Vec::new();
+        let mut blocking = Vec::new();
         let mut i = start;
         while i < end {
             let Some(tok) = self.tok(i) else { break };
@@ -489,6 +543,9 @@ impl<'a> Parser<'a> {
                 }
                 // Calls: `name(`, `.name(`, `Qual::name(`.
                 if self.is_punct(i + 1, "(") {
+                    if let Some(desc) = self.blocking_desc(name, i, end) {
+                        blocking.push(BlockSite { desc, line: tok.line, col: tok.col });
+                    }
                     if i > start && self.is_punct(i - 1, ".") {
                         if name == "unwrap" || name == "expect" {
                             panics.push(PanicSite {
@@ -545,7 +602,29 @@ impl<'a> Parser<'a> {
             }
             i += 1;
         }
-        (calls.into_iter().collect(), panics)
+        (calls.into_iter().collect(), panics, blocking)
+    }
+
+    /// If the call at `i` (an ident followed by `(`) is one of the
+    /// blocking shapes the event-loop contract forbids, return its
+    /// report description. `end` bounds the argument scan.
+    fn blocking_desc(&self, name: &str, i: usize, end: usize) -> Option<String> {
+        let dotted = i > 0 && self.is_punct(i - 1, ".");
+        match name {
+            "read_exact" | "write_all" if dotted => Some(format!("`.{name}(..)`")),
+            "lock" if dotted => Some("`.lock()`".to_string()),
+            // `JoinHandle::join` takes no argument; `Vec::join` and
+            // `Path::join` take one, so empty parens disambiguate.
+            "join" if dotted && self.is_punct(i + 2, ")") => Some("`.join()`".to_string()),
+            "set_nonblocking" if dotted => {
+                let close = self.after_matching(i + 1, end, "(", ")");
+                (i + 2..close)
+                    .any(|k| self.ident(k) == Some("false"))
+                    .then(|| "`.set_nonblocking(false)`".to_string())
+            }
+            "sleep" => Some("`thread::sleep`".to_string()),
+            _ => None,
+        }
     }
 
     /// Parse `enum Name<G> { Variants }`.

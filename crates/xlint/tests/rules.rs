@@ -218,6 +218,65 @@ fn error_bridge_incomplete_match_flagged_and_wholesale_or_allowed_pass() {
 }
 
 #[test]
+fn r11_wire_taint_fires_and_sanitized_or_allowed_paths_stay_silent() {
+    let a = violations();
+    let hits = with_rule(&a, "wire-taint");
+    let frameio: Vec<_> =
+        hits.iter().filter(|f| f.rel_path.ends_with("frameio/src/lib.rs")).collect();
+    assert!(
+        frameio.iter().any(|f| f.severity == Severity::Deny && f.message.contains("with_capacity")),
+        "the unchecked decoded length must fire, got {hits:?}"
+    );
+    assert_eq!(
+        frameio.len(),
+        1,
+        "the limits-checked and reasoned-allow flows must stay silent: {frameio:?}"
+    );
+}
+
+#[test]
+fn r12_event_loop_blocking_fires_with_chain_and_allow_suppresses() {
+    let a = violations();
+    let hits = with_rule(&a, "event-loop-blocking");
+    let join = hits
+        .iter()
+        .find(|f| f.rel_path.ends_with("evloop/src/lib.rs"))
+        .expect("the blocking join must fire");
+    assert_eq!(join.severity, Severity::Deny);
+    assert!(
+        join.message.contains("`.join()`") && join.message.contains("poll_once → drain_backlog"),
+        "the diagnostic must show the loop-to-site chain: {}",
+        join.message
+    );
+    assert!(
+        !hits.iter().any(|f| f.message.contains("write_all")),
+        "the reasoned allow must suppress the teardown flush, got {hits:?}"
+    );
+}
+
+#[test]
+fn r13_codec_symmetry_flags_the_orphan_and_allow_suppresses() {
+    let a = violations();
+    let hits = with_rule(&a, "codec-symmetry");
+    let orphan =
+        hits.iter().find(|f| f.message.contains("ORPHAN")).expect("the decode-only code must fire");
+    assert_eq!(orphan.severity, Severity::Deny);
+    assert!(
+        orphan.message.contains("an encode path") && orphan.message.contains("golden-vector"),
+        "the diagnostic must name what is missing: {}",
+        orphan.message
+    );
+    assert!(
+        !hits.iter().any(|f| f.message.contains("TRACE")),
+        "the reasoned allow must suppress the one-way code, got {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.message.contains("PING")),
+        "the fully symmetric code must stay silent, got {hits:?}"
+    );
+}
+
+#[test]
 fn build_scripts_are_bound_by_hermeticity_rules() {
     let a = violations();
     let hits = with_rule(&a, "no-wall-clock");

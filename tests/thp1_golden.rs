@@ -7,7 +7,7 @@
 use atd::cache::fnv1a64;
 use atd::proto::msg;
 use atd::wire::{self, FrameError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
-use atd::{JobSpec, Request, Response};
+use atd::{JobResult, JobSpec, Provenance, Request, Response, ServiceStats};
 use pstime::{DataRate, Duration};
 
 /// `Ping { token: 0x0123_4567_89AB_CDEF }`, frozen on the wire.
@@ -61,8 +61,90 @@ fn ping_frame_matches_golden_bytes() {
 
 #[test]
 fn submit_frame_matches_golden_bytes() {
+    assert_eq!(SUBMIT_BATHTUB_FRAME[5], msg::SUBMIT);
     assert_eq!(golden_submit().to_frame().unwrap(), SUBMIT_BATHTUB_FRAME);
     assert_eq!(Request::from_frame(&SUBMIT_BATHTUB_FRAME).unwrap(), golden_submit());
+}
+
+/// `StatsReport` with every counter distinct, frozen — pins the order of
+/// the counters block, including the connection opened/closed pair.
+const STATS_REPORT_FRAME: [u8; 100] = [
+    0x54, 0x48, 0x50, 0x31, // magic
+    0x01, // version
+    0x82, // STATS_REPORT
+    0x00, 0x00, // reserved
+    0x00, 0x00, 0x00, 0x58, // payload length 88
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // submitted 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, // completed 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, // cache_hits 3
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, // batched 4
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, // shed 5
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x06, // failed 6
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // connections_opened 7
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, // connections_closed 8
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x09, // connections_failed 9
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0A, // frames_rejected 10
+    0x00, 0x00, 0x01, 0x00, // queue_capacity 256
+    0x00, 0x00, 0x00, 0x40, // cache_capacity 64
+];
+
+fn golden_stats() -> Response {
+    Response::StatsReport(ServiceStats {
+        submitted: 1,
+        completed: 2,
+        cache_hits: 3,
+        batched: 4,
+        shed: 5,
+        failed: 6,
+        connections_opened: 7,
+        connections_closed: 8,
+        connections_failed: 9,
+        frames_rejected: 10,
+        queue_capacity: 256,
+        cache_capacity: 64,
+    })
+}
+
+#[test]
+fn stats_report_frame_matches_golden_bytes() {
+    assert_eq!(STATS_REPORT_FRAME[5], msg::STATS_REPORT);
+    assert_eq!(golden_stats().to_frame().unwrap(), STATS_REPORT_FRAME);
+    assert_eq!(Response::from_frame(&STATS_REPORT_FRAME).unwrap(), golden_stats());
+}
+
+/// Every remaining type code in the THP/1 vocabulary round-trips under
+/// its frozen constant: batch submission and the rest of the response
+/// set.
+#[test]
+fn remaining_type_codes_are_frozen() {
+    let result =
+        JobResult::Bathtub { pairs: vec![(0.5, 1e-12)], rendered: "one point".to_string() };
+    let batch = Request::SubmitBatch { session: 1, specs: vec![golden_submit_spec()] };
+    let frame = batch.to_frame().unwrap();
+    assert_eq!(frame[5], msg::SUBMIT_BATCH);
+    assert_eq!(Request::from_frame(&frame).unwrap(), batch);
+
+    let responses = [
+        (
+            Response::JobDone {
+                ticket: 1,
+                provenance: Provenance::Computed,
+                result: result.clone(),
+            },
+            msg::JOB_DONE,
+        ),
+        (Response::Busy { queue_depth: 1, queue_capacity: 8 }, msg::BUSY),
+        (Response::Failed { ticket: 2, message: "eye completely closed".to_string() }, msg::FAILED),
+        (
+            Response::BatchDone { outcomes: vec![(3, Provenance::Cache, Ok(result))] },
+            msg::BATCH_DONE,
+        ),
+    ];
+    for (response, code) in responses {
+        let frame = response.to_frame().unwrap();
+        assert_eq!(frame[5], code, "{response:?}");
+        assert_eq!(Response::from_frame(&frame).unwrap(), response, "{response:?}");
+    }
 }
 
 /// The cache key is the spec's canonical bytes; its FNV-1a digest is part

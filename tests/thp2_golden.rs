@@ -6,9 +6,7 @@
 
 use atd::proto::msg;
 use atd::stream::{chunk_result, stream_digest};
-use atd::wire::{
-    self, flag, FrameError, HEADER2_LEN, HEADER_LEN, MAGIC2, MAX_PAYLOAD, VERSION, VERSION2,
-};
+use atd::wire::{self, flag, FrameError, HEADER2_LEN, HEADER_LEN, MAX_PAYLOAD, VERSION, VERSION2};
 use atd::{JobResult, JobSpec, Provenance, Request, Response};
 use pstime::{DataRate, Duration};
 
@@ -141,6 +139,7 @@ fn payload_grammar_is_shared_with_thp1() {
 fn chunk_frame_matches_golden_bytes() {
     assert_eq!(golden_chunk().to_frame2(5).unwrap(), CHUNK_FRAME);
     let (h, response) = decode_response2(&CHUNK_FRAME).unwrap();
+    assert_eq!(h.msg_type, msg::CHUNK);
     assert_eq!(h.flags, flag::CHUNK);
     assert_eq!(h.correlation, 5);
     assert_eq!(response, golden_chunk());
@@ -150,6 +149,7 @@ fn chunk_frame_matches_golden_bytes() {
 fn summary_frame_matches_golden_bytes() {
     assert_eq!(golden_summary().to_frame2(5).unwrap(), SUMMARY_FRAME);
     let (h, response) = decode_response2(&SUMMARY_FRAME).unwrap();
+    assert_eq!(h.msg_type, msg::SUMMARY);
     assert_eq!(h.flags, flag::FINAL);
     assert_eq!(response, golden_summary());
 }

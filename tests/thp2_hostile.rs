@@ -168,3 +168,106 @@ fn mid_pipeline_disconnect_sheds_the_session_and_leaks_nothing() {
     admin.shutdown().unwrap();
     daemon.join().unwrap();
 }
+
+/// Replayed and gapped CHUNK sequence numbers are rejected with typed
+/// errors that name the hostile pattern, and a rejection never corrupts
+/// the stream: the next in-order chunk is still accepted.
+#[test]
+fn reassembler_names_replayed_and_gapped_chunk_sequences() {
+    use atd::wire::FrameError;
+    use atd::Reassembler;
+
+    // A duplicate of an already-consumed seq is a replay.
+    let mut r = Reassembler::new();
+    r.push(0, b"head").unwrap();
+    assert_eq!(
+        r.push(0, b"head").unwrap_err(),
+        FrameError::BadPayload { context: "duplicate or replayed chunk seq" }
+    );
+
+    // Out-of-order delivery: seq 1 before seq 0 is a gap at slot 0, and
+    // the rejected chunk is not consumed.
+    let mut early = Reassembler::new();
+    assert_eq!(
+        early.push(1, b"tail").unwrap_err(),
+        FrameError::BadPayload { context: "chunk seq gap" }
+    );
+    assert_eq!(early.chunks(), 0);
+
+    // A skipped slot mid-stream is also a gap, and rejecting it leaves
+    // the reassembler able to take the real next chunk.
+    assert_eq!(
+        r.push(2, b"tail").unwrap_err(),
+        FrameError::BadPayload { context: "chunk seq gap" }
+    );
+    r.push(1, b"tail").unwrap();
+    assert_eq!(r.chunks(), 2);
+}
+
+/// Every strict prefix of each magic word followed by a hangup is one
+/// rejected frame and one failed connection — and once the probes are
+/// reaped, opened and closed balance to exactly the one live admin
+/// session.
+#[test]
+fn magic_prefix_probes_balance_the_connection_counters() {
+    let (addr, daemon) = boot(ServerConfig { pipeline_depth: 8, idle_budget: 10_000 });
+
+    let mut probes = 0u64;
+    for magic in [*b"THP1", *b"THP2"] {
+        for cut in 1..=4 {
+            let mut probe = TcpStream::connect(addr).unwrap();
+            probe.write_all(&magic[..cut]).unwrap();
+            probe.flush().unwrap();
+            probes += 1;
+            // Drop: EOF lands with a partial magic buffered daemon-side.
+        }
+    }
+
+    let mut admin = PipelinedClient::connect(addr).unwrap();
+    let stats = poll_stats(&mut admin, |s| {
+        s.connections_failed >= probes && s.connections_closed >= probes
+    });
+    assert_eq!(stats.frames_rejected, probes, "each prefix probe is one rejected frame");
+    assert_eq!(stats.connections_failed, probes, "each hangup is one failed connection");
+    assert_eq!(stats.connections_opened, probes + 1, "eight probes plus the admin session");
+    assert_eq!(stats.connections_closed, probes, "every probe is reaped; only the admin is live");
+
+    assert_eq!(admin.ping(1).unwrap(), 1);
+    admin.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+/// Mixed revision bytes — each magic claiming the other revision's
+/// version, plus out-of-range versions — are rejected as frames and
+/// answered with a `Failed` reply before a clean close: rejections
+/// count, connection failures do not, and the counters still balance.
+#[test]
+fn mixed_magic_and_version_bytes_are_rejected_with_a_reply() {
+    let (addr, daemon) = boot(ServerConfig { pipeline_depth: 8, idle_budget: 10_000 });
+
+    let mixes: [([u8; 4], u8); 4] = [(*b"THP1", 2), (*b"THP2", 1), (*b"THP1", 9), (*b"THP2", 0)];
+    for (magic, version) in mixes {
+        let mut probe = TcpStream::connect(addr).unwrap();
+        let mut hello = magic.to_vec();
+        hello.push(version);
+        probe.write_all(&hello).unwrap();
+        probe.flush().unwrap();
+        // The daemon answers `Failed` and closes; drain to EOF so the
+        // close is clean on both sides.
+        probe.set_read_timeout(Some(core::time::Duration::from_secs(10))).unwrap();
+        let mut reply = Vec::new();
+        probe.read_to_end(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "a mixed-revision hello earns a Failed reply");
+    }
+
+    let total = u64::try_from(mixes.len()).unwrap();
+    let mut admin = PipelinedClient::connect(addr).unwrap();
+    let stats = poll_stats(&mut admin, |s| s.connections_closed >= total);
+    assert_eq!(stats.frames_rejected, total, "each mixed hello is one rejected frame");
+    assert_eq!(stats.connections_failed, 0, "a rejected hello closes cleanly, not as a failure");
+    assert_eq!(stats.connections_opened, total + 1);
+    assert_eq!(stats.connections_closed, total);
+
+    admin.shutdown().unwrap();
+    daemon.join().unwrap();
+}

@@ -1,0 +1,31 @@
+//! Fixture: a wire vocabulary for `codec-symmetry` (R13). `PING`
+//! encodes, decodes, and is pinned by `tests/golden.rs`; `ORPHAN`
+//! decodes but never encodes and has no golden vector (fires); `TRACE`
+//! is a documented one-way code suppressed by a reasoned allow.
+
+#![forbid(unsafe_code)]
+
+/// Wire message codes.
+pub mod msg {
+    /// Liveness probe; fully symmetric.
+    pub const PING: u8 = 0x01;
+    /// Legacy reply code the decoder still accepts.
+    pub const ORPHAN: u8 = 0x7E;
+    /// Diagnostic code emitted only by the legacy probe tool.
+    // xlint::allow(codec-symmetry, TRACE frames are produced by the legacy C probe tool only and intentionally have no encoder here)
+    pub const TRACE: u8 = 0x7F;
+}
+
+/// Encodes a probe frame.
+pub fn encode_ping(token: u8) -> [u8; 2] {
+    [msg::PING, token]
+}
+
+/// Decodes any frame code the crate still understands.
+pub fn decode_code(bytes: &[u8]) -> Option<u8> {
+    match bytes.first().copied() {
+        Some(code) if code == msg::PING => Some(code),
+        Some(code) if code == msg::ORPHAN => Some(code),
+        _ => None,
+    }
+}

@@ -1,0 +1,6 @@
+//! Golden vector pinning the fixture's PING frame bytes.
+
+#[test]
+fn ping_frame_is_frozen() {
+    assert_eq!(codecsym::encode_ping(7), [codecsym::msg::PING, 7]);
+}

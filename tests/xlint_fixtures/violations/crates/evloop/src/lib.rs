@@ -1,0 +1,21 @@
+//! Fixture: helpers reachable from the event loop in `server.rs` for
+//! `event-loop-blocking` (R12). The blocking `.join()` in
+//! `drain_backlog` fires with the loop → helper chain; the single
+//! documented `write_all` flush is suppressed by a reasoned allow.
+
+#![forbid(unsafe_code)]
+
+pub mod server;
+
+/// event-loop-blocking: joining a worker stalls the loop for as long as
+/// the worker runs.
+pub fn drain_backlog(handle: std::thread::JoinHandle<()>) {
+    let _ = handle.join();
+}
+
+/// Suppressed: the one bounded flush during shutdown teardown.
+pub fn flush_once(stream: &mut std::net::TcpStream) -> std::io::Result<()> {
+    use std::io::Write;
+    // xlint::allow(event-loop-blocking, one bounded teardown flush after the loop has stopped accepting work)
+    stream.write_all(&[0u8])
+}

@@ -1,0 +1,11 @@
+//! The fixture's nonblocking event loop: every function in a
+//! `*/src/server.rs` file is a root of the R12 reachability pass.
+
+/// One loop tick — reaches both blocking helpers in `lib.rs`.
+pub fn poll_once(
+    handle: std::thread::JoinHandle<()>,
+    stream: &mut std::net::TcpStream,
+) -> std::io::Result<()> {
+    drain_backlog(handle);
+    flush_once(stream)
+}
