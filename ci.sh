@@ -59,14 +59,24 @@ echo "canary: sweep outputs identical at EXEC_THREADS=1 and 4"
 # thread counts above; here the load generator's deterministic canary —
 # result digests, cache/batch counters — must also be byte-identical
 # whether the daemon's pool runs 1 worker or 4.
-EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --canary > "$canary_dir/atd1.txt"
-EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --canary > "$canary_dir/atd4.txt"
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --canary > "$canary_dir/atd1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --canary > "$canary_dir/atd4.txt"
 diff "$canary_dir/atd1.txt" "$canary_dir/atd4.txt"
 echo "canary: atd service outputs identical at EXEC_THREADS=1 and 4"
 # THP/2 invariance: the same mix through pipelined sessions — chunked
 # streaming, out-of-order completion, reassembly — must reproduce the
 # exact digests of the serial canary's daemon regardless of pool width.
-EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_1.txt"
-EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_4.txt"
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --pipeline --canary > "$canary_dir/thp2_4.txt"
 diff "$canary_dir/thp2_1.txt" "$canary_dir/thp2_4.txt"
 echo "canary: atd pipelined outputs identical at EXEC_THREADS=1 and 4"
+# Farm invariance: the coordinator's merged digests must not depend on
+# the fleet shape (1 head = pass-through, 3 heads = shard + re-merge) or
+# on the pool width inside each head. Two diffs pin both axes.
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --farm 1 --canary > "$canary_dir/farm_h1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --farm 3 --canary > "$canary_dir/farm_h3.txt"
+diff "$canary_dir/farm_h1.txt" "$canary_dir/farm_h3.txt"
+echo "canary: farm outputs identical at 1 and 3 heads"
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --farm 3 --canary > "$canary_dir/farm_t1.txt"
+diff "$canary_dir/farm_t1.txt" "$canary_dir/farm_h3.txt"
+echo "canary: farm outputs identical at EXEC_THREADS=1 and 4"

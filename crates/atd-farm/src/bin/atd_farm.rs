@@ -1,0 +1,166 @@
+//! The farm daemon: a THP/1 front-end over an in-process head fleet.
+//!
+//! ```text
+//! cargo run --release -p gigatest-atd-farm --bin atd-farm -- --addr 127.0.0.1:4816 --heads 3
+//! ```
+//!
+//! Speaks the same THP/1 request vocabulary as a single `atd` daemon —
+//! clients cannot tell a farm from a head, except that composite jobs
+//! shard across the fleet. `--heads` (or `ATD_FARM_HEADS`) sizes the
+//! fleet, `ATD_FARM_RETRIES` bounds re-shard rounds, and the usual
+//! service knobs (`EXEC_THREADS`, `ATD_QUEUE_DEPTH`, `ATD_CACHE_ENTRIES`)
+//! configure each head. The bound address is printed on stdout as
+//! `atd-farm listening on <addr>` so wrappers can bind port 0 and
+//! discover the ephemeral port.
+
+use std::net::{TcpListener, TcpStream};
+
+use atd::{read_frame, write_frame, Request, Response, ServiceStats};
+use atd_farm::{heads_from_env, Farm, FarmError};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:4816";
+
+struct Options {
+    addr: String,
+    heads: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options { addr: DEFAULT_ADDR.to_string(), heads: heads_from_env() };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => options.addr = a,
+                None => return Err("--addr requires a value".to_string()),
+            },
+            "--heads" => match args.next() {
+                Some(n) => {
+                    options.heads = n
+                        .trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--heads requires a positive integer, got {n:?}"))?;
+                }
+                None => return Err("--heads requires a value".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: atd-farm [--addr HOST:PORT] [--heads N]   (default {DEFAULT_ADDR}, heads from ATD_FARM_HEADS)"
+                ))
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+/// Fleet-wide counters: the sum of every head's stats, capacities
+/// included, so `submitted`/`cache_hits` describe the whole farm.
+fn aggregate_stats(farm: &mut Farm<atd::Client<atd::Loopback>>) -> ServiceStats {
+    let mut total = ServiceStats::default();
+    for stats in farm.head_stats().into_iter().flatten() {
+        total.submitted += stats.submitted;
+        total.completed += stats.completed;
+        total.cache_hits += stats.cache_hits;
+        total.batched += stats.batched;
+        total.shed += stats.shed;
+        total.failed += stats.failed;
+        total.connections_opened += stats.connections_opened;
+        total.connections_closed += stats.connections_closed;
+        total.connections_failed += stats.connections_failed;
+        total.frames_rejected += stats.frames_rejected;
+        total.queue_capacity = total.queue_capacity.saturating_add(stats.queue_capacity);
+        total.cache_capacity = total.cache_capacity.saturating_add(stats.cache_capacity);
+    }
+    total
+}
+
+/// Serves one connection; returns whether a shutdown was requested.
+fn serve_connection(
+    stream: &mut TcpStream,
+    farm: &mut Farm<atd::Client<atd::Loopback>>,
+    ticket: &mut u64,
+) -> bool {
+    loop {
+        let (ty, payload) = match read_frame(stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return false,
+        };
+        let request = match Request::from_parts(ty, &payload) {
+            Ok(request) => request,
+            // A malformed frame poisons the connection's framing; drop
+            // the peer, keep the daemon.
+            Err(_) => return false,
+        };
+        let (response, shutdown) = match request {
+            Request::Ping { token } => (Response::Pong { token }, false),
+            Request::GetStats => (Response::StatsReport(aggregate_stats(farm)), false),
+            Request::Submit { session, spec } => {
+                *ticket += 1;
+                let response = match farm.submit(session, spec) {
+                    Ok(done) => Response::JobDone {
+                        ticket: *ticket,
+                        provenance: done.provenance,
+                        result: done.result,
+                    },
+                    Err(e) => Response::Failed { ticket: *ticket, message: e.to_string() },
+                };
+                (response, false)
+            }
+            Request::SubmitBatch { session, specs } => {
+                let mut outcomes = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    *ticket += 1;
+                    let outcome = match farm.submit(session, spec) {
+                        Ok(done) => (*ticket, done.provenance, Ok(done.result)),
+                        Err(e) => (*ticket, atd::Provenance::Computed, Err(e.to_string())),
+                    };
+                    outcomes.push(outcome);
+                }
+                (Response::BatchDone { outcomes }, false)
+            }
+            Request::Shutdown => (Response::Goodbye, true),
+        };
+        let Ok(frame) = response.to_frame() else {
+            return false;
+        };
+        if write_frame(stream, &frame).is_err() {
+            return false;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    let mut farm = Farm::in_proc(options.heads).map_err(|e: FarmError| e.to_string())?;
+    let listener = TcpListener::bind(&options.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let local = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    println!("atd-farm listening on {local} ({} heads)", farm.heads());
+
+    let mut ticket = 0u64;
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        if serve_connection(&mut stream, &mut farm, &mut ticket) {
+            break;
+        }
+    }
+    let stats = farm.stats();
+    eprintln!(
+        "atd-farm: {} specs ({} sub-specs, {} merged, {} rerouted, {} retry rounds)",
+        stats.specs, stats.sub_specs, stats.merged, stats.rerouted, stats.retry_rounds
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("atd-farm: {message}");
+        std::process::exit(2);
+    }
+}

@@ -1,11 +1,13 @@
-//! Closed-loop load generator for the ATE daemon.
+//! Closed-loop load generator for the ATE daemon and the test farm.
 //!
 //! ```text
-//! cargo run --release -p gigatest-atd --bin atd-load                  # timed, TCP, THP/1
-//! cargo run --release -p gigatest-atd --bin atd-load -- --requests 2000
-//! cargo run --release -p gigatest-atd --bin atd-load -- --canary     # deterministic
-//! cargo run --release -p gigatest-atd --bin atd-load -- --pipeline 2 --depth 64
-//! cargo run --release -p gigatest-atd --bin atd-load -- --pipeline --canary
+//! cargo run --release -p gigatest-atd-farm --bin atd-load                  # timed, TCP, THP/1
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --requests 2000
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --canary     # deterministic
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --pipeline 2 --depth 64
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --pipeline --canary
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --farm 3     # sharded fleet
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --farm 3 --canary
 //! ```
 //!
 //! The default mode boots an in-process `atd` daemon on an ephemeral TCP
@@ -28,6 +30,15 @@
 //! with and without `--pipeline` — extending the workspace's
 //! thread-count invariance proof through the wire protocol, scheduler,
 //! chunker, and cache.
+//!
+//! `--farm N` drives an in-process fleet of N heads through the
+//! `atd-farm` coordinator: composite specs shard across the fleet and
+//! merge back, a head is killed halfway through the timed run to
+//! exercise the re-shard path, and the report lands in `BENCH_farm.json`
+//! (throughput, latency quantiles, per-head cache-hit rates, re-shard
+//! count). `--farm N --canary` prints the *merged* per-spec digests —
+//! output that must be identical at any fleet size, which CI enforces by
+//! diffing 1 head against 3.
 
 use std::collections::BTreeMap;
 use std::net::TcpListener;
@@ -516,21 +527,7 @@ fn render_json(
     elapsed_s: f64,
     pipeline: Option<(u32, usize, u64)>,
 ) -> String {
-    let mut sorted = latencies_s.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let quantile = |q_permille: u64| -> f64 {
-        let Some(last) = sorted.len().checked_sub(1) else {
-            return 0.0;
-        };
-        let idx = (u64::try_from(last).unwrap_or(0) * q_permille + 500) / 1000;
-        let idx = usize::try_from(idx).unwrap_or(0).min(last);
-        sorted.get(idx).copied().unwrap_or(0.0)
-    };
-    let mean_s = if sorted.is_empty() {
-        0.0
-    } else {
-        sorted.iter().sum::<f64>() / to_f64(u64::try_from(sorted.len()).unwrap_or(1))
-    };
+    let (mean_s, p50_s, p99_s) = latency_summary(latencies_s);
     let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
 
     let mut json = String::new();
@@ -550,8 +547,8 @@ fn render_json(
     json.push_str(&format!("  \"elapsed_s\": {elapsed_s:.6},\n"));
     json.push_str(&format!("  \"requests_per_s\": {rps:.1},\n"));
     json.push_str(&format!("  \"latency_mean_s\": {mean_s:.6},\n"));
-    json.push_str(&format!("  \"latency_p50_s\": {:.6},\n", quantile(500)));
-    json.push_str(&format!("  \"latency_p99_s\": {:.6},\n", quantile(990)));
+    json.push_str(&format!("  \"latency_p50_s\": {p50_s:.6},\n"));
+    json.push_str(&format!("  \"latency_p99_s\": {p99_s:.6},\n"));
     json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", tally.hit_rate()));
     json.push_str(&format!(
         "  \"provenance\": {{ \"computed\": {}, \"cached\": {}, \"batched\": {} }},\n",
@@ -560,17 +557,243 @@ fn render_json(
     json.push_str(&format!("  \"busy\": {},\n", tally.busy));
     json.push_str(&format!("  \"protocol_errors\": {},\n", tally.protocol_errors));
     json.push_str(&format!("  \"result_mismatches\": {},\n", tally.mismatches));
-    json.push_str(&format!(
-        "  \"service\": {{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {}, \"frames_rejected\": {}, \"connections_failed\": {} }}\n",
+    json.push_str(&format!("  \"service\": {}\n", service_json(stats)));
+    json.push_str("}\n");
+    json
+}
+
+/// The service-counter block, shared by every bench schema — single-head
+/// and farm reports must stay field-for-field comparable.
+fn service_json(stats: &atd::ServiceStats) -> String {
+    format!(
+        "{{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {}, \"connections_opened\": {}, \"connections_closed\": {}, \"frames_rejected\": {}, \"connections_failed\": {} }}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
         stats.batched,
         stats.shed,
         stats.failed,
+        stats.connections_opened,
+        stats.connections_closed,
         stats.frames_rejected,
         stats.connections_failed
+    )
+}
+
+/// Mean, p50, and p99 of a latency sample (seconds).
+fn latency_summary(latencies_s: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = latencies_s.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let quantile = |q_permille: u64| -> f64 {
+        let Some(last) = sorted.len().checked_sub(1) else {
+            return 0.0;
+        };
+        let idx = (u64::try_from(last).unwrap_or(0) * q_permille + 500) / 1000;
+        let idx = usize::try_from(idx).unwrap_or(0).min(last);
+        sorted.get(idx).copied().unwrap_or(0.0)
+    };
+    let mean_s = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / to_f64(u64::try_from(sorted.len()).unwrap_or(1))
+    };
+    (mean_s, quantile(500), quantile(990))
+}
+
+/// Drives one submission of the farm stream: round-robin over the spec
+/// table, sessions striped 0..4 like the single-head stream.
+fn drive_farm_one(
+    farm: &mut atd_farm::Farm<Client<Loopback>>,
+    specs: &[JobSpec],
+    i: u64,
+    tally: &mut Tally,
+    ledger: &mut Ledger,
+) -> Result<(), atd_farm::FarmError> {
+    tally.requests += 1;
+    let session = u32::try_from(i % 4).unwrap_or(0);
+    let slot = usize::try_from(i).unwrap_or(0) % specs.len().max(1);
+    let Some(spec) = specs.get(slot) else {
+        return Ok(());
+    };
+    let done = farm.submit(session, *spec)?;
+    note_submitted(tally, done.provenance);
+    if !ledger.check(spec, &done.result) {
+        tally.mismatches += 1;
+    }
+    Ok(())
+}
+
+/// Deterministic farm run: shards every composite spec across an
+/// in-process fleet and prints per-spec *merged* digests plus
+/// head-count-invariant counters. CI diffs this output at 1 head vs 3
+/// heads (and across `EXEC_THREADS`) — the byte-identity proof for the
+/// whole plan → route → drain → merge path, since a merged digest can
+/// only match the one-head digest if every band landed and concatenated
+/// correctly. Fleet-shape-dependent counters (sub-specs, per-head loads)
+/// deliberately stay out of this output.
+fn farm_canary(heads: usize, requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let mut farm = atd_farm::Farm::in_proc(heads).map_err(|e| format!("cannot boot farm: {e}"))?;
+    let mut tally = Tally::default();
+    let mut ledger = Ledger::default();
+    for i in 0..requests {
+        drive_farm_one(&mut farm, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("submission {i} failed: {e}"))?;
+    }
+    println!("== atd farm canary ==");
+    for spec in &specs {
+        let key = spec.key_bytes();
+        let digest =
+            ledger.first_seen.get(&key).map(|bytes| atd::cache::fnv1a64(bytes)).unwrap_or_default();
+        println!("{:8} {:016x} {:016x}", spec.kind(), atd::cache::fnv1a64(&key), digest);
+    }
+    println!(
+        "jobs {} computed {} reused {} mismatches {}",
+        tally.jobs,
+        tally.computed,
+        tally.cached + tally.batched,
+        tally.mismatches
+    );
+    if tally.mismatches > 0 {
+        return Err(format!("farm canary saw {} result mismatches", tally.mismatches));
+    }
+    Ok(())
+}
+
+/// Timed farm run: drives the in-process fleet end to end, kills a head
+/// halfway through to exercise the re-shard path, and writes
+/// `BENCH_farm.json` with throughput, latency quantiles, per-head
+/// cache-hit rates, and the re-shard count.
+fn farm_bench(heads: usize, requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let mut farm = atd_farm::Farm::in_proc(heads).map_err(|e| format!("cannot boot farm: {e}"))?;
+    eprintln!("atd-load: in-proc farm of {heads} heads, {requests} submissions");
+    let mut tally = Tally::default();
+    let mut ledger = Ledger::default();
+    let mut latencies_s = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
+    let kill_at = requests / 2;
+    let mut killed: Option<usize> = None;
+
+    let t0 = Instant::now();
+    for i in 0..requests {
+        if i == kill_at && heads > 1 {
+            // Inject the failure the farm is built for: take down the
+            // first up head mid-campaign and leave it down, so the back
+            // half of the run measures the re-sharded fleet.
+            killed = (0..heads).find(|h| farm.is_up(*h));
+            if let Some(victim) = killed {
+                farm.kill(victim);
+            }
+        }
+        let t = Instant::now();
+        drive_farm_one(&mut farm, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("submission {i} failed: {e}"))?;
+        latencies_s.push(t.elapsed().as_secs_f64());
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let head_stats = farm.head_stats();
+    let json = render_farm_json(&tally, &farm, &head_stats, &latencies_s, elapsed_s, killed);
+    match std::fs::write("BENCH_farm.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_farm.json"),
+        Err(e) => return Err(format!("failed to write BENCH_farm.json: {e}")),
+    }
+    print!("{json}");
+
+    if tally.mismatches > 0 {
+        return Err(format!("farm run saw {} result mismatches", tally.mismatches));
+    }
+    Ok(())
+}
+
+/// Renders the farm benchmark report. The `service` block aggregates all
+/// heads with the same schema as `BENCH_atd.json`; `per_head` breaks out
+/// each head's submission and cache-hit tallies; `farm.reshards` is the
+/// number of sub-spec routings that diverged from their all-up home after
+/// the injected kill.
+fn render_farm_json(
+    tally: &Tally,
+    farm: &atd_farm::Farm<Client<Loopback>>,
+    head_stats: &[Result<atd::ServiceStats, AtdError>],
+    latencies_s: &[f64],
+    elapsed_s: f64,
+    killed: Option<usize>,
+) -> String {
+    let (mean_s, p50_s, p99_s) = latency_summary(latencies_s);
+    let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
+    let stats = farm.stats();
+
+    let mut aggregate = atd::ServiceStats::default();
+    let mut per_head = String::new();
+    for (head, outcome) in head_stats.iter().enumerate() {
+        let comma = if head == 0 { "" } else { ",\n" };
+        match outcome {
+            Ok(s) => {
+                aggregate.submitted += s.submitted;
+                aggregate.completed += s.completed;
+                aggregate.cache_hits += s.cache_hits;
+                aggregate.batched += s.batched;
+                aggregate.shed += s.shed;
+                aggregate.failed += s.failed;
+                aggregate.connections_opened += s.connections_opened;
+                aggregate.connections_closed += s.connections_closed;
+                aggregate.connections_failed += s.connections_failed;
+                aggregate.frames_rejected += s.frames_rejected;
+                aggregate.queue_capacity =
+                    aggregate.queue_capacity.saturating_add(s.queue_capacity);
+                aggregate.cache_capacity =
+                    aggregate.cache_capacity.saturating_add(s.cache_capacity);
+                let hit_rate =
+                    if s.submitted == 0 { 0.0 } else { to_f64(s.cache_hits) / to_f64(s.submitted) };
+                per_head.push_str(&format!(
+                    "{comma}    {{ \"head\": {head}, \"up\": {}, \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {hit_rate:.4} }}",
+                    farm.is_up(head),
+                    s.submitted,
+                    s.completed,
+                    s.cache_hits
+                ));
+            }
+            Err(e) => {
+                per_head.push_str(&format!(
+                    "{comma}    {{ \"head\": {head}, \"up\": {}, \"error\": {:?} }}",
+                    farm.is_up(head),
+                    e.to_string()
+                ));
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"mode\": \"farm\",\n");
+    json.push_str(&format!(
+        "  \"farm\": {{ \"heads\": {}, \"killed_head\": {}, \"reshards\": {}, \"retry_rounds\": {}, \"heads_down\": {}, \"sub_specs\": {}, \"merged\": {}, \"pass_through\": {} }},\n",
+        farm.heads(),
+        killed.map(|h| h.to_string()).unwrap_or_else(|| "null".to_string()),
+        stats.rerouted,
+        stats.retry_rounds,
+        stats.heads_down,
+        stats.sub_specs,
+        stats.merged,
+        stats.pass_through
     ));
+    json.push_str(&format!("  \"requests\": {},\n", tally.requests));
+    json.push_str(&format!("  \"jobs\": {},\n", tally.jobs));
+    json.push_str(&format!("  \"elapsed_s\": {elapsed_s:.6},\n"));
+    json.push_str(&format!("  \"requests_per_s\": {rps:.1},\n"));
+    json.push_str(&format!("  \"latency_mean_s\": {mean_s:.6},\n"));
+    json.push_str(&format!("  \"latency_p50_s\": {p50_s:.6},\n"));
+    json.push_str(&format!("  \"latency_p99_s\": {p99_s:.6},\n"));
+    json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", tally.hit_rate()));
+    json.push_str(&format!(
+        "  \"provenance\": {{ \"computed\": {}, \"cached\": {}, \"batched\": {} }},\n",
+        tally.computed, tally.cached, tally.batched
+    ));
+    json.push_str(&format!("  \"result_mismatches\": {},\n", tally.mismatches));
+    json.push_str("  \"per_head\": [\n");
+    json.push_str(&per_head);
+    json.push_str("\n  ],\n");
+    json.push_str(&format!("  \"service\": {}\n", service_json(&aggregate)));
     json.push_str("}\n");
     json
 }
@@ -629,6 +852,8 @@ struct Options {
     canary_mode: bool,
     /// `Some(sessions)` when `--pipeline` was given.
     pipeline: Option<u32>,
+    /// `Some(heads)` when `--farm` was given.
+    farm: Option<usize>,
     depth: usize,
     requests: u64,
 }
@@ -636,6 +861,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut canary_mode = false;
     let mut pipeline: Option<u32> = None;
+    let mut farm: Option<usize> = None;
     // Matches the daemon's default per-session cap: the deepest window
     // that is never shed, and the measured throughput sweet spot.
     let mut depth: usize = 64;
@@ -655,6 +881,18 @@ fn parse_args() -> Result<Options, String> {
                 };
                 pipeline = Some(sessions);
             }
+            "--farm" => {
+                // Optional fleet size: `--farm 3` or bare `--farm`
+                // (then `ATD_FARM_HEADS`, default 2).
+                let heads = match args.peek().map(|next| next.parse::<usize>()) {
+                    Some(Ok(n)) => {
+                        args.next();
+                        n.max(1)
+                    }
+                    _ => atd_farm::heads_from_env(),
+                };
+                farm = Some(heads);
+            }
             "--depth" => {
                 let value = args.next().ok_or("--depth requires a value")?;
                 let parsed: usize =
@@ -667,30 +905,38 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: atd-load [--canary] [--pipeline [N]] [--depth K] [--requests N]"
+                    "usage: atd-load [--canary] [--pipeline [N]] [--farm [N]] [--depth K] [--requests N]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
+    if farm.is_some() && pipeline.is_some() {
+        return Err("--farm and --pipeline are mutually exclusive".to_string());
+    }
     // Canary defaults are small (CI diffs them twice); the timed serial
     // default is the 1000-request mixed stream, and the pipelined timed
     // default is larger so the measurement amortises daemon start-up.
-    let requests = requests.unwrap_or(match (canary_mode, pipeline.is_some()) {
-        (true, _) => 200,
-        (false, true) => 20_000,
-        (false, false) => 1000,
+    // Farm submissions are whole campaigns (a merged composite each), so
+    // the timed default is smaller again.
+    let requests = requests.unwrap_or(match (canary_mode, pipeline.is_some(), farm.is_some()) {
+        (true, _, _) => 200,
+        (false, true, _) => 20_000,
+        (false, false, true) => 400,
+        (false, false, false) => 1000,
     });
-    Ok(Options { canary_mode, pipeline, depth, requests })
+    Ok(Options { canary_mode, pipeline, farm, depth, requests })
 }
 
 fn main() {
-    let result = parse_args().and_then(|opts| match (opts.canary_mode, opts.pipeline) {
-        (true, Some(sessions)) => pipelined_canary(sessions, opts.depth, opts.requests),
-        (false, Some(sessions)) => pipelined_bench(sessions, opts.depth, opts.requests),
-        (true, None) => canary(opts.requests),
-        (false, None) => bench(opts.requests),
+    let result = parse_args().and_then(|opts| match (opts.canary_mode, opts.pipeline, opts.farm) {
+        (true, _, Some(heads)) => farm_canary(heads, opts.requests),
+        (false, _, Some(heads)) => farm_bench(heads, opts.requests),
+        (true, Some(sessions), None) => pipelined_canary(sessions, opts.depth, opts.requests),
+        (false, Some(sessions), None) => pipelined_bench(sessions, opts.depth, opts.requests),
+        (true, None, None) => canary(opts.requests),
+        (false, None, None) => bench(opts.requests),
     });
     if let Err(message) = result {
         eprintln!("atd-load: {message}");

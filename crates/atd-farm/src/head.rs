@@ -1,0 +1,153 @@
+//! The coordinator's view of one test head.
+//!
+//! A head is anything that can execute a [`JobSpec`] and report service
+//! counters: an in-process [`Loopback`] service (tests, benches), a
+//! blocking THP/1 [`Client`] over any transport, or a THP/2
+//! [`PipelinedClient`] session (real deployments). The farm treats every
+//! submission error — including a `Busy` shed — as a head failure: the
+//! coordinator's contract is bounded retries with re-shard, not
+//! client-side backoff, so a head that cannot accept work right now is
+//! simply routed around until re-admitted.
+
+use atd::stream::Event;
+use atd::{
+    AtdError, Client, JobResult, JobSpec, Loopback, PipelinedClient, Provenance, Service,
+    ServiceStats, Submitted, Transport,
+};
+
+/// One test head under farm control.
+pub trait Head {
+    /// Executes `spec` under `session`, returning how the result was
+    /// produced and the result itself.
+    ///
+    /// # Errors
+    ///
+    /// [`AtdError`] for transport loss, remote failures, or a shed
+    /// submission; any error marks the head down at the farm layer.
+    fn submit(&mut self, session: u32, spec: JobSpec) -> Result<(Provenance, JobResult), AtdError>;
+
+    /// The head's cumulative service counters.
+    ///
+    /// # Errors
+    ///
+    /// [`AtdError`] for transport loss or a remote failure.
+    fn stats(&mut self) -> Result<ServiceStats, AtdError>;
+
+    /// Asks the head to stop serving.
+    ///
+    /// # Errors
+    ///
+    /// [`AtdError`] for transport loss or a remote failure.
+    fn shutdown(&mut self) -> Result<(), AtdError>;
+}
+
+fn busy(queue_depth: u32, queue_capacity: u32) -> AtdError {
+    AtdError::Remote { message: format!("head shed the job: queue {queue_depth}/{queue_capacity}") }
+}
+
+impl<T: Transport> Head for Client<T> {
+    fn submit(&mut self, session: u32, spec: JobSpec) -> Result<(Provenance, JobResult), AtdError> {
+        match Client::submit(self, session, spec)? {
+            Submitted::Done { provenance, result, .. } => Ok((provenance, result)),
+            Submitted::Busy { queue_depth, queue_capacity } => {
+                Err(busy(queue_depth, queue_capacity))
+            }
+        }
+    }
+
+    fn stats(&mut self) -> Result<ServiceStats, AtdError> {
+        Client::stats(self)
+    }
+
+    fn shutdown(&mut self) -> Result<(), AtdError> {
+        Client::shutdown(self)
+    }
+}
+
+impl Head for PipelinedClient {
+    fn submit(&mut self, session: u32, spec: JobSpec) -> Result<(Provenance, JobResult), AtdError> {
+        let wanted = self.submit_pipelined(session, spec)?;
+        loop {
+            match self.next_event()? {
+                Event::Done { correlation, provenance, result, .. } if correlation == wanted => {
+                    return Ok((provenance, result));
+                }
+                Event::Busy { correlation, queue_depth, queue_capacity }
+                    if correlation == wanted =>
+                {
+                    return Err(busy(queue_depth, queue_capacity));
+                }
+                Event::Failed { correlation, message, .. }
+                    if correlation == wanted || correlation == atd::FAILURE_ID =>
+                {
+                    return Err(AtdError::Remote { message });
+                }
+                Event::Goodbye { .. } => {
+                    return Err(AtdError::Remote {
+                        message: "head shut down mid-submission".to_string(),
+                    });
+                }
+                // Events for other correlations (stale chunks, pongs)
+                // are drained and dropped: the farm pipelines one job
+                // per head at a time.
+                _ => {}
+            }
+        }
+    }
+
+    fn stats(&mut self) -> Result<ServiceStats, AtdError> {
+        PipelinedClient::stats(self)
+    }
+
+    fn shutdown(&mut self) -> Result<(), AtdError> {
+        PipelinedClient::shutdown(self)
+    }
+}
+
+/// A fresh in-process head: a [`Loopback`] transport over a
+/// [`Service`] configured from the environment (`EXEC_THREADS`,
+/// `ATD_QUEUE_DEPTH`, `ATD_CACHE_ENTRIES`).
+pub fn local_head() -> Client<Loopback> {
+    Client::new(Loopback::new(Service::from_env()))
+}
+
+/// The ring key a spec routes by: the FNV-1a digest of its canonical
+/// key bytes — the *same* digest the head's result cache indexes by, so
+/// routing affinity and cache affinity are one mechanism.
+pub fn spec_route_key(spec: &JobSpec) -> u64 {
+    atd::cache::fnv1a64(&spec.key_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::Bathtub {
+            rj_rms_fs: 1_500_000,
+            dj_pp_fs: 12_000_000,
+            rate_bps: 2_500_000_000,
+            transition_density: 0.5,
+            points: 21,
+        }
+    }
+
+    #[test]
+    fn loopback_head_submits_and_reports_stats() {
+        let mut head = local_head();
+        let (provenance, first) = Head::submit(&mut head, 1, spec()).expect("submit");
+        assert_eq!(provenance, Provenance::Computed);
+        let (provenance, second) = Head::submit(&mut head, 1, spec()).expect("resubmit");
+        assert_eq!(provenance, Provenance::Cache, "identical spec must hit the cache");
+        assert_eq!(first, second);
+        let stats = Head::stats(&mut head).expect("stats");
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn route_key_matches_the_cache_digest() {
+        let spec = spec();
+        assert_eq!(spec_route_key(&spec), atd::cache::fnv1a64(&spec.key_bytes()));
+    }
+}

@@ -1,0 +1,200 @@
+//! The merge layer: sub-results back into one byte-identical result.
+//!
+//! Merging does not stitch rendered text or counters by hand. It
+//! concatenates the shards' *data* in plan order, rebuilds the native
+//! workload object through the same `from_parts` constructors the
+//! workloads expose, and regenerates the wire result through the same
+//! `JobResult::from_*` path a single head uses — so the rendered map,
+//! every derived counter, and the canonical encoding are reproduced by
+//! construction rather than approximated. Sharding is invisible in the
+//! output: `merge(plan(spec))` is byte-for-byte `execute(spec)`.
+
+use atd::{JobResult, JobSpec};
+use pstime::{DataRate, Duration, Millivolts};
+
+use crate::error::FarmError;
+
+fn to_usize(v: u32, context: &'static str) -> Result<usize, FarmError> {
+    usize::try_from(v).map_err(|_| FarmError::Merge { context })
+}
+
+/// Reassembles `subs` — the shard results of [`crate::plan`] for `spec`,
+/// in plan order — into the result a single head running `spec` whole
+/// would have produced.
+///
+/// A single sub-result is returned as-is (the pass-through case: its
+/// spec *was* the original spec).
+///
+/// # Errors
+///
+/// [`FarmError::Merge`] when the shards do not tile the spec — a missing
+/// or duplicated band, disagreeing shared axes, or a result kind that
+/// does not match the spec.
+pub fn merge(spec: &JobSpec, subs: &[JobResult]) -> Result<JobResult, FarmError> {
+    let mut iter = subs.iter();
+    let first = iter.next().ok_or(FarmError::Merge { context: "no sub-results to merge" })?;
+    if subs.len() == 1 {
+        return Ok(first.clone());
+    }
+    match *spec {
+        JobSpec::Shmoo { .. } => {
+            let JobResult::Shmoo { phases_fs: axis, .. } = first else {
+                return Err(FarmError::Merge { context: "shmoo spec got a non-shmoo shard" });
+            };
+            let mut thresholds = Vec::new();
+            let mut pass = Vec::new();
+            for sub in subs {
+                let JobResult::Shmoo { thresholds_mv, phases_fs, pass: band, .. } = sub else {
+                    return Err(FarmError::Merge { context: "shmoo spec got a non-shmoo shard" });
+                };
+                if phases_fs != axis {
+                    return Err(FarmError::Merge {
+                        context: "shmoo shards disagree on the phase axis",
+                    });
+                }
+                thresholds.extend(thresholds_mv.iter().map(|mv| Millivolts::new(*mv)));
+                pass.extend_from_slice(band);
+            }
+            let phases: Vec<Duration> = axis.iter().map(|fs| Duration::from_fs(*fs)).collect();
+            let plot = minitester::ShmooPlot::from_parts(thresholds, phases, pass)
+                .map_err(|_| FarmError::Merge { context: "shmoo shards do not tile the grid" })?;
+            Ok(JobResult::from_shmoo(&plot)?)
+        }
+        JobSpec::Wafer { columns, .. } => {
+            let JobResult::Wafer { touchdowns: td, .. } = first else {
+                return Err(FarmError::Merge { context: "wafer spec got a non-wafer shard" });
+            };
+            let mut records = Vec::new();
+            let mut hard = 0u64;
+            let mut marginal = 0u64;
+            for sub in subs {
+                let JobResult::Wafer {
+                    records: band,
+                    touchdowns,
+                    injected_hard,
+                    injected_marginal,
+                    ..
+                } = sub
+                else {
+                    return Err(FarmError::Merge { context: "wafer spec got a non-wafer shard" });
+                };
+                if touchdowns != td {
+                    // Touchdowns are full-wafer probe geometry, computed
+                    // identically by every shard — disagreement means the
+                    // shards ran different wafers.
+                    return Err(FarmError::Merge {
+                        context: "wafer shards disagree on probe touchdowns",
+                    });
+                }
+                for rec in band {
+                    let bin = match rec.bin {
+                        0 => minitester::Bin::Good,
+                        1 => minitester::Bin::FailBist,
+                        2 => minitester::Bin::FailMargin,
+                        _ => return Err(FarmError::Merge { context: "unknown wafer bin code" }),
+                    };
+                    records.push(minitester::DieRecord {
+                        die: to_usize(rec.die, "die index exceeds the address space")?,
+                        bin,
+                        bist_errors: to_usize(rec.bist_errors, "bist count exceeds usize")?,
+                        eye_ui: rec.eye_ui,
+                    });
+                }
+                hard += u64::from(*injected_hard);
+                marginal += u64::from(*injected_marginal);
+            }
+            let report = minitester::WaferReport::from_parts(
+                records,
+                to_usize(columns, "column count exceeds usize")?,
+                to_usize(*td, "touchdown count exceeds usize")?,
+                usize::try_from(hard)
+                    .map_err(|_| FarmError::Merge { context: "injected-hard sum overflows" })?,
+                usize::try_from(marginal)
+                    .map_err(|_| FarmError::Merge { context: "injected-marginal sum overflows" })?,
+            );
+            Ok(JobResult::from_wafer(&report)?)
+        }
+        JobSpec::Eye { rate_bps, .. } => {
+            let JobResult::Eye { step_fs: step, .. } = first else {
+                return Err(FarmError::Merge { context: "eye spec got a non-eye shard" });
+            };
+            let mut points = Vec::new();
+            for sub in subs {
+                let JobResult::Eye { points: band, step_fs, .. } = sub else {
+                    return Err(FarmError::Merge { context: "eye spec got a non-eye shard" });
+                };
+                if step_fs != step {
+                    return Err(FarmError::Merge {
+                        context: "eye shards disagree on the strobe step",
+                    });
+                }
+                for (phase_fs, compared, errors) in band {
+                    points.push(minitester::capture::ScanPoint {
+                        phase: Duration::from_fs(*phase_fs),
+                        compared: to_usize(*compared, "compared count exceeds usize")?,
+                        errors: to_usize(*errors, "error count exceeds usize")?,
+                    });
+                }
+            }
+            let scan = minitester::EyeScan::from_parts(
+                points,
+                DataRate::from_bps(rate_bps),
+                Duration::from_fs(*step),
+            );
+            Ok(JobResult::from_eye(&scan)?)
+        }
+        _ => Err(FarmError::Merge { context: "spec kind cannot be sharded" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_of_mismatched_kinds_is_rejected() {
+        let spec = JobSpec::Shmoo {
+            rate_bps: 1_250_000_000,
+            bits: 256,
+            stim_seed: 7,
+            phase_step_fs: 100_000_000,
+            v_start_mv: -1400,
+            v_end_mv: -1000,
+            v_step_mv: 25,
+            seed: 11,
+        };
+        let alien = JobResult::Bathtub { pairs: Vec::new(), rendered: String::new() };
+        let err = merge(&spec, &[alien.clone(), alien]).expect_err("kind mismatch must fail");
+        assert!(matches!(err, FarmError::Merge { .. }));
+        let err = merge(&spec, &[]).expect_err("empty merge must fail");
+        assert!(matches!(err, FarmError::Merge { .. }));
+    }
+
+    #[test]
+    fn disagreeing_shared_axes_are_rejected() {
+        let spec = JobSpec::Shmoo {
+            rate_bps: 1_250_000_000,
+            bits: 256,
+            stim_seed: 7,
+            phase_step_fs: 100_000_000,
+            v_start_mv: -1400,
+            v_end_mv: -1000,
+            v_step_mv: 25,
+            seed: 11,
+        };
+        let a = JobResult::Shmoo {
+            thresholds_mv: vec![-1400],
+            phases_fs: vec![0, 100_000_000],
+            pass: vec![true, false],
+            rendered: String::new(),
+        };
+        let b = JobResult::Shmoo {
+            thresholds_mv: vec![-1375],
+            phases_fs: vec![0],
+            pass: vec![true],
+            rendered: String::new(),
+        };
+        let err = merge(&spec, &[a, b]).expect_err("axis mismatch must fail");
+        assert!(matches!(err, FarmError::Merge { context } if context.contains("phase axis")));
+    }
+}

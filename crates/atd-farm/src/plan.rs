@@ -1,0 +1,132 @@
+//! The shard planner: one composite spec in, ordered sub-specs out.
+//!
+//! Shardable specs expose a one-dimensional extent
+//! ([`atd::JobSpec::shard_extent`]) — threshold rows for shmoo grids,
+//! dies for wafer runs, strobe steps for eye scans — and the planner cuts
+//! that axis into contiguous, balanced bands via
+//! [`atd::JobSpec::slice`]. Indivisible specs (bathtub sweeps, and any
+//! spec that is already a shard) pass through whole, as does any plan
+//! that would produce a single band: the pass-through sub-spec *is* the
+//! original spec, so its cache key — and therefore its routing and its
+//! cached result — is identical to a single-head submission.
+
+use atd::JobSpec;
+
+use crate::error::FarmError;
+
+/// Cuts `spec` into at most `shards` ordered sub-specs whose results
+/// concatenate, in plan order, to the full result.
+///
+/// Bands are balanced: with extent `E` and `n` bands, the first `E % n`
+/// bands get `E / n + 1` units and the rest `E / n`. The plan depends
+/// only on `(spec, shards)`, never on fleet health — re-sharding after a
+/// failure changes *routing*, not the plan — so a campaign replayed
+/// against any fleet produces the same sub-specs and the same cache keys.
+///
+/// # Errors
+///
+/// [`FarmError::Spec`] if `spec` fails validation.
+pub fn plan(spec: &JobSpec, shards: usize) -> Result<Vec<JobSpec>, FarmError> {
+    spec.validate()?;
+    let Some(extent) = spec.shard_extent() else {
+        return Ok(vec![*spec]);
+    };
+    let want = u64::try_from(shards.max(1)).unwrap_or(u64::MAX);
+    let bands = want.min(extent).max(1);
+    if bands <= 1 {
+        return Ok(vec![*spec]);
+    }
+    let base = extent / bands;
+    let extra = extent % bands;
+    let mut subs = Vec::new();
+    let mut start = 0u64;
+    for band in 0..bands {
+        let count = base + u64::from(band < extra);
+        let sub = spec
+            .slice(start, count)
+            .ok_or(FarmError::Merge { context: "planner cut a band outside the spec's extent" })?;
+        subs.push(sub);
+        start = start.saturating_add(count);
+    }
+    Ok(subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shmoo() -> JobSpec {
+        JobSpec::Shmoo {
+            rate_bps: 1_250_000_000,
+            bits: 256,
+            stim_seed: 7,
+            phase_step_fs: 100_000_000,
+            v_start_mv: -1400,
+            v_end_mv: -1000,
+            v_step_mv: 25,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn bands_are_contiguous_balanced_and_ordered() {
+        let spec = shmoo();
+        let extent = spec.shard_extent().expect("shmoo is shardable");
+        for shards in [1usize, 2, 3, 4, 7] {
+            let subs = plan(&spec, shards).expect("plan");
+            let expected = extent.min(u64::try_from(shards).expect("small")).max(1);
+            assert_eq!(u64::try_from(subs.len()).expect("small"), expected);
+            if subs.len() == 1 {
+                assert_eq!(subs, vec![spec], "single band must pass through unchanged");
+                continue;
+            }
+            let mut next = 0u64;
+            let mut sizes = Vec::new();
+            for sub in &subs {
+                let JobSpec::ShmooRows { row_start, row_count, .. } = sub else {
+                    panic!("unexpected sub-spec kind {}", sub.kind());
+                };
+                assert_eq!(u64::from(*row_start), next, "bands must tile without gaps");
+                next += u64::from(*row_count);
+                sizes.push(u64::from(*row_count));
+            }
+            assert_eq!(next, extent, "bands must cover the full extent");
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            assert!(max - min <= 1, "bands must be balanced, got sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn indivisible_specs_pass_through() {
+        let bathtub = JobSpec::Bathtub {
+            rj_rms_fs: 1_500_000,
+            dj_pp_fs: 12_000_000,
+            rate_bps: 2_500_000_000,
+            transition_density: 0.5,
+            points: 41,
+        };
+        assert_eq!(plan(&bathtub, 4).expect("plan"), vec![bathtub]);
+        // A shard is itself indivisible: planning it again passes it
+        // through rather than slicing a slice.
+        let sub = *plan(&shmoo(), 2).expect("plan").first().expect("non-empty");
+        assert_eq!(plan(&sub, 4).expect("plan"), vec![sub]);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_planning() {
+        let mut bad = shmoo();
+        if let JobSpec::Shmoo { v_step_mv, .. } = &mut bad {
+            *v_step_mv = 0;
+        }
+        assert!(matches!(plan(&bad, 2), Err(FarmError::Spec(_))));
+    }
+
+    #[test]
+    fn more_shards_than_extent_degrades_to_one_per_unit() {
+        let spec = shmoo();
+        let extent = spec.shard_extent().expect("shardable");
+        let subs = plan(&spec, 10_000).expect("plan");
+        assert_eq!(u64::try_from(subs.len()).expect("small"), extent);
+    }
+}

@@ -1,0 +1,180 @@
+//! Consistent-hash routing of sub-spec keys to heads.
+//!
+//! The ring hashes each head id into a fixed number of virtual points
+//! with the same FNV-1a digest the service's result cache uses
+//! ([`atd::cache::fnv1a64`]). A sub-spec routes to the first *up* head at
+//! or clockwise after its key's position, so:
+//!
+//! - identical sub-specs always land on the same head while the fleet is
+//!   healthy, keeping that head's content-addressed cache hot;
+//! - when a head goes down only the keys it owned move (to the next
+//!   point on the ring), and they move *deterministically* — two
+//!   coordinators observing the same failure re-shard identically;
+//! - when the head is re-admitted those keys return home.
+
+/// Virtual points per head. Enough to smooth the key distribution over
+/// small fleets (the farm's normal regime is 2–8 heads) while keeping the
+/// ring trivially small.
+const VNODES: u64 = 32;
+
+/// A consistent-hash ring over head indices `0..heads`, with per-head
+/// health state.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, head)` pairs sorted by point; every head owns [`VNODES`]
+    /// of them.
+    points: Vec<(u64, usize)>,
+    /// Health per head; routing skips downed heads.
+    up: Vec<bool>,
+}
+
+/// The hashed ring position of one of a head's virtual points. The digest
+/// runs over a tag plus the head and point ordinals in fixed-width
+/// big-endian form, so the layout (and therefore every routing decision)
+/// is stable across platforms and releases.
+fn vnode_point(head: u64, vnode: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(26);
+    bytes.extend_from_slice(b"farm-head:");
+    bytes.extend_from_slice(&head.to_be_bytes());
+    bytes.extend_from_slice(&vnode.to_be_bytes());
+    atd::cache::fnv1a64(&bytes)
+}
+
+impl HashRing {
+    /// A ring over `heads` heads, all initially up.
+    pub fn new(heads: usize) -> HashRing {
+        let mut points = Vec::new();
+        for head in 0..heads {
+            let head_ord = u64::try_from(head).unwrap_or(u64::MAX);
+            for vnode in 0..VNODES {
+                points.push((vnode_point(head_ord, vnode), head));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, up: vec![true; heads] }
+    }
+
+    /// Heads on the ring, up or down.
+    pub fn heads(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Heads currently routable.
+    pub fn up_heads(&self) -> usize {
+        self.up.iter().filter(|h| **h).count()
+    }
+
+    /// Whether `head` is currently routable.
+    pub fn is_up(&self, head: usize) -> bool {
+        self.up.get(head).copied().unwrap_or(false)
+    }
+
+    /// Marks `head` down; returns whether that changed anything.
+    pub fn mark_down(&mut self, head: usize) -> bool {
+        match self.up.get_mut(head) {
+            Some(state) if *state => {
+                *state = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-admits `head`; returns whether that changed anything. Keys the
+    /// head owned before going down route back to it immediately.
+    pub fn readmit(&mut self, head: usize) -> bool {
+        match self.up.get_mut(head) {
+            Some(state) if !*state => {
+                *state = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Walks the ring clockwise from `key`, yielding head candidates in
+    /// ring order (each full circuit visits every point once).
+    fn walk(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let start = self.points.partition_point(|(p, _)| *p < key);
+        self.points.iter().cycle().skip(start).take(self.points.len()).map(|(_, head)| *head)
+    }
+
+    /// The head `key` routes to: the first up head at or clockwise after
+    /// the key's ring position. `None` when every head is down.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.walk(key).find(|head| self.is_up(*head))
+    }
+
+    /// The head `key` would route to with every head up — its *home*.
+    /// When [`route`](HashRing::route) disagrees with `home`, the key has
+    /// been re-sharded by a failure.
+    pub fn home(&self, key: u64) -> Option<usize> {
+        self.walk(key).next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(4);
+        for key in [0u64, 1, 0x8000_0000_0000_0000, u64::MAX] {
+            let a = ring.route(key);
+            let b = ring.route(key);
+            assert_eq!(a, b);
+            assert!(a.is_some_and(|h| h < 4));
+            assert_eq!(a, ring.home(key));
+        }
+    }
+
+    #[test]
+    fn every_head_owns_some_keyspace() {
+        let ring = HashRing::new(4);
+        let mut owners = [false; 4];
+        for i in 0..512u64 {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            if let Some(h) = ring.route(key) {
+                if let Some(slot) = owners.get_mut(h) {
+                    *slot = true;
+                }
+            }
+        }
+        assert_eq!(owners, [true; 4], "some head owns no keys at all");
+    }
+
+    #[test]
+    fn failure_moves_only_the_downed_heads_keys() {
+        let mut ring = HashRing::new(4);
+        let keys: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D)).collect();
+        let before: Vec<Option<usize>> = keys.iter().map(|k| ring.route(*k)).collect();
+        assert!(ring.mark_down(2));
+        assert!(!ring.mark_down(2), "double mark-down must be a no-op");
+        let mut moved = 0;
+        for (key, owner) in keys.iter().zip(&before) {
+            let now = ring.route(*key);
+            assert_ne!(now, Some(2), "downed head still routed");
+            if *owner == Some(2) {
+                moved += 1;
+            } else {
+                assert_eq!(now, *owner, "a healthy head's key moved");
+            }
+        }
+        assert!(moved > 0, "head 2 owned no sampled keys; test is vacuous");
+        assert!(ring.readmit(2));
+        let after: Vec<Option<usize>> = keys.iter().map(|k| ring.route(*k)).collect();
+        assert_eq!(after, before, "re-admission must restore the original routing");
+    }
+
+    #[test]
+    fn all_down_routes_nothing() {
+        let mut ring = HashRing::new(2);
+        ring.mark_down(0);
+        ring.mark_down(1);
+        assert_eq!(ring.up_heads(), 0);
+        assert_eq!(ring.route(42), None);
+        // Home routing ignores health: the key still has an owner.
+        assert!(ring.home(42).is_some_and(|h| h < 2));
+    }
+}

@@ -176,12 +176,107 @@ pub enum JobSpec {
         /// Number of sweep points (at least 2).
         points: u32,
     },
+    /// A contiguous band of threshold rows of a [`JobSpec::Shmoo`] — the
+    /// shard form the farm coordinator submits. It carries the *full*
+    /// sweep definition plus a row range, because every cell seeds from
+    /// its global `(row, col)` substream: the head must reconstruct the
+    /// whole threshold axis to seed (and render) the band exactly as a
+    /// full run would.
+    ShmooRows {
+        /// Data rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS pattern length in bits.
+        bits: u32,
+        /// Seed for the stimulus waveform's jitter draws.
+        stim_seed: u64,
+        /// Strobe-phase step in femtoseconds.
+        phase_step_fs: i64,
+        /// Threshold sweep start, millivolts.
+        v_start_mv: i32,
+        /// Threshold sweep end (inclusive), millivolts.
+        v_end_mv: i32,
+        /// Threshold step, millivolts.
+        v_step_mv: i32,
+        /// Master seed for the sweep's capture substreams.
+        seed: u64,
+        /// First threshold row of the band.
+        row_start: u32,
+        /// Rows in the band (nonzero).
+        row_count: u32,
+    },
+    /// A contiguous die range of a [`JobSpec::Wafer`] — the shard form
+    /// the farm coordinator submits. Die substreams key on the global die
+    /// index, so the range reproduces exactly the dies a full run would
+    /// have produced.
+    WaferDies {
+        /// Dies per wafer-map row.
+        columns: u32,
+        /// Total dies on the wafer (not the range).
+        dies: u32,
+        /// Parallel tester sites (nonzero).
+        sites: u32,
+        /// Fraction of dies with a hard defect, in `[0, 1]`.
+        hard_defect_rate: f64,
+        /// Fraction of dies with a marginal channel, in `[0, 1]`.
+        marginal_rate: f64,
+        /// Test rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS bits per die test.
+        test_bits: u32,
+        /// Run seed.
+        seed: u64,
+        /// First die of the range.
+        die_start: u32,
+        /// Dies in the range (nonzero).
+        die_count: u32,
+    },
+    /// A contiguous strobe-step range of a [`JobSpec::Eye`] — the shard
+    /// form the farm coordinator submits. Per-point substreams key on the
+    /// global step index.
+    EyeRange {
+        /// Data rate in bits per second (nonzero).
+        rate_bps: u64,
+        /// PRBS pattern length in bits.
+        bits: u32,
+        /// Seed for the stimulus waveform's jitter draws.
+        stim_seed: u64,
+        /// Master seed for the per-phase capture substreams.
+        seed: u64,
+        /// First strobe step of the range.
+        phase_start: u32,
+        /// Strobe steps in the range (nonzero).
+        phase_count: u32,
+    },
 }
 
 const SPEC_SHMOO: u8 = 1;
 const SPEC_WAFER: u8 = 2;
 const SPEC_EYE: u8 = 3;
 const SPEC_BATHTUB: u8 = 4;
+const SPEC_SHMOO_ROWS: u8 = 5;
+const SPEC_WAFER_DIES: u8 = 6;
+const SPEC_EYE_RANGE: u8 = 7;
+
+/// The 10 ps strobe vernier step in femtoseconds — the grid the eye
+/// scan's shard extent is measured on. Pinned here (rather than read off
+/// a capture head) so spec validation stays allocation-free; a unit test
+/// asserts it matches [`minitester::EtCapture`]'s vernier.
+const EYE_STEP_FS: i64 = 10_000;
+
+/// Threshold-row count of a shmoo sweep (ascending sweep with positive
+/// step — i.e. already validated), in wide arithmetic.
+fn shmoo_row_count(v_start_mv: i32, v_end_mv: i32, v_step_mv: i32) -> i64 {
+    let span = i64::from(v_end_mv) - i64::from(v_start_mv);
+    span / i64::from(v_step_mv) + 1
+}
+
+/// Strobe-step count of an eye scan at `rate_bps` (nonzero — i.e.
+/// already validated): one unit interval on the 10 ps vernier grid,
+/// matching `EyeScanJob`'s own ceiling division.
+fn eye_step_count(rate_bps: u64) -> i64 {
+    let ui_fs = DataRate::from_bps(rate_bps).unit_interval().as_fs();
+    ((ui_fs + EYE_STEP_FS - 1) / EYE_STEP_FS).max(1)
+}
 
 impl JobSpec {
     /// A shmoo spec from the native configuration types.
@@ -238,6 +333,147 @@ impl JobSpec {
             rate_bps: rate.as_bps(),
             transition_density,
             points,
+        }
+    }
+
+    /// How many independent slices this spec decomposes into: threshold
+    /// rows for a shmoo, dies for a wafer, strobe steps for an eye scan.
+    ///
+    /// `None` for indivisible specs (bathtub), for shard variants (a
+    /// slice does not slice again), and for specs that fail
+    /// [`JobSpec::validate`] — so a caller holding `Some(n)` may slice
+    /// `[0, n)` without further checks.
+    pub fn shard_extent(&self) -> Option<u64> {
+        if self.validate().is_err() {
+            return None;
+        }
+        match *self {
+            JobSpec::Shmoo { v_start_mv, v_end_mv, v_step_mv, .. } => {
+                Some(shmoo_row_count(v_start_mv, v_end_mv, v_step_mv).unsigned_abs())
+            }
+            JobSpec::Wafer { dies, .. } => Some(u64::from(dies)),
+            JobSpec::Eye { rate_bps, .. } => Some(eye_step_count(rate_bps).unsigned_abs()),
+            JobSpec::Bathtub { .. }
+            | JobSpec::ShmooRows { .. }
+            | JobSpec::WaferDies { .. }
+            | JobSpec::EyeRange { .. } => None,
+        }
+    }
+
+    /// The shard sub-spec covering `[start, start + count)` of this
+    /// spec's [`JobSpec::shard_extent`].
+    ///
+    /// `None` if the spec is indivisible or the range is empty, out of
+    /// bounds, or beyond u32.
+    pub fn slice(&self, start: u64, count: u64) -> Option<JobSpec> {
+        let extent = self.shard_extent()?;
+        if count == 0 || start.checked_add(count)? > extent {
+            return None;
+        }
+        let (s, c) = (u32::try_from(start).ok()?, u32::try_from(count).ok()?);
+        match *self {
+            JobSpec::Shmoo {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+            } => Some(JobSpec::ShmooRows {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+                row_start: s,
+                row_count: c,
+            }),
+            JobSpec::Wafer {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+            } => Some(JobSpec::WaferDies {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+                die_start: s,
+                die_count: c,
+            }),
+            JobSpec::Eye { rate_bps, bits, stim_seed, seed } => Some(JobSpec::EyeRange {
+                rate_bps,
+                bits,
+                stim_seed,
+                seed,
+                phase_start: s,
+                phase_count: c,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The full spec a shard variant was sliced from; `None` for specs
+    /// that are not shard variants.
+    pub fn parent(&self) -> Option<JobSpec> {
+        match *self {
+            JobSpec::ShmooRows {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+                ..
+            } => Some(JobSpec::Shmoo {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+            }),
+            JobSpec::WaferDies {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+                ..
+            } => Some(JobSpec::Wafer {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+            }),
+            JobSpec::EyeRange { rate_bps, bits, stim_seed, seed, .. } => {
+                Some(JobSpec::Eye { rate_bps, bits, stim_seed, seed })
+            }
+            _ => None,
         }
     }
 
@@ -338,6 +574,27 @@ impl JobSpec {
                     return bad("sweep exceeds the point ceiling");
                 }
             }
+            // Shard variants: the parent spec must pass in full (they
+            // carry its every field), and the range must sit inside the
+            // parent's shard extent. `shard_extent` returns `Some` exactly
+            // when the parent validates, so a `None` here means the
+            // embedded parent itself is bad.
+            JobSpec::ShmooRows { row_start, row_count, .. }
+            | JobSpec::WaferDies { die_start: row_start, die_count: row_count, .. }
+            | JobSpec::EyeRange { phase_start: row_start, phase_count: row_count, .. } => {
+                let Some(parent) = self.parent() else {
+                    return bad("shard variant without a parent spec");
+                };
+                let Some(extent) = parent.shard_extent() else {
+                    return parent.validate();
+                };
+                if row_count == 0 {
+                    return bad("shard range must be non-empty");
+                }
+                if u64::from(row_start).saturating_add(u64::from(row_count)) > extent {
+                    return bad("shard range overruns the parent spec's extent");
+                }
+            }
         }
         Ok(())
     }
@@ -349,6 +606,9 @@ impl JobSpec {
             JobSpec::Wafer { .. } => "wafer",
             JobSpec::Eye { .. } => "eye",
             JobSpec::Bathtub { .. } => "bathtub",
+            JobSpec::ShmooRows { .. } => "shmoo-rows",
+            JobSpec::WaferDies { .. } => "wafer-dies",
+            JobSpec::EyeRange { .. } => "eye-range",
         }
     }
 
@@ -410,6 +670,63 @@ impl JobSpec {
                 w.f64(transition_density);
                 w.u32(points);
             }
+            JobSpec::ShmooRows {
+                rate_bps,
+                bits,
+                stim_seed,
+                phase_step_fs,
+                v_start_mv,
+                v_end_mv,
+                v_step_mv,
+                seed,
+                row_start,
+                row_count,
+            } => {
+                w.u8(SPEC_SHMOO_ROWS);
+                w.u64(rate_bps);
+                w.u32(bits);
+                w.u64(stim_seed);
+                w.i64(phase_step_fs);
+                w.i32(v_start_mv);
+                w.i32(v_end_mv);
+                w.i32(v_step_mv);
+                w.u64(seed);
+                w.u32(row_start);
+                w.u32(row_count);
+            }
+            JobSpec::WaferDies {
+                columns,
+                dies,
+                sites,
+                hard_defect_rate,
+                marginal_rate,
+                rate_bps,
+                test_bits,
+                seed,
+                die_start,
+                die_count,
+            } => {
+                w.u8(SPEC_WAFER_DIES);
+                w.u32(columns);
+                w.u32(dies);
+                w.u32(sites);
+                w.f64(hard_defect_rate);
+                w.f64(marginal_rate);
+                w.u64(rate_bps);
+                w.u32(test_bits);
+                w.u64(seed);
+                w.u32(die_start);
+                w.u32(die_count);
+            }
+            JobSpec::EyeRange { rate_bps, bits, stim_seed, seed, phase_start, phase_count } => {
+                w.u8(SPEC_EYE_RANGE);
+                w.u64(rate_bps);
+                w.u32(bits);
+                w.u64(stim_seed);
+                w.u64(seed);
+                w.u32(phase_start);
+                w.u32(phase_count);
+            }
         }
     }
 
@@ -460,6 +777,38 @@ impl JobSpec {
                 rate_bps: r.u64()?,
                 transition_density: r.f64()?,
                 points: r.u32()?,
+            },
+            SPEC_SHMOO_ROWS => JobSpec::ShmooRows {
+                rate_bps: r.u64()?,
+                bits: r.u32()?,
+                stim_seed: r.u64()?,
+                phase_step_fs: r.i64()?,
+                v_start_mv: r.i32()?,
+                v_end_mv: r.i32()?,
+                v_step_mv: r.i32()?,
+                seed: r.u64()?,
+                row_start: r.u32()?,
+                row_count: r.u32()?,
+            },
+            SPEC_WAFER_DIES => JobSpec::WaferDies {
+                columns: r.u32()?,
+                dies: r.u32()?,
+                sites: r.u32()?,
+                hard_defect_rate: r.f64()?,
+                marginal_rate: r.f64()?,
+                rate_bps: r.u64()?,
+                test_bits: r.u32()?,
+                seed: r.u64()?,
+                die_start: r.u32()?,
+                die_count: r.u32()?,
+            },
+            SPEC_EYE_RANGE => JobSpec::EyeRange {
+                rate_bps: r.u64()?,
+                bits: r.u32()?,
+                stim_seed: r.u64()?,
+                seed: r.u64()?,
+                phase_start: r.u32()?,
+                phase_count: r.u32()?,
             },
             _ => return Err(FrameError::BadPayload { context: "job spec tag" }),
         };
@@ -1231,6 +1580,94 @@ mod tests {
             assert_eq!(back, spec);
             assert!(!spec.kind().is_empty());
         }
+    }
+
+    #[test]
+    fn shard_specs_round_trip() {
+        for spec in sample_specs() {
+            let Some(extent) = spec.shard_extent() else {
+                assert_eq!(spec.kind(), "bathtub");
+                assert!(spec.slice(0, 1).is_none());
+                continue;
+            };
+            assert!(extent >= 1, "{spec:?}");
+            for (start, count) in [(0, extent), (0, 1), (extent - 1, 1), (extent / 2, 1)] {
+                let sub = spec.slice(start, count).expect("in-range slice");
+                assert!(sub.validate().is_ok(), "{sub:?}");
+                assert_eq!(sub.parent(), Some(spec), "{sub:?}");
+                assert!(sub.shard_extent().is_none(), "a slice does not slice again");
+                let bytes = sub.key_bytes();
+                let mut r = Reader::new(&bytes);
+                assert_eq!(JobSpec::decode(&mut r).unwrap(), sub);
+                r.expect_end().unwrap();
+                assert!(!sub.kind().is_empty());
+            }
+            // The range grammar: empty, overrunning, and overflowing
+            // slices do not exist.
+            assert!(spec.slice(0, 0).is_none());
+            assert!(spec.slice(extent, 1).is_none());
+            assert!(spec.slice(0, extent + 1).is_none());
+            assert!(spec.slice(u64::MAX, 2).is_none());
+        }
+    }
+
+    #[test]
+    fn out_of_range_shard_specs_rejected_on_decode() {
+        let specs = [
+            JobSpec::ShmooRows {
+                rate_bps: GBPS,
+                bits: 256,
+                stim_seed: 17,
+                phase_step_fs: 10_000_000,
+                v_start_mv: -1650,
+                v_end_mv: -950,
+                v_step_mv: 50,
+                seed: 5,
+                row_start: 14,
+                row_count: 2, // 15-row sweep: overruns by one
+            },
+            JobSpec::WaferDies {
+                columns: 8,
+                dies: 64,
+                sites: 16,
+                hard_defect_rate: 0.06,
+                marginal_rate: 0.08,
+                rate_bps: GBPS,
+                test_bits: 512,
+                seed: 1,
+                die_start: 0,
+                die_count: 0, // empty range
+            },
+            JobSpec::EyeRange {
+                rate_bps: GBPS,
+                bits: 512,
+                stim_seed: 21,
+                seed: 9,
+                phase_start: 40, // 40-step scan: starts past the end
+                phase_count: 1,
+            },
+            JobSpec::EyeRange {
+                // Bad parent (zero rate) embedded in a shard variant.
+                rate_bps: 0,
+                bits: 512,
+                stim_seed: 21,
+                seed: 9,
+                phase_start: 0,
+                phase_count: 1,
+            },
+        ];
+        for spec in specs {
+            assert!(spec.validate().is_err(), "{spec:?}");
+            let bytes = spec.key_bytes();
+            let mut r = Reader::new(&bytes);
+            assert!(JobSpec::decode(&mut r).is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn eye_step_constant_matches_the_vernier() {
+        let capture = minitester::EtCapture::new();
+        assert_eq!(capture.vernier().step().as_fs(), EYE_STEP_FS);
     }
 
     const GBPS: u64 = 2_500_000_000;

@@ -110,6 +110,82 @@ pub fn execute(spec: &JobSpec, pool: &ExecPool) -> Result<JobResult, AtdError> {
                 signal::BathtubSweep { curve: &curve, points: to_usize(points) }.run_on(pool)?;
             Ok(JobResult::from_bathtub(pairs))
         }
+        // Shard variants: identical argument reconstruction to their
+        // parents, run through the range entry points so every cell/die/
+        // point seeds from its global substream — the sub-result is
+        // byte-for-byte the band a full run would have produced.
+        JobSpec::ShmooRows {
+            rate_bps,
+            bits,
+            stim_seed,
+            phase_step_fs,
+            v_start_mv,
+            v_end_mv,
+            v_step_mv,
+            seed,
+            row_start,
+            row_count,
+        } => {
+            let rate = DataRate::from_bps(rate_bps);
+            let n_bits = to_usize(bits);
+            let mut path = minitester::MiniTesterDatapath::new()?;
+            let expected = path.expected_prbs(rate, n_bits)?;
+            let mut stim_path = minitester::MiniTesterDatapath::new()?;
+            let wave = stim_path.prbs_stimulus(rate, n_bits, stim_seed)?;
+            let config = minitester::ShmooConfig {
+                phase_step: Duration::from_fs(phase_step_fs),
+                v_start: Millivolts::new(v_start_mv),
+                v_end: Millivolts::new(v_end_mv),
+                v_step: Millivolts::new(v_step_mv),
+            };
+            let plot =
+                minitester::ShmooJob { wave: &wave, rate, expected: &expected, config, seed }
+                    .run_rows_on(pool, to_usize(row_start), to_usize(row_count))?;
+            Ok(JobResult::from_shmoo(&plot)?)
+        }
+        JobSpec::WaferDies {
+            columns,
+            dies,
+            sites,
+            hard_defect_rate,
+            marginal_rate,
+            rate_bps,
+            test_bits,
+            seed,
+            die_start,
+            die_count,
+        } => {
+            let config = minitester::WaferRunConfig {
+                columns: to_usize(columns),
+                dies: to_usize(dies),
+                sites: to_usize(sites),
+                hard_defect_rate,
+                marginal_rate,
+                rate: DataRate::from_bps(rate_bps),
+                test_bits: to_usize(test_bits),
+                seed,
+            };
+            let report = config.run_dies_on(pool, to_usize(die_start), to_usize(die_count))?;
+            Ok(JobResult::from_wafer(&report)?)
+        }
+        JobSpec::EyeRange { rate_bps, bits, stim_seed, seed, phase_start, phase_count } => {
+            let rate = DataRate::from_bps(rate_bps);
+            let n_bits = to_usize(bits);
+            let mut path = minitester::MiniTesterDatapath::new()?;
+            let expected = path.expected_prbs(rate, n_bits)?;
+            let mut stim_path = minitester::MiniTesterDatapath::new()?;
+            let wave = stim_path.prbs_stimulus(rate, n_bits, stim_seed)?;
+            let capture = minitester::EtCapture::new();
+            let scan = minitester::EyeScanJob {
+                capture: &capture,
+                wave: &wave,
+                rate,
+                expected: &expected,
+                seed,
+            }
+            .run_range_on(pool, to_usize(phase_start), to_usize(phase_count))?;
+            Ok(JobResult::from_eye(&scan)?)
+        }
     }
 }
 
@@ -146,6 +222,57 @@ mod tests {
         let curve = signal::BathtubCurve::new(rj, dj, rate, 0.5);
         let pairs = curve.sweep(101).unwrap();
         assert_eq!(remote, JobResult::from_bathtub(pairs));
+    }
+
+    #[test]
+    fn shard_specs_reproduce_slices_of_the_parent_result() {
+        let pool = ExecPool::new(2);
+        let specs = [
+            JobSpec::shmoo(DataRate::from_gbps(2.5), 256, 17, &minitester::ShmooConfig::pecl(), 5),
+            JobSpec::wafer(&minitester::WaferRunConfig {
+                dies: 8,
+                columns: 4,
+                sites: 4,
+                test_bits: 256,
+                ..minitester::WaferRunConfig::default()
+            }),
+            JobSpec::eye(DataRate::from_gbps(2.5), 256, 21, 9),
+        ];
+        for spec in specs {
+            let full = execute(&spec, &pool).unwrap();
+            let extent = spec.shard_extent().unwrap();
+            let head = execute(&spec.slice(0, 1).unwrap(), &pool).unwrap();
+            let tail = execute(&spec.slice(1, extent - 1).unwrap(), &pool).unwrap();
+            // Spot-check each shard against the parent's data rows.
+            match (&full, &head, &tail) {
+                (
+                    JobResult::Shmoo { pass, phases_fs, .. },
+                    JobResult::Shmoo { pass: head_pass, .. },
+                    JobResult::Shmoo { pass: tail_pass, .. },
+                ) => {
+                    assert_eq!(head_pass.as_slice(), &pass[..phases_fs.len()]);
+                    assert_eq!(tail_pass.as_slice(), &pass[phases_fs.len()..]);
+                }
+                (
+                    JobResult::Wafer { records, touchdowns, .. },
+                    JobResult::Wafer { records: head_recs, touchdowns: head_td, .. },
+                    JobResult::Wafer { records: tail_recs, .. },
+                ) => {
+                    assert_eq!(head_recs.as_slice(), &records[..1]);
+                    assert_eq!(tail_recs.as_slice(), &records[1..]);
+                    assert_eq!(head_td, touchdowns, "geometry, not content");
+                }
+                (
+                    JobResult::Eye { points, .. },
+                    JobResult::Eye { points: head_pts, .. },
+                    JobResult::Eye { points: tail_pts, .. },
+                ) => {
+                    assert_eq!(head_pts.as_slice(), &points[..1]);
+                    assert_eq!(tail_pts.as_slice(), &points[1..]);
+                }
+                other => panic!("mismatched result kinds: {other:?}"),
+            }
+        }
     }
 
     #[test]

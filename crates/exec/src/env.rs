@@ -22,6 +22,21 @@ pub fn positive_usize_or(name: &str, default: usize) -> usize {
     parse_positive_usize(std::env::var(name).ok().as_deref()).unwrap_or(default)
 }
 
+/// Parses a nonnegative integer from an optional raw string; `None` for
+/// absent or unparsable values. Unlike [`parse_positive_usize`], zero is
+/// a legal configuration here — knobs like retry budgets ("retry this
+/// many times", where 0 means fail fast) are counts, not capacities.
+pub fn parse_nonnegative_u32(raw: Option<&str>) -> Option<u32> {
+    raw.and_then(|s| s.trim().parse::<u32>().ok())
+}
+
+/// Reads `name` from the environment and leniently parses it as a
+/// nonnegative integer, falling back to `default` when the variable is
+/// absent or unparsable.
+pub fn nonnegative_u32_or(name: &str, default: u32) -> u32 {
+    parse_nonnegative_u32(std::env::var(name).ok().as_deref()).unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +56,15 @@ mod tests {
     fn env_read_falls_back_when_unset() {
         // An env var no test sets: the default must come back verbatim.
         assert_eq!(positive_usize_or("EXEC_ENV_TEST_UNSET_4711", 37), 37);
+    }
+
+    #[test]
+    fn nonnegative_parse_admits_zero() {
+        assert_eq!(parse_nonnegative_u32(Some("0")), Some(0));
+        assert_eq!(parse_nonnegative_u32(Some(" 3 ")), Some(3));
+        assert_eq!(parse_nonnegative_u32(Some("-1")), None);
+        assert_eq!(parse_nonnegative_u32(Some("abc")), None);
+        assert_eq!(parse_nonnegative_u32(None), None);
+        assert_eq!(nonnegative_u32_or("EXEC_ENV_TEST_UNSET_4712", 2), 2);
     }
 }

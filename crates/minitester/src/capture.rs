@@ -46,6 +46,15 @@ pub struct EyeScan {
 }
 
 impl EyeScan {
+    /// Reassembles a scan from its raw points — the inverse of the
+    /// accessors, used by coordinators (the `atd-farm` merge layer) that
+    /// concatenate strobe ranges produced by [`EyeScanJob::run_range_on`]
+    /// back into one scan. `rate` and `step` must be the original scan's
+    /// figures; the points must already be in strobe order.
+    pub fn from_parts(points: Vec<ScanPoint>, rate: DataRate, step: Duration) -> EyeScan {
+        EyeScan { points, rate, step }
+    }
+
     /// The per-phase results.
     pub fn points(&self) -> &[ScanPoint] {
         &self.points
@@ -269,13 +278,57 @@ impl exec::PoolJob for EyeScanJob<'_> {
     type Error = crate::MiniTesterError;
 
     fn run_on(&self, pool: &exec::ExecPool) -> Result<EyeScan> {
+        self.run_band(pool, 0, None)
+    }
+}
+
+impl EyeScanJob<'_> {
+    /// Captures only the strobe steps `[phase_start, phase_start +
+    /// phase_count)` of the full scan.
+    ///
+    /// Every point seeds from its *global* step substream, so a range
+    /// reproduces exactly the points a full scan would have produced;
+    /// contiguous ranges concatenate (via [`EyeScan::from_parts`]) into a
+    /// scan byte-identical to one full run. This is the shard entry point
+    /// used by the `atd-farm` coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MiniTesterError::BadTestPlan`] if the range is empty or
+    /// overruns the unit interval; otherwise as
+    /// [`exec::PoolJob::run_on`].
+    pub fn run_range_on(
+        &self,
+        pool: &exec::ExecPool,
+        phase_start: usize,
+        phase_count: usize,
+    ) -> Result<EyeScan> {
+        self.run_band(pool, phase_start, Some(phase_count))
+    }
+
+    /// Shared body of the full scan and the banded scan: `phase_count` of
+    /// `None` means "every strobe step in one unit interval".
+    fn run_band(
+        &self,
+        pool: &exec::ExecPool,
+        phase_start: usize,
+        phase_count: Option<usize>,
+    ) -> Result<EyeScan> {
         let ui = self.rate.unit_interval();
         let step = self.capture.vernier.step();
         let steps = ((ui.as_fs() + step.as_fs() - 1) / step.as_fs()).max(1);
         let tree = rng::SeedTree::new(self.seed).stream("minitester.capture.eye-scan");
         let steps_usize = usize::try_from(steps).unwrap_or(0);
-        let outcome = pool.run(steps_usize, |k| {
-            let k = k as i64; // xlint::allow(no-lossy-cast, k < steps which fits i64 by construction)
+        let count = phase_count.unwrap_or(steps_usize);
+        if count == 0 || phase_start.checked_add(count).is_none_or(|end| end > steps_usize) {
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "eye-scan strobe range empty or past the unit interval",
+            });
+        }
+        let outcome = pool.run(count, |job| {
+            // Substreams key on the global step index, so a strobe range
+            // reproduces the full scan's points bit-for-bit.
+            let k = (phase_start + job) as i64; // xlint::allow(no-lossy-cast, k < steps which fits i64 by construction)
             let cell = tree.index(k as u64); // xlint::allow(no-lossy-cast, k is a non-negative step index)
             self.capture.capture_at(self.wave, self.rate, self.expected, step * k, cell.seed())
         })?;
@@ -348,6 +401,39 @@ mod tests {
         let scan = EtCapture::new().eye_scan(&wave, rate, &garbage, 3).unwrap();
         assert!(matches!(scan.opening_ui(), Err(MiniTesterError::EyeClosed)));
         assert!(matches!(scan.best_phase(), Err(MiniTesterError::EyeClosed)));
+    }
+
+    #[test]
+    fn strobe_ranges_concatenate_to_the_full_scan() {
+        use exec::PoolJob;
+        let (wave, rate, expected) = prbs_setup(2.5, 512);
+        let capture = EtCapture::new();
+        let job = EyeScanJob { capture: &capture, wave: &wave, rate, expected: &expected, seed: 5 };
+        let pool = exec::ExecPool::new(2);
+        let full = job.run_on(&pool).unwrap();
+        let steps = full.points().len();
+        for split in [1, steps / 2, steps - 1] {
+            let lo = job.run_range_on(&pool, 0, split).unwrap();
+            let hi = job.run_range_on(&pool, split, steps - split).unwrap();
+            let mut points = lo.points().to_vec();
+            points.extend_from_slice(hi.points());
+            let merged = EyeScan::from_parts(points, rate, full.step());
+            assert_eq!(merged, full, "split at {split}");
+            assert_eq!(merged.to_string(), full.to_string());
+        }
+    }
+
+    #[test]
+    fn out_of_range_strobe_ranges_rejected() {
+        use exec::PoolJob;
+        let (wave, rate, expected) = prbs_setup(2.5, 512);
+        let capture = EtCapture::new();
+        let job = EyeScanJob { capture: &capture, wave: &wave, rate, expected: &expected, seed: 5 };
+        let pool = exec::ExecPool::new(1);
+        let steps = job.run_on(&pool).unwrap().points().len();
+        assert!(job.run_range_on(&pool, 0, 0).is_err());
+        assert!(job.run_range_on(&pool, steps, 1).is_err());
+        assert!(job.run_range_on(&pool, usize::MAX, 2).is_err());
     }
 
     #[test]

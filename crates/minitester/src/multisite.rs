@@ -106,6 +106,31 @@ pub struct WaferReport {
 }
 
 impl WaferReport {
+    /// Reassembles a report from per-die records plus the run-level
+    /// figures — the inverse of the accessors, used by coordinators (the
+    /// `atd-farm` merge layer) that concatenate die ranges produced by
+    /// [`WaferRunConfig::run_dies_on`] back into one report. Bins are
+    /// derived from the records; `columns` and `touchdowns` are the full
+    /// wafer's geometry, and the injected counts must already be summed
+    /// over the merged ranges.
+    pub fn from_parts(
+        records: Vec<DieRecord>,
+        columns: usize,
+        touchdowns: usize,
+        injected_hard: usize,
+        injected_marginal: usize,
+    ) -> WaferReport {
+        let bins = records.iter().map(|r| r.bin).collect();
+        WaferReport {
+            bins,
+            records,
+            columns: columns.max(1),
+            touchdowns,
+            injected_hard,
+            injected_marginal,
+        }
+    }
+
     /// Per-die bins in die order.
     pub fn bins(&self) -> &[Bin] {
         &self.bins
@@ -211,11 +236,48 @@ impl exec::PoolJob for WaferRunConfig {
     /// [`run_wafer_with_pool`] are thin wrappers): one job per die, each
     /// deriving defect and test-content seeds from die-indexed substreams.
     fn run_on(&self, pool: &exec::ExecPool) -> Result<WaferReport> {
-        run_wafer_inner(self, pool)
+        run_wafer_inner(self, pool, 0, self.dies)
     }
 }
 
-fn run_wafer_inner(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<WaferReport> {
+impl WaferRunConfig {
+    /// Probes only the dies `[die_start, die_start + die_count)` of the
+    /// configured wafer.
+    ///
+    /// Defect rolls and test-content seeds are keyed on the *global* die
+    /// index, so a range reproduces exactly the dies a full run would
+    /// have produced; contiguous ranges concatenate (via
+    /// [`WaferReport::from_parts`]) into a report byte-identical to one
+    /// full run. The returned report's touchdown count is the full
+    /// wafer's figure (it is geometry, not content), while the injected
+    /// counts cover only the probed range. This is the shard entry point
+    /// used by the `atd-farm` coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MiniTesterError::BadTestPlan`] if the range is empty or
+    /// overruns the wafer; otherwise as [`exec::PoolJob::run_on`].
+    pub fn run_dies_on(
+        &self,
+        pool: &exec::ExecPool,
+        die_start: usize,
+        die_count: usize,
+    ) -> Result<WaferReport> {
+        if die_count == 0 || die_start.checked_add(die_count).is_none_or(|end| end > self.dies) {
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "wafer die range empty or past the wafer",
+            });
+        }
+        run_wafer_inner(self, pool, die_start, die_count)
+    }
+}
+
+fn run_wafer_inner(
+    config: &WaferRunConfig,
+    pool: &exec::ExecPool,
+    die_start: usize,
+    die_count: usize,
+) -> Result<WaferReport> {
     let tree = SeedTree::new(config.seed);
     let defect_tree = tree.derive(WAFER_DEFECT_STREAM);
     let die_tree = tree.derive(WAFER_DIE_STREAM);
@@ -225,7 +287,10 @@ fn run_wafer_inner(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<Waf
     let mut margin_plan = TestPlan::prbs_loopback(config.rate, config.test_bits);
     margin_plan.min_eye_ui = 0.8;
 
-    let outcome = pool.run(config.dies, |die| -> Result<DieOutcome> {
+    let outcome = pool.run(die_count, |job| -> Result<DieOutcome> {
+        // Substreams key on the global die index, so a die range
+        // reproduces the full run's dies bit-for-bit.
+        let die = die_start + job;
         let die_id = die as u64; // xlint::allow(no-lossy-cast, die index widens losslessly to u64)
                                  // Build this die. Defect rolls come from a die-indexed substream
                                  // (not one sequential stream) so injection is order-free.
@@ -270,8 +335,8 @@ fn run_wafer_inner(config: &WaferRunConfig, pool: &exec::ExecPool) -> Result<Waf
         })
     })?;
 
-    let mut bins = Vec::with_capacity(config.dies);
-    let mut records = Vec::with_capacity(config.dies);
+    let mut bins = Vec::with_capacity(die_count);
+    let mut records = Vec::with_capacity(die_count);
     let mut injected_hard = 0usize;
     let mut injected_marginal = 0usize;
     for die in outcome.results {
@@ -368,6 +433,50 @@ mod tests {
         assert!(map.contains("yield"));
         assert_eq!(map.lines().count(), 5); // 4 rows + summary
         assert!(map.contains('.') || map.contains('X'));
+    }
+
+    #[test]
+    fn die_ranges_concatenate_to_the_full_wafer() {
+        let config = WaferRunConfig {
+            dies: 12,
+            columns: 4,
+            sites: 4,
+            hard_defect_rate: 0.3,
+            marginal_rate: 0.2,
+            test_bits: 256,
+            seed: 21,
+            ..WaferRunConfig::default()
+        };
+        let pool = exec::ExecPool::new(2);
+        let full = run_wafer_with_pool(&config, &pool).unwrap();
+        for split in [1, 5, 11] {
+            let lo = config.run_dies_on(&pool, 0, split).unwrap();
+            let hi = config.run_dies_on(&pool, split, config.dies - split).unwrap();
+            assert_eq!(lo.touchdowns(), full.touchdowns(), "geometry, not content");
+            let mut records = lo.records().to_vec();
+            records.extend_from_slice(hi.records());
+            let (lo_hard, lo_marg) = lo.injected_defects();
+            let (hi_hard, hi_marg) = hi.injected_defects();
+            let merged = WaferReport::from_parts(
+                records,
+                config.columns,
+                lo.touchdowns(),
+                lo_hard + hi_hard,
+                lo_marg + hi_marg,
+            );
+            assert_eq!(merged, full, "split at {split}");
+            assert_eq!(merged.to_string(), full.to_string());
+        }
+    }
+
+    #[test]
+    fn out_of_range_die_ranges_rejected() {
+        let config =
+            WaferRunConfig { dies: 8, sites: 4, test_bits: 256, ..WaferRunConfig::default() };
+        let pool = exec::ExecPool::new(1);
+        assert!(config.run_dies_on(&pool, 0, 0).is_err());
+        assert!(config.run_dies_on(&pool, 8, 1).is_err());
+        assert!(config.run_dies_on(&pool, usize::MAX, 2).is_err());
     }
 
     #[test]

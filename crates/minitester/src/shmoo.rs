@@ -93,6 +93,44 @@ impl exec::PoolJob for ShmooJob<'_> {
     type Error = crate::MiniTesterError;
 
     fn run_on(&self, pool: &exec::ExecPool) -> Result<ShmooPlot> {
+        self.run_band(pool, 0, None)
+    }
+}
+
+impl ShmooJob<'_> {
+    /// Runs only the threshold rows `[row_start, row_start + row_count)`
+    /// of the full sweep.
+    ///
+    /// The phase columns and the complete threshold axis are still derived
+    /// from the whole [`ShmooConfig`], and every cell seeds from its
+    /// *global* `(row, col)` substream — so the band reproduces exactly
+    /// the rows a full sweep would have produced, and contiguous bands
+    /// concatenate (via [`ShmooPlot::from_parts`]) into a plot
+    /// byte-identical to one full run. This is the shard entry point used
+    /// by the `atd-farm` coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MiniTesterError::BadTestPlan`] if the band is empty or
+    /// overruns the threshold axis; otherwise as
+    /// [`exec::PoolJob::run_on`].
+    pub fn run_rows_on(
+        &self,
+        pool: &exec::ExecPool,
+        row_start: usize,
+        row_count: usize,
+    ) -> Result<ShmooPlot> {
+        self.run_band(pool, row_start, Some(row_count))
+    }
+
+    /// Shared body of the full sweep and the banded sweep: `row_count` of
+    /// `None` means "every row".
+    fn run_band(
+        &self,
+        pool: &exec::ExecPool,
+        row_start: usize,
+        row_count: Option<usize>,
+    ) -> Result<ShmooPlot> {
         self.config.validate()?;
         let ui = self.rate.unit_interval();
         let step_fs = self.config.phase_step.as_fs();
@@ -102,7 +140,15 @@ impl exec::PoolJob for ShmooJob<'_> {
             (ui.as_fs() / step_fs + i64::from(ui.as_fs() % step_fs != 0)).max(1) as usize;
         let phases: Vec<Duration> =
             (0..n_phases).map(|k| self.config.phase_step * k as i64).collect();
-        let thresholds = self.config.voltage_points();
+        let all_thresholds = self.config.voltage_points();
+        let rows = row_count.unwrap_or(all_thresholds.len());
+        if rows == 0 || row_start.checked_add(rows).is_none_or(|end| end > all_thresholds.len()) {
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "shmoo row band empty or past the threshold axis",
+            });
+        }
+        let thresholds: Vec<Millivolts> =
+            all_thresholds.iter().skip(row_start).take(rows).copied().collect();
 
         let tree = rng::SeedTree::new(self.seed).stream("minitester.shmoo");
         let cols = phases.len();
@@ -110,12 +156,14 @@ impl exec::PoolJob for ShmooJob<'_> {
         // One job per grid cell. Each job builds its own capture head (the
         // equivalent-time sampler is stateless between captures, so a fresh
         // head at the cell's threshold reproduces the serial sweep exactly)
-        // and seeds from the cell's (row, col) substream.
+        // and seeds from the cell's *global* (row, col) substream —
+        // `row_start` offsets the seed row so a band reproduces the full
+        // sweep's cells bit-for-bit.
         let outcome = pool.run(cells, |cell| {
-            let ti = cell / cols;
+            let ti = row_start + cell / cols;
             let pi = cell % cols;
             let mut capture = EtCapture::new();
-            capture.sampler_mut().set_threshold(thresholds[ti]);
+            capture.sampler_mut().set_threshold(thresholds[ti - row_start]);
             capture
                 .capture_at(
                     self.wave,
@@ -143,6 +191,28 @@ pub struct ShmooPlot {
 }
 
 impl ShmooPlot {
+    /// Reassembles a plot from its raw axes and row-major pass map — the
+    /// inverse of the accessors, used by coordinators (the `atd-farm`
+    /// merge layer) that concatenate row bands produced by
+    /// [`ShmooJob::run_rows_on`] back into one plot.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MiniTesterError::BadTestPlan`] if the pass map's length is
+    /// not `thresholds.len() * phases.len()`.
+    pub fn from_parts(
+        thresholds: Vec<Millivolts>,
+        phases: Vec<Duration>,
+        pass: Vec<bool>,
+    ) -> Result<ShmooPlot> {
+        if pass.len() != thresholds.len() * phases.len() {
+            return Err(crate::MiniTesterError::BadTestPlan {
+                reason: "shmoo pass map does not cover the grid",
+            });
+        }
+        Ok(ShmooPlot { thresholds, phases, pass })
+    }
+
     /// Runs the shmoo: for each (threshold, phase) point, capture the
     /// pattern and mark pass (zero errors) or fail.
     ///
@@ -346,6 +416,68 @@ mod tests {
         let config = ShmooConfig { phase_step: Duration::from_fs(i64::MAX), ..ShmooConfig::pecl() };
         let plot = ShmooPlot::run(&wave, rate, &expected, &config, 1).unwrap();
         assert_eq!(plot.phases().len(), 1);
+    }
+
+    #[test]
+    fn row_bands_concatenate_to_the_full_sweep() {
+        use exec::PoolJob;
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let job = ShmooJob {
+            wave: &wave,
+            rate,
+            expected: &expected,
+            config: ShmooConfig::pecl(),
+            seed: 9,
+        };
+        let pool = exec::ExecPool::new(2);
+        let full = job.run_on(&pool).unwrap();
+        let rows = full.thresholds().len();
+        for split in [1, rows / 2, rows - 1] {
+            let lo = job.run_rows_on(&pool, 0, split).unwrap();
+            let hi = job.run_rows_on(&pool, split, rows - split).unwrap();
+            let mut thresholds = lo.thresholds().to_vec();
+            thresholds.extend_from_slice(hi.thresholds());
+            let mut pass = lo.pass.clone();
+            pass.extend_from_slice(&hi.pass);
+            let merged = ShmooPlot::from_parts(thresholds, lo.phases().to_vec(), pass).unwrap();
+            assert_eq!(merged, full, "split at {split}");
+            assert_eq!(merged.to_string(), full.to_string());
+        }
+    }
+
+    #[test]
+    fn out_of_range_row_bands_rejected() {
+        use exec::PoolJob;
+        let (wave, rate, expected) = prbs_setup(2.5);
+        let job = ShmooJob {
+            wave: &wave,
+            rate,
+            expected: &expected,
+            config: ShmooConfig::pecl(),
+            seed: 9,
+        };
+        let pool = exec::ExecPool::new(1);
+        let rows = job.run_on(&pool).unwrap().thresholds().len();
+        assert!(job.run_rows_on(&pool, 0, 0).is_err());
+        assert!(job.run_rows_on(&pool, rows, 1).is_err());
+        assert!(job.run_rows_on(&pool, usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn from_parts_checks_grid_coverage() {
+        let plot = ShmooPlot::from_parts(
+            vec![Millivolts::new(-1300)],
+            vec![Duration::from_ps(0), Duration::from_ps(10)],
+            vec![true, false],
+        )
+        .unwrap();
+        assert_eq!(plot.pass_ratio(), 0.5);
+        assert!(ShmooPlot::from_parts(
+            vec![Millivolts::new(-1300)],
+            vec![Duration::from_ps(0)],
+            vec![true, false],
+        )
+        .is_err());
     }
 
     #[test]

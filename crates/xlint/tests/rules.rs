@@ -384,3 +384,39 @@ fn warm_cache_run_is_byte_identical_to_cold() {
         "warm run must reuse cached facts: {warm_summary}"
     );
 }
+
+#[test]
+fn farm_router_fixture_pins_wire_taint_and_panic_reachable() {
+    let a = violations();
+    let taint: Vec<_> = with_rule(&a, "wire-taint")
+        .into_iter()
+        .filter(|f| f.rel_path.ends_with("farmring/src/lib.rs"))
+        .collect();
+    assert!(
+        taint.iter().any(|f| f.severity == Severity::Deny && f.message.contains("with_capacity")),
+        "the unchecked decoded head count must fire, got {taint:?}"
+    );
+    assert_eq!(
+        taint.len(),
+        1,
+        "the limits-checked and reasoned-allow rings must stay silent: {taint:?}"
+    );
+    let reachable = with_rule(&a, "panic-reachable");
+    let entry = reachable
+        .iter()
+        .find(|f| f.rel_path.ends_with("farmring/src/lib.rs") && f.message.contains("point_at"))
+        .expect("the unchecked ring lookup must be flagged at its pub entry point");
+    assert_eq!(entry.severity, Severity::Deny);
+    assert!(
+        entry.message.contains("route"),
+        "the diagnostic must name the pub routing entry: {}",
+        entry.message
+    );
+    assert!(
+        !reachable
+            .iter()
+            .any(|f| f.rel_path.ends_with("farmring/src/lib.rs")
+                && f.message.contains("point_guarded")),
+        "the reasoned allow at the root must clear the guarded chain, got {reachable:?}"
+    );
+}

@@ -212,6 +212,61 @@ fn loopback_submitted_shmoo_matches_direct_run_at_any_thread_count() {
     assert_eq!(plot.to_string(), decoded.rendered(), "rendered plot must survive the wire");
 }
 
+/// Sharding a campaign across a farm changes who computes what, never the
+/// bytes: for every composite workload — shmoo grid, wafer run, eye scan —
+/// a farm of 1, 2, or 4 heads merges to a result byte-identical to one
+/// head running the spec whole, rendered text included, and a hot
+/// resubmission is served entirely from the heads' caches.
+#[test]
+fn farm_merges_are_byte_identical_to_a_single_head_at_any_fleet_size() {
+    use atd::{JobSpec, Provenance};
+    use atd_farm::Farm;
+    use minitester::{ShmooConfig, WaferRunConfig};
+
+    let rate = DataRate::from_gbps(2.5);
+    let specs = [
+        JobSpec::shmoo(rate, 256, 17, &ShmooConfig::pecl(), 5),
+        JobSpec::wafer(&WaferRunConfig {
+            dies: 12,
+            columns: 4,
+            sites: 4,
+            test_bits: 256,
+            seed: 7,
+            ..WaferRunConfig::default()
+        }),
+        JobSpec::eye(rate, 256, 17, 5),
+    ];
+
+    for spec in specs {
+        let mut single = Farm::in_proc(1).unwrap();
+        let baseline = single.submit(1, spec).unwrap();
+        assert_eq!(baseline.shards, 1, "a one-head farm must pass the spec through");
+        let reference = baseline.result.encoded().unwrap();
+
+        for heads in [2usize, 4] {
+            let mut farm = Farm::in_proc(heads).unwrap();
+            let merged = farm.submit(1, spec).unwrap();
+            assert!(merged.shards > 1, "{} must shard on {heads} heads", spec.kind());
+            assert_eq!(
+                merged.result.encoded().unwrap(),
+                reference,
+                "{} differs between 1 and {heads} heads",
+                spec.kind()
+            );
+            assert_eq!(merged.result.rendered(), baseline.result.rendered());
+
+            let again = farm.submit(1, spec).unwrap();
+            assert_eq!(again.result.encoded().unwrap(), reference);
+            assert_eq!(
+                again.provenance,
+                Provenance::Cache,
+                "{} resubmission must be cache-served on every head",
+                spec.kind()
+            );
+        }
+    }
+}
+
 /// THP/2 streaming changes the framing, never the bytes: a shmoo submitted
 /// over a pipelined TCP session arrives as chunks whose concatenation is
 /// byte-identical to the THP/1 loopback result and the direct pool run — on
