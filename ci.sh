@@ -26,10 +26,37 @@ cargo clippy --offline -- -D warnings
 # then emit the SARIF artifact.
 rm -f target/xlint-cache.json
 xlint_dir="$(mktemp -d)"
-cargo run -p gigatest-xlint --release --offline -- --format json > "$xlint_dir/cold.json"
-cargo run -p gigatest-xlint --release --offline -- --format json > "$xlint_dir/warm.json"
+xlint_t0=$(date +%s%N)
+cargo run -p gigatest-xlint --release --offline -- --format json \
+  > "$xlint_dir/cold.json" 2> "$xlint_dir/cold.log"
+xlint_t1=$(date +%s%N)
+cargo run -p gigatest-xlint --release --offline -- --format json \
+  > "$xlint_dir/warm.json" 2> "$xlint_dir/warm.log"
+xlint_t2=$(date +%s%N)
+grep '^xlint:' "$xlint_dir/cold.log" "$xlint_dir/warm.log" || true
 diff "$xlint_dir/cold.json" "$xlint_dir/warm.json"
 echo "xlint: warm-cache findings byte-identical to cold run"
+# Lint-speed artifact: cold vs warm wall time plus the finding census,
+# in the same committed BENCH_*.json family as the service benches. The
+# byte-identity diff above is the correctness gate; this records what
+# the cache buys.
+xlint_summary="$(grep '^xlint:' "$xlint_dir/cold.log" | head -n 1)"
+xlint_files="$(echo "$xlint_summary" | sed -n 's/^xlint: \([0-9]*\) files.*/\1/p')"
+xlint_deny="$(echo "$xlint_summary" | sed -n 's/.*), \([0-9]*\) deny.*/\1/p')"
+xlint_warn="$(echo "$xlint_summary" | sed -n 's/.* \([0-9]*\) warn.*/\1/p')"
+xlint_supp="$(echo "$xlint_summary" | sed -n 's/.*(\([0-9]*\) suppressed.*/\1/p')"
+xlint_warm_hits="$(grep '^xlint:' "$xlint_dir/warm.log" | head -n 1 \
+  | sed -n 's/.*(\([0-9]*\) from cache.*/\1/p')"
+cat > BENCH_xlint.json <<EOF
+{
+  "cold_ms": $(( (xlint_t1 - xlint_t0) / 1000000 )),
+  "warm_ms": $(( (xlint_t2 - xlint_t1) / 1000000 )),
+  "files": ${xlint_files:-0},
+  "warm_cache_hits": ${xlint_warm_hits:-0},
+  "findings": { "deny": ${xlint_deny:-0}, "warn": ${xlint_warn:-0}, "suppressed": ${xlint_supp:-0} }
+}
+EOF
+echo "wrote BENCH_xlint.json"
 cargo run -p gigatest-xlint --release --offline -- --format sarif > xlint.sarif
 rm -rf "$xlint_dir"
 # A suppression must carry its justification. The linter rejects a

@@ -130,13 +130,16 @@ impl TestSystem {
                     }
                     _ => 16,
                 };
-                let lane_rate = program.timing.rate.demux(lanes_n as u64);
+                let lane_rate = program.timing.rate.demux(u64::try_from(lanes_n).unwrap_or(16));
                 let lane_tree = SeedTree::new(PATTERN_SEED).derive(PRBS_LANE_STREAM);
                 for ch in 0..lanes_n {
+                    let lane_seed = lane_tree.channel(u64::try_from(ch).unwrap_or(0)).seed();
                     self.core.configure_channel(
                         ch,
                         dlc::PatternKind::Prbs15 {
-                            seed: lane_tree.channel(ch as u64).seed() as u32,
+                            // Prbs15 keys on the low seed word; masking makes
+                            // the truncation explicit and lossless.
+                            seed: u32::try_from(lane_seed & 0xFFFF_FFFF).unwrap_or(0),
                         },
                         lane_rate,
                     )?;

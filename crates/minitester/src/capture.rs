@@ -329,7 +329,7 @@ impl EyeScanJob<'_> {
             // Substreams key on the global step index, so a strobe range
             // reproduces the full scan's points bit-for-bit.
             let k = (phase_start + job) as i64; // xlint::allow(no-lossy-cast, k < steps which fits i64 by construction)
-            let cell = tree.index(k as u64); // xlint::allow(no-lossy-cast, k is a non-negative step index)
+            let cell = tree.index(k as u64);
             self.capture.capture_at(self.wave, self.rate, self.expected, step * k, cell.seed())
         })?;
         let points = outcome.results.into_iter().collect::<Result<Vec<_>>>()?;

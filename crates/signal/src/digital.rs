@@ -327,7 +327,6 @@ impl DigitalWaveform {
         let ui = rate.unit_interval();
         let n = (self.span() / ui) as usize; // xlint::allow(no-lossy-cast, span/ui is a nonnegative bit count that fits usize)
         BitStream::from_fn(n, |i| self.level_at(self.start + ui * i as i64 + sample_offset))
-        // xlint::allow(no-lossy-cast, bit index widens into i64 far below the fs overflow point)
     }
 
     /// The edge nearest to instant `t`, if any edges exist.

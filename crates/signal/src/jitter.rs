@@ -234,7 +234,7 @@ struct PjSampler {
 impl JitterSampler for PjSampler {
     fn displacement(&mut self, ctx: &EdgeContext) -> Duration {
         let arg = self.omega_per_fs * ctx.ideal.as_fs() as f64 + self.phase; // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
-        Duration::from_fs((self.amp_fs * arg.sin()).round() as i64) // xlint::allow(no-lossy-cast, rounded sinusoid amplitude in fs fits i64)
+        Duration::from_fs((self.amp_fs * arg.sin()).round() as i64)
     }
 }
 
@@ -242,7 +242,7 @@ impl JitterModel for PeriodicJitter {
     fn sampler(&self, _seed: u64) -> Box<dyn JitterSampler + '_> {
         Box::new(PjSampler {
             amp_fs: self.amplitude.as_fs() as f64, // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
-            omega_per_fs: 2.0 * core::f64::consts::PI * self.freq.as_hz() as f64 / 1e15, // xlint::allow(no-lossy-cast, fs counts stay far below 2^53 so the f64 round-trip is exact at this documented float boundary)
+            omega_per_fs: 2.0 * core::f64::consts::PI * self.freq.as_hz() as f64 / 1e15,
             phase: self.phase,
         })
     }

@@ -174,7 +174,7 @@ fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
             // Split each block into its two halves once, so the butterfly
             // body indexes bounds-checked locals instead of the raw buffers.
             let block_r = &mut re[start..start + len]; // xlint::allow(panic-reachable, len divides n so start + len <= n == re.len())
-            let block_i = &mut im[start..start + len]; // xlint::allow(panic-reachable, len divides n so start + len <= n == im.len())
+            let block_i = &mut im[start..start + len];
             let (ra, rb) = block_r.split_at_mut(half);
             let (ia, ib) = block_i.split_at_mut(half);
             let (mut cr, mut ci) = (1.0f64, 0.0f64);

@@ -1,0 +1,29 @@
+//! Build identity for the fact cache: FNV-1a 64 over every `src/*.rs`
+//! byte (path-sorted), exported as `XLINT_BUILD_ID` and folded into the
+//! cache fingerprint. Per-file facts are a pure function of (file bytes,
+//! analyzer code) — so a binary built from different analyzer sources
+//! must never serve facts cached by another build, even when the rule
+//! list and `CACHE_VERSION` happen to match.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    println!("cargo:rerun-if-changed=src");
+    let mut files: Vec<PathBuf> = fs::read_dir("src")
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for f in files {
+        for b in fs::read(&f).unwrap_or_default() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    println!("cargo:rustc-env=XLINT_BUILD_ID={hash:016x}");
+}

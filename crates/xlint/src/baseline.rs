@@ -130,6 +130,7 @@ mod tests {
             line: 1,
             col: 1,
             message: String::new(),
+            related: Vec::new(),
         }
     }
 

@@ -1,31 +1,10 @@
-//! Intraprocedural dataflow: wire-taint tracking (R11) and the wire
-//! message-vocabulary facts behind codec symmetry (R13).
+//! Wire message-vocabulary facts behind codec symmetry (R13).
 //!
-//! ## The taint model (R11 `wire-taint`)
-//!
-//! The hostile boundary of the stack is the THP/1–THP/2 codec: every
-//! integer a peer controls enters through `wire::decode*`, a
-//! `Reader`, or `sniff`. The admission-hardening contract from the atd
-//! PRs says such a value must pass a *sanitizer* — `JobSpec::validate`,
-//! a comparison against a `proto::limits` bound, or a clamping
-//! combinator — before it reaches a *sink*: an allocation it sizes
-//! (`Vec::with_capacity`, `vec![_; n]`, `.reserve`), an exec entry point
-//! (`run_on`, `par_map`, `par_map_reduce`), or raw `+`/`*` length
-//! arithmetic (checked/saturating/wrapping combinators are methods and
-//! therefore never flagged — the rule deliberately pushes wire values
-//! toward them).
-//!
-//! The pass is intraprocedural and tracks provenance through named
-//! bindings only: `let`/`=` assignments, `for` bindings, field and
-//! method projections of a tainted base. Taint enters through calls to
-//! the decoder surface, through `Reader::new`, through parameters whose
-//! declared type names `Reader`, and through `self` in `impl Reader`
-//! methods. `Reader::count` and `Reader::str` are *bounded by
-//! construction* (the hostile-count ceiling), so their results are
-//! clean, as are `.len()` / `.min(..)` / `.clamp(..)` projections.
-//! Flows through a return value into another function are a documented
-//! false negative, like every other name-resolution limit in
-//! DESIGN.md §5d–§5e.
+//! The wire-taint pass (R11) that used to live here was intraprocedural;
+//! v4 moved it to [`crate::summary`], which extracts per-function flow
+//! facts in the per-file phase and runs an interprocedural fixpoint in
+//! the cross-file phase. This module keeps the message-vocabulary
+//! extraction and the codec-symmetry check.
 //!
 //! ## Message-vocabulary facts (R13 `codec-symmetry`)
 //!
@@ -45,449 +24,6 @@ use crate::facts::{MsgConst, MsgCtx, MsgRef};
 use crate::lexer::{Token, TokenKind};
 use crate::parse::{FnDef, ParsedFile};
 use crate::rules::{Finding, Severity};
-
-/// Functions of the codec surface whose results are peer-controlled.
-const SOURCE_FNS: &[&str] =
-    &["sniff", "decode_frame", "decode_header", "decode_frame2", "decode_header2"];
-
-/// Exec entry points a tainted value must never reach unvalidated.
-const POOL_SINKS: &[&str] = &["run_on", "par_map", "par_map_reduce"];
-
-/// Methods whose result is bounded by construction: projecting a
-/// tainted value through one of these yields a clean binding.
-const BOUNDING_METHODS: &[&str] = &["min", "clamp", "count", "len", "str"];
-
-/// Run the wire-taint pass over every non-test function of a `Src`
-/// file, appending deny findings. `toks`/`parsed` are the file's lexer
-/// and parser output (the per-file build phase owns both).
-pub fn check_wire_taint(
-    file: &SourceFile,
-    toks: &[Token],
-    parsed: &ParsedFile,
-    findings: &mut Vec<Finding>,
-) {
-    if !matches!(file.class, FileClass::Src { .. }) {
-        return;
-    }
-    for (def, body) in parsed.fns.iter().zip(&parsed.bodies) {
-        let Some((start, end)) = *body else { continue };
-        if def.in_test {
-            continue;
-        }
-        TaintScan::new(file, toks, def, start, end).run(findings);
-    }
-}
-
-/// One function's linear taint scan.
-struct TaintScan<'a> {
-    file: &'a SourceFile,
-    toks: &'a [Token],
-    start: usize,
-    end: usize,
-    /// Currently wire-tainted binding names.
-    tainted: BTreeSet<String>,
-    /// A `let`/`for` binding set waiting to take effect once the scan
-    /// passes the end of its initializer (so the initializer itself is
-    /// evaluated against the *previous* bindings).
-    pending: Option<(Vec<String>, bool, usize)>,
-    /// Deduplicated findings: (line, col, message).
-    hits: BTreeSet<(u32, u32, String)>,
-}
-
-impl<'a> TaintScan<'a> {
-    fn new(
-        file: &'a SourceFile,
-        toks: &'a [Token],
-        def: &'a FnDef,
-        start: usize,
-        end: usize,
-    ) -> Self {
-        let mut tainted = BTreeSet::new();
-        for (name, ty) in def.params.iter().zip(&def.param_types) {
-            if ty.split(' ').any(|seg| seg == "Reader") {
-                tainted.insert(name.clone());
-            }
-        }
-        if def.qual.as_deref() == Some("Reader") && def.params.iter().any(|p| p == "self") {
-            tainted.insert("self".to_string());
-        }
-        TaintScan { file, toks, start, end, tainted, pending: None, hits: BTreeSet::new() }
-    }
-
-    fn is_punct(&self, i: usize, s: &str) -> bool {
-        self.toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
-    }
-
-    fn ident(&self, i: usize) -> Option<&str> {
-        self.toks.get(i).filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str())
-    }
-
-    fn after_matching(&self, open: usize, open_s: &str, close_s: &str) -> usize {
-        let mut depth = 0i32;
-        let mut i = open;
-        while i < self.end {
-            if self.is_punct(i, open_s) {
-                depth += 1;
-            } else if self.is_punct(i, close_s) {
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
-                }
-            }
-            i += 1;
-        }
-        self.end
-    }
-
-    /// Is the ident at `i` a use of a tainted binding (not a field or
-    /// method name projected off something else)?
-    fn tainted_use(&self, i: usize) -> bool {
-        if i > self.start && self.is_punct(i - 1, ".") {
-            return false;
-        }
-        self.ident(i).is_some_and(|name| self.tainted.contains(name))
-    }
-
-    /// Does the expression span contain a taint source: a decoder call,
-    /// `Reader::new`, or a use of an already-tainted binding?
-    fn span_tainted(&self, from: usize, to: usize) -> bool {
-        let mut i = from;
-        while i < to {
-            if let Some(name) = self.ident(i) {
-                if SOURCE_FNS.contains(&name) && self.is_punct(i + 1, "(") {
-                    return true;
-                }
-                if name == "Reader" && self.is_punct(i + 1, ":") && self.is_punct(i + 2, ":") {
-                    return true;
-                }
-                if self.tainted_use(i) {
-                    return true;
-                }
-            }
-            i += 1;
-        }
-        false
-    }
-
-    /// Does the expression span project through a bounding method
-    /// (`.min(..)`, `.count(..)`, `.len()`, …)? Such an expression is
-    /// clean regardless of what feeds it.
-    fn span_bounded(&self, from: usize, to: usize) -> bool {
-        (from..to).any(|i| {
-            self.is_punct(i, ".")
-                && self.ident(i + 1).is_some_and(|m| BOUNDING_METHODS.contains(&m))
-                && self.is_punct(i + 2, "(")
-        })
-    }
-
-    /// Scan a statement initializer: from the token after `=`/`in` to
-    /// the terminator (`;` at depth 0, or `{` for a `for` loop).
-    fn initializer_end(&self, from: usize, terminator: &str) -> usize {
-        let mut depth = 0i32;
-        let mut i = from;
-        while i < self.end {
-            if self.is_punct(i, "(") || self.is_punct(i, "[") {
-                depth += 1;
-            } else if self.is_punct(i, ")") || self.is_punct(i, "]") {
-                depth -= 1;
-            } else if self.is_punct(i, "{") && terminator == ";" {
-                depth += 1;
-            } else if self.is_punct(i, "}") && terminator == ";" {
-                depth -= 1;
-            } else if depth <= 0 && self.is_punct(i, terminator) {
-                return i;
-            }
-            i += 1;
-        }
-        self.end
-    }
-
-    /// Lowercase idents bound by a pattern span (`let (a, mut b) = ..`,
-    /// `let Some(n) = ..`, `for chunk in ..`). Uppercase idents are
-    /// enum/struct constructors, not bindings.
-    fn pattern_bindings(&self, from: usize, to: usize) -> Vec<String> {
-        let mut names = Vec::new();
-        for i in from..to {
-            if let Some(name) = self.ident(i) {
-                if name == "mut" || name == "ref" || name == "_" {
-                    continue;
-                }
-                if name.chars().next().is_some_and(char::is_lowercase)
-                    && !self.is_punct(i + 1, ":")
-                    && !names.iter().any(|n| n == name)
-                {
-                    names.push(name.to_string());
-                }
-            }
-        }
-        names
-    }
-
-    fn finding_at(&mut self, i: usize, message: String) {
-        if let Some(tok) = self.toks.get(i) {
-            self.hits.insert((tok.line, tok.col, message));
-        }
-    }
-
-    /// Is the token at `i` a bound the contract recognizes: a numeric
-    /// literal, a `limits::` path, or a SHOUTING_CASE constant?
-    fn is_bound_token(&self, i: usize) -> bool {
-        if self.toks.get(i).is_some_and(|t| t.kind == TokenKind::NumLit) {
-            return true;
-        }
-        self.ident(i).is_some_and(|name| {
-            name == "limits"
-                || (name.len() > 1 && name.chars().all(|c| c.is_ascii_uppercase() || c == '_'))
-        })
-    }
-
-    /// The comparison operator starting at `i` (`<`, `>`, `<=`, `>=`,
-    /// `==`), returned as its token width; `None` for shifts (`<<`,
-    /// `>>`) and arrows.
-    fn comparison_width(&self, i: usize) -> Option<usize> {
-        let first = self.toks.get(i).filter(|t| t.kind == TokenKind::Punct)?;
-        match first.text.as_str() {
-            "<" | ">" => {
-                if self.is_punct(i + 1, "=") {
-                    Some(2)
-                } else if self.is_punct(i + 1, "<") || self.is_punct(i + 1, ">") {
-                    None
-                } else {
-                    Some(1)
-                }
-            }
-            "=" if self.is_punct(i + 1, "=") => Some(2),
-            _ => None,
-        }
-    }
-
-    fn run(mut self, findings: &mut Vec<Finding>) {
-        let mut i = self.start;
-        while i < self.end {
-            // A pending `let`/`for` binding takes effect once the scan
-            // leaves its initializer.
-            if let Some((names, taint, until)) = &self.pending {
-                if i >= *until {
-                    for name in names.clone() {
-                        if *taint {
-                            self.tainted.insert(name);
-                        } else {
-                            self.tainted.remove(&name);
-                        }
-                    }
-                    self.pending = None;
-                }
-            }
-
-            match self.ident(i) {
-                Some("let") => {
-                    // `let PATTERN = EXPR ;` — evaluate the initializer
-                    // against current taint, bind after it ends.
-                    let mut eq = i + 1;
-                    let mut angle = 0i32;
-                    while eq < self.end {
-                        if self.is_punct(eq, "<") {
-                            angle += 1;
-                        } else if self.is_punct(eq, ">") {
-                            angle -= 1;
-                        } else if self.is_punct(eq, ";")
-                            || (self.is_punct(eq, "=") && angle <= 0 && !self.is_punct(eq + 1, "="))
-                        {
-                            break;
-                        }
-                        eq += 1;
-                    }
-                    if self.is_punct(eq, "=") {
-                        let stmt_end = self.initializer_end(eq + 1, ";");
-                        let bindings = self.pattern_bindings(i + 1, eq);
-                        let taint = self.span_tainted(eq + 1, stmt_end)
-                            && !self.span_bounded(eq + 1, stmt_end);
-                        if !bindings.is_empty() {
-                            self.pending = Some((bindings, taint, stmt_end));
-                        }
-                    }
-                }
-                Some("for") => {
-                    // `for PATTERN in EXPR {` — iterating a tainted
-                    // collection taints the loop binding.
-                    let mut in_kw = i + 1;
-                    while in_kw < self.end
-                        && self.ident(in_kw) != Some("in")
-                        && !self.is_punct(in_kw, "{")
-                    {
-                        in_kw += 1;
-                    }
-                    if self.ident(in_kw) == Some("in") {
-                        let body = self.initializer_end(in_kw + 1, "{");
-                        let bindings = self.pattern_bindings(i + 1, in_kw);
-                        let taint = self.span_tainted(in_kw + 1, body);
-                        if !bindings.is_empty() {
-                            self.pending = Some((bindings, taint, body));
-                        }
-                    }
-                }
-                Some("validate") if self.is_punct(i + 1, "(") => {
-                    // Sanitizer: `x.validate()` clears the receiver;
-                    // `validate(&x)` / `JobSpec::validate(x)` clear
-                    // every tainted argument.
-                    let close = self.after_matching(i + 1, "(", ")");
-                    let mut cleared: Vec<String> = (i + 2..close)
-                        .filter(|k| self.tainted_use(*k))
-                        .filter_map(|k| self.ident(k).map(str::to_string))
-                        .collect();
-                    if i >= self.start + 2 && self.is_punct(i - 1, ".") {
-                        if let Some(receiver) = self.ident(i - 2) {
-                            cleared.push(receiver.to_string());
-                        }
-                    }
-                    for name in cleared {
-                        self.tainted.remove(&name);
-                    }
-                }
-                Some("with_capacity" | "reserve") if self.is_punct(i + 1, "(") => {
-                    self.check_args_sink(i, "sizes an allocation");
-                }
-                Some("vec") if self.is_punct(i + 1, "!") && self.is_punct(i + 2, "[") => {
-                    // `vec![elem; n]` — only the length position is a
-                    // sink.
-                    let close = self.after_matching(i + 2, "[", "]");
-                    let mut semi = i + 3;
-                    let mut depth = 0i32;
-                    while semi < close {
-                        if self.is_punct(semi, "[") || self.is_punct(semi, "(") {
-                            depth += 1;
-                        } else if self.is_punct(semi, "]") || self.is_punct(semi, ")") {
-                            depth -= 1;
-                        } else if self.is_punct(semi, ";") && depth <= 0 {
-                            break;
-                        }
-                        semi += 1;
-                    }
-                    if semi < close {
-                        if let Some(k) = (semi..close).find(|k| self.tainted_use(*k)) {
-                            let name = self.ident(k).unwrap_or("?").to_string();
-                            self.finding_at(
-                                i,
-                                format!(
-                                    "wire-tainted `{name}` sizes an allocation (`vec![_; \
-                                     {name}]`) without a JobSpec::validate / proto::limits \
-                                     bound — clamp or validate it first"
-                                ),
-                            );
-                        }
-                    }
-                }
-                Some(name) if POOL_SINKS.contains(&name) && self.is_punct(i + 1, "(") => {
-                    let name = name.to_string();
-                    self.check_args_sink(i, "reaches an exec entry point");
-                    if i >= self.start + 2 && self.is_punct(i - 1, ".") && self.tainted_use(i - 2) {
-                        let recv = self.ident(i - 2).unwrap_or("?").to_string();
-                        self.finding_at(
-                            i,
-                            format!(
-                                "wire-tainted `{recv}` reaches an exec entry point \
-                                 (`.{name}(..)`) without JobSpec::validate / a proto::limits \
-                                 bound — validate before executing"
-                            ),
-                        );
-                    }
-                }
-                Some(_) if self.tainted_use(i) => {
-                    self.check_var_site(i);
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        for (line, col, message) in self.hits {
-            findings.push(Finding {
-                rule_id: "wire-taint",
-                severity: Severity::Deny,
-                rel_path: self.file.rel_path.clone(),
-                line,
-                col,
-                message,
-            });
-        }
-    }
-
-    /// Flag the call at `i` if any tainted binding appears in its
-    /// argument list.
-    fn check_args_sink(&mut self, i: usize, verb: &str) {
-        let sink = self.ident(i).unwrap_or("?").to_string();
-        let close = self.after_matching(i + 1, "(", ")");
-        if let Some(k) = (i + 2..close).find(|k| self.tainted_use(*k)) {
-            let name = self.ident(k).unwrap_or("?").to_string();
-            self.finding_at(
-                i,
-                format!(
-                    "wire-tainted `{name}` {verb} (`{sink}(..)`) without a JobSpec::validate / \
-                     proto::limits bound — clamp or validate it first"
-                ),
-            );
-        }
-    }
-
-    /// A use of a tainted binding: a comparison against a recognized
-    /// bound sanitizes it; adjacency to raw `+`/`*` is the arithmetic
-    /// sink.
-    fn check_var_site(&mut self, i: usize) {
-        let Some(name) = self.ident(i).map(str::to_string) else { return };
-        // `x < limits::MAX` / `x <= MAX_PAYLOAD` / `x == 0` — and the
-        // mirrored `limits::MAX > x` form — certify the value bounded.
-        if let Some(w) = self.comparison_width(i + 1) {
-            let mut bound = i + 1 + w;
-            if self.ident(bound) == Some("limits") || self.is_bound_token(bound) {
-                self.tainted.remove(&name);
-                return;
-            }
-            // `wire::MAX_PAYLOAD`-style qualified bound.
-            while bound + 2 < self.end && self.is_punct(bound + 1, ":") {
-                bound += 3;
-                if self.is_bound_token(bound - 1) || self.is_bound_token(bound) {
-                    self.tainted.remove(&name);
-                    return;
-                }
-            }
-        }
-        if i > self.start {
-            if let Some(w) = i.checked_sub(2).and_then(|p| self.comparison_width(p + 1)) {
-                let _ = w;
-                if self.is_bound_token(i.saturating_sub(2)) {
-                    self.tainted.remove(&name);
-                    return;
-                }
-            }
-            if i >= 3 && self.is_bound_token(i - 3) && self.comparison_width(i - 2) == Some(2) {
-                self.tainted.remove(&name);
-                return;
-            }
-        }
-        // Arithmetic sink: `x + ..` / `x * ..` (but not `x += ..`), or
-        // `.. + x` / `.. * x` where the left neighbor is a value.
-        let after_plus = self.is_punct(i + 1, "+") && !self.is_punct(i + 2, "=");
-        let after_star = self.is_punct(i + 1, "*");
-        let before = i
-            .checked_sub(1)
-            .filter(|p| self.is_punct(*p, "+") || self.is_punct(*p, "*"))
-            .and_then(|p| p.checked_sub(1))
-            .is_some_and(|q| {
-                self.toks.get(q).is_some_and(|t| {
-                    matches!(t.kind, TokenKind::Ident | TokenKind::NumLit)
-                        || (t.kind == TokenKind::Punct && (t.text == ")" || t.text == "]"))
-                })
-            });
-        if after_plus || after_star || before {
-            self.finding_at(
-                i,
-                format!(
-                    "raw length arithmetic on wire-tainted `{name}` — use \
-                     checked_*/saturating_* combinators or bound it against proto::limits first"
-                ),
-            );
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // R13: wire message vocabulary facts + the cross-file symmetry check.
@@ -602,66 +138,6 @@ mod tests {
     use crate::facts::build_facts;
     use std::path::PathBuf;
 
-    fn taint_findings(src: &str) -> Vec<Finding> {
-        let rel = "crates/fix/src/lib.rs";
-        let class = classify(rel).expect("classifiable");
-        let file = SourceFile { rel_path: rel.to_string(), abs_path: PathBuf::from(rel), class };
-        let facts = build_facts(&file, src).expect("facts build");
-        facts.local_findings.into_iter().filter(|f| f.rule_id == "wire-taint").collect()
-    }
-
-    #[test]
-    fn reader_param_taints_but_count_is_bounded() {
-        let hits = taint_findings(
-            "pub fn bad(r: &mut Reader<'_>) -> Vec<u8> {\n\
-                 let n = r.u32();\n\
-                 Vec::with_capacity(n)\n\
-             }\n\
-             pub fn good(r: &mut Reader<'_>) -> Vec<u8> {\n\
-                 let n = r.count(4);\n\
-                 Vec::with_capacity(n)\n\
-             }\n",
-        );
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].line, 3);
-        assert!(hits[0].message.contains("`n`"), "{}", hits[0].message);
-    }
-
-    #[test]
-    fn validate_and_limits_comparisons_sanitize() {
-        let hits = taint_findings(
-            "pub fn validated(spec_len: usize, r: &mut Reader<'_>) -> Vec<u8> {\n\
-                 let spec = decode_frame(r);\n\
-                 spec.validate();\n\
-                 run_on(spec);\n\
-                 Vec::new()\n\
-             }\n\
-             pub fn compared(r: &mut Reader<'_>) -> Vec<u8> {\n\
-                 let n = decode_header(r);\n\
-                 if n > limits::MAX_BITS { return Vec::new(); }\n\
-                 Vec::with_capacity(n)\n\
-             }\n",
-        );
-        assert!(hits.is_empty(), "{hits:?}");
-    }
-
-    #[test]
-    fn arithmetic_and_vec_macro_sinks_fire() {
-        let hits = taint_findings(
-            "pub fn arith(r: &mut Reader<'_>) -> usize {\n\
-                 let n = sniff(r);\n\
-                 n + 12\n\
-             }\n\
-             pub fn filled(r: &mut Reader<'_>) -> Vec<u8> {\n\
-                 let n = sniff(r);\n\
-                 vec![0u8; n]\n\
-             }\n",
-        );
-        assert_eq!(hits.len(), 2, "{hits:?}");
-        assert!(hits.iter().any(|f| f.message.contains("arithmetic")), "{hits:?}");
-        assert!(hits.iter().any(|f| f.message.contains("vec![_;")), "{hits:?}");
-    }
-
     #[test]
     fn msg_refs_classify_by_context() {
         let rel = "crates/fix/src/lib.rs";
@@ -731,6 +207,7 @@ pub fn check_codec_symmetry(facts: &[crate::facts::FileFacts], findings: &mut Ve
                     c.name,
                     missing.join(" and ")
                 ),
+                related: Vec::new(),
             });
         }
     }

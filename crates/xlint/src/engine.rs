@@ -8,14 +8,14 @@
 //! always runs over the complete fact set, so a warm run produces
 //! byte-identical findings to a cold one.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use crate::cache;
 use crate::classify::{collect_sources, SourceFile};
 use crate::dataflow::check_codec_symmetry;
 use crate::error::XlintError;
-use crate::facts::{build_facts, FileFacts};
+use crate::facts::{build_facts, intern_rule, FileFacts};
 use crate::graph::{check_error_bridges, check_event_loop_blocking, check_panic_reachable};
 use crate::lexer::AllowDirective;
 use crate::rules::{check_stream_uniqueness, Finding, Severity, StreamUse};
@@ -110,8 +110,43 @@ fn analyze_facts(facts: Vec<FileFacts>) -> Analysis {
     check_error_bridges(&facts, &mut findings);
     check_event_loop_blocking(&facts, &mut findings);
     check_codec_symmetry(&facts, &mut findings);
+    crate::summary::check_wire_taint(&facts, &mut findings);
+
+    // R8 `bad-allow`, unknown-rule arm: a directive naming a rule id the
+    // linter does not define suppresses nothing, forever — a typo'd rule
+    // is a silent hole in the ratchet. Pushed pre-suppression so a
+    // reasoned same-line bad-allow directive can still justify it.
+    for fact in &facts {
+        for d in &fact.allows {
+            if intern_rule(&d.rule_id).is_none() {
+                findings.push(Finding {
+                    rule_id: "bad-allow",
+                    severity: Severity::Deny,
+                    rel_path: fact.rel_path.clone(),
+                    line: d.line,
+                    col: 1,
+                    message: format!(
+                        "xlint::allow({}) names an unknown rule id — it suppresses nothing; \
+                         fix the id (see the README rule table) or delete the directive",
+                        d.rule_id
+                    ),
+                    related: Vec::new(),
+                });
+            }
+        }
+    }
 
     let mut analysis = Analysis { files: facts.len(), ..Analysis::default() };
+    // Directives that suppressed at least one finding, keyed by
+    // (file, rule, directive line). Seeded with the directives consumed
+    // at fact-build time (panic/blocking sites dropped at the source),
+    // which this pass otherwise could not observe.
+    let mut used: BTreeSet<(String, String, u32)> = BTreeSet::new();
+    for fact in &facts {
+        for (rule, line) in &fact.used_allows {
+            used.insert((fact.rel_path.clone(), rule.clone(), *line));
+        }
+    }
     for finding in findings {
         let covering = facts
             .iter()
@@ -132,10 +167,54 @@ fn analyze_facts(facts: Vec<FileFacts>) -> Analysis {
                          xlint::allow({}, \"why this is sound\")",
                         finding.rule_id, finding.rule_id
                     ),
+                    related: Vec::new(),
                 });
             }
-            Some(_) => analysis.suppressed += 1,
+            Some(directive) => {
+                used.insert((finding.rel_path.clone(), directive.rule_id.clone(), directive.line));
+                analysis.suppressed += 1;
+            }
             None => analysis.findings.push(finding),
+        }
+    }
+
+    // R15 `stale-allow`: a reasoned directive that suppressed nothing is
+    // the ratchet's garbage — under v4's stronger analysis the justified
+    // finding may simply no longer exist. Deletion is the fix; a reasoned
+    // same-line stale-allow directive keeps one alive (e.g. for in-flight
+    // work), and is itself exempt, as are unknown rule ids (bad-allow
+    // already owns those) and reasonless directives.
+    for fact in &facts {
+        for d in &fact.allows {
+            if d.reason.is_empty()
+                || d.rule_id == "stale-allow"
+                || intern_rule(&d.rule_id).is_none()
+                || used.contains(&(fact.rel_path.clone(), d.rule_id.clone(), d.line))
+            {
+                continue;
+            }
+            let kept = fact
+                .allows
+                .iter()
+                .any(|a| a.rule_id == "stale-allow" && !a.reason.is_empty() && a.line == d.line);
+            if kept {
+                analysis.suppressed += 1;
+                continue;
+            }
+            analysis.findings.push(Finding {
+                rule_id: "stale-allow",
+                severity: Severity::Deny,
+                rel_path: fact.rel_path.clone(),
+                line: d.line,
+                col: 1,
+                message: format!(
+                    "xlint::allow({}, ..) suppresses zero findings — the justified violation \
+                     no longer exists; delete the stale directive (or pin it with a same-line \
+                     xlint::allow(stale-allow, reason) while a fix is in flight)",
+                    d.rule_id
+                ),
+                related: Vec::new(),
+            });
         }
     }
     analysis.findings.sort_by(|a, b| {

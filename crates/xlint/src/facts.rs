@@ -19,7 +19,8 @@ use crate::lexer::{lex, AllowDirective};
 use crate::parse::{
     parse_items, BlockSite, Call, CallKind, EnumDef, FnDef, PanicKind, PanicSite, UsePath,
 };
-use crate::rules::{check_file_local, FileTokens, Finding, Severity};
+use crate::rules::{check_file_local, FileTokens, Finding, Related, Severity};
+use crate::summary::{CallFlow, Ceiling, FnFlow, SinkFlow, SinkKind, Src};
 
 /// Every rule id the linter can emit, used to re-intern cached findings
 /// into `&'static str`. A cache mentioning an unknown id is stale.
@@ -38,6 +39,7 @@ pub const RULE_IDS: &[&str] = &[
     "wire-taint",
     "event-loop-blocking",
     "codec-symmetry",
+    "stale-allow",
 ];
 
 /// Re-intern a rule id string into the static table.
@@ -140,6 +142,13 @@ pub struct FileFacts {
     pub msg_consts: Vec<MsgConst>,
     /// Classified `msg::NAME` references in this file (R13 input).
     pub msg_refs: Vec<MsgRef>,
+    /// Per-function taint flows (R11 input), parallel to [`FileFacts::fns`].
+    pub flows: Vec<FnFlow>,
+    /// `(rule_id, directive line)` of every allow consumed at build time
+    /// (panic/blocking sites dropped by a reasoned directive) — seed data
+    /// for the stale-allow pass, which otherwise could not see that these
+    /// directives did suppress something.
+    pub used_allows: Vec<(String, u32)>,
 }
 
 /// FNV-1a 64-bit hash of a byte string.
@@ -162,7 +171,19 @@ pub fn allow_covers(
     rule_id: &str,
     line: u32,
 ) -> bool {
-    allows.iter().any(|d| {
+    covering_directive(allows, token_lines, rule_id, line).is_some()
+}
+
+/// The reasoned directive covering `(rule_id, line)`, if any — the same
+/// coverage window as [`allow_covers`], returned by reference so callers
+/// can record the directive as *used* (the stale-allow pass's input).
+pub fn covering_directive<'a>(
+    allows: &'a [AllowDirective],
+    token_lines: &[u32],
+    rule_id: &str,
+    line: u32,
+) -> Option<&'a AllowDirective> {
+    allows.iter().find(|d| {
         d.rule_id == rule_id
             && !d.reason.is_empty()
             && (d.line == line
@@ -188,23 +209,43 @@ pub fn build_facts(file: &SourceFile, src: &str) -> Result<FileFacts, XlintError
     };
 
     let parsed = parse_items(&lexed.tokens, &ft.in_test);
-    // Dataflow passes run here, in the per-file phase, so their findings
-    // live in the cache and stay byte-identical cold vs warm.
-    crate::dataflow::check_wire_taint(file, &lexed.tokens, &parsed, &mut local_findings);
+    // Per-fn flow facts feed the cross-file summary fixpoint; extracting
+    // them here keeps them a pure function of the bytes, so they cache.
+    let flows = crate::summary::extract_flows(file, &lexed.tokens, &parsed);
     let (msg_consts, msg_refs) = crate::dataflow::msg_facts(file, &lexed.tokens, &parsed);
     // Drop panic sites justified at the source: a reasoned allow for
     // either the syntactic rule (R4) or the reachability rule means the
     // site is a documented invariant, not a reachable abort. Blocking
-    // sites get the same treatment for the event-loop rule.
+    // sites get the same treatment for the event-loop rule. Each drop
+    // records the consuming directive so stale-allow sees it as used.
+    let mut used_allows: Vec<(String, u32)> = Vec::new();
     let mut fns = parsed.fns;
     for f in &mut fns {
         f.panics.retain(|p| {
-            !allow_covers(&lexed.allows, &token_lines, "panic-reachable", p.line)
-                && !allow_covers(&lexed.allows, &token_lines, "no-panic-in-lib", p.line)
+            let hit = covering_directive(&lexed.allows, &token_lines, "panic-reachable", p.line)
+                .or_else(|| {
+                    covering_directive(&lexed.allows, &token_lines, "no-panic-in-lib", p.line)
+                });
+            match hit {
+                Some(d) => {
+                    used_allows.push((d.rule_id.clone(), d.line));
+                    false
+                }
+                None => true,
+            }
         });
-        f.blocking
-            .retain(|b| !allow_covers(&lexed.allows, &token_lines, "event-loop-blocking", b.line));
+        f.blocking.retain(|b| {
+            match covering_directive(&lexed.allows, &token_lines, "event-loop-blocking", b.line) {
+                Some(d) => {
+                    used_allows.push((d.rule_id.clone(), d.line));
+                    false
+                }
+                None => true,
+            }
+        });
     }
+    used_allows.sort();
+    used_allows.dedup();
 
     let (exec_invoke, bridges, error_mentions) = exec_facts(&ft);
 
@@ -224,6 +265,8 @@ pub fn build_facts(file: &SourceFile, src: &str) -> Result<FileFacts, XlintError
         error_mentions,
         msg_consts,
         msg_refs,
+        flows,
+        used_allows,
     })
 }
 
@@ -493,6 +536,16 @@ impl FileFacts {
                         .collect(),
                 ),
             ),
+            ("flows", Json::Arr(self.flows.iter().map(flow_to_json).collect())),
+            (
+                "used_allows",
+                Json::Arr(
+                    self.used_allows
+                        .iter()
+                        .map(|(rule, line)| Json::Arr(vec![Json::str(rule), u32_json(*line)]))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -606,6 +659,17 @@ impl FileFacts {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
+        let flows =
+            j.get("flows")?.as_arr()?.iter().map(flow_from_json).collect::<Option<Vec<_>>>()?;
+        let used_allows = j
+            .get("used_allows")?
+            .as_arr()?
+            .iter()
+            .map(|u| {
+                let items = u.as_arr()?;
+                Some((items.first()?.as_str()?.to_string(), json_u32(items.get(1))?))
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(FileFacts {
             rel_path,
             class,
@@ -622,6 +686,8 @@ impl FileFacts {
             error_mentions,
             msg_consts,
             msg_refs,
+            flows,
+            used_allows,
         })
     }
 }
@@ -673,14 +739,33 @@ fn severity_label(sev: Severity) -> &'static str {
 }
 
 fn finding_to_json(f: &Finding) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("rule", Json::str(f.rule_id)),
         ("sev", Json::str(severity_label(f.severity))),
         ("path", Json::str(&f.rel_path)),
         ("line", u32_json(f.line)),
         ("col", u32_json(f.col)),
         ("msg", Json::str(&f.message)),
-    ])
+    ];
+    if !f.related.is_empty() {
+        pairs.push((
+            "rel",
+            Json::Arr(
+                f.related
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("path", Json::str(&r.rel_path)),
+                            ("line", u32_json(r.line)),
+                            ("col", u32_json(r.col)),
+                            ("note", Json::str(&r.note)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 fn finding_from_json(j: &Json) -> Option<Finding> {
@@ -689,6 +774,21 @@ fn finding_from_json(j: &Json) -> Option<Finding> {
         "deny" => Severity::Deny,
         _ => return None,
     };
+    let related = match j.get("rel") {
+        Some(arr) => arr
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(Related {
+                    rel_path: r.get("path")?.as_str()?.to_string(),
+                    line: json_u32(r.get("line"))?,
+                    col: json_u32(r.get("col"))?,
+                    note: r.get("note")?.as_str()?.to_string(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     Some(Finding {
         rule_id: intern_rule(j.get("rule")?.as_str()?)?,
         severity,
@@ -696,6 +796,7 @@ fn finding_from_json(j: &Json) -> Option<Finding> {
         line: json_u32(j.get("line"))?,
         col: json_u32(j.get("col"))?,
         message: j.get("msg")?.as_str()?.to_string(),
+        related,
     })
 }
 
@@ -851,6 +952,178 @@ fn fn_from_json(j: &Json) -> Option<FnDef> {
         panics,
         blocking,
     })
+}
+
+fn src_label(s: &Src) -> String {
+    match s {
+        Src::Direct => "d".to_string(),
+        Src::Param(p) => format!("p{p}"),
+        Src::Call(k) => format!("c{k}"),
+    }
+}
+
+fn src_from_label(l: &str) -> Option<Src> {
+    if l == "d" {
+        return Some(Src::Direct);
+    }
+    if l.len() < 2 {
+        return None;
+    }
+    let (head, rest) = l.split_at(1);
+    let n = rest.parse().ok()?;
+    match head {
+        "p" => Some(Src::Param(n)),
+        "c" => Some(Src::Call(n)),
+        _ => None,
+    }
+}
+
+fn srcs_to_json(srcs: &[Src]) -> Json {
+    Json::Arr(srcs.iter().map(|s| Json::Str(src_label(s))).collect())
+}
+
+fn srcs_from_json(j: &Json) -> Option<Vec<Src>> {
+    j.as_arr()?.iter().map(|s| src_from_label(s.as_str()?)).collect()
+}
+
+fn ceiling_to_json(c: &Ceiling) -> Json {
+    match c {
+        Ceiling::Lit(n) => Json::Int(i64::try_from(*n).unwrap_or(i64::MAX)),
+        Ceiling::Sym(s) => Json::str(s),
+    }
+}
+
+fn ceiling_from_json(j: &Json) -> Option<Ceiling> {
+    match j {
+        Json::Int(n) => Some(Ceiling::Lit(u64::try_from(*n).ok()?)),
+        Json::Str(s) => Some(Ceiling::Sym(s.clone())),
+        _ => None,
+    }
+}
+
+fn sink_kind_label(kind: SinkKind) -> &'static str {
+    match kind {
+        SinkKind::Alloc => "alloc",
+        SinkKind::VecMacro => "vecmac",
+        SinkKind::PoolArg => "poolarg",
+        SinkKind::PoolRecv => "poolrecv",
+        SinkKind::Arith => "arith",
+    }
+}
+
+fn sink_kind_from_label(label: &str) -> Option<SinkKind> {
+    match label {
+        "alloc" => Some(SinkKind::Alloc),
+        "vecmac" => Some(SinkKind::VecMacro),
+        "poolarg" => Some(SinkKind::PoolArg),
+        "poolrecv" => Some(SinkKind::PoolRecv),
+        "arith" => Some(SinkKind::Arith),
+        _ => None,
+    }
+}
+
+fn flow_to_json(f: &FnFlow) -> Json {
+    let mut pairs = vec![
+        (
+            "calls",
+            Json::Arr(
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        let mut cp = vec![
+                            ("k", Json::str(call_kind_label(c.kind))),
+                            ("n", Json::str(&c.name)),
+                            ("args", Json::Arr(c.args.iter().map(|a| srcs_to_json(a)).collect())),
+                            ("argv", Json::Arr(c.argv.iter().map(|v| Json::str(v)).collect())),
+                            ("line", u32_json(c.line)),
+                            ("col", u32_json(c.col)),
+                        ];
+                        if let Some(q) = &c.qual {
+                            cp.push(("q", Json::str(q)));
+                        }
+                        Json::obj(cp)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sinks",
+            Json::Arr(
+                f.sinks
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("k", Json::str(sink_kind_label(s.kind))),
+                            ("sink", Json::str(&s.sink)),
+                            ("var", Json::str(&s.var)),
+                            ("srcs", srcs_to_json(&s.srcs)),
+                            ("line", u32_json(s.line)),
+                            ("col", u32_json(s.col)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("ret", srcs_to_json(&f.ret)),
+    ];
+    if let Some(c) = &f.ret_ceiling {
+        pairs.push(("ceil", ceiling_to_json(c)));
+    }
+    Json::obj(pairs)
+}
+
+fn flow_from_json(j: &Json) -> Option<FnFlow> {
+    let calls = j
+        .get("calls")?
+        .as_arr()?
+        .iter()
+        .map(|c| {
+            let kind = match c.get("k")?.as_str()? {
+                "free" => CallKind::Free,
+                "method" => CallKind::Method,
+                "qual" => CallKind::Qualified,
+                _ => return None,
+            };
+            Some(CallFlow {
+                kind,
+                qual: match c.get("q") {
+                    Some(q) => Some(q.as_str()?.to_string()),
+                    None => None,
+                },
+                name: c.get("n")?.as_str()?.to_string(),
+                args: c
+                    .get("args")?
+                    .as_arr()?
+                    .iter()
+                    .map(srcs_from_json)
+                    .collect::<Option<Vec<_>>>()?,
+                argv: strings(c.get("argv")?)?,
+                line: json_u32(c.get("line"))?,
+                col: json_u32(c.get("col"))?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let sinks = j
+        .get("sinks")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            Some(SinkFlow {
+                kind: sink_kind_from_label(s.get("k")?.as_str()?)?,
+                sink: s.get("sink")?.as_str()?.to_string(),
+                var: s.get("var")?.as_str()?.to_string(),
+                srcs: srcs_from_json(s.get("srcs")?)?,
+                line: json_u32(s.get("line"))?,
+                col: json_u32(s.get("col"))?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let ret = srcs_from_json(j.get("ret")?)?;
+    let ret_ceiling = match j.get("ceil") {
+        Some(c) => Some(ceiling_from_json(c)?),
+        None => None,
+    };
+    Some(FnFlow { calls, sinks, ret, ret_ceiling })
 }
 
 #[cfg(test)]

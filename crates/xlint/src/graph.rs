@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use crate::classify::FileClass;
 use crate::facts::FileFacts;
 use crate::parse::{CallKind, FnDef};
-use crate::rules::{Finding, Severity};
+use crate::rules::{Finding, Related, Severity};
 
 /// Method names too generic to resolve by name alone: std types define
 /// them, so a single workspace impl with the same name must not capture
@@ -156,15 +156,19 @@ const METHOD_STOPLIST: &[&str] = &[
 ];
 
 /// One node of the call graph: a function definition in a `Src` file.
-struct Node<'a> {
-    krate: &'a str,
-    file_idx: usize,
-    rel_path: &'a str,
-    def: &'a FnDef,
+pub(crate) struct Node<'a> {
+    pub(crate) krate: &'a str,
+    pub(crate) file_idx: usize,
+    /// Index of [`Node::def`] within its file's `fns` vector, so parallel
+    /// per-fn facts (e.g. the taint flows of [`crate::summary`]) can be
+    /// looked up from a node id.
+    pub(crate) fn_idx: usize,
+    pub(crate) rel_path: &'a str,
+    pub(crate) def: &'a FnDef,
 }
 
 impl Node<'_> {
-    fn display_name(&self) -> String {
+    pub(crate) fn display_name(&self) -> String {
         match &self.def.qual {
             Some(q) => format!("{q}::{}", self.def.name),
             None => self.def.name.clone(),
@@ -174,126 +178,176 @@ impl Node<'_> {
 
 /// The resolved workspace call graph: deterministic node order (facts are
 /// path-sorted, fns in declaration order) and caller → callee edges.
-/// Shared by the panic-reachability (reverse BFS) and event-loop-blocking
-/// (forward BFS) passes so both traverse identical edges.
-struct CallGraph<'a> {
-    nodes: Vec<Node<'a>>,
-    edges: Vec<BTreeSet<usize>>,
+/// Shared by the panic-reachability (reverse BFS), event-loop-blocking
+/// (forward BFS), and wire-taint summary ([`crate::summary`]) passes so
+/// all three traverse identical edges. Name resolution is factored into
+/// [`CallGraph::resolve`] so the summary fixpoint can resolve per-call
+/// flow records with exactly the semantics the edges were built with.
+pub(crate) struct CallGraph<'a> {
+    pub(crate) nodes: Vec<Node<'a>>,
+    pub(crate) edges: Vec<BTreeSet<usize>>,
+    pub(crate) facts: &'a [FileFacts],
+    free_in_crate: BTreeMap<(String, String), Vec<usize>>,
+    free_global: BTreeMap<String, Vec<usize>>,
+    qual_global: BTreeMap<(String, String), Vec<usize>>,
+    method_global: BTreeMap<String, Vec<usize>>,
+    workspace_crates: BTreeSet<String>,
 }
 
 impl<'a> CallGraph<'a> {
-    fn build(facts: &'a [FileFacts]) -> Self {
+    pub(crate) fn build(facts: &'a [FileFacts]) -> Self {
         let mut nodes: Vec<Node<'a>> = Vec::new();
         for (file_idx, fact) in facts.iter().enumerate() {
             let FileClass::Src { crate_name } = &fact.class else { continue };
-            for def in &fact.fns {
+            for (fn_idx, def) in fact.fns.iter().enumerate() {
                 if def.in_test {
                     continue;
                 }
-                nodes.push(Node { krate: crate_name, file_idx, rel_path: &fact.rel_path, def });
+                nodes.push(Node {
+                    krate: crate_name,
+                    file_idx,
+                    fn_idx,
+                    rel_path: &fact.rel_path,
+                    def,
+                });
             }
         }
 
         // Resolution maps.
-        let mut free_in_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        let mut free_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut qual_global: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        let mut method_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let workspace_crates: BTreeSet<&str> = nodes.iter().map(|n| n.krate).collect();
+        let mut free_in_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_global: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut qual_global: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut method_global: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let workspace_crates: BTreeSet<String> =
+            nodes.iter().map(|n| n.krate.to_string()).collect();
         for (id, node) in nodes.iter().enumerate() {
             match &node.def.qual {
                 None => {
-                    free_in_crate.entry((node.krate, &node.def.name)).or_default().push(id);
-                    free_global.entry(&node.def.name).or_default().push(id);
+                    free_in_crate
+                        .entry((node.krate.to_string(), node.def.name.clone()))
+                        .or_default()
+                        .push(id);
+                    free_global.entry(node.def.name.clone()).or_default().push(id);
                 }
                 Some(q) => {
-                    qual_global.entry((q.as_str(), &node.def.name)).or_default().push(id);
-                    method_global.entry(&node.def.name).or_default().push(id);
+                    qual_global.entry((q.clone(), node.def.name.clone())).or_default().push(id);
+                    method_global.entry(node.def.name.clone()).or_default().push(id);
                 }
             }
         }
 
-        // Edges: caller → callees.
-        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
-        for (id, node) in nodes.iter().enumerate() {
-            let Some(fact) = facts.get(node.file_idx) else { continue };
-            for call in &node.def.calls {
-                let name = call.name.as_str();
-                let targets: Vec<usize> = match call.kind {
-                    CallKind::Free => {
-                        if let Some(same) = free_in_crate.get(&(node.krate, name)) {
-                            same.clone()
-                        } else if let Some(imported) = fact.uses.iter().find_map(|u| {
-                            let leaf_matches = u.alias.as_deref() == Some(name)
-                                || (u.alias.is_none()
-                                    && u.segments.last().is_some_and(|s| s == name));
-                            let first = u.segments.first()?;
-                            if leaf_matches && workspace_crates.contains(first.as_str()) {
-                                free_in_crate.get(&(first.as_str(), name)).cloned()
-                            } else {
-                                None
-                            }
-                        }) {
-                            imported
-                        } else {
-                            // Unique workspace-wide match, else unresolved.
-                            let cands = free_global.get(name).cloned().unwrap_or_default();
-                            let crates: BTreeSet<&str> =
-                                cands.iter().map(|c| nodes[*c].krate).collect();
-                            if crates.len() == 1 {
-                                cands
-                            } else {
-                                Vec::new()
-                            }
-                        }
-                    }
-                    CallKind::Qualified => {
-                        let q = match (call.qual.as_deref(), node.def.qual.as_deref()) {
-                            (Some("Self"), Some(own)) => own,
-                            (Some(q), _) => q,
-                            (None, _) => continue,
-                        };
-                        let cands = qual_global.get(&(q, name)).cloned().unwrap_or_default();
-                        if cands.is_empty() {
-                            // The qualifier may be a crate name: `exec::run(..)`.
-                            free_in_crate.get(&(q, name)).cloned().unwrap_or_default()
-                        } else {
-                            let same: Vec<usize> = cands
-                                .iter()
-                                .copied()
-                                .filter(|c| nodes[*c].krate == node.krate)
-                                .collect();
-                            if same.is_empty() {
-                                cands
-                            } else {
-                                same
-                            }
-                        }
-                    }
-                    CallKind::Method => {
-                        if METHOD_STOPLIST.contains(&name) {
-                            continue;
-                        }
-                        let cands = method_global.get(name).cloned().unwrap_or_default();
-                        let targets: BTreeSet<(&str, &str)> = cands
-                            .iter()
-                            .map(|c| (nodes[*c].krate, nodes[*c].def.qual.as_deref().unwrap_or("")))
-                            .collect();
-                        if targets.len() == 1 {
-                            cands
-                        } else {
-                            Vec::new()
-                        }
-                    }
-                };
-                for t in targets {
+        let mut graph = CallGraph {
+            nodes,
+            edges: Vec::new(),
+            facts,
+            free_in_crate,
+            free_global,
+            qual_global,
+            method_global,
+            workspace_crates,
+        };
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); graph.nodes.len()];
+        for (id, edge_set) in edges.iter_mut().enumerate() {
+            for call in &graph.nodes[id].def.calls {
+                for t in graph.resolve(id, call.kind, call.qual.as_deref(), &call.name) {
                     if t != id {
-                        edges[id].insert(t);
+                        edge_set.insert(t);
                     }
                 }
             }
         }
-        CallGraph { nodes, edges }
+        graph.edges = edges;
+        graph
+    }
+
+    /// Resolve one call site of `caller` to its candidate target nodes,
+    /// with the conservative semantics documented in the module header.
+    /// An empty result means "unresolved": the callers must treat it as a
+    /// false negative (no edge), never guess.
+    pub(crate) fn resolve(
+        &self,
+        caller: usize,
+        kind: CallKind,
+        qual: Option<&str>,
+        name: &str,
+    ) -> Vec<usize> {
+        let node = &self.nodes[caller];
+        let key = (node.krate.to_string(), name.to_string());
+        match kind {
+            CallKind::Free => {
+                if let Some(same) = self.free_in_crate.get(&key) {
+                    return same.clone();
+                }
+                let fact = &self.facts[node.file_idx];
+                if let Some(imported) = fact.uses.iter().find_map(|u| {
+                    let leaf_matches = u.alias.as_deref() == Some(name)
+                        || (u.alias.is_none() && u.segments.last().is_some_and(|s| s == name));
+                    let first = u.segments.first()?;
+                    if leaf_matches && self.workspace_crates.contains(first.as_str()) {
+                        self.free_in_crate.get(&(first.clone(), name.to_string())).cloned()
+                    } else {
+                        None
+                    }
+                }) {
+                    return imported;
+                }
+                // Unique workspace-wide match, else unresolved.
+                let cands = self.free_global.get(name).cloned().unwrap_or_default();
+                let crates: BTreeSet<&str> = cands.iter().map(|c| self.nodes[*c].krate).collect();
+                if crates.len() == 1 {
+                    cands
+                } else {
+                    Vec::new()
+                }
+            }
+            CallKind::Qualified => {
+                let q = match (qual, node.def.qual.as_deref()) {
+                    (Some("Self"), Some(own)) => own,
+                    (Some(q), _) => q,
+                    (None, _) => return Vec::new(),
+                };
+                let cands = self
+                    .qual_global
+                    .get(&(q.to_string(), name.to_string()))
+                    .cloned()
+                    .unwrap_or_default();
+                if cands.is_empty() {
+                    // The qualifier may be a crate name: `exec::run(..)`.
+                    self.free_in_crate
+                        .get(&(q.to_string(), name.to_string()))
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    let same: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|c| self.nodes[*c].krate == node.krate)
+                        .collect();
+                    if same.is_empty() {
+                        cands
+                    } else {
+                        same
+                    }
+                }
+            }
+            CallKind::Method => {
+                if METHOD_STOPLIST.contains(&name) {
+                    return Vec::new();
+                }
+                let cands = self.method_global.get(name).cloned().unwrap_or_default();
+                let targets: BTreeSet<(&str, &str)> = cands
+                    .iter()
+                    .map(|c| {
+                        (self.nodes[*c].krate, self.nodes[*c].def.qual.as_deref().unwrap_or(""))
+                    })
+                    .collect();
+                if targets.len() == 1 {
+                    cands
+                } else {
+                    Vec::new()
+                }
+            }
+        }
     }
 }
 
@@ -301,7 +355,8 @@ impl<'a> CallGraph<'a> {
 /// a panic site through workspace-local calls, reporting the offending
 /// call chain at the entry point.
 pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
-    let CallGraph { nodes, edges } = CallGraph::build(facts);
+    let graph = CallGraph::build(facts);
+    let (nodes, edges) = (&graph.nodes, &graph.edges);
 
     // Reverse BFS from nodes that own a panic site; `next[u]` is the
     // callee one step closer to the panic, for chain reconstruction.
@@ -345,6 +400,22 @@ pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
         let names: Vec<String> = chain.iter().map(|n| nodes[*n].display_name()).collect();
         let sink = &nodes[cur];
         let Some(site) = sink.def.panics.first() else { continue };
+        let related: Vec<Related> = chain
+            .iter()
+            .skip(1)
+            .map(|h| Related {
+                rel_path: nodes[*h].rel_path.to_string(),
+                line: nodes[*h].def.line,
+                col: nodes[*h].def.col,
+                note: format!("`{}` continues the chain", nodes[*h].display_name()),
+            })
+            .chain(std::iter::once(Related {
+                rel_path: sink.rel_path.to_string(),
+                line: site.line,
+                col: site.col,
+                note: format!("the root panic site ({})", site.desc),
+            }))
+            .collect();
         findings.push(Finding {
             rule_id: "panic-reachable",
             severity: Severity::Deny,
@@ -363,6 +434,7 @@ pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
                 site.line,
                 site.col
             ),
+            related,
         });
     }
 }
@@ -375,7 +447,8 @@ pub fn check_panic_reachable(facts: &[FileFacts], findings: &mut Vec<Finding>) {
 /// `xlint::allow(event-loop-blocking, ..)` above the call suppresses it
 /// at build time, exactly like panic sites).
 pub fn check_event_loop_blocking(facts: &[FileFacts], findings: &mut Vec<Finding>) {
-    let CallGraph { nodes, edges } = CallGraph::build(facts);
+    let graph = CallGraph::build(facts);
+    let (nodes, edges) = (&graph.nodes, &graph.edges);
 
     let mut prev: Vec<Option<usize>> = vec![None; nodes.len()];
     let mut reached: Vec<bool> = vec![false; nodes.len()];
@@ -409,6 +482,16 @@ pub fn check_event_loop_blocking(facts: &[FileFacts], findings: &mut Vec<Finding
         }
         chain.reverse();
         let names: Vec<String> = chain.iter().map(|n| nodes[*n].display_name()).collect();
+        let related: Vec<Related> = chain
+            .iter()
+            .take(chain.len().saturating_sub(1))
+            .map(|h| Related {
+                rel_path: nodes[*h].rel_path.to_string(),
+                line: nodes[*h].def.line,
+                col: nodes[*h].def.col,
+                note: format!("reachable from the event loop via `{}`", nodes[*h].display_name()),
+            })
+            .collect();
         for site in &node.def.blocking {
             findings.push(Finding {
                 rule_id: "event-loop-blocking",
@@ -423,6 +506,7 @@ pub fn check_event_loop_blocking(facts: &[FileFacts], findings: &mut Vec<Finding
                     site.desc,
                     names.join(" → ")
                 ),
+                related: related.clone(),
             });
         }
     }
@@ -481,6 +565,7 @@ pub fn check_error_bridges(facts: &[FileFacts], findings: &mut Vec<Finding>) {
                         bridge.target,
                         missing.join(", ")
                     ),
+                    related: Vec::new(),
                 });
             }
         }
@@ -518,6 +603,7 @@ pub fn check_error_bridges(facts: &[FileFacts], findings: &mut Vec<Finding>) {
                  into its error type (and references no type that has one) — a pool failure \
                  here has no typed path back to callers"
             ),
+            related: Vec::new(),
         });
     }
 }

@@ -460,7 +460,18 @@ fn lex_raw_string(
 }
 
 /// Scan comment text for `xlint::allow(rule-id, reason)` directives.
+/// Doc comments are prose — they routinely *describe* the directive
+/// syntax (this very file does) — so they never carry directives: line
+/// docs arrive as `///…`/`//!…`, block docs with a `*`/`!` interior
+/// head (the `/*` opener is stripped before the scan).
 fn scan_allow(comment: &str, line: u32, allows: &mut Vec<AllowDirective>) {
+    if comment.starts_with("///")
+        || comment.starts_with("//!")
+        || comment.starts_with('*')
+        || comment.starts_with('!')
+    {
+        return;
+    }
     let mut rest = comment;
     while let Some(at) = rest.find("xlint::allow(") {
         let after = &rest[at + "xlint::allow(".len()..];

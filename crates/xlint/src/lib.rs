@@ -65,6 +65,7 @@ pub mod lexer;
 pub mod output;
 pub mod parse;
 pub mod rules;
+pub mod summary;
 
 pub use baseline::{Baseline, Regression};
 pub use classify::{classify, collect_sources, FileClass, SourceFile};

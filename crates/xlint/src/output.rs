@@ -28,17 +28,37 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("wire-taint", "Wire-decoded values pass validate/limits before sizing or exec sinks"),
     ("event-loop-blocking", "Nothing reachable from the server event loop calls a blocking API"),
     ("codec-symmetry", "Every wire message type encodes, decodes, and has a golden vector"),
+    ("stale-allow", "Every reasoned xlint::allow still suppresses at least one finding"),
 ];
 
 fn finding_json(f: &Finding) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("rule", Json::str(f.rule_id)),
         ("severity", Json::str(f.severity.label())),
         ("path", Json::str(&f.rel_path)),
         ("line", Json::Int(i64::from(f.line))),
         ("col", Json::Int(i64::from(f.col))),
         ("message", Json::str(&f.message)),
-    ])
+    ];
+    if !f.related.is_empty() {
+        pairs.push((
+            "related",
+            Json::Arr(
+                f.related
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("path", Json::str(&r.rel_path)),
+                            ("line", Json::Int(i64::from(r.line))),
+                            ("col", Json::Int(i64::from(r.col))),
+                            ("note", Json::str(&r.note)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 /// The `--format json` document.
@@ -70,7 +90,7 @@ pub fn sarif(analysis: &Analysis) -> Json {
                 Severity::Deny => "error",
                 Severity::Warn => "warning",
             };
-            Json::obj(vec![
+            let mut pairs = vec![
                 ("ruleId", Json::str(f.rule_id)),
                 ("level", Json::str(level)),
                 ("message", Json::obj(vec![("text", Json::str(&f.message))])),
@@ -90,7 +110,39 @@ pub fn sarif(analysis: &Analysis) -> Json {
                         ]),
                     )])]),
                 ),
-            ])
+            ];
+            if !f.related.is_empty() {
+                pairs.push((
+                    "relatedLocations",
+                    Json::Arr(
+                        f.related
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    (
+                                        "physicalLocation",
+                                        Json::obj(vec![
+                                            (
+                                                "artifactLocation",
+                                                Json::obj(vec![("uri", Json::str(&r.rel_path))]),
+                                            ),
+                                            (
+                                                "region",
+                                                Json::obj(vec![
+                                                    ("startLine", Json::Int(i64::from(r.line))),
+                                                    ("startColumn", Json::Int(i64::from(r.col))),
+                                                ]),
+                                            ),
+                                        ]),
+                                    ),
+                                    ("message", Json::obj(vec![("text", Json::str(&r.note))])),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(pairs)
         })
         .collect();
     Json::obj(vec![
@@ -129,6 +181,12 @@ mod tests {
                 line: 3,
                 col: 1,
                 message: "pub fn `f` can reach a panic".to_string(),
+                related: vec![crate::rules::Related {
+                    rel_path: "crates/alpha/src/sink.rs".to_string(),
+                    line: 9,
+                    col: 5,
+                    note: "the root panic site (indexing)".to_string(),
+                }],
             }],
             suppressed: 2,
             files: 5,
@@ -160,6 +218,10 @@ mod tests {
         let r = &results[0];
         assert_eq!(r.get("ruleId").and_then(Json::as_str), Some("panic-reachable"));
         assert_eq!(r.get("level").and_then(Json::as_str), Some("error"));
+        let rel = r.get("relatedLocations").and_then(Json::as_arr).expect("relatedLocations");
+        assert_eq!(rel.len(), 1);
+        let note = rel[0].get("message").and_then(|m| m.get("text")).and_then(Json::as_str);
+        assert_eq!(note, Some("the root panic site (indexing)"));
         // Byte stability: rendering twice is identical.
         assert_eq!(doc.render(), sarif(&sample()).render());
     }

@@ -154,7 +154,7 @@ pub struct ParsedFile {
 }
 
 /// Keywords that look like `name(` call sites but are control flow.
-const NON_CALL_KEYWORDS: &[&str] = &[
+pub(crate) const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "loop", "return", "fn", "move", "let", "else", "in", "as",
     "break", "continue", "where", "impl", "dyn", "ref", "mut", "use", "pub", "crate", "super",
     "unsafe", "await",

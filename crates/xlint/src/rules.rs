@@ -49,6 +49,22 @@ impl Severity {
     }
 }
 
+/// One auxiliary source position attached to a finding: a hop of an
+/// interprocedural chain (wire-taint, panic-reachable, event-loop-
+/// blocking), rendered as a SARIF `relatedLocation`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Related {
+    /// Root-relative path of the related site.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What this site contributes to the finding (e.g. the fn a tainted
+    /// value flows through, or the panic site a chain ends at).
+    pub note: String,
+}
+
 /// One rule violation at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -64,6 +80,8 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// Chain hops for interprocedural findings; empty for local rules.
+    pub related: Vec<Related>,
 }
 
 /// Timing-path files where a lossy `as` cast is deny-tier: exact integer
@@ -115,7 +133,15 @@ impl<'a> FileTokens<'a> {
 
     fn finding(&self, rule_id: &'static str, severity: Severity, i: usize, msg: String) -> Finding {
         let (line, col) = self.tok(i).map_or((1, 1), |t| (t.line, t.col));
-        Finding { rule_id, severity, rel_path: self.file.rel_path.clone(), line, col, message: msg }
+        Finding {
+            rule_id,
+            severity,
+            rel_path: self.file.rel_path.clone(),
+            line,
+            col,
+            message: msg,
+            related: Vec::new(),
+        }
     }
 }
 
@@ -260,6 +286,7 @@ pub fn check_file_local(
                 line: 1,
                 col: 1,
                 message: format!("crate root of `{krate}` is missing `#![forbid(unsafe_code)]`"),
+                related: Vec::new(),
             });
         }
     }
@@ -591,6 +618,7 @@ pub fn check_stream_uniqueness(
                      components sharing a label draw correlated noise",
                     first.rel_path, first.line, first.col
                 ),
+                related: Vec::new(),
             });
         }
     }

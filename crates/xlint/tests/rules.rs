@@ -234,6 +234,72 @@ fn r11_wire_taint_fires_and_sanitized_or_allowed_paths_stay_silent() {
     );
 }
 
+/// v4 interprocedural taint: the decoded count crosses two private call
+/// hops, the diagnostic lands at the call site in the pub entry with the
+/// whole chain, and the bounding/clamping callees clean their callers.
+#[test]
+fn wire_taint_crosses_function_boundaries_and_callee_bounds_clean() {
+    let a = violations();
+    let hits: Vec<_> = with_rule(&a, "wire-taint")
+        .into_iter()
+        .filter(|f| f.rel_path.ends_with("xprochain/src/lib.rs"))
+        .collect();
+    assert_eq!(hits.len(), 1, "only the unbounded chain may fire: {hits:?}");
+    let hit = hits[0];
+    assert_eq!(hit.severity, Severity::Deny);
+    assert!(
+        hit.message.contains("build_table")
+            && hit.message.contains("reserve_slots")
+            && hit.message.contains("with_capacity"),
+        "the diagnostic must spell out the two-hop chain to the sink: {}",
+        hit.message
+    );
+    assert_eq!(hit.related.len(), 3, "two fn hops plus the sink: {:?}", hit.related);
+    assert!(
+        !hit.message.contains("ingest_bounded") && !hit.message.contains("ingest_clamped"),
+        "callee-side bounds must clean their callers: {}",
+        hit.message
+    );
+}
+
+/// R15 `stale-allow` and the unknown-rule arm of R8 `bad-allow`: a
+/// reasoned directive that suppresses nothing is deny-tier, a typo'd
+/// rule id is deny-tier, and a same-line reasoned stale-allow pin keeps
+/// a stale directive alive.
+#[test]
+fn stale_allow_flags_dead_directives_and_pin_keeps_one_alive() {
+    let a = violations();
+    let stale: Vec<_> = with_rule(&a, "stale-allow")
+        .into_iter()
+        .filter(|f| f.rel_path.ends_with("staleallow/src/lib.rs"))
+        .collect();
+    assert_eq!(stale.len(), 1, "only STALE_DEAD may fire: {stale:?}");
+    assert_eq!(stale[0].severity, Severity::Deny);
+    assert!(
+        stale[0].message.contains("no-wall-clock") && stale[0].message.contains("delete"),
+        "the diagnostic names the dead rule and the fix: {}",
+        stale[0].message
+    );
+    let bad: Vec<_> = with_rule(&a, "bad-allow")
+        .into_iter()
+        .filter(|f| f.rel_path.ends_with("staleallow/src/lib.rs"))
+        .collect();
+    assert_eq!(bad.len(), 1, "only the typo'd id may fire: {bad:?}");
+    assert!(
+        bad[0].message.contains("no-lossy-caste") && bad[0].message.contains("unknown rule id"),
+        "{}",
+        bad[0].message
+    );
+    // The used directive and the pinned-stale pair surface as neither
+    // stale-allow nor a resurfaced base finding.
+    assert!(
+        !with_rule(&a, "no-lossy-cast")
+            .iter()
+            .any(|f| f.rel_path.ends_with("staleallow/src/lib.rs")),
+        "the used allow must keep suppressing its cast"
+    );
+}
+
 #[test]
 fn r12_event_loop_blocking_fires_with_chain_and_allow_suppresses() {
     let a = violations();

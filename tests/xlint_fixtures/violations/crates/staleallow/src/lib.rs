@@ -1,0 +1,29 @@
+//! Fixture: allow-directive hygiene — `stale-allow` and the
+//! unknown-rule arm of `bad-allow`. One reasoned directive still
+//! suppresses a live finding; one suppresses nothing and must be
+//! deleted; one names a rule id that does not exist; and one stale
+//! directive is deliberately kept alive by a same-line reasoned
+//! stale-allow pin.
+
+#![forbid(unsafe_code)]
+
+/// Used: the directive still suppresses a live lossy cast.
+pub fn used(x: u64) -> u32 {
+    x as u32 // xlint::allow(no-lossy-cast, STALE_USED the caller masks to 16 bits first)
+}
+
+/// Stale: nothing on this line trips no-wall-clock any more.
+pub fn stale() -> u32 {
+    7 // xlint::allow(no-wall-clock, STALE_DEAD the Instant::now read was removed in the v2 rewrite)
+}
+
+/// Typo'd rule id: suppresses nothing, ever.
+pub fn typod(x: u64) -> u64 {
+    x + 1 // xlint::allow(no-lossy-caste, STALE_TYPO bounded by the caller)
+}
+
+/// Kept: stale, but pinned with a same-line reasoned stale-allow while
+/// the fix is in flight.
+pub fn kept() -> u32 {
+    9 // xlint::allow(no-wall-clock, STALE_KEPT clock removal in flight) xlint::allow(stale-allow, the fix lands with the frame rewrite)
+}

@@ -1,0 +1,57 @@
+//! Fixture: interprocedural taint for `wire-taint` (v4). A decoded
+//! length crosses two private call hops before sizing an allocation —
+//! the diagnostic fires at the *call site* in the pub entry point with
+//! the full fn chain — while a bounding callee (`.min(limits::..)`)
+//! cleans every consumer, both as a sink owner and as a clamping
+//! return value.
+
+#![forbid(unsafe_code)]
+
+/// Pretend decoder: the returned count is peer-controlled.
+pub fn decode_header2(bytes: &[u8]) -> usize {
+    bytes.len()
+}
+
+/// Admission ceilings for decoded quantities.
+pub mod limits {
+    /// Largest table the wire may ask us to build.
+    pub const MAX_SLOTS: usize = 4096;
+}
+
+/// wire-taint: `n` is wire-tainted, and `build_table` forwards it two
+/// hops down to `Vec::with_capacity` — flagged here, at the call site.
+pub fn ingest(bytes: &[u8]) -> Vec<u64> {
+    let n = decode_header2(bytes);
+    build_table(n)
+}
+
+fn build_table(n: usize) -> Vec<u64> {
+    reserve_slots(n)
+}
+
+fn reserve_slots(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+/// Silent: the callee bounds its parameter before the allocation, so
+/// no caller of `build_bounded` needs a check of its own.
+pub fn ingest_bounded(bytes: &[u8]) -> Vec<u64> {
+    let n = decode_header2(bytes);
+    build_bounded(n)
+}
+
+fn build_bounded(n: usize) -> Vec<u64> {
+    let m = n.min(limits::MAX_SLOTS);
+    Vec::with_capacity(m)
+}
+
+/// Silent: the clamping callee's return value carries a ceiling, so the
+/// caller's own allocation is bounded.
+pub fn ingest_clamped(bytes: &[u8]) -> Vec<u64> {
+    let n = clamp_slots(decode_header2(bytes));
+    Vec::with_capacity(n)
+}
+
+fn clamp_slots(n: usize) -> usize {
+    n.min(limits::MAX_SLOTS)
+}
