@@ -107,3 +107,18 @@ echo "canary: farm outputs identical at 1 and 3 heads"
 EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --farm 3 --canary > "$canary_dir/farm_t1.txt"
 diff "$canary_dir/farm_t1.txt" "$canary_dir/farm_h3.txt"
 echo "canary: farm outputs identical at EXEC_THREADS=1 and 4"
+# Store invariance: a store-backed daemon is killed after half the
+# campaign, its newest segment gets a torn record tail (a crash
+# mid-write), and a fresh daemon reboots over the same directory to
+# serve the full stream. The output must be byte-identical at 1 and 4
+# workers, and the per-spec digest table must match the in-memory
+# canary's exactly — the durable tier may never change a result byte,
+# even across a crash/recover boundary.
+EXEC_THREADS=1 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --restart --canary > "$canary_dir/store_t1.txt"
+EXEC_THREADS=4 cargo run -q --release --offline -p gigatest-atd-farm --bin atd-load -- --restart --canary > "$canary_dir/store_t4.txt"
+diff "$canary_dir/store_t1.txt" "$canary_dir/store_t4.txt"
+echo "canary: store outputs identical at EXEC_THREADS=1 and 4"
+grep -E '^[a-z]+ +[0-9a-f]{16} [0-9a-f]{16}' "$canary_dir/atd1.txt" > "$canary_dir/mem_digests.txt"
+grep -E '^[a-z]+ +[0-9a-f]{16} [0-9a-f]{16}' "$canary_dir/store_t1.txt" > "$canary_dir/store_digests.txt"
+diff "$canary_dir/mem_digests.txt" "$canary_dir/store_digests.txt"
+echo "canary: store-backed digests identical to the in-memory run across a kill/restart"

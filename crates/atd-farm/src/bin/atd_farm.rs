@@ -71,6 +71,9 @@ fn aggregate_stats(farm: &mut Farm<atd::Client<atd::Loopback>>) -> ServiceStats 
         total.connections_closed += stats.connections_closed;
         total.connections_failed += stats.connections_failed;
         total.frames_rejected += stats.frames_rejected;
+        total.store_hits += stats.store_hits;
+        total.store_misses += stats.store_misses;
+        total.store_recovered += stats.store_recovered;
         total.queue_capacity = total.queue_capacity.saturating_add(stats.queue_capacity);
         total.cache_capacity = total.cache_capacity.saturating_add(stats.cache_capacity);
     }

@@ -8,6 +8,8 @@
 //! cargo run --release -p gigatest-atd-farm --bin atd-load -- --pipeline --canary
 //! cargo run --release -p gigatest-atd-farm --bin atd-load -- --farm 3     # sharded fleet
 //! cargo run --release -p gigatest-atd-farm --bin atd-load -- --farm 3 --canary
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --restart    # durable store
+//! cargo run --release -p gigatest-atd-farm --bin atd-load -- --restart --canary
 //! ```
 //!
 //! The default mode boots an in-process `atd` daemon on an ephemeral TCP
@@ -31,6 +33,18 @@
 //! thread-count invariance proof through the wire protocol, scheduler,
 //! chunker, and cache.
 //!
+//! `--restart` exercises the persistent result store: a store-backed
+//! in-process daemon runs one full campaign cold, is dropped, and a
+//! fresh daemon is rebooted over the same directory — the reboot is
+//! timed (rehydration wall time, segment scan plus index rebuild) and
+//! the repeated campaign's warm hit rate and store counters land in
+//! `BENCH_store.json`. With `--canary` the restart is made hostile: the
+//! first daemon is killed after half the stream, a torn record tail is
+//! appended to the newest segment (a crash mid-`put`), and the reopened
+//! daemon must truncate the tear, rehydrate, and serve the full stream
+//! byte-identically — the per-spec digest table must match the plain
+//! canary's exactly, which CI enforces by diffing the two.
+//!
 //! `--farm N` drives an in-process fleet of N heads through the
 //! `atd-farm` coordinator: composite specs shard across the fleet and
 //! merge back, a head is killed halfway through the timed run to
@@ -42,6 +56,7 @@
 
 use std::collections::BTreeMap;
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::time::Instant; // xlint::allow(no-wall-clock, load-generator harness: wall time is the measurand here and never feeds back into results)
 
 use atd::stream::Event;
@@ -566,7 +581,7 @@ fn render_json(
 /// and farm reports must stay field-for-field comparable.
 fn service_json(stats: &atd::ServiceStats) -> String {
     format!(
-        "{{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {}, \"connections_opened\": {}, \"connections_closed\": {}, \"frames_rejected\": {}, \"connections_failed\": {} }}",
+        "{{ \"submitted\": {}, \"completed\": {}, \"cache_hits\": {}, \"batched\": {}, \"shed\": {}, \"failed\": {}, \"connections_opened\": {}, \"connections_closed\": {}, \"frames_rejected\": {}, \"connections_failed\": {}, \"store_hits\": {}, \"store_misses\": {}, \"store_recovered\": {} }}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
@@ -576,7 +591,10 @@ fn service_json(stats: &atd::ServiceStats) -> String {
         stats.connections_opened,
         stats.connections_closed,
         stats.frames_rejected,
-        stats.connections_failed
+        stats.connections_failed,
+        stats.store_hits,
+        stats.store_misses,
+        stats.store_recovered
     )
 }
 
@@ -739,6 +757,9 @@ fn render_farm_json(
                 aggregate.connections_closed += s.connections_closed;
                 aggregate.connections_failed += s.connections_failed;
                 aggregate.frames_rejected += s.frames_rejected;
+                aggregate.store_hits += s.store_hits;
+                aggregate.store_misses += s.store_misses;
+                aggregate.store_recovered += s.store_recovered;
                 aggregate.queue_capacity =
                     aggregate.queue_capacity.saturating_add(s.queue_capacity);
                 aggregate.cache_capacity =
@@ -846,6 +867,210 @@ fn bench(requests: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Scratch directory for a store-backed run: deterministic per process,
+/// wiped before and after so a stale tree never pollutes a measurement.
+fn store_scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("atd-load-store-{}-{tag}", std::process::id()))
+}
+
+/// Simulates a crash mid-`put`: appends the first bytes of a record
+/// (valid magic, torn header) to the newest segment file, exactly the
+/// tail a power cut leaves behind. The reopened store must truncate it.
+fn tear_newest_segment(dir: &Path) -> Result<(), String> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list store dir: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "atds"))
+        .collect();
+    segments.sort();
+    let newest = segments.pop().ok_or("store left no segment files")?;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&newest)
+        .map_err(|e| format!("cannot reopen segment: {e}"))?;
+    std::io::Write::write_all(&mut file, b"ASR1\x00\x00\x00")
+        .map_err(|e| format!("cannot tear the segment tail: {e}"))
+}
+
+/// Timed store run: one campaign cold against a store-backed daemon,
+/// drop it, time the reboot over the same directory (segment scan +
+/// index rebuild), then the same campaign warm. Writes
+/// `BENCH_store.json`: per-phase throughput and latency, rehydration
+/// wall time, and the warm-restart hit rate.
+fn store_restart_bench(requests: u64) -> Result<(), String> {
+    let dir = store_scratch("bench");
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = store_restart_bench_in(&dir, requests);
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
+fn store_restart_bench_in(dir: &Path, requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let mut client =
+        atd_farm::local_head_with_store(dir).map_err(|e| format!("cannot open store: {e}"))?;
+    eprintln!("atd-load: store-backed daemon in {}, {requests} requests per phase", dir.display());
+    // One ledger across both phases: the restarted daemon must serve the
+    // exact bytes the first daemon computed.
+    let mut ledger = Ledger::default();
+
+    let mut cold = Tally::default();
+    let mut cold_lat = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        drive_one(&mut client, &specs, i, &mut cold, &mut ledger)
+            .map_err(|e| format!("cold request {i} failed: {e}"))?;
+        cold_lat.push(t.elapsed().as_secs_f64());
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+    drop(client);
+
+    let t1 = Instant::now();
+    let mut client =
+        atd_farm::local_head_with_store(dir).map_err(|e| format!("cannot reopen store: {e}"))?;
+    let rehydrate_s = t1.elapsed().as_secs_f64();
+
+    let mut warm = Tally::default();
+    let mut warm_lat = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
+    let t2 = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        drive_one(&mut client, &specs, i, &mut warm, &mut ledger)
+            .map_err(|e| format!("warm request {i} failed: {e}"))?;
+        warm_lat.push(t.elapsed().as_secs_f64());
+    }
+    let warm_s = t2.elapsed().as_secs_f64();
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+
+    let json = render_store_json(
+        (&cold, cold_s, &cold_lat),
+        (&warm, warm_s, &warm_lat),
+        rehydrate_s,
+        &stats,
+    );
+    match std::fs::write("BENCH_store.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_store.json"),
+        Err(e) => return Err(format!("failed to write BENCH_store.json: {e}")),
+    }
+    print!("{json}");
+
+    let errors = cold.protocol_errors + warm.protocol_errors;
+    let mismatches = cold.mismatches + warm.mismatches;
+    if errors > 0 || mismatches > 0 {
+        return Err(format!(
+            "store run saw {errors} protocol errors, {mismatches} result mismatches"
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the store benchmark report: the shared `service` schema plus
+/// a per-phase block, so cold-vs-warm is one `jq` away. Each phase is
+/// `(tally, elapsed seconds, per-request latencies)`.
+fn render_store_json(
+    cold: (&Tally, f64, &[f64]),
+    warm: (&Tally, f64, &[f64]),
+    rehydrate_s: f64,
+    stats: &atd::ServiceStats,
+) -> String {
+    let phase = |(tally, elapsed_s, lats): (&Tally, f64, &[f64])| {
+        let (mean_s, p50_s, p99_s) = latency_summary(lats);
+        let rps = if elapsed_s > 0.0 { to_f64(tally.requests) / elapsed_s } else { 0.0 };
+        format!(
+            "{{ \"requests\": {}, \"jobs\": {}, \"elapsed_s\": {elapsed_s:.6}, \"requests_per_s\": {rps:.1}, \"latency_mean_s\": {mean_s:.6}, \"latency_p50_s\": {p50_s:.6}, \"latency_p99_s\": {p99_s:.6}, \"cache_hit_rate\": {:.4} }}",
+            tally.requests,
+            tally.jobs,
+            tally.hit_rate()
+        )
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"mode\": \"store-restart\",\n");
+    json.push_str(&format!("  \"cold\": {},\n", phase(cold)));
+    json.push_str(&format!("  \"rehydrate_s\": {rehydrate_s:.6},\n"));
+    json.push_str(&format!("  \"rehydrated_records\": {},\n", stats.store_recovered));
+    json.push_str(&format!("  \"warm\": {},\n", phase(warm)));
+    json.push_str(&format!("  \"warm_hit_rate\": {:.4},\n", warm.0.hit_rate()));
+    json.push_str(&format!(
+        "  \"result_mismatches\": {},\n",
+        cold.0.mismatches + warm.0.mismatches
+    ));
+    json.push_str(&format!("  \"service\": {}\n", service_json(stats)));
+    json.push_str("}\n");
+    json
+}
+
+/// Deterministic store run with a hostile restart: half the stream
+/// against a store-backed daemon, kill it, tear the newest segment's
+/// tail (a crash mid-`put`), reboot over the same directory, then the
+/// full stream. One ledger spans both daemons, so any byte drift across
+/// the crash/recover boundary is a hard failure — and the digest table
+/// is printed in the plain canary's format so CI can diff the two.
+fn store_restart_canary(requests: u64) -> Result<(), String> {
+    let dir = store_scratch("canary");
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = store_restart_canary_in(&dir, requests);
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
+fn store_restart_canary_in(dir: &Path, requests: u64) -> Result<(), String> {
+    let specs = spec_table();
+    let mut tally = Tally::default();
+    let mut ledger = Ledger::default();
+
+    let mut client =
+        atd_farm::local_head_with_store(dir).map_err(|e| format!("cannot open store: {e}"))?;
+    for i in 0..requests / 2 {
+        drive_one(&mut client, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("request {i} failed before the crash: {e}"))?;
+    }
+    drop(client);
+    tear_newest_segment(dir)?;
+
+    let mut client =
+        atd_farm::local_head_with_store(dir).map_err(|e| format!("cannot reopen store: {e}"))?;
+    for i in 0..requests {
+        drive_one(&mut client, &specs, i, &mut tally, &mut ledger)
+            .map_err(|e| format!("request {i} failed after the restart: {e}"))?;
+    }
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+
+    println!("== atd store canary ==");
+    for spec in &specs {
+        let key = spec.key_bytes();
+        let digest =
+            ledger.first_seen.get(&key).map(|bytes| atd::cache::fnv1a64(bytes)).unwrap_or_default();
+        println!("{:8} {:016x} {:016x}", spec.kind(), atd::cache::fnv1a64(&key), digest);
+    }
+    println!(
+        "jobs {} computed {} cached {} batched {} busy {} mismatches {}",
+        tally.jobs, tally.computed, tally.cached, tally.batched, tally.busy, tally.mismatches
+    );
+    println!(
+        "service: submitted {} completed {} cache_hits {} failed {} store_hits {} store_misses {} store_recovered {}",
+        stats.submitted,
+        stats.completed,
+        stats.cache_hits,
+        stats.failed,
+        stats.store_hits,
+        stats.store_misses,
+        stats.store_recovered
+    );
+    if tally.mismatches > 0 || tally.protocol_errors > 0 {
+        return Err(format!(
+            "store canary saw {} mismatches, {} protocol errors",
+            tally.mismatches, tally.protocol_errors
+        ));
+    }
+    if stats.store_recovered == 0 {
+        return Err("the restarted daemon rehydrated nothing".to_string());
+    }
+    Ok(())
+}
+
 /// Parsed command line.
 #[derive(Debug)]
 struct Options {
@@ -854,6 +1079,8 @@ struct Options {
     pipeline: Option<u32>,
     /// `Some(heads)` when `--farm` was given.
     farm: Option<usize>,
+    /// `--restart`: drive a store-backed daemon through a kill/reboot.
+    restart: bool,
     depth: usize,
     requests: u64,
 }
@@ -862,6 +1089,7 @@ fn parse_args() -> Result<Options, String> {
     let mut canary_mode = false;
     let mut pipeline: Option<u32> = None;
     let mut farm: Option<usize> = None;
+    let mut restart = false;
     // Matches the daemon's default per-session cap: the deepest window
     // that is never shed, and the measured throughput sweet spot.
     let mut depth: usize = 64;
@@ -870,6 +1098,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--canary" => canary_mode = true,
+            "--restart" => restart = true,
             "--pipeline" => {
                 // Optional session count: `--pipeline 8` or bare `--pipeline`.
                 let sessions = match args.peek().map(|next| next.parse::<u32>()) {
@@ -905,7 +1134,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: atd-load [--canary] [--pipeline [N]] [--farm [N]] [--depth K] [--requests N]"
+                    "usage: atd-load [--canary] [--pipeline [N]] [--farm [N]] [--restart] [--depth K] [--requests N]"
                         .to_string(),
                 )
             }
@@ -914,6 +1143,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if farm.is_some() && pipeline.is_some() {
         return Err("--farm and --pipeline are mutually exclusive".to_string());
+    }
+    if restart && (farm.is_some() || pipeline.is_some()) {
+        return Err("--restart drives the serial loopback path only".to_string());
     }
     // Canary defaults are small (CI diffs them twice); the timed serial
     // default is the 1000-request mixed stream, and the pipelined timed
@@ -926,7 +1158,7 @@ fn parse_args() -> Result<Options, String> {
         (false, false, true) => 400,
         (false, false, false) => 1000,
     });
-    Ok(Options { canary_mode, pipeline, farm, depth, requests })
+    Ok(Options { canary_mode, pipeline, farm, restart, depth, requests })
 }
 
 fn main() {
@@ -935,6 +1167,8 @@ fn main() {
         (false, _, Some(heads)) => farm_bench(heads, opts.requests),
         (true, Some(sessions), None) => pipelined_canary(sessions, opts.depth, opts.requests),
         (false, Some(sessions), None) => pipelined_bench(sessions, opts.depth, opts.requests),
+        (true, None, None) if opts.restart => store_restart_canary(opts.requests),
+        (false, None, None) if opts.restart => store_restart_bench(opts.requests),
         (true, None, None) => canary(opts.requests),
         (false, None, None) => bench(opts.requests),
     });

@@ -38,6 +38,10 @@ pub enum FarmError {
     },
     /// The coordinator's worker pool failed.
     Exec(exec::ExecError),
+    /// Booting or restarting a head's service failed — e.g. its
+    /// persistent store directory could not be opened. Distinct from
+    /// in-flight head errors, which mark the head down and re-route.
+    Head(atd::AtdError),
 }
 
 impl fmt::Display for FarmError {
@@ -53,6 +57,7 @@ impl fmt::Display for FarmError {
             FarmError::Spec(e) => write!(f, "spec error: {e}"),
             FarmError::Merge { context } => write!(f, "merge failure: {context}"),
             FarmError::Exec(e) => write!(f, "coordinator pool error: {e}"),
+            FarmError::Head(e) => write!(f, "head boot failure: {e}"),
         }
     }
 }
@@ -62,6 +67,7 @@ impl std::error::Error for FarmError {
         match self {
             FarmError::Spec(e) => Some(e),
             FarmError::Exec(e) => Some(e),
+            FarmError::Head(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +82,12 @@ impl From<FrameError> for FarmError {
 impl From<exec::ExecError> for FarmError {
     fn from(e: exec::ExecError) -> Self {
         FarmError::Exec(e)
+    }
+}
+
+impl From<atd::AtdError> for FarmError {
+    fn from(e: atd::AtdError) -> Self {
+        FarmError::Head(e)
     }
 }
 
@@ -96,5 +108,8 @@ mod tests {
         assert!(text.contains("3 rounds") && text.contains("boom"), "{text}");
         let text = FarmError::Merge { context: "shards disagree" }.to_string();
         assert!(text.contains("shards disagree"), "{text}");
+        let text =
+            FarmError::from(atd::AtdError::Remote { message: "disk gone".to_string() }).to_string();
+        assert!(text.contains("head boot") && text.contains("disk gone"), "{text}");
     }
 }

@@ -12,13 +12,14 @@
 //! coordinator threads.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
 use atd::{AtdError, Client, JobResult, JobSpec, Loopback, Provenance, ServiceStats};
 use exec::ExecPool;
 
 use crate::error::FarmError;
-use crate::head::{local_head, spec_route_key, Head};
+use crate::head::{local_head, local_head_with_store, spec_route_key, Head};
 use crate::merge::merge;
 use crate::plan::plan;
 use crate::ring::HashRing;
@@ -111,6 +112,10 @@ pub struct Farm<H: Head> {
     shards: usize,
     retries: u32,
     stats: FarmStats,
+    /// Per-head persistent-store directories; `None` for a memory-only
+    /// head. Only [`Farm::in_proc_with_store`] populates these, and only
+    /// [`Farm::restart_head`] consumes them.
+    store_dirs: Vec<Option<PathBuf>>,
 }
 
 impl Farm<Client<Loopback>> {
@@ -122,6 +127,56 @@ impl Farm<Client<Loopback>> {
     /// [`FarmError::NoHeads`] when `heads` is zero.
     pub fn in_proc(heads: usize) -> Result<Self, FarmError> {
         Farm::new((0..heads).map(|_| local_head()).collect(), FarmConfig::from_env())
+    }
+
+    /// [`Farm::in_proc`] with per-head persistent stores: head `i`
+    /// persists its results under `<base>/head-<i>`. A head restarted
+    /// via [`Farm::restart_head`] reopens its own directory and
+    /// rehydrates the exact warm set the ring still routes to it —
+    /// routing affinity, cache affinity, and disk affinity stay one
+    /// mechanism across restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::NoHeads`] when `heads` is zero, or
+    /// [`FarmError::Head`] when a head's store cannot be opened.
+    pub fn in_proc_with_store(heads: usize, base: &Path) -> Result<Self, FarmError> {
+        let mut fleet = Vec::with_capacity(heads);
+        let mut dirs = Vec::with_capacity(heads);
+        for id in 0..heads {
+            let dir = base.join(format!("head-{id}"));
+            fleet.push(local_head_with_store(&dir)?);
+            dirs.push(Some(dir));
+        }
+        let mut farm = Farm::new(fleet, FarmConfig::from_env())?;
+        farm.store_dirs = dirs;
+        Ok(farm)
+    }
+
+    /// Tears down `head`'s in-process service and boots a fresh one in
+    /// its place — the in-proc analogue of a daemon crash plus restart.
+    /// A head with a store directory rehydrates from it; a memory-only
+    /// head comes back cold. The ring is untouched either way: a restart
+    /// changes no routing, so the rehydrated store holds exactly the
+    /// keys that will keep arriving.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Head`] when `head` is off the fleet or its store
+    /// fails to reopen.
+    pub fn restart_head(&mut self, head: usize) -> Result<(), FarmError> {
+        let fleet = self.heads.len();
+        let dir = self.store_dirs.get(head).cloned().flatten();
+        let Some(slot) = self.heads.get_mut(head) else {
+            return Err(FarmError::Head(AtdError::Remote {
+                message: format!("cannot restart head {head}: fleet has {fleet} heads"),
+            }));
+        };
+        *slot = match dir {
+            Some(dir) => local_head_with_store(&dir)?,
+            None => local_head(),
+        };
+        Ok(())
     }
 }
 
@@ -186,7 +241,16 @@ impl<H: Head + Send> Farm<H> {
         let ring = HashRing::new(heads.len());
         let stats =
             FarmStats { per_head: vec![HeadTally::default(); heads.len()], ..Default::default() };
-        Ok(Farm { heads, ring, pool: ExecPool::from_env(), shards, retries: config.retries, stats })
+        let store_dirs = heads.iter().map(|_| None).collect();
+        Ok(Farm {
+            heads,
+            ring,
+            pool: ExecPool::from_env(),
+            shards,
+            retries: config.retries,
+            stats,
+            store_dirs,
+        })
     }
 
     /// Fleet size, up or down.

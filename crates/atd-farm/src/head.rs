@@ -9,11 +9,16 @@
 //! client-side backoff, so a head that cannot accept work right now is
 //! simply routed around until re-admitted.
 
+use std::path::Path;
+
+use atd::scheduler::Scheduler;
+use atd::store::{Store, StoreConfig};
 use atd::stream::Event;
 use atd::{
     AtdError, Client, JobResult, JobSpec, Loopback, PipelinedClient, Provenance, Service,
     ServiceStats, Submitted, Transport,
 };
+use exec::ExecPool;
 
 /// One test head under farm control.
 pub trait Head {
@@ -109,6 +114,24 @@ impl Head for PipelinedClient {
 /// `ATD_QUEUE_DEPTH`, `ATD_CACHE_ENTRIES`).
 pub fn local_head() -> Client<Loopback> {
     Client::new(Loopback::new(Service::from_env()))
+}
+
+/// [`local_head`] with a persistent result store rooted at `dir`,
+/// opened (or created) explicitly rather than via `ATD_STORE_DIR`. A
+/// head restarted over the same directory rehydrates its warm set from
+/// disk — and because [`spec_route_key`] and the store's index share
+/// the same FNV-1a digest, the rehydrated set is exactly the keys the
+/// ring still routes to this head.
+///
+/// # Errors
+///
+/// [`AtdError::Store`] when the store cannot be opened — unlike the
+/// lenient env path, a head the caller *asked* to be durable refuses to
+/// boot amnesiac.
+pub fn local_head_with_store(dir: &Path) -> Result<Client<Loopback>, AtdError> {
+    let store = Store::open(StoreConfig::new(dir))?;
+    let service = Service::new(ExecPool::from_env(), Scheduler::from_env_with_store(store));
+    Ok(Client::new(Loopback::new(service)))
 }
 
 /// The ring key a spec routes by: the FNV-1a digest of its canonical

@@ -32,6 +32,13 @@
 //! Determinism is inherited, not re-proven: sub-workloads seed every
 //! cell/die/point from its *global* index, so a band computed on head 3
 //! is bit-identical to the same band inside a monolithic run.
+//!
+//! Heads can also be durable: [`Farm::in_proc_with_store`] gives each
+//! head its own persistent result store (`atd`'s `store` tier), and
+//! [`Farm::restart_head`] reboots a head over the same directory. The
+//! ring keys, the head caches, and the stores all hash with the same
+//! FNV-1a digest, so a restarted head rehydrates exactly the warm set
+//! the unchanged ring keeps routing to it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +52,7 @@ mod ring;
 
 pub use error::FarmError;
 pub use farm::{heads_from_env, Farm, FarmConfig, FarmStats, FarmSubmitted, HeadTally};
-pub use head::{local_head, spec_route_key, Head};
+pub use head::{local_head, local_head_with_store, spec_route_key, Head};
 pub use merge::merge;
 pub use plan::plan;
 pub use ring::HashRing;

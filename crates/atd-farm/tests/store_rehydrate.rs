@@ -1,0 +1,134 @@
+//! Restarting a store-backed head must change nothing observable: the
+//! routing table is byte-identical (ring positions depend only on head
+//! index), the restarted head rehydrates its warm set from disk, and a
+//! resubmitted campaign is served from cache with the same bytes.
+
+use atd::{JobSpec, Provenance};
+use atd_farm::{plan, Farm};
+
+use std::path::PathBuf;
+
+fn scratch_base(tag: &str) -> PathBuf {
+    let base = std::env::temp_dir().join(format!("atd-farm-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    base
+}
+
+fn shmoo() -> JobSpec {
+    JobSpec::Shmoo {
+        rate_bps: 1_250_000_000,
+        bits: 256,
+        stim_seed: 7,
+        phase_step_fs: 100_000_000,
+        v_start_mv: -1400,
+        v_end_mv: -1100,
+        v_step_mv: 25,
+        seed: 11,
+    }
+}
+
+fn wafer() -> JobSpec {
+    JobSpec::Wafer {
+        columns: 4,
+        dies: 24,
+        sites: 2,
+        hard_defect_rate: 0.25,
+        marginal_rate: 0.1,
+        rate_bps: 2_500_000_000,
+        test_bits: 256,
+        seed: 99,
+    }
+}
+
+/// The full routing table for every sub-spec of every campaign spec.
+fn routing_table(farm: &Farm<atd::Client<atd::Loopback>>, shards: usize) -> Vec<Option<usize>> {
+    let mut table = Vec::new();
+    for spec in [shmoo(), wafer()] {
+        for sub in plan(&spec, shards).expect("plan") {
+            table.push(farm.route(&sub));
+        }
+    }
+    table
+}
+
+#[test]
+fn a_restarted_head_rehydrates_with_the_routing_table_unchanged() {
+    let base = scratch_base("rehydrate");
+    let mut farm = Farm::in_proc_with_store(3, &base).expect("boot store-backed farm");
+
+    let first_shmoo = farm.submit(1, shmoo()).expect("first shmoo");
+    let first_wafer = farm.submit(1, wafer()).expect("first wafer");
+    let table_before = routing_table(&farm, 3);
+
+    // Pick the head that owns the first shmoo band so the restarted head
+    // is guaranteed to be asked for something it persisted.
+    let bands = plan(&shmoo(), 3).expect("plan");
+    let victim = farm.route(bands.first().expect("bands")).expect("routable");
+    farm.restart_head(victim).expect("restart");
+
+    // Routing is untouched by a restart: byte-identical table, same
+    // up-head count.
+    assert_eq!(routing_table(&farm, 3), table_before, "restart must not move a single key");
+    assert_eq!(farm.up_heads(), 3);
+
+    // The restarted head rehydrated a non-empty warm set from disk.
+    let stats = farm.head_stats();
+    let victim_stats = stats
+        .get(victim)
+        .and_then(|r| r.as_ref().ok())
+        .copied()
+        .expect("victim head reports stats");
+    assert!(
+        victim_stats.store_recovered > 0,
+        "the restarted head must rehydrate records from its store"
+    );
+    assert_eq!(victim_stats.submitted, 0, "a restarted service starts with fresh counters");
+
+    // The resubmitted campaign is cache-served end to end — the
+    // restarted head answers from its rehydrated store — and the merged
+    // bytes match the pre-restart run exactly.
+    let again_shmoo = farm.submit(1, shmoo()).expect("shmoo after restart");
+    let again_wafer = farm.submit(1, wafer()).expect("wafer after restart");
+    assert_eq!(again_shmoo.provenance, Provenance::Cache, "every shard must be cache-served");
+    assert_eq!(again_wafer.provenance, Provenance::Cache);
+    assert_eq!(
+        again_shmoo.result.encoded().expect("encode"),
+        first_shmoo.result.encoded().expect("encode")
+    );
+    assert_eq!(
+        again_wafer.result.encoded().expect("encode"),
+        first_wafer.result.encoded().expect("encode")
+    );
+
+    // And the victim really served store hits, not recomputations.
+    let stats = farm.head_stats();
+    let victim_stats = stats
+        .get(victim)
+        .and_then(|r| r.as_ref().ok())
+        .copied()
+        .expect("victim head reports stats");
+    assert!(victim_stats.store_hits > 0, "rehydrated results must come off the store");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn a_memory_only_head_restarts_cold() {
+    let mut farm = Farm::in_proc(2).expect("boot");
+    farm.submit(1, shmoo()).expect("first");
+    farm.restart_head(0).expect("restart");
+    let stats = farm.head_stats();
+    let head0 = stats.first().and_then(|r| r.as_ref().ok()).copied().expect("stats");
+    assert_eq!(head0.store_recovered, 0, "no store directory, nothing to rehydrate");
+    assert_eq!(head0.submitted, 0);
+    // The campaign still completes (recomputed where needed), identical
+    // bytes — determinism does not depend on the store.
+    let again = farm.submit(1, shmoo()).expect("again");
+    assert_eq!(again.shards, 2);
+}
+
+#[test]
+fn restarting_an_unknown_head_is_a_typed_error() {
+    let mut farm = Farm::in_proc(2).expect("boot");
+    assert!(farm.restart_head(7).is_err());
+}

@@ -35,6 +35,10 @@ pub enum AtdError {
         /// The OS error text.
         message: String,
     },
+    /// The persistent result store failed. Surfaced only from explicit
+    /// store operations (opening a store for a head); inside the drain
+    /// path store failures degrade to recomputation instead.
+    Store(store::StoreError),
 }
 
 impl fmt::Display for AtdError {
@@ -49,6 +53,7 @@ impl fmt::Display for AtdError {
                 write!(f, "unexpected response type {code:#04x} (expected {expected})")
             }
             AtdError::Io { op, message } => write!(f, "i/o failure during {op}: {message}"),
+            AtdError::Store(e) => write!(f, "result store error: {e}"),
         }
     }
 }
@@ -60,6 +65,7 @@ impl std::error::Error for AtdError {
             AtdError::Exec(e) => Some(e),
             AtdError::MiniTester(e) => Some(e),
             AtdError::Signal(e) => Some(e),
+            AtdError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +95,12 @@ impl From<signal::SignalError> for AtdError {
     }
 }
 
+impl From<store::StoreError> for AtdError {
+    fn from(e: store::StoreError) -> Self {
+        AtdError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +125,9 @@ mod tests {
         assert!(e.to_string().contains("0x7f") && e.to_string().contains("Pong"));
         let e = AtdError::Io { op: "connect", message: "refused".to_string() };
         assert!(e.to_string().contains("connect") && e.to_string().contains("refused"));
+        let e = AtdError::from(store::StoreError::Oversized { what: "key", len: 9000, max: 4096 });
+        assert!(e.to_string().contains("result store"));
+        assert!(e.source().is_some());
     }
 
     #[test]

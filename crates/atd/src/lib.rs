@@ -33,12 +33,20 @@
 //!   segments) whose concatenation is byte-identical to the monolithic
 //!   encoding, and [`PipelinedClient`] keeps a depth-K window of
 //!   correlated submissions in flight per connection.
+//! * [`store`] (re-exported) — the persistent tier behind the LRU: on a
+//!   cache miss the scheduler reads through to an append-only segment
+//!   store keyed by the same FNV-1a spec digest, and writes computed
+//!   successes behind. A restarted daemon rehydrates its warm set from
+//!   disk, byte-identical to recomputation.
 //!
 //! Configuration: `ATD_QUEUE_DEPTH` and `ATD_CACHE_ENTRIES` override the
 //! admission-queue and cache bounds, `ATD_PIPELINE_DEPTH` caps the
 //! per-session pipeline, and `ATD_IDLE_TICKS` sets the slow-loris
 //! eviction budget — all with the same lenient parse-or-default
-//! behaviour as `EXEC_THREADS`.
+//! behaviour as `EXEC_THREADS`. `ATD_STORE_DIR` attaches the persistent
+//! result store (unset means memory-only), with
+//! `ATD_STORE_SEGMENT_BYTES` / `ATD_STORE_MAX_BYTES` bounding segment
+//! rotation and total disk use.
 //!
 //! ## Example: loopback session
 //!
@@ -87,6 +95,10 @@ pub use stream::{chunk_result, stream_digest, Event, Reassembler, StreamDigest};
 pub use transport::{
     read_frame, write_frame, BatchSubmitted, Client, Loopback, Submitted, TcpClient, Transport,
 };
+
+// The durable tier's crate, re-exported so dependants (the farm, the
+// load generator) configure stores without a direct dependency edge.
+pub use store;
 
 /// Convenient result alias for service operations.
 pub type Result<T> = core::result::Result<T, AtdError>;

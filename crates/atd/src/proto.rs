@@ -1152,6 +1152,15 @@ pub struct ServiceStats {
     /// Frames the daemon rejected as malformed (bad magic, unknown type,
     /// undecodable payload, truncated-then-closed).
     pub frames_rejected: u64,
+    /// Jobs answered from the persistent store (an LRU miss served off
+    /// disk instead of recomputed). Zero when no store is attached.
+    pub store_hits: u64,
+    /// LRU misses the persistent store also missed on, forcing a
+    /// recompute. Zero when no store is attached.
+    pub store_misses: u64,
+    /// Records the persistent store recovered from disk when it opened —
+    /// the warm set a restarted head rehydrates from.
+    pub store_recovered: u64,
     /// Configured queue capacity.
     pub queue_capacity: u32,
     /// Configured cache capacity in entries.
@@ -1170,6 +1179,9 @@ impl ServiceStats {
         w.u64(self.connections_closed);
         w.u64(self.connections_failed);
         w.u64(self.frames_rejected);
+        w.u64(self.store_hits);
+        w.u64(self.store_misses);
+        w.u64(self.store_recovered);
         w.u32(self.queue_capacity);
         w.u32(self.cache_capacity);
     }
@@ -1186,6 +1198,9 @@ impl ServiceStats {
             connections_closed: r.u64()?,
             connections_failed: r.u64()?,
             frames_rejected: r.u64()?,
+            store_hits: r.u64()?,
+            store_misses: r.u64()?,
+            store_recovered: r.u64()?,
             queue_capacity: r.u32()?,
             cache_capacity: r.u32()?,
         })
@@ -1918,6 +1933,9 @@ mod tests {
                 connections_closed: 4,
                 connections_failed: 2,
                 frames_rejected: 3,
+                store_hits: 5,
+                store_misses: 2,
+                store_recovered: 9,
                 queue_capacity: 256,
                 cache_capacity: 64,
             }),

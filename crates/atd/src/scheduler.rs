@@ -11,10 +11,11 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use exec::ExecPool;
+use store::{Store, StoreConfig};
 
 use crate::cache::ResultCache;
 use crate::error::AtdError;
-use crate::proto::{JobSpec, Provenance, ServiceStats};
+use crate::proto::{JobResult, JobSpec, Provenance, ServiceStats};
 use crate::workload;
 
 /// Environment override for the admission queue depth.
@@ -23,11 +24,28 @@ pub const ATD_QUEUE_DEPTH_ENV: &str = "ATD_QUEUE_DEPTH";
 /// Environment override for the result-cache entry bound.
 pub const ATD_CACHE_ENTRIES_ENV: &str = "ATD_CACHE_ENTRIES";
 
+/// Environment knob naming the persistent store directory. Unset (or
+/// blank) means no durable tier: the daemon serves from memory alone,
+/// exactly as it did before the store existed.
+pub const ATD_STORE_DIR_ENV: &str = "ATD_STORE_DIR";
+
+/// Environment override for the store's segment-rotation threshold.
+pub const ATD_STORE_SEGMENT_BYTES_ENV: &str = "ATD_STORE_SEGMENT_BYTES";
+
+/// Environment override for the store's total disk bound.
+pub const ATD_STORE_MAX_BYTES_ENV: &str = "ATD_STORE_MAX_BYTES";
+
 /// Default admission queue depth.
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
 /// Default result-cache entry bound.
 pub const DEFAULT_CACHE_ENTRIES: usize = 64;
+
+/// Default store segment-rotation threshold (1 MiB).
+pub const DEFAULT_STORE_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Default store disk bound (64 MiB).
+pub const DEFAULT_STORE_MAX_BYTES: u64 = 64 << 20;
 
 /// A job admitted to the queue but not yet executed.
 #[derive(Debug, Clone)]
@@ -63,12 +81,16 @@ pub struct Completion {
     pub outcome: Result<crate::proto::JobResult, AtdError>,
 }
 
-/// The batching scheduler with its embedded result cache.
+/// The batching scheduler with its embedded result cache and optional
+/// durable store tier.
 #[derive(Debug)]
 pub struct Scheduler {
     queue: VecDeque<Pending>,
     queue_capacity: usize,
     cache: ResultCache,
+    /// The durable tier behind the LRU: read-through on a cache miss,
+    /// write-behind on a computed success. `None` serves memory-only.
+    store: Option<Store>,
     next_ticket: u64,
     stats: ServiceStats,
 }
@@ -84,17 +106,81 @@ impl Scheduler {
             cache_capacity: u32::try_from(cache_entries).unwrap_or(u32::MAX),
             ..ServiceStats::default()
         };
-        Scheduler { queue: VecDeque::new(), queue_capacity, cache, next_ticket: 1, stats }
+        Scheduler {
+            queue: VecDeque::new(),
+            queue_capacity,
+            cache,
+            store: None,
+            next_ticket: 1,
+            stats,
+        }
     }
 
     /// A scheduler configured from `ATD_QUEUE_DEPTH` / `ATD_CACHE_ENTRIES`,
     /// falling back to the defaults on unset or unparsable values — the
-    /// same lenient override idiom as `EXEC_THREADS`.
+    /// same lenient override idiom as `EXEC_THREADS`. When
+    /// `ATD_STORE_DIR` names a directory the persistent store is opened
+    /// there and attached as the durable tier; a store that fails to
+    /// open is skipped rather than refusing to boot the daemon.
     pub fn from_env() -> Self {
+        let sched = Scheduler::new(
+            exec::env::positive_usize_or(ATD_QUEUE_DEPTH_ENV, DEFAULT_QUEUE_DEPTH),
+            exec::env::positive_usize_or(ATD_CACHE_ENTRIES_ENV, DEFAULT_CACHE_ENTRIES),
+        );
+        match Scheduler::store_from_env() {
+            Some(store) => sched.with_store(store),
+            None => sched,
+        }
+    }
+
+    /// [`Scheduler::from_env`] with an explicit durable tier instead of
+    /// the `ATD_STORE_DIR`-derived one — the farm boots each head over
+    /// its own store directory this way.
+    pub fn from_env_with_store(store: Store) -> Self {
         Scheduler::new(
             exec::env::positive_usize_or(ATD_QUEUE_DEPTH_ENV, DEFAULT_QUEUE_DEPTH),
             exec::env::positive_usize_or(ATD_CACHE_ENTRIES_ENV, DEFAULT_CACHE_ENTRIES),
         )
+        .with_store(store)
+    }
+
+    /// Opens the persistent store the `ATD_STORE_*` knobs describe.
+    /// `None` when `ATD_STORE_DIR` is unset or blank, or when the open
+    /// fails — the durable tier is an accelerator, never an availability
+    /// dependency, so a bad disk degrades to memory-only service.
+    pub fn store_from_env() -> Option<Store> {
+        let dir = exec::env::non_empty(ATD_STORE_DIR_ENV)?;
+        let config = StoreConfig::new(dir)
+            .segment_bytes(exec::env::positive_u64_or(
+                ATD_STORE_SEGMENT_BYTES_ENV,
+                DEFAULT_STORE_SEGMENT_BYTES,
+            ))
+            .max_bytes(exec::env::positive_u64_or(
+                ATD_STORE_MAX_BYTES_ENV,
+                DEFAULT_STORE_MAX_BYTES,
+            ));
+        Store::open(config).ok()
+    }
+
+    /// Attaches `store` as the durable tier. Records already on disk
+    /// become servable immediately and are reported via the
+    /// `store_recovered` counter.
+    #[must_use]
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.stats.store_recovered = store.stats().recovered_records;
+        self.store = Some(store);
+        self
+    }
+
+    /// Whether a durable tier is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// A snapshot of the durable tier's own counters, when one is
+    /// attached.
+    pub fn store_stats(&self) -> Option<store::StoreStats> {
+        self.store.as_ref().map(Store::stats)
     }
 
     /// The admission queue's capacity.
@@ -236,14 +322,26 @@ impl Scheduler {
                 // later duplicates coalesce to Batched, as documented.
                 computed.insert(key, result.clone());
                 (Provenance::Cache, Ok(result))
+            } else if let Some(result) = self.store_lookup(&key) {
+                // Read-through from the durable tier: the payload is the
+                // canonical result encoding, so serving it is
+                // byte-identical to recomputing. Promote it into the LRU
+                // and treat it as this drain's first occurrence.
+                self.cache.insert(&key, result.clone());
+                computed.insert(key, result.clone());
+                (Provenance::Cache, Ok(result))
             } else {
                 match workload::execute(&pending.spec, pool) {
                     Ok(result) => {
                         self.cache.insert(&key, result.clone());
+                        self.store_persist(&key, &result);
                         computed.insert(key, result.clone());
                         (Provenance::Computed, Ok(result))
                     }
                     Err(e) => {
+                        // Errors are never cached and never persisted: a
+                        // failed spec is retried on its next submission,
+                        // in this process or the next.
                         self.stats.failed += 1;
                         (Provenance::Computed, Err(e))
                     }
@@ -260,6 +358,47 @@ impl Scheduler {
             });
         }
     }
+
+    /// Read-through lookup in the durable tier. Counts a store hit or
+    /// miss whenever a store is attached; with no store this is a no-op
+    /// miss that touches no counter. A stored payload that no longer
+    /// decodes as a result (codec drift, disk corruption under a running
+    /// store) degrades to a miss and is recomputed.
+    fn store_lookup(&mut self, key: &[u8]) -> Option<JobResult> {
+        let store = self.store.as_mut()?;
+        let payload = store.get(key).ok().flatten();
+        let result = payload.as_deref().and_then(decode_stored_result);
+        match result {
+            Some(result) => {
+                self.stats.store_hits += 1;
+                Some(result)
+            }
+            None => {
+                self.stats.store_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Write-behind persistence of a computed success. Store errors are
+    /// swallowed: the durable tier accelerates future runs but must
+    /// never fail the present one. Only successes reach this point —
+    /// errors are never persisted, mirroring the LRU's rule.
+    fn store_persist(&mut self, key: &[u8], result: &JobResult) {
+        let Some(store) = self.store.as_mut() else { return };
+        if let Ok(payload) = result.encoded() {
+            let _ = store.put(key, &payload);
+        }
+    }
+}
+
+/// Decodes a stored payload back to a result, requiring the payload to
+/// be exactly one canonical result encoding with no trailing bytes.
+fn decode_stored_result(payload: &[u8]) -> Option<JobResult> {
+    let mut r = crate::wire::Reader::new(payload);
+    let result = JobResult::decode(&mut r).ok()?;
+    r.expect_end().ok()?;
+    Some(result)
 }
 
 #[cfg(test)]
@@ -396,6 +535,137 @@ mod tests {
         assert!(!a.is_empty());
         assert_eq!(a, b);
         assert_eq!(cached.first().map(|c| c.provenance), Some(Provenance::Cache));
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("atd-scheduler-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_at(dir: &std::path::Path) -> Store {
+        Store::open(StoreConfig::new(dir)).expect("open store")
+    }
+
+    /// Every segment file's bytes, in name order — the store's entire
+    /// observable disk state.
+    fn disk_state(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .expect("read store dir")
+            .filter_map(|e| e.ok())
+            .map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                let bytes = std::fs::read(e.path()).unwrap_or_default();
+                (name, bytes)
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn store_tier_serves_an_lru_miss_without_recompute() {
+        let dir = store_dir("readthrough");
+        let pool = ExecPool::serial();
+        // Cache bound of 1: computing a second spec evicts the first
+        // from the LRU, but the store still holds it.
+        let mut sched = Scheduler::new(16, 1).with_store(store_at(&dir));
+        sched.submit(1, &[bathtub(61)]);
+        let computed = sched.drain(&pool);
+        sched.submit(1, &[bathtub(62)]);
+        sched.drain(&pool);
+        assert_eq!(sched.cache_len(), 1, "entry bound must have evicted bathtub(61)");
+        sched.submit(1, &[bathtub(61)]);
+        let replayed = sched.drain(&pool);
+        assert_eq!(replayed.first().map(|c| c.provenance), Some(Provenance::Cache));
+        let a = computed
+            .first()
+            .and_then(|c| c.outcome.as_ref().ok())
+            .and_then(|r| r.encoded().ok())
+            .unwrap_or_default();
+        let b = replayed
+            .first()
+            .and_then(|c| c.outcome.as_ref().ok())
+            .and_then(|r| r.encoded().ok())
+            .unwrap_or_default();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "a store hit must be byte-identical to the computation");
+        let stats = sched.stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.store_misses, 2, "both first computations missed the store");
+        assert_eq!(stats.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_fresh_scheduler_rehydrates_from_the_store() {
+        let dir = store_dir("rehydrate");
+        let pool = ExecPool::serial();
+        let mut sched = Scheduler::new(16, 16).with_store(store_at(&dir));
+        sched.submit(1, &[bathtub(71), bathtub(72)]);
+        let computed = sched.drain(&pool);
+        drop(sched);
+
+        // A brand-new scheduler over the same directory: empty LRU, warm
+        // disk. Both replays are served as Cache without recomputation.
+        let mut restarted = Scheduler::new(16, 16).with_store(store_at(&dir));
+        assert_eq!(restarted.stats().store_recovered, 2);
+        restarted.submit(1, &[bathtub(71), bathtub(72)]);
+        let replayed = restarted.drain(&pool);
+        assert!(replayed.iter().all(|c| c.provenance == Provenance::Cache));
+        let bytes = |cs: &[Completion]| -> Vec<Vec<u8>> {
+            cs.iter()
+                .map(|c| c.outcome.as_ref().ok().and_then(|r| r.encoded().ok()).unwrap_or_default())
+                .collect()
+        };
+        assert_eq!(bytes(&computed), bytes(&replayed));
+        assert_eq!(restarted.stats().store_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_jobs_leave_the_segment_files_byte_identical() {
+        // The durable mirror of "errors are never cached": a Failed
+        // result must not change one byte of any segment file.
+        let dir = store_dir("errskip");
+        let pool = ExecPool::serial();
+        let mut sched = Scheduler::new(16, 16).with_store(store_at(&dir));
+        sched.submit(1, &[bathtub(81)]);
+        sched.drain(&pool);
+        let before = disk_state(&dir);
+        assert!(!before.is_empty());
+
+        sched.submit(1, &[bad_spec(), bad_spec()]);
+        let failed = sched.drain(&pool);
+        assert!(failed.iter().all(|c| c.outcome.is_err()));
+        assert_eq!(
+            disk_state(&dir),
+            before,
+            "a failed job must leave the store's disk state untouched"
+        );
+        // And the failure is retried, not replayed, after a restart.
+        drop(sched);
+        let mut restarted = Scheduler::new(16, 16).with_store(store_at(&dir));
+        restarted.submit(1, &[bad_spec()]);
+        let retried = restarted.drain(&pool);
+        assert!(retried.iter().all(|c| c.outcome.is_err()));
+        assert_eq!(restarted.stats().failed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_store_means_no_store_counters() {
+        let pool = ExecPool::serial();
+        let mut sched = Scheduler::new(16, 16);
+        assert!(!sched.has_store());
+        assert!(sched.store_stats().is_none());
+        sched.submit(1, &[bathtub(91)]);
+        sched.drain(&pool);
+        let stats = sched.stats();
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 0);
+        assert_eq!(stats.store_recovered, 0);
     }
 
     #[test]

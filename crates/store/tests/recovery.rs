@@ -1,0 +1,158 @@
+//! Crash-recovery sweep: a segment truncated at *every* byte offset of
+//! its final record must open clean, serve every intact record, and
+//! report the reclaimed tail — the store-level analogue of the THP
+//! golden tests' truncation-prefix sweep.
+
+use store::{fnv1a64, record, Store, StoreConfig};
+
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gigatest-store-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a single-segment store with `keep` intact records and one
+/// final record, returning the segment path and the final record's span.
+fn seed_store(dir: &PathBuf, keep: u32) -> (PathBuf, u64, u64) {
+    let mut store = Store::open(StoreConfig::new(dir)).expect("open");
+    for i in 0..keep {
+        let key = format!("spec-{i:04}");
+        let payload = format!("result-for-{i:04}-{}", "x".repeat(usize::try_from(i).unwrap_or(0)));
+        store.put(key.as_bytes(), payload.as_bytes()).expect("put");
+    }
+    let before_final = segment_len(dir);
+    store.put(b"spec-final", b"the record the crash tears").expect("put final");
+    let after_final = segment_len(dir);
+    drop(store);
+    (segment_path(dir), before_final, after_final)
+}
+
+fn segment_path(dir: &PathBuf) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "atds"))
+        .collect();
+    segments.sort();
+    assert_eq!(segments.len(), 1, "seed must fit one segment");
+    segments.remove(0)
+}
+
+fn segment_len(dir: &PathBuf) -> u64 {
+    std::fs::metadata(segment_path(dir)).expect("metadata").len()
+}
+
+#[test]
+fn truncation_at_every_offset_of_the_final_record_recovers_clean() {
+    let keep = 12u32;
+    for_every_cut(keep, |cut, dir, full_len, final_start| {
+        let mut reopened = Store::open(StoreConfig::new(dir)).expect("reopen after torn tail");
+        let stats = reopened.stats();
+
+        // Every intact record is served, byte-for-byte.
+        for i in 0..keep {
+            let key = format!("spec-{i:04}");
+            let expected =
+                format!("result-for-{i:04}-{}", "x".repeat(usize::try_from(i).unwrap_or(0)));
+            assert_eq!(
+                reopened.get(key.as_bytes()).expect("get"),
+                Some(expected.into_bytes()),
+                "cut at {cut}: intact record {i} must survive"
+            );
+        }
+
+        if cut == full_len {
+            // Nothing was actually torn: the final record survives too.
+            assert_eq!(
+                reopened.get(b"spec-final").expect("get"),
+                Some(b"the record the crash tears".to_vec())
+            );
+            assert_eq!(stats.reclaimed_bytes, 0, "cut at {cut} tore nothing");
+            assert_eq!(stats.recovered_records, u64::from(keep) + 1);
+        } else {
+            // The torn final record is never served, and the tail is
+            // reported reclaimed.
+            assert_eq!(
+                reopened.get(b"spec-final").expect("get"),
+                None,
+                "cut at {cut}: a torn record must never be served"
+            );
+            assert_eq!(
+                stats.reclaimed_bytes,
+                cut.saturating_sub(final_start),
+                "cut at {cut}: reclaimed bytes must cover the torn tail"
+            );
+            assert_eq!(stats.recovered_records, u64::from(keep));
+        }
+
+        // The store stays writable after recovery.
+        reopened.put(b"post-crash", b"appended after recovery").expect("put after recovery");
+        assert_eq!(
+            reopened.get(b"post-crash").expect("get"),
+            Some(b"appended after recovery".to_vec())
+        );
+    });
+}
+
+/// Runs `check` for every truncation point from the start of the final
+/// record through the full file length.
+fn for_every_cut(keep: u32, check: impl Fn(u64, &PathBuf, u64, u64)) {
+    let dir = scratch_dir("sweep");
+    let (seg, final_start, full_len) = seed_store(&dir, keep);
+    let pristine = std::fs::read(&seg).expect("read segment");
+    assert_eq!(u64::try_from(pristine.len()).expect("len"), full_len);
+
+    for cut in final_start..=full_len {
+        let torn = pristine.get(..usize::try_from(cut).expect("cut fits")).expect("slice");
+        std::fs::write(&seg, torn).expect("write torn segment");
+        check(cut, &dir, full_len, final_start);
+        // Recovery truncated (and possibly appended); restore pristine
+        // bytes for the next cut.
+        std::fs::write(&seg, &pristine).expect("restore segment");
+        // Recovery may have rotated nothing, but a post-crash append adds
+        // no new segment below the rotation threshold; assert that so the
+        // restore above really resets the world.
+        assert_eq!(segment_len(&dir), full_len);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_in_the_middle_truncates_from_the_first_bad_byte() {
+    let dir = scratch_dir("midflip");
+    let (seg, _, _) = seed_store(&dir, 6);
+    let pristine = std::fs::read(&seg).expect("read");
+
+    // Flip one byte in the middle of the file: everything from the
+    // record containing that byte onward is the torn tail.
+    let mid = pristine.len() / 2;
+    let mut bad = pristine.clone();
+    if let Some(byte) = bad.get_mut(mid) {
+        *byte ^= 0xFF;
+    }
+    std::fs::write(&seg, &bad).expect("write corrupted");
+
+    let reopened = Store::open(StoreConfig::new(&dir)).expect("reopen");
+    let stats = reopened.stats();
+    assert!(stats.reclaimed_bytes > 0, "a mid-file flip must reclaim a tail");
+    assert!(stats.recovered_records < 7, "the flipped record must not be indexed");
+    // Whatever was recovered verifies; the file was truncated before the
+    // flip, so a second open reclaims nothing further.
+    drop(reopened);
+    let reopened = Store::open(StoreConfig::new(&dir)).expect("second reopen");
+    assert_eq!(reopened.stats().reclaimed_bytes, 0, "recovery must converge in one pass");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_store_digest_matches_the_record_module_digest() {
+    // The content address is one function end to end: the digest the
+    // index is keyed by equals the digest embedded in the record header.
+    let bytes = record::encode(b"shared-key", b"payload").expect("encode");
+    let (decoded, _) = record::decode(&bytes).expect("decode");
+    assert_eq!(decoded.key_digest, fnv1a64(b"shared-key"));
+}

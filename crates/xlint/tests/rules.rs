@@ -451,6 +451,28 @@ fn warm_cache_run_is_byte_identical_to_cold() {
     );
 }
 
+/// The persistent store's record grammar is wire-grade hostile input:
+/// `decode_header` is a taint source, so a disk-decoded length sizing a
+/// buffer unvalidated fires, while the `limits::`-checked and
+/// reasoned-allow flows stay silent.
+#[test]
+fn store_reader_fixture_pins_wire_taint_firing_and_suppressed() {
+    let a = violations();
+    let storeio: Vec<_> = with_rule(&a, "wire-taint")
+        .into_iter()
+        .filter(|f| f.rel_path.ends_with("storeio/src/lib.rs"))
+        .collect();
+    assert!(
+        storeio.iter().any(|f| f.severity == Severity::Deny && f.message.contains("with_capacity")),
+        "the unchecked disk-decoded length must fire, got {storeio:?}"
+    );
+    assert_eq!(
+        storeio.len(),
+        1,
+        "the limits-checked and reasoned-allow readers must stay silent: {storeio:?}"
+    );
+}
+
 #[test]
 fn farm_router_fixture_pins_wire_taint_and_panic_reachable() {
     let a = violations();

@@ -267,6 +267,96 @@ fn farm_merges_are_byte_identical_to_a_single_head_at_any_fleet_size() {
     }
 }
 
+/// The durable store is invisible in the bytes: a store-backed daemon
+/// serves a mixed campaign byte-identical to an in-memory daemon on 1-
+/// and 4-thread pools — and stays identical when the store-backed daemon
+/// is killed mid-campaign and a fresh one reboots over the same
+/// directory, with the finished half then replayed straight off the
+/// rehydrated store.
+#[test]
+fn store_backed_daemon_matches_in_memory_across_a_kill_and_restart() {
+    use atd::scheduler::Scheduler;
+    use atd::store::{Store, StoreConfig};
+    use atd::{Client, JobSpec, Loopback, Provenance, Service, Submitted};
+    use exec::ExecPool;
+    use minitester::{ShmooConfig, WaferRunConfig};
+    use pstime::Duration;
+
+    let rate = DataRate::from_gbps(2.5);
+    let campaign = [
+        JobSpec::shmoo(rate, 256, 17, &ShmooConfig::pecl(), 3),
+        JobSpec::wafer(&WaferRunConfig {
+            dies: 8,
+            columns: 4,
+            sites: 2,
+            test_bits: 256,
+            seed: 7,
+            ..WaferRunConfig::default()
+        }),
+        JobSpec::eye(rate, 256, 17, 3),
+        JobSpec::bathtub(Duration::from_ps(3), Duration::from_ps(20), rate, 0.5, 101),
+    ];
+
+    fn submit(client: &mut Client<Loopback>, spec: JobSpec) -> (Provenance, Vec<u8>) {
+        match client.submit(1, spec).unwrap() {
+            Submitted::Done { provenance, result, .. } => (provenance, result.encoded().unwrap()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    let durable_daemon = |dir: &std::path::Path, threads: usize| {
+        let store = Store::open(StoreConfig::new(dir)).unwrap();
+        let scheduler = Scheduler::new(8, 64).with_store(store);
+        Client::new(Loopback::new(Service::new(ExecPool::new(threads), scheduler)))
+    };
+
+    for threads in [1usize, 4] {
+        // In-memory reference bytes.
+        let service = Service::new(ExecPool::new(threads), Scheduler::new(8, 64));
+        let mut memory = Client::new(Loopback::new(service));
+        let reference: Vec<Vec<u8>> =
+            campaign.iter().map(|spec| submit(&mut memory, *spec).1).collect();
+
+        // A store-backed daemon, campaign uninterrupted.
+        let dir = std::env::temp_dir()
+            .join(format!("atd-determinism-store-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut durable = durable_daemon(&dir, threads);
+        let whole: Vec<Vec<u8>> =
+            campaign.iter().map(|spec| submit(&mut durable, *spec).1).collect();
+        assert_eq!(
+            whole, reference,
+            "the store must be invisible in the bytes ({threads} threads)"
+        );
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Killed after two specs, restarted over the same directory.
+        let dir = std::env::temp_dir()
+            .join(format!("atd-determinism-restart-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut durable = durable_daemon(&dir, threads);
+        let mut observed: Vec<Vec<u8>> =
+            campaign[..2].iter().map(|spec| submit(&mut durable, *spec).1).collect();
+        drop(durable); // the kill
+        let mut durable = durable_daemon(&dir, threads);
+        observed.extend(campaign[2..].iter().map(|spec| submit(&mut durable, *spec).1));
+        assert_eq!(
+            observed, reference,
+            "a kill/restart mid-campaign must not change a byte ({threads} threads)"
+        );
+
+        // The half finished before the kill replays off the rehydrated
+        // store: cache provenance, identical bytes, no recompute.
+        for (spec, want) in campaign[..2].iter().zip(&reference) {
+            let (provenance, bytes) = submit(&mut durable, *spec);
+            assert_eq!(provenance, Provenance::Cache, "{} must be store-served", spec.kind());
+            assert_eq!(&bytes, want);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// THP/2 streaming changes the framing, never the bytes: a shmoo submitted
 /// over a pipelined TCP session arrives as chunks whose concatenation is
 /// byte-identical to the THP/1 loopback result and the direct pool run — on

@@ -67,13 +67,14 @@ fn submit_frame_matches_golden_bytes() {
 }
 
 /// `StatsReport` with every counter distinct, frozen — pins the order of
-/// the counters block, including the connection opened/closed pair.
-const STATS_REPORT_FRAME: [u8; 100] = [
+/// the counters block, including the connection opened/closed pair and
+/// the persistent-store trio.
+const STATS_REPORT_FRAME: [u8; 124] = [
     0x54, 0x48, 0x50, 0x31, // magic
     0x01, // version
     0x82, // STATS_REPORT
     0x00, 0x00, // reserved
-    0x00, 0x00, 0x00, 0x58, // payload length 88
+    0x00, 0x00, 0x00, 0x70, // payload length 112
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // submitted 1
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, // completed 2
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, // cache_hits 3
@@ -84,6 +85,9 @@ const STATS_REPORT_FRAME: [u8; 100] = [
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, // connections_closed 8
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x09, // connections_failed 9
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0A, // frames_rejected 10
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0B, // store_hits 11
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0C, // store_misses 12
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0D, // store_recovered 13
     0x00, 0x00, 0x01, 0x00, // queue_capacity 256
     0x00, 0x00, 0x00, 0x40, // cache_capacity 64
 ];
@@ -100,6 +104,9 @@ fn golden_stats() -> Response {
         connections_closed: 8,
         connections_failed: 9,
         frames_rejected: 10,
+        store_hits: 11,
+        store_misses: 12,
+        store_recovered: 13,
         queue_capacity: 256,
         cache_capacity: 64,
     })

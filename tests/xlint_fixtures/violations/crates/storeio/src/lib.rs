@@ -1,0 +1,53 @@
+//! Fixture: a segment-store reader for `wire-taint` (R11) over the
+//! persistent store's record grammar. `decode_header` returns
+//! disk-controlled lengths (hostile bytes, exactly like a peer frame);
+//! sizing an allocation from them unvalidated fires, the same flow
+//! behind a `limits::` comparison stays silent, and a documented
+//! upstream bound suppresses via a reasoned allow.
+
+#![forbid(unsafe_code)]
+
+/// A parsed record header; every field is attacker-controlled until
+/// checked against `limits::`.
+pub struct RecordHeader {
+    /// Declared key length in bytes.
+    pub key_len: usize,
+    /// Declared payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Pretend header decode: the returned lengths come straight off disk.
+pub fn decode_header(bytes: &[u8]) -> RecordHeader {
+    RecordHeader { key_len: bytes.len(), payload_len: bytes.len() }
+}
+
+/// Admission ceilings for decoded record fields.
+pub mod limits {
+    /// Largest payload a record may declare.
+    pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
+}
+
+/// wire-taint: the decoded payload length reaches `Vec::with_capacity`
+/// with no validate/limits check between — a torn or hostile segment
+/// tail could size an arbitrary allocation.
+pub fn read_unchecked(bytes: &[u8]) -> Vec<u8> {
+    let header = decode_header(bytes);
+    Vec::with_capacity(header.payload_len)
+}
+
+/// Silent: the comparison against `limits::MAX_PAYLOAD_BYTES` certifies
+/// the decoded length bounded before it sizes the buffer.
+pub fn read_checked(bytes: &[u8]) -> Vec<u8> {
+    let payload_len = decode_header(bytes).payload_len;
+    if payload_len > limits::MAX_PAYLOAD_BYTES {
+        return Vec::new();
+    }
+    Vec::with_capacity(payload_len)
+}
+
+/// Suppressed: the bound lives upstream and is documented at the site.
+pub fn read_allowed(bytes: &[u8]) -> Vec<u8> {
+    let header = decode_header(bytes);
+    // xlint::allow(wire-taint, the segment scanner rejects records over the 1 MiB ceiling before this reader sees them)
+    Vec::with_capacity(header.key_len)
+}
